@@ -1,0 +1,184 @@
+//! Non-corroborating baselines (§6.1.1): `Voting` and `Counting`.
+//!
+//! - [`Voting`] declares a fact true when it has strictly more `T` votes
+//!   than `F` votes.
+//! - [`Counting`] declares a fact true when strictly more than half of
+//!   *all* sources cast a `T` vote for it — a much stricter rule that
+//!   trades recall for precision (the paper's Table 4: P=0.94, R=0.65).
+//!
+//! Neither method models source quality; both serve as the floor the
+//! corroboration techniques are measured against.
+
+use corroborate_core::prelude::*;
+
+/// Nudge applied so that the library-wide `p ≥ 0.5 → true` decision rule
+/// (paper Equation 2) realises the *strict* majorities these baselines are
+/// defined with: an exact tie must decide `false`.
+const TIE_EPS: f64 = 1e-9;
+
+/// Majority fraction `t / total` with exact ties pushed just below 0.5 so
+/// the ≥0.5 threshold treats them as `false`.
+fn strict_majority_probability(t: usize, total: usize) -> f64 {
+    if total == 0 {
+        // No evidence at all: a listing nobody reports is not believed.
+        return 0.5 - TIE_EPS;
+    }
+    if 2 * t == total {
+        0.5 - TIE_EPS
+    } else {
+        t as f64 / total as f64
+    }
+}
+
+/// The `Voting` baseline: true iff more `T` than `F` votes.
+///
+/// The reported probability is the fraction of `T` votes among the votes
+/// cast (ties nudged below 0.5). The reported trust score of each source is
+/// its agreement rate with the voting outcome — voting itself uses no trust.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Voting;
+
+/// The `Counting` baseline: true iff more than half of all sources vote `T`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Counting;
+
+fn agreement_trust(dataset: &Dataset, decisions: &TruthAssignment) -> TrustSnapshot {
+    let mut trust = Vec::with_capacity(dataset.n_sources());
+    for s in dataset.sources() {
+        let votes = dataset.votes().votes_by(s);
+        if votes.is_empty() {
+            trust.push(0.5);
+            continue;
+        }
+        let agree = votes
+            .iter()
+            .filter(|fv| fv.vote.as_bool() == decisions.label(fv.fact).as_bool())
+            .count();
+        trust.push(agree as f64 / votes.len() as f64);
+    }
+    TrustSnapshot::from_values(trust).expect("agreement rates are probabilities")
+}
+
+impl Corroborator for Voting {
+    fn name(&self) -> &str {
+        "Voting"
+    }
+
+    fn corroborate(&self, dataset: &Dataset) -> Result<CorroborationResult, CoreError> {
+        let probs: Vec<f64> = dataset
+            .facts()
+            .map(|f| {
+                let (t, fv) = dataset.votes().tally(f);
+                strict_majority_probability(t, t + fv)
+            })
+            .collect();
+        let decisions = TruthAssignment::from_probabilities(&probs);
+        let trust = agreement_trust(dataset, &decisions);
+        CorroborationResult::new(probs, trust, None, 1)
+    }
+}
+
+impl Corroborator for Counting {
+    fn name(&self) -> &str {
+        "Counting"
+    }
+
+    fn corroborate(&self, dataset: &Dataset) -> Result<CorroborationResult, CoreError> {
+        let n_sources = dataset.n_sources();
+        let probs: Vec<f64> = dataset
+            .facts()
+            .map(|f| {
+                let (t, _) = dataset.votes().tally(f);
+                strict_majority_probability(t, n_sources)
+            })
+            .collect();
+        let decisions = TruthAssignment::from_probabilities(&probs);
+        let trust = agreement_trust(dataset, &decisions);
+        CorroborationResult::new(probs, trust, None, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 4 sources; f0: 2T vs 1F; f1: 1T vs 1F (tie); f2: 3T; f3: 1T.
+    fn dataset() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        let s: Vec<SourceId> = (0..4).map(|i| b.add_source(format!("s{i}"))).collect();
+        let f0 = b.add_fact_with_truth("f0", Label::True);
+        let f1 = b.add_fact_with_truth("f1", Label::False);
+        let f2 = b.add_fact_with_truth("f2", Label::True);
+        let f3 = b.add_fact_with_truth("f3", Label::False);
+        b.cast(s[0], f0, Vote::True).unwrap();
+        b.cast(s[1], f0, Vote::True).unwrap();
+        b.cast(s[2], f0, Vote::False).unwrap();
+        b.cast(s[0], f1, Vote::True).unwrap();
+        b.cast(s[1], f1, Vote::False).unwrap();
+        b.cast(s[0], f2, Vote::True).unwrap();
+        b.cast(s[1], f2, Vote::True).unwrap();
+        b.cast(s[3], f2, Vote::True).unwrap();
+        b.cast(s[3], f3, Vote::True).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn voting_uses_strict_majority_of_cast_votes() {
+        let ds = dataset();
+        let r = Voting.corroborate(&ds).unwrap();
+        let d = r.decisions();
+        assert!(d.label(FactId::new(0)).as_bool()); // 2T vs 1F
+        assert!(!d.label(FactId::new(1)).as_bool()); // tie → false
+        assert!(d.label(FactId::new(2)).as_bool()); // 3T
+        assert!(d.label(FactId::new(3)).as_bool()); // 1T vs 0F
+    }
+
+    #[test]
+    fn counting_requires_majority_of_all_sources() {
+        let ds = dataset();
+        let r = Counting.corroborate(&ds).unwrap();
+        let d = r.decisions();
+        // 4 sources → need at least 3 T votes.
+        assert!(!d.label(FactId::new(0)).as_bool()); // 2T of 4 = exactly half → false
+        assert!(!d.label(FactId::new(1)).as_bool());
+        assert!(d.label(FactId::new(2)).as_bool()); // 3T of 4
+        assert!(!d.label(FactId::new(3)).as_bool()); // 1T of 4
+    }
+
+    #[test]
+    fn counting_is_no_less_precise_than_voting_here() {
+        let ds = dataset();
+        let v = Voting.corroborate(&ds).unwrap().confusion(&ds).unwrap();
+        let c = Counting.corroborate(&ds).unwrap().confusion(&ds).unwrap();
+        assert!(c.precision() >= v.precision());
+        assert!(c.recall() <= v.recall());
+    }
+
+    #[test]
+    fn voteless_fact_is_false_under_both() {
+        let mut b = DatasetBuilder::new();
+        b.add_source("s");
+        b.add_fact_with_truth("silent", Label::False);
+        let ds = b.build().unwrap();
+        for alg in [&Voting as &dyn Corroborator, &Counting] {
+            let r = alg.corroborate(&ds).unwrap();
+            assert!(!r.decisions().label(FactId::new(0)).as_bool(), "{}", alg.name());
+        }
+    }
+
+    #[test]
+    fn trust_is_agreement_rate_with_outcome() {
+        let ds = dataset();
+        let r = Voting.corroborate(&ds).unwrap();
+        // s0 voted T on f0 (out: true), T on f1 (out: false), T on f2 (true)
+        // → agrees 2/3.
+        let t = r.trust().trust(SourceId::new(0));
+        assert!((t - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Voting.name(), "Voting");
+        assert_eq!(Counting.name(), "Counting");
+    }
+}

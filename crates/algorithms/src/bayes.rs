@@ -1,0 +1,348 @@
+//! `BayesEstimate` — the Latent Truth Model of Zhao et al. (PVLDB 2012),
+//! the Bayesian probabilistic graphical model the paper compares against
+//! (§2.2, §6.1.1).
+//!
+//! Each fact `f` has a latent truth `t_f ∈ {0, 1}`; each source `s` has two
+//! latent error rates — a *false positive rate* `φ⁰_s = P(T vote | fact
+//! false)` and a *sensitivity* `φ¹_s = P(T vote | fact true)` — with Beta
+//! priors. The paper instantiates the priors exactly as Zhao et al.:
+//! `α0 = (100, 10000)` (strong low-FPR prior), `α1 = (50, 50)` (uninformed
+//! sensitivity), `β = (10, 10)` (uninformed truth prior); see
+//! [`BayesEstimateConfig::paper_priors`].
+//!
+//! Inference is collapsed Gibbs sampling: the `φ` rates are integrated out
+//! analytically (Beta–Bernoulli conjugacy), so the sampler only walks the
+//! truth bits. The per-fact conditional is
+//!
+//! ```text
+//! P(t_f = t | rest) ∝ (β_t + m_t^{¬f}) ·
+//!     Π_{s ∈ S_f} (α_{t,o_sf} + n_s[t][o_sf]^{¬f}) / (α_{t,0} + α_{t,1} + n_s[t][·]^{¬f})
+//! ```
+//!
+//! where `o_sf ∈ {0, 1}` is the vote polarity, `n_s[t][o]` counts the
+//! source's votes of polarity `o` on facts currently assigned truth `t`,
+//! and `m_t` counts facts assigned `t`. After burn-in, the posterior truth
+//! probability of each fact is the mean of its sampled bits.
+//!
+//! With a strong high-precision prior and (almost) no `F` votes, every fact
+//! with a `T` vote is sampled true with near certainty — reproducing the
+//! paper's finding that `BayesEstimate` returns *true for all restaurants*
+//! on its data (§2.2).
+
+use corroborate_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A Beta prior expressed as the pseudo-count pair `(a, b)` where `a`
+/// counts positive outcomes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BetaPrior {
+    /// Pseudo-count of positive outcomes.
+    pub a: f64,
+    /// Pseudo-count of negative outcomes.
+    pub b: f64,
+}
+
+impl BetaPrior {
+    /// Creates a prior; both pseudo-counts must be positive.
+    pub fn new(a: f64, b: f64) -> Result<Self, CoreError> {
+        if !(a > 0.0 && b > 0.0) {
+            return Err(CoreError::InvalidConfig {
+                message: format!("Beta pseudo-counts must be positive, got ({a}, {b})"),
+            });
+        }
+        Ok(Self { a, b })
+    }
+
+    /// Prior mean `a / (a + b)`.
+    pub fn mean(&self) -> f64 {
+        self.a / (self.a + self.b)
+    }
+}
+
+/// Configuration for [`BayesEstimate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BayesEstimateConfig {
+    /// Prior on the false positive rate `P(T vote | fact false)`:
+    /// `(count of T votes on false facts, count of F votes on false facts)`.
+    pub alpha0: BetaPrior,
+    /// Prior on the sensitivity `P(T vote | fact true)`.
+    pub alpha1: BetaPrior,
+    /// Prior on a fact being true.
+    pub beta: BetaPrior,
+    /// Gibbs iterations discarded before collecting samples.
+    pub burn_in: usize,
+    /// Gibbs iterations whose samples form the posterior estimate.
+    pub samples: usize,
+    /// RNG seed — runs are deterministic given the seed.
+    pub seed: u64,
+}
+
+impl Default for BayesEstimateConfig {
+    fn default() -> Self {
+        Self::paper_priors(42)
+    }
+}
+
+impl BayesEstimateConfig {
+    /// The exact hyper-parameters the paper uses (§6.1.1):
+    /// `α0 = (100, 10000)`, `α1 = (50, 50)`, `β = (10, 10)`.
+    pub fn paper_priors(seed: u64) -> Self {
+        Self {
+            alpha0: BetaPrior { a: 100.0, b: 10_000.0 },
+            alpha1: BetaPrior { a: 50.0, b: 50.0 },
+            beta: BetaPrior { a: 10.0, b: 10.0 },
+            burn_in: 100,
+            samples: 400,
+            seed,
+        }
+    }
+
+    fn validate(&self) -> Result<(), CoreError> {
+        for (name, p) in [("alpha0", self.alpha0), ("alpha1", self.alpha1), ("beta", self.beta)] {
+            if !(p.a > 0.0 && p.b > 0.0) {
+                return Err(CoreError::InvalidConfig {
+                    message: format!("{name} pseudo-counts must be positive, got ({}, {})", p.a, p.b),
+                });
+            }
+        }
+        if self.samples == 0 {
+            return Err(CoreError::InvalidConfig {
+                message: "need at least one Gibbs sample".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// `BayesEstimate` corroborator (Latent Truth Model). See the
+/// module-level documentation.
+#[derive(Debug, Clone, Default)]
+pub struct BayesEstimate {
+    config: BayesEstimateConfig,
+}
+
+impl BayesEstimate {
+    /// Creates the algorithm with an explicit configuration.
+    pub fn new(config: BayesEstimateConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &BayesEstimateConfig {
+        &self.config
+    }
+}
+
+/// Per-source Beta–Bernoulli counts: `n[t][o]` = votes of polarity `o`
+/// (1 = T) on facts currently assigned truth `t`.
+#[derive(Debug, Clone, Copy, Default)]
+struct SourceCounts {
+    n: [[f64; 2]; 2],
+}
+
+impl Corroborator for BayesEstimate {
+    fn name(&self) -> &str {
+        "BayesEstimate"
+    }
+
+    fn corroborate(&self, dataset: &Dataset) -> Result<CorroborationResult, CoreError> {
+        self.config.validate()?;
+        let cfg = &self.config;
+        let n_facts = dataset.n_facts();
+        let n_sources = dataset.n_sources();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        // Initial assignment: every fact true (the affirmative default;
+        // the chain mixes away from it where the data disagrees).
+        let mut truth = vec![true; n_facts];
+        let mut counts = vec![SourceCounts::default(); n_sources];
+        let mut m = [0.0f64, n_facts as f64]; // facts assigned [false, true]
+        for f in dataset.facts() {
+            for sv in dataset.votes().votes_on(f) {
+                let o = usize::from(sv.vote.is_affirmative());
+                counts[sv.source.index()].n[1][o] += 1.0;
+            }
+        }
+
+        // α indexed as alpha[t][o]: Beta prior on P(o = 1 | truth = t).
+        let alpha = [
+            [cfg.alpha0.b, cfg.alpha0.a], // t = 0: (F-vote count, T-vote count)
+            [cfg.alpha1.b, cfg.alpha1.a], // t = 1
+        ];
+        let beta = [cfg.beta.b, cfg.beta.a];
+
+        let mut true_samples = vec![0u32; n_facts];
+        let total_iters = cfg.burn_in + cfg.samples;
+
+        for iter in 0..total_iters {
+            for f in dataset.facts() {
+                let fi = f.index();
+                let votes = dataset.votes().votes_on(f);
+                // Remove f's contributions.
+                let t_cur = usize::from(truth[fi]);
+                m[t_cur] -= 1.0;
+                for sv in votes {
+                    let o = usize::from(sv.vote.is_affirmative());
+                    counts[sv.source.index()].n[t_cur][o] -= 1.0;
+                }
+                // Log-scores of both truth values.
+                let mut log_score = [0.0f64; 2];
+                for (t, ls) in log_score.iter_mut().enumerate() {
+                    *ls = (beta[t] + m[t]).ln();
+                    for sv in votes {
+                        let c = &counts[sv.source.index()].n[t];
+                        let o = usize::from(sv.vote.is_affirmative());
+                        let num = alpha[t][o] + c[o];
+                        let den = alpha[t][0] + alpha[t][1] + c[0] + c[1];
+                        *ls += (num / den).ln();
+                    }
+                }
+                let p_true =
+                    1.0 / (1.0 + (log_score[0] - log_score[1]).exp());
+                let new_t = rng.gen_bool(p_true.clamp(1e-12, 1.0 - 1e-12));
+                truth[fi] = new_t;
+                let t_new = usize::from(new_t);
+                m[t_new] += 1.0;
+                for sv in votes {
+                    let o = usize::from(sv.vote.is_affirmative());
+                    counts[sv.source.index()].n[t_new][o] += 1.0;
+                }
+                if iter >= cfg.burn_in && new_t {
+                    true_samples[fi] += 1;
+                }
+            }
+        }
+
+        let probs: Vec<f64> = true_samples
+            .iter()
+            .map(|&c| c as f64 / cfg.samples as f64)
+            .collect();
+
+        // Exported trust: expected fraction of each source's votes that are
+        // consistent with the posterior truth probabilities.
+        let mut trust = Vec::with_capacity(n_sources);
+        for s in dataset.sources() {
+            let votes = dataset.votes().votes_by(s);
+            if votes.is_empty() {
+                trust.push(0.5);
+                continue;
+            }
+            let sum: f64 = votes
+                .iter()
+                .map(|fv| match fv.vote {
+                    Vote::True => probs[fv.fact.index()],
+                    Vote::False => 1.0 - probs[fv.fact.index()],
+                })
+                .sum();
+            trust.push(sum / votes.len() as f64);
+        }
+
+        CorroborationResult::new(
+            probs,
+            TrustSnapshot::from_values(trust)?,
+            None,
+            total_iters,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corroborate_datagen::motivating::motivating_example;
+
+    #[test]
+    fn paper_priors_match_section_6_1_1() {
+        let cfg = BayesEstimateConfig::paper_priors(1);
+        assert_eq!((cfg.alpha0.a, cfg.alpha0.b), (100.0, 10_000.0));
+        assert_eq!((cfg.alpha1.a, cfg.alpha1.b), (50.0, 50.0));
+        assert_eq!((cfg.beta.a, cfg.beta.b), (10.0, 10.0));
+        assert!(cfg.alpha0.mean() < 0.01, "FPR prior must be strongly low");
+        assert_eq!(cfg.alpha1.mean(), 0.5);
+    }
+
+    #[test]
+    fn motivating_example_declares_everything_true() {
+        // §2.2: "Using the BayesEstimate algorithm we obtain a result of
+        // true for all restaurants" — the high-precision-low-recall prior
+        // makes F votes nearly weightless.
+        let ds = motivating_example();
+        let r = BayesEstimate::default().corroborate(&ds).unwrap();
+        for f in ds.facts() {
+            assert!(
+                r.decisions().label(f).as_bool(),
+                "{} should be declared true (p = {})",
+                ds.fact_name(f),
+                r.probability(f)
+            );
+        }
+        let m = r.confusion(&ds).unwrap();
+        assert_eq!(m.recall(), 1.0);
+        assert!((m.precision() - 7.0 / 12.0).abs() < 1e-9); // 0.58
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = motivating_example();
+        let a = BayesEstimate::new(BayesEstimateConfig::paper_priors(7))
+            .corroborate(&ds)
+            .unwrap();
+        let b = BayesEstimate::new(BayesEstimateConfig::paper_priors(7))
+            .corroborate(&ds)
+            .unwrap();
+        assert_eq!(a.probabilities(), b.probabilities());
+    }
+
+    #[test]
+    fn balanced_priors_respect_strong_negative_evidence() {
+        // With an *uninformed* FPR prior, a fact contradicted by many
+        // sources and supported by none must come out false.
+        let mut b = DatasetBuilder::new();
+        let sources: Vec<_> = (0..5).map(|i| b.add_source(format!("s{i}"))).collect();
+        // 10 facts everyone affirms, 1 fact everyone denies.
+        for i in 0..10 {
+            let f = b.add_fact(format!("good{i}"));
+            for &s in &sources {
+                b.cast(s, f, Vote::True).unwrap();
+            }
+        }
+        let mut denied_facts = Vec::new();
+        for i in 0..3 {
+            let f = b.add_fact(format!("denied{i}"));
+            for &s in &sources {
+                b.cast(s, f, Vote::False).unwrap();
+            }
+            denied_facts.push(f);
+        }
+        let denied = denied_facts[0];
+        let ds = b.build().unwrap();
+        // Weak but *asymmetric* priors: the asymmetry (low FPR, high
+        // sensitivity) is what makes the truth bits identifiable — fully
+        // symmetric priors admit a label-flipped posterior mode — while the
+        // low pseudo-counts let five unanimous F votes dominate. The
+        // paper's α1 = (50, 50) is strong enough that they would not;
+        // that's the §2.2 failure mode.
+        let cfg = BayesEstimateConfig {
+            alpha0: BetaPrior { a: 2.0, b: 8.0 },
+            alpha1: BetaPrior { a: 8.0, b: 2.0 },
+            ..BayesEstimateConfig::paper_priors(3)
+        };
+        let r = BayesEstimate::new(cfg).corroborate(&ds).unwrap();
+        assert!(r.probability(denied) < 0.5);
+        assert!(r.probability(FactId::new(0)) > 0.5);
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let ds = motivating_example();
+        let mut cfg = BayesEstimateConfig::paper_priors(1);
+        cfg.samples = 0;
+        assert!(BayesEstimate::new(cfg).corroborate(&ds).is_err());
+        let mut cfg = BayesEstimateConfig::paper_priors(1);
+        cfg.beta = BetaPrior { a: 0.0, b: 1.0 };
+        assert!(BayesEstimate::new(cfg).corroborate(&ds).is_err());
+        assert!(BetaPrior::new(0.0, 1.0).is_err());
+        assert!(BetaPrior::new(1.0, 1.0).is_ok());
+    }
+}

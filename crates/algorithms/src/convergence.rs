@@ -1,0 +1,78 @@
+//! Iteration control shared by the iterative corroborators.
+
+use corroborate_core::error::CoreError;
+
+/// Caps and tolerances for fixed-point iterations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationControl {
+    /// Hard cap on iterations (the algorithms stop and return the last
+    /// iterate when reached).
+    pub max_iterations: usize,
+    /// Convergence tolerance on the max-abs change of the trust vector
+    /// between consecutive iterations.
+    pub tolerance: f64,
+}
+
+impl Default for IterationControl {
+    fn default() -> Self {
+        Self { max_iterations: 100, tolerance: 1e-6 }
+    }
+}
+
+impl IterationControl {
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidConfig`] when `max_iterations == 0` or the
+    /// tolerance is negative/NaN.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.max_iterations == 0 {
+            return Err(CoreError::InvalidConfig {
+                message: "max_iterations must be at least 1".into(),
+            });
+        }
+        if self.tolerance.is_nan() || self.tolerance < 0.0 {
+            return Err(CoreError::InvalidConfig {
+                message: format!("tolerance must be non-negative, got {}", self.tolerance),
+            });
+        }
+        Ok(())
+    }
+
+    /// `true` when `residual` is within tolerance.
+    #[inline]
+    pub fn converged(&self, residual: f64) -> bool {
+        residual <= self.tolerance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        IterationControl::default().validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_zero_iterations_and_nan_tolerance() {
+        assert!(IterationControl { max_iterations: 0, tolerance: 0.0 }
+            .validate()
+            .is_err());
+        assert!(IterationControl { max_iterations: 5, tolerance: f64::NAN }
+            .validate()
+            .is_err());
+        assert!(IterationControl { max_iterations: 5, tolerance: -1.0 }
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn convergence_check() {
+        let c = IterationControl { max_iterations: 10, tolerance: 1e-3 };
+        assert!(c.converged(1e-4));
+        assert!(c.converged(1e-3));
+        assert!(!c.converged(2e-3));
+    }
+}

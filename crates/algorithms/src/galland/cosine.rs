@@ -1,0 +1,179 @@
+//! The `Cosine` algorithm (Galland et al., WSDM 2010).
+//!
+//! Facts carry signed value estimates in `[−1, 1]` (+1 = surely true);
+//! a source's trust is the cosine similarity between its vote vector
+//! (±1 per vote) and the current value estimates, damped against the
+//! previous trust. Included as an ablation baseline from the same family
+//! the paper compares against.
+
+use corroborate_core::prelude::*;
+
+use crate::convergence::IterationControl;
+
+/// Configuration for [`Cosine`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CosineConfig {
+    /// Initial trust for every source.
+    pub initial_trust: f64,
+    /// Damping factor `η ∈ [0, 1)`: `t ← η·t_old + (1−η)·t_new`.
+    pub damping: f64,
+    /// Iteration cap and convergence tolerance.
+    pub iteration: IterationControl,
+}
+
+impl Default for CosineConfig {
+    fn default() -> Self {
+        Self {
+            initial_trust: 0.8,
+            damping: 0.2,
+            iteration: IterationControl::default(),
+        }
+    }
+}
+
+impl CosineConfig {
+    fn validate(&self) -> Result<(), CoreError> {
+        corroborate_core::error::check_probability("initial trust", self.initial_trust)?;
+        if !(0.0..1.0).contains(&self.damping) {
+            return Err(CoreError::InvalidConfig {
+                message: format!("damping must be in [0, 1), got {}", self.damping),
+            });
+        }
+        self.iteration.validate()
+    }
+}
+
+/// `Cosine` corroborator. See the module-level documentation.
+#[derive(Debug, Clone, Default)]
+pub struct Cosine {
+    config: CosineConfig,
+}
+
+impl Cosine {
+    /// Creates the algorithm with an explicit configuration.
+    pub fn new(config: CosineConfig) -> Self {
+        Self { config }
+    }
+}
+
+impl Corroborator for Cosine {
+    fn name(&self) -> &str {
+        "Cosine"
+    }
+
+    fn corroborate(&self, dataset: &Dataset) -> Result<CorroborationResult, CoreError> {
+        self.config.validate()?;
+        let cfg = &self.config;
+        // Trust lives in [-1, 1] internally (a perfectly anti-correlated
+        // source has cosine −1); exported trust is mapped to [0, 1].
+        let mut trust = vec![cfg.initial_trust; dataset.n_sources()];
+        // Signed value estimate per fact.
+        let mut value = vec![0.0f64; dataset.n_facts()];
+        let mut rounds = 0;
+
+        for _ in 0..cfg.iteration.max_iterations {
+            rounds += 1;
+            // Value step: trust-weighted average of signed votes.
+            for f in dataset.facts() {
+                let votes = dataset.votes().votes_on(f);
+                if votes.is_empty() {
+                    value[f.index()] = 0.0;
+                    continue;
+                }
+                let sum: f64 = votes
+                    .iter()
+                    .map(|sv| {
+                        let sign = if sv.vote.is_affirmative() { 1.0 } else { -1.0 };
+                        sign * trust[sv.source.index()]
+                    })
+                    .sum();
+                value[f.index()] = (sum / votes.len() as f64).clamp(-1.0, 1.0);
+            }
+            // Trust step: cosine between the source's ±1 vote vector and
+            // the value estimates on its support, damped.
+            let previous = trust.clone();
+            for s in dataset.sources() {
+                let votes = dataset.votes().votes_by(s);
+                if votes.is_empty() {
+                    continue;
+                }
+                let mut dot = 0.0;
+                let mut norm_v = 0.0;
+                for fv in votes {
+                    let sign = if fv.vote.is_affirmative() { 1.0 } else { -1.0 };
+                    let v = value[fv.fact.index()];
+                    dot += sign * v;
+                    norm_v += v * v;
+                }
+                // The vote vector's norm is sqrt(|votes|) since entries are ±1.
+                let denom = (votes.len() as f64).sqrt() * norm_v.sqrt();
+                let cosine = if denom < 1e-12 { 0.0 } else { dot / denom };
+                trust[s.index()] =
+                    cfg.damping * previous[s.index()] + (1.0 - cfg.damping) * cosine;
+            }
+            let residual = trust
+                .iter()
+                .zip(&previous)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            if cfg.iteration.converged(residual) {
+                break;
+            }
+        }
+
+        let probs: Vec<f64> = value.iter().map(|v| ((v + 1.0) / 2.0).clamp(0.0, 1.0)).collect();
+        let exported =
+            TrustSnapshot::from_values(trust.iter().map(|t| ((t + 1.0) / 2.0).clamp(0.0, 1.0)).collect())?;
+        CorroborationResult::new(probs, exported, None, rounds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corroborate_datagen::motivating::motivating_example;
+
+    #[test]
+    fn majority_wins_on_conflicted_facts() {
+        let mut b = DatasetBuilder::new();
+        let good: Vec<_> = (0..3).map(|i| b.add_source(format!("g{i}"))).collect();
+        let bad = b.add_source("bad");
+        for i in 0..10 {
+            let f = b.add_fact(format!("f{i}"));
+            for &g in &good {
+                b.cast(g, f, Vote::True).unwrap();
+            }
+            b.cast(bad, f, Vote::False).unwrap();
+        }
+        let ds = b.build().unwrap();
+        let r = Cosine::default().corroborate(&ds).unwrap();
+        assert!(r.decisions().labels().iter().all(|l| l.as_bool()));
+        assert!(r.trust().trust(bad) < r.trust().trust(good[0]));
+    }
+
+    #[test]
+    fn motivating_example_keeps_r12_lowest() {
+        let ds = motivating_example();
+        let r = Cosine::default().corroborate(&ds).unwrap();
+        let r12 = FactId::new(11);
+        let min = r.probabilities().iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!((r.probability(r12) - min).abs() < 1e-9);
+    }
+
+    #[test]
+    fn voteless_fact_is_uncertain() {
+        let mut b = DatasetBuilder::new();
+        b.add_source("s");
+        b.add_fact("silent");
+        let ds = b.build().unwrap();
+        let r = Cosine::default().corroborate(&ds).unwrap();
+        assert!((r.probabilities()[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn damping_must_be_below_one() {
+        let cfg = CosineConfig { damping: 1.0, ..Default::default() };
+        let ds = motivating_example();
+        assert!(Cosine::new(cfg).corroborate(&ds).is_err());
+    }
+}

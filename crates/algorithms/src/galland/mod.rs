@@ -1,0 +1,13 @@
+//! The Galland et al. (WSDM 2010) algorithm family: [`TwoEstimates`],
+//! [`ThreeEstimates`] and [`Cosine`] — the iterative single-trust-score
+//! corroborators the paper compares IncEstimate against.
+
+mod cosine;
+mod normalization;
+mod three_estimates;
+mod two_estimates;
+
+pub use cosine::{Cosine, CosineConfig};
+pub use normalization::Normalization;
+pub use three_estimates::{ThreeEstimates, ThreeEstimatesConfig};
+pub use two_estimates::{TwoEstimates, TwoEstimatesConfig};

@@ -1,0 +1,97 @@
+//! Normalisation schemes for the Galland-style fixed-point iterations.
+//!
+//! Galland et al. observed that the raw fixed point of the
+//! estimate-facts / estimate-sources iteration collapses toward the
+//! uninformative 0.5, and counteract it by *normalising* estimates after
+//! each step. The paper under reproduction describes the variant where a
+//! value `≥ 0.5` becomes `1` and `< 0.5` becomes `0` (§2.1: "the
+//! TwoEstimate normalizes the probability of a restaurant or the
+//! trustworthiness of a source to 1 if it is greater than or equal to
+//! 0.5"); Galland's original also used an affine rescale of the whole
+//! vector onto `[0, 1]`.
+
+/// How intermediate estimates are normalised between iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Normalization {
+    /// Round to {0, 1} at the 0.5 threshold — the variant the reproduced
+    /// paper describes and analyses. Default.
+    #[default]
+    Rounding,
+    /// Affine rescale of the vector onto the full `[0, 1]` range
+    /// (min → 0, max → 1); a constant vector is left unchanged.
+    LinearRescale,
+    /// No normalisation (exposes the raw fixed point; converges to
+    /// uninformative estimates on conflict-free data — kept for ablations).
+    None,
+}
+
+impl Normalization {
+    /// Applies the scheme to `values` in place.
+    pub fn apply(self, values: &mut [f64]) {
+        match self {
+            Normalization::Rounding => {
+                for v in values.iter_mut() {
+                    *v = if *v >= 0.5 { 1.0 } else { 0.0 };
+                }
+            }
+            Normalization::LinearRescale => {
+                let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+                for &v in values.iter() {
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+                if !lo.is_finite() || !hi.is_finite() || hi - lo < 1e-12 {
+                    return;
+                }
+                let span = hi - lo;
+                for v in values.iter_mut() {
+                    *v = (*v - lo) / span;
+                }
+            }
+            Normalization::None => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounding_thresholds_at_half_inclusive() {
+        let mut v = vec![0.49, 0.5, 0.51, 0.0, 1.0];
+        Normalization::Rounding.apply(&mut v);
+        assert_eq!(v, vec![0.0, 1.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn linear_rescale_spans_unit_interval() {
+        let mut v = vec![0.2, 0.4, 0.6];
+        Normalization::LinearRescale.apply(&mut v);
+        for (got, want) in v.iter().zip([0.0, 0.5, 1.0]) {
+            assert!((got - want).abs() < 1e-12, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn linear_rescale_leaves_constant_vectors() {
+        let mut v = vec![0.7, 0.7];
+        Normalization::LinearRescale.apply(&mut v);
+        assert_eq!(v, vec![0.7, 0.7]);
+        let mut empty: Vec<f64> = vec![];
+        Normalization::LinearRescale.apply(&mut empty);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let mut v = vec![0.3, 0.9];
+        Normalization::None.apply(&mut v);
+        assert_eq!(v, vec![0.3, 0.9]);
+    }
+
+    #[test]
+    fn default_is_rounding() {
+        assert_eq!(Normalization::default(), Normalization::Rounding);
+    }
+}

@@ -1,0 +1,254 @@
+//! The `2-Estimates` algorithm (Galland et al., WSDM 2010) — the paper's
+//! `TwoEstimate` baseline (§2.1).
+//!
+//! Iterates two coupled estimates until the trust vector stabilises:
+//!
+//! 1. **Corrob** — each fact's truth probability is the average, over its
+//!    voting sources, of the probability the vote is consistent with the
+//!    fact being true (Equation 5, generalised to `F` votes);
+//! 2. **Normalise** — fact probabilities are normalised (by default rounded
+//!    to `{0, 1}`, the variant the reproduced paper describes);
+//! 3. **Update** — each source's trust is the average, over its votes, of
+//!    the (normalised) probability the vote was right.
+//!
+//! In the affirmative-statement regime this collapses exactly the way §4.2
+//! predicts: every `T`-only fact rounds to `1`, so every source looks
+//! near-perfect, so every `T`-only fact stays `1` — the limitation
+//! IncEstimate is designed to escape. The unit tests below pin down that
+//! behaviour on the motivating example (trust `{1, 1, 0.8, 0.9, 1}`, all
+//! facts true except `r12`).
+
+use corroborate_core::prelude::*;
+use corroborate_core::scoring::corrob_probability_or;
+
+use super::Normalization;
+use crate::convergence::IterationControl;
+
+/// Configuration for [`TwoEstimates`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoEstimatesConfig {
+    /// Initial trust score for every source (the paper uses 0.9).
+    pub initial_trust: f64,
+    /// Prior probability assigned to facts with no votes.
+    pub voteless_prior: f64,
+    /// Normalisation applied to fact probabilities between iterations.
+    pub normalization: Normalization,
+    /// Iteration cap and convergence tolerance.
+    pub iteration: IterationControl,
+}
+
+impl Default for TwoEstimatesConfig {
+    fn default() -> Self {
+        Self {
+            initial_trust: 0.9,
+            voteless_prior: 0.5,
+            normalization: Normalization::default(),
+            iteration: IterationControl::default(),
+        }
+    }
+}
+
+impl TwoEstimatesConfig {
+    fn validate(&self) -> Result<(), CoreError> {
+        corroborate_core::error::check_probability("initial trust", self.initial_trust)?;
+        corroborate_core::error::check_probability("voteless prior", self.voteless_prior)?;
+        self.iteration.validate()
+    }
+}
+
+/// `2-Estimates` corroborator. See the module-level documentation.
+#[derive(Debug, Clone, Default)]
+pub struct TwoEstimates {
+    config: TwoEstimatesConfig,
+}
+
+impl TwoEstimates {
+    /// Creates the algorithm with an explicit configuration.
+    pub fn new(config: TwoEstimatesConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &TwoEstimatesConfig {
+        &self.config
+    }
+}
+
+/// One fact-scoring pass: Corrob under `trust`, writing into `probs`.
+fn score_facts(dataset: &Dataset, trust: &TrustSnapshot, prior: f64, probs: &mut [f64]) {
+    for f in dataset.facts() {
+        probs[f.index()] =
+            corrob_probability_or(dataset.votes().votes_on(f), trust, prior);
+    }
+}
+
+/// One trust-update pass: average per-vote correctness under `probs`.
+/// Silent sources keep `fallback`.
+fn update_trust(dataset: &Dataset, probs: &[f64], fallback: f64, trust: &mut TrustSnapshot) {
+    for s in dataset.sources() {
+        let votes = dataset.votes().votes_by(s);
+        if votes.is_empty() {
+            trust.set(s, fallback);
+            continue;
+        }
+        let sum: f64 = votes
+            .iter()
+            .map(|fv| {
+                let p = probs[fv.fact.index()];
+                match fv.vote {
+                    Vote::True => p,
+                    Vote::False => 1.0 - p,
+                }
+            })
+            .sum();
+        trust.set(s, sum / votes.len() as f64);
+    }
+}
+
+impl Corroborator for TwoEstimates {
+    fn name(&self) -> &str {
+        "TwoEstimate"
+    }
+
+    fn corroborate(&self, dataset: &Dataset) -> Result<CorroborationResult, CoreError> {
+        self.config.validate()?;
+        let cfg = &self.config;
+        let mut trust = TrustSnapshot::uniform(dataset.n_sources(), cfg.initial_trust)?;
+        let mut probs = vec![cfg.voteless_prior; dataset.n_facts()];
+        let mut rounds = 0;
+
+        for _ in 0..cfg.iteration.max_iterations {
+            rounds += 1;
+            score_facts(dataset, &trust, cfg.voteless_prior, &mut probs);
+            cfg.normalization.apply(&mut probs);
+            let previous = trust.clone();
+            update_trust(dataset, &probs, cfg.initial_trust, &mut trust);
+            if cfg.iteration.converged(trust.max_abs_diff(&previous)) {
+                break;
+            }
+        }
+        // Final fact probabilities from the converged trust, *without*
+        // normalisation, so callers see informative scores; decisions use
+        // the standard 0.5 threshold.
+        score_facts(dataset, &trust, cfg.voteless_prior, &mut probs);
+        CorroborationResult::new(probs, trust, None, rounds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corroborate_datagen::motivating::motivating_example;
+
+    #[test]
+    fn motivating_example_reproduces_section_2_1() {
+        let ds = motivating_example();
+        let r = TwoEstimates::default().corroborate(&ds).unwrap();
+        // "A direct application of the TwoEstimate algorithm on the
+        // motivating example yields a result of true for all the
+        // restaurants except for r12" ...
+        for f in ds.facts() {
+            let expected = ds.fact_name(f) != "r12";
+            assert_eq!(
+                r.decisions().label(f).as_bool(),
+                expected,
+                "{}",
+                ds.fact_name(f)
+            );
+        }
+        // ... "and a trust score of {1, 1, 0.8, 0.9, 1}".
+        let expected_trust = [1.0, 1.0, 0.8, 0.9, 1.0];
+        for (i, &e) in expected_trust.iter().enumerate() {
+            let got = r.trust().trust(SourceId::new(i));
+            assert!((got - e).abs() < 1e-9, "s{}: {} != {}", i + 1, got, e);
+        }
+        // Table 2 row: precision 0.64, recall 1, accuracy 0.67.
+        let m = r.confusion(&ds).unwrap();
+        assert!((m.precision() - 7.0 / 11.0).abs() < 1e-9);
+        assert_eq!(m.recall(), 1.0);
+        assert!((m.accuracy() - 8.0 / 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn affirmative_only_data_collapses_to_all_true_perfect_trust() {
+        // §4.2's analysis: with only T votes, every fact is true and every
+        // source gets trust 1 under rounding normalisation.
+        let mut b = DatasetBuilder::new();
+        let sources: Vec<_> = (0..3).map(|i| b.add_source(format!("s{i}"))).collect();
+        for i in 0..20 {
+            let f = b.add_fact(format!("f{i}"));
+            b.cast(sources[i % 3], f, Vote::True).unwrap();
+            b.cast(sources[(i + 1) % 3], f, Vote::True).unwrap();
+        }
+        let ds = b.build().unwrap();
+        let r = TwoEstimates::default().corroborate(&ds).unwrap();
+        assert!(r.decisions().labels().iter().all(|l| l.as_bool()));
+        for s in ds.sources() {
+            assert_eq!(r.trust().trust(s), 1.0);
+        }
+    }
+
+    #[test]
+    fn strong_disagreement_flips_minority_source() {
+        // One source contradicts three good sources on every fact: it must
+        // end with low trust and the facts follow the majority.
+        let mut b = DatasetBuilder::new();
+        let good: Vec<_> = (0..3).map(|i| b.add_source(format!("g{i}"))).collect();
+        let bad = b.add_source("bad");
+        for i in 0..10 {
+            let f = b.add_fact(format!("f{i}"));
+            for &g in &good {
+                b.cast(g, f, Vote::True).unwrap();
+            }
+            b.cast(bad, f, Vote::False).unwrap();
+        }
+        let ds = b.build().unwrap();
+        let r = TwoEstimates::default().corroborate(&ds).unwrap();
+        assert!(r.decisions().labels().iter().all(|l| l.as_bool()));
+        assert!(r.trust().trust(bad) < 0.1);
+        assert!(r.trust().trust(good[0]) > 0.9);
+    }
+
+    #[test]
+    fn converges_quickly_on_small_data() {
+        let ds = motivating_example();
+        let r = TwoEstimates::default().corroborate(&ds).unwrap();
+        assert!(r.rounds() < 10, "took {} rounds", r.rounds());
+    }
+
+    #[test]
+    fn voteless_facts_take_the_prior() {
+        let mut b = DatasetBuilder::new();
+        b.add_source("s");
+        b.add_fact("silent");
+        let ds = b.build().unwrap();
+        let cfg = TwoEstimatesConfig { voteless_prior: 0.2, ..Default::default() };
+        let r = TwoEstimates::new(cfg).corroborate(&ds).unwrap();
+        assert!((r.probabilities()[0] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let cfg = TwoEstimatesConfig { initial_trust: 1.5, ..Default::default() };
+        let ds = motivating_example();
+        assert!(TwoEstimates::new(cfg).corroborate(&ds).is_err());
+    }
+
+    #[test]
+    fn linear_rescale_variant_also_separates_conflict() {
+        let ds = motivating_example();
+        let cfg = TwoEstimatesConfig {
+            normalization: Normalization::LinearRescale,
+            ..Default::default()
+        };
+        let r = TwoEstimates::new(cfg).corroborate(&ds).unwrap();
+        // r12 (2 F votes vs 1 T) must still score lowest.
+        let r12 = FactId::new(11);
+        let min = r
+            .probabilities()
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        assert!((r.probability(r12) - min).abs() < 1e-9);
+    }
+}

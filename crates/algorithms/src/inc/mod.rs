@@ -1,0 +1,542 @@
+//! **IncEstimate** — the paper's contribution (Algorithm 1): incremental
+//! corroboration with a *multi-value trust score* per source.
+//!
+//! Instead of deriving one global trust score and applying it to every
+//! fact, IncEstimate evaluates facts in rounds (*time points*). At time
+//! `t_i` a selection strategy picks a subset of the unevaluated facts;
+//! those facts are scored with the Corrob rule (Equation 5) under the
+//! *current* trust snapshot `σ_i(S)`, and the snapshot is then updated from
+//! the outcomes: a source's trust value at `t_{i+1}` is the fraction of its
+//! votes on evaluated facts that agree with the (rounded) evaluation
+//! results — which reproduces the §2.3 walkthrough exactly.
+//!
+//! The fact-selection strategy is pluggable via [`SelectionStrategy`]:
+//!
+//! - [`IncEstHeu`] — the paper's entropy heuristic
+//!   (Algorithm 2): rank fact groups by the projected change in the
+//!   collective entropy of the remaining facts and evaluate a balanced
+//!   pair of the best positive and best negative groups (see
+//!   [`DeltaHMode`] for the supported readings of Equation 9);
+//! - [`IncEstPS`] — the naive comparison strategy
+//!   (§6.1.1): always evaluate the highest-probability group;
+//! - [`FixedSchedule`] — a scripted round schedule, used to reproduce the
+//!   §2.3 walkthrough (Table 2's "Our strategy" row) and for testing.
+
+mod heuristic;
+mod prob_select;
+mod session;
+
+pub use heuristic::{DeltaHMode, IncEstHeu};
+pub use prob_select::IncEstPS;
+pub use session::{IncEstimateSession, StepReport};
+
+use corroborate_core::groups::{group_by_signature, FactGroup};
+use corroborate_core::prelude::*;
+use corroborate_core::scoring::corrob_probability_or;
+
+/// Configuration shared by every IncEstimate strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IncEstimateConfig {
+    /// Default trust for every source at `t_0`, and the value a source
+    /// keeps while none of its votes have been evaluated (the paper uses
+    /// 0.9 and observes any default above 0.5 yields the same result).
+    pub initial_trust: f64,
+    /// Probability assigned to facts with no votes at all.
+    pub voteless_prior: f64,
+    /// Bayesian smoothing of the trust update: the update behaves as if
+    /// each source came with `prior_strength` pseudo-votes agreeing at
+    /// `initial_trust`, i.e. `σ(s) = (matches + k·σ₀) / (total + k)`.
+    ///
+    /// A small positive value (default 0.1) keeps trust estimates off the
+    /// exact `1.0` / `0.5` boundaries. This matters: with the raw match
+    /// fraction, early rounds saturate every credited source at exactly
+    /// 1.0, which parks every mixed `{T, F}` signature at a Corrob score
+    /// of exactly 0.5 — permanent limbo under §5.1's strict partition —
+    /// and the incremental cascade never starts. With smoothing, the
+    /// trust trajectories dip gradually, exactly as the paper's
+    /// Figure 2(b) shows. Set to 0 for the raw §2.3-walkthrough
+    /// arithmetic.
+    pub prior_strength: f64,
+}
+
+impl Default for IncEstimateConfig {
+    fn default() -> Self {
+        Self { initial_trust: 0.9, voteless_prior: 0.9, prior_strength: 0.1 }
+    }
+}
+
+impl IncEstimateConfig {
+    fn validate(&self) -> Result<(), CoreError> {
+        corroborate_core::error::check_probability("initial trust", self.initial_trust)?;
+        corroborate_core::error::check_probability("voteless prior", self.voteless_prior)?;
+        if !(self.prior_strength >= 0.0 && self.prior_strength.is_finite()) {
+            return Err(CoreError::InvalidConfig {
+                message: format!(
+                    "prior_strength must be finite and non-negative, got {}",
+                    self.prior_strength
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The evolving state of an IncEstimate run, exposed read-only to
+/// [`SelectionStrategy`] implementations.
+#[derive(Debug)]
+pub struct IncState<'a> {
+    dataset: &'a Dataset,
+    config: IncEstimateConfig,
+    /// `true` while the fact is still unevaluated.
+    remaining_mask: Vec<bool>,
+    remaining_count: usize,
+    /// Current trust snapshot σ_i(S).
+    trust: TrustSnapshot,
+    /// Per-source counters over evaluated facts: votes agreeing with the
+    /// rounded evaluation result / total votes evaluated.
+    matches: Vec<u32>,
+    totals: Vec<u32>,
+    /// Evaluated probability per fact (config prior until evaluated).
+    probs: Vec<f64>,
+    /// Signature groups in canonical order, maintained incrementally:
+    /// evaluating a fact removes it from its group, so per-round group
+    /// construction costs O(evaluated) instead of re-hashing every
+    /// remaining signature (strategies call
+    /// [`remaining_groups`](Self::remaining_groups) each round).
+    groups: Vec<FactGroup>,
+    /// Group index of each fact.
+    group_of: Vec<usize>,
+}
+
+impl<'a> IncState<'a> {
+    fn new(dataset: &'a Dataset, config: IncEstimateConfig) -> Result<Self, CoreError> {
+        config.validate()?;
+        let all_facts: Vec<FactId> = dataset.facts().collect();
+        let groups = group_by_signature(dataset.votes(), &all_facts);
+        let mut group_of = vec![0usize; dataset.n_facts()];
+        for (gi, g) in groups.iter().enumerate() {
+            for &f in &g.facts {
+                group_of[f.index()] = gi;
+            }
+        }
+        Ok(Self {
+            dataset,
+            config,
+            remaining_mask: vec![true; dataset.n_facts()],
+            remaining_count: dataset.n_facts(),
+            trust: TrustSnapshot::uniform(dataset.n_sources(), config.initial_trust)?,
+            matches: vec![0; dataset.n_sources()],
+            totals: vec![0; dataset.n_sources()],
+            probs: vec![config.voteless_prior; dataset.n_facts()],
+            groups,
+            group_of,
+        })
+    }
+
+    /// Detaches `fact` from its signature group (fact becomes evaluated).
+    fn remove_from_group(&mut self, fact: FactId) {
+        let group = &mut self.groups[self.group_of[fact.index()]];
+        if let Ok(pos) = group.facts.binary_search(&fact) {
+            group.facts.remove(pos);
+        }
+    }
+
+    /// The dataset under corroboration.
+    pub fn dataset(&self) -> &Dataset {
+        self.dataset
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &IncEstimateConfig {
+        &self.config
+    }
+
+    /// The current trust snapshot `σ_i(S)`.
+    pub fn trust(&self) -> &TrustSnapshot {
+        &self.trust
+    }
+
+    /// Number of facts not yet evaluated.
+    pub fn remaining_count(&self) -> usize {
+        self.remaining_count
+    }
+
+    /// `true` while `fact` has not been evaluated.
+    pub fn is_remaining(&self, fact: FactId) -> bool {
+        self.remaining_mask[fact.index()]
+    }
+
+    /// The unevaluated facts, ascending by id.
+    pub fn remaining_facts(&self) -> Vec<FactId> {
+        self.remaining_mask
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| r)
+            .map(|(i, _)| FactId::new(i))
+            .collect()
+    }
+
+    /// The unevaluated facts grouped by vote signature (§5.1), in
+    /// deterministic canonical order (equal to
+    /// [`group_by_signature`] over [`remaining_facts`](Self::remaining_facts)
+    /// — maintained incrementally, see the struct docs).
+    pub fn remaining_groups(&self) -> Vec<FactGroup> {
+        self.groups
+            .iter()
+            .filter(|g| !g.facts.is_empty())
+            .cloned()
+            .collect()
+    }
+
+    /// Corrob probability of a vote signature under the current trust.
+    pub fn signature_probability(&self, signature: &[corroborate_core::vote::SourceVote]) -> f64 {
+        corrob_probability_or(signature, &self.trust, self.config.voteless_prior)
+    }
+
+    /// Corrob probability of a single fact under the current trust.
+    pub fn fact_probability(&self, fact: FactId) -> f64 {
+        self.signature_probability(self.dataset.votes().votes_on(fact))
+    }
+
+    /// Projected trust of `source` if `extra_total` additional evaluated
+    /// votes were recorded for it, `extra_matches` of them agreeing.
+    ///
+    /// Applies the configured smoothing
+    /// `(matches + k·σ₀) / (total + k)`; a source with no evaluated votes
+    /// therefore keeps the default trust — the §2.3 walkthrough's `'-'`
+    /// entries.
+    pub fn projected_trust(&self, source: SourceId, extra_matches: u32, extra_total: u32) -> f64 {
+        let total = f64::from(self.totals[source.index()] + extra_total);
+        let matches = f64::from(self.matches[source.index()] + extra_matches);
+        let k = self.config.prior_strength;
+        if total + k == 0.0 {
+            return self.config.initial_trust;
+        }
+        (matches + k * self.config.initial_trust) / (total + k)
+    }
+
+    /// The probability recorded for `fact` (the configured prior while it
+    /// is still unevaluated).
+    pub fn probability(&self, fact: FactId) -> f64 {
+        self.probs[fact.index()]
+    }
+
+    /// Consumes the state, yielding the per-fact probabilities.
+    pub(crate) fn into_probabilities(self) -> Vec<f64> {
+        self.probs
+    }
+
+    /// Marks `fact` as evaluated with an externally-known `label`
+    /// (probability 1/0), updating counters and trust — the
+    /// semi-supervised seeding primitive used by
+    /// [`IncEstimateSession::seed`].
+    pub(crate) fn seed(&mut self, fact: FactId, label: Label) {
+        debug_assert!(self.remaining_mask[fact.index()]);
+        self.probs[fact.index()] = if label.as_bool() { 1.0 } else { 0.0 };
+        self.remaining_mask[fact.index()] = false;
+        self.remaining_count -= 1;
+        self.remove_from_group(fact);
+        for sv in self.dataset.votes().votes_on(fact) {
+            self.totals[sv.source.index()] += 1;
+            if sv.vote.as_bool() == label.as_bool() {
+                self.matches[sv.source.index()] += 1;
+            }
+        }
+        for s in self.dataset.sources() {
+            self.trust.set(s, self.projected_trust(s, 0, 0));
+        }
+    }
+
+    /// Evaluates `facts` at the current time point: fixes their
+    /// probabilities under `σ_i(S)`, folds the rounded outcomes into the
+    /// per-source counters, and recomputes the trust snapshot `σ_{i+1}(S)`.
+    pub(crate) fn evaluate(&mut self, facts: &[FactId]) {
+        for &f in facts {
+            debug_assert!(self.remaining_mask[f.index()], "fact evaluated twice: {f}");
+            let p = self.fact_probability(f);
+            self.probs[f.index()] = p;
+            self.remaining_mask[f.index()] = false;
+            self.remaining_count -= 1;
+            self.remove_from_group(f);
+            let outcome = Label::from_probability(p);
+            for sv in self.dataset.votes().votes_on(f) {
+                self.totals[sv.source.index()] += 1;
+                if sv.vote.as_bool() == outcome.as_bool() {
+                    self.matches[sv.source.index()] += 1;
+                }
+            }
+        }
+        for s in self.dataset.sources() {
+            self.trust.set(s, self.projected_trust(s, 0, 0));
+        }
+    }
+}
+
+/// A fact-selection strategy for IncEstimate (the paper's
+/// `Select_Facts(F̄, σ(S))`).
+pub trait SelectionStrategy {
+    /// Strategy name used in result tables (e.g. `"IncEstHeu"`).
+    fn name(&self) -> &str;
+
+    /// Picks the facts to evaluate at the current time point. Every
+    /// returned id must still be unevaluated; returning an empty vector
+    /// makes the engine evaluate all remaining facts in one final round.
+    fn select(&self, state: &IncState<'_>) -> Vec<FactId>;
+}
+
+/// The IncEstimate engine (Algorithm 1), generic over the selection
+/// strategy.
+#[derive(Debug, Clone)]
+pub struct IncEstimate<S> {
+    strategy: S,
+    config: IncEstimateConfig,
+}
+
+impl<S: SelectionStrategy> IncEstimate<S> {
+    /// Engine with the default configuration.
+    pub fn new(strategy: S) -> Self {
+        Self { strategy, config: IncEstimateConfig::default() }
+    }
+
+    /// Engine with an explicit configuration.
+    pub fn with_config(strategy: S, config: IncEstimateConfig) -> Self {
+        Self { strategy, config }
+    }
+
+    /// The wrapped strategy.
+    pub fn strategy(&self) -> &S {
+        &self.strategy
+    }
+}
+
+impl<S: SelectionStrategy> Corroborator for IncEstimate<S> {
+    fn name(&self) -> &str {
+        self.strategy.name()
+    }
+
+    fn corroborate(&self, dataset: &Dataset) -> Result<CorroborationResult, CoreError> {
+        let mut state = IncState::new(dataset, self.config)?;
+        let mut trajectory = TrustTrajectory::new();
+        trajectory.push(state.trust.clone());
+        let mut rounds = 0;
+        while state.remaining_count > 0 {
+            let mut selection = self.strategy.select(&state);
+            selection.retain(|&f| state.is_remaining(f));
+            selection.sort_unstable();
+            selection.dedup();
+            if selection.is_empty() {
+                selection = state.remaining_facts();
+            }
+            state.evaluate(&selection);
+            trajectory.push(state.trust.clone());
+            rounds += 1;
+        }
+        let trust = state.trust.clone();
+        CorroborationResult::new(state.probs, trust, Some(trajectory), rounds)
+    }
+}
+
+/// A scripted selection strategy: round `i` evaluates the `i`-th listed
+/// set (facts already evaluated are skipped); once the script is exhausted
+/// all remaining facts are evaluated in one final round.
+///
+/// Reproduces hand-designed schedules such as the §2.3 walkthrough.
+#[derive(Debug, Clone)]
+pub struct FixedSchedule {
+    name: String,
+    rounds: Vec<Vec<FactId>>,
+    cursor: std::cell::Cell<usize>,
+}
+
+impl FixedSchedule {
+    /// Creates a schedule with the given per-round fact sets.
+    pub fn new(name: impl Into<String>, rounds: Vec<Vec<FactId>>) -> Self {
+        Self { name: name.into(), rounds, cursor: std::cell::Cell::new(0) }
+    }
+}
+
+impl SelectionStrategy for FixedSchedule {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn select(&self, _state: &IncState<'_>) -> Vec<FactId> {
+        let i = self.cursor.get();
+        self.cursor.set(i + 1);
+        self.rounds.get(i).cloned().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corroborate_datagen::motivating::motivating_example;
+
+    fn fid(i: usize) -> FactId {
+        FactId::new(i)
+    }
+    fn sid(i: usize) -> SourceId {
+        SourceId::new(i)
+    }
+
+    /// The §2.3 walkthrough, verbatim: round 1 = {r9, r12}, round 2 =
+    /// {r5, r6}, round 3 = the rest. Table 1 ids are 0-based (r1 = f0).
+    #[test]
+    fn section_2_3_walkthrough_reproduces_exactly() {
+        let ds = motivating_example();
+        let schedule = FixedSchedule::new(
+            "Walkthrough",
+            vec![vec![fid(8), fid(11)], vec![fid(4), fid(5)]],
+        );
+        // The walkthrough's arithmetic uses the raw match fraction.
+        let cfg = IncEstimateConfig { prior_strength: 0.0, ..Default::default() };
+        let r = IncEstimate::with_config(schedule, cfg).corroborate(&ds).unwrap();
+
+        // Round-1 outcomes: r9 true, r12 false.
+        assert!(r.decisions().label(fid(8)).as_bool());
+        assert!(!r.decisions().label(fid(11)).as_bool());
+        // Round-2 outcomes: both false.
+        assert!(!r.decisions().label(fid(4)).as_bool());
+        assert!(!r.decisions().label(fid(5)).as_bool());
+        // Round 3: everything else true.
+        for i in [0, 1, 2, 3, 6, 7, 9, 10] {
+            assert!(r.decisions().label(fid(i)).as_bool(), "r{}", i + 1);
+        }
+
+        // Trust trajectory: t0 = defaults, t1 = {-,1,1,0,1},
+        // t2 = {0,1,1,0,1}, t3 = {0.67,1,1,0.7,1}.
+        let traj = r.trajectory().unwrap();
+        assert_eq!(traj.len(), 4);
+        let t1 = traj.at(1).unwrap();
+        assert_eq!(t1.trust(sid(0)), 0.9); // '-' → keeps default
+        assert_eq!(t1.trust(sid(1)), 1.0);
+        assert_eq!(t1.trust(sid(2)), 1.0);
+        assert_eq!(t1.trust(sid(3)), 0.0);
+        assert_eq!(t1.trust(sid(4)), 1.0);
+        let t2 = traj.at(2).unwrap();
+        assert_eq!(t2.trust(sid(0)), 0.0);
+        assert_eq!(t2.trust(sid(3)), 0.0);
+        let t3 = traj.at(3).unwrap();
+        assert!((t3.trust(sid(0)) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(t3.trust(sid(1)), 1.0);
+        assert_eq!(t3.trust(sid(2)), 1.0);
+        assert!((t3.trust(sid(3)) - 0.7).abs() < 1e-12);
+        assert_eq!(t3.trust(sid(4)), 1.0);
+
+        // Table 2, "Our strategy" row: P = 0.78, R = 1, A = 0.83.
+        let m = r.confusion(&ds).unwrap();
+        assert!((m.precision() - 7.0 / 9.0).abs() < 1e-9);
+        assert_eq!(m.recall(), 1.0);
+        assert!((m.accuracy() - 10.0 / 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn round_2_probabilities_match_walkthrough() {
+        // "Note that although we have T votes from s4 for both restaurants,
+        // since it has a trust score of 0 from the first round, the
+        // corroboration assigns a low score for both restaurants."
+        let ds = motivating_example();
+        let schedule =
+            FixedSchedule::new("W", vec![vec![fid(8), fid(11)], vec![fid(4), fid(5)]]);
+        let cfg = IncEstimateConfig { prior_strength: 0.0, ..Default::default() };
+        let r = IncEstimate::with_config(schedule, cfg).corroborate(&ds).unwrap();
+        // r5 = (σ(s1)=0.9 default + σ(s4)=0) / 2 = 0.45.
+        assert!((r.probability(fid(4)) - 0.45).abs() < 1e-12);
+        // r6 = ((1 − σ(s3)=1) + σ(s4)=0) / 2 = 0.
+        assert!((r.probability(fid(5)) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_schedule_evaluates_everything_in_one_round() {
+        let ds = motivating_example();
+        let r = IncEstimate::new(FixedSchedule::new("OneShot", vec![]))
+            .corroborate(&ds)
+            .unwrap();
+        assert_eq!(r.rounds(), 1);
+        // All facts scored under the uniform default trust: every T-only
+        // fact gets 0.9; r12 gets (0.1+0.1+0.9)/3; r6 gets 0.5 → true.
+        assert!((r.probability(fid(0)) - 0.9).abs() < 1e-12);
+        assert!(!r.decisions().label(fid(11)).as_bool());
+    }
+
+    #[test]
+    fn schedule_skips_already_evaluated_facts() {
+        let ds = motivating_example();
+        let schedule = FixedSchedule::new(
+            "Dup",
+            vec![vec![fid(0), fid(1)], vec![fid(1), fid(2)]],
+        );
+        let r = IncEstimate::new(schedule).corroborate(&ds).unwrap();
+        // Must terminate and evaluate every fact exactly once.
+        assert_eq!(r.probabilities().len(), 12);
+        assert_eq!(r.rounds(), 3);
+    }
+
+    #[test]
+    fn trajectory_starts_with_uniform_default() {
+        let ds = motivating_example();
+        let r = IncEstimate::new(FixedSchedule::new("X", vec![vec![fid(0)]]))
+            .corroborate(&ds)
+            .unwrap();
+        let t0 = r.trajectory().unwrap().at(0).unwrap();
+        for s in ds.sources() {
+            assert_eq!(t0.trust(s), 0.9);
+        }
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let ds = motivating_example();
+        let cfg = IncEstimateConfig { initial_trust: -0.2, ..Default::default() };
+        let e = IncEstimate::with_config(FixedSchedule::new("X", vec![]), cfg)
+            .corroborate(&ds);
+        assert!(e.is_err());
+        let cfg = IncEstimateConfig { prior_strength: -1.0, ..Default::default() };
+        let e = IncEstimate::with_config(FixedSchedule::new("X", vec![]), cfg)
+            .corroborate(&ds);
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn smoothing_keeps_trust_off_the_boundaries() {
+        // With the default prior strength, a source with one agreeing
+        // evaluated vote sits just below 1.0 and one with one
+        // disagreeing vote just above 0.0 — never exactly saturated.
+        let ds = motivating_example();
+        let state = IncState::new(&ds, IncEstimateConfig::default()).unwrap();
+        let up = state.projected_trust(sid(0), 1, 1);
+        let down = state.projected_trust(sid(0), 0, 1);
+        assert!(up < 1.0 && up > 0.95, "up = {up}");
+        assert!(down > 0.0 && down < 0.1, "down = {down}");
+        // No evaluated votes → exactly the default.
+        assert_eq!(state.projected_trust(sid(0), 0, 0), 0.9);
+    }
+
+    #[test]
+    fn cached_groups_match_recomputed_grouping_mid_run() {
+        use corroborate_core::groups::group_by_signature;
+        let ds = motivating_example();
+        let mut state = IncState::new(&ds, IncEstimateConfig::default()).unwrap();
+        // Evaluate an arbitrary mix, including whole and partial groups.
+        state.evaluate(&[fid(0), fid(6), fid(11)]);
+        let cached = state.remaining_groups();
+        let recomputed = group_by_signature(ds.votes(), &state.remaining_facts());
+        assert_eq!(cached, recomputed);
+        state.evaluate(&[fid(7)]);
+        assert_eq!(
+            state.remaining_groups(),
+            group_by_signature(ds.votes(), &state.remaining_facts())
+        );
+    }
+
+    #[test]
+    fn state_projected_trust_uses_default_until_first_vote() {
+        let ds = motivating_example();
+        let cfg = IncEstimateConfig { prior_strength: 0.0, ..Default::default() };
+        let state = IncState::new(&ds, cfg).unwrap();
+        assert_eq!(state.projected_trust(sid(0), 0, 0), 0.9);
+        assert_eq!(state.projected_trust(sid(0), 1, 2), 0.5);
+        assert_eq!(state.remaining_count(), 12);
+        assert_eq!(state.remaining_groups().len(), 10); // r7=r8, r4=r10 merge
+    }
+}

@@ -1,0 +1,88 @@
+//! Ablation benches for the design choices DESIGN.md calls out: the ΔH
+//! ranking mode of IncEstHeu (self-term vs literal Equation 9 vs full
+//! objective), the trust-update smoothing strength, and the 2-Estimates
+//! normalisation scheme. Each ablation reports *time*; the quality impact
+//! of the same knobs is printed by the binaries (and pinned by tests).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use corroborate_algorithms::galland::{Normalization, TwoEstimates, TwoEstimatesConfig};
+use corroborate_algorithms::inc::{DeltaHMode, IncEstHeu, IncEstimate, IncEstimateConfig};
+use corroborate_core::corroborator::Corroborator;
+use corroborate_datagen::synthetic::{generate, SyntheticConfig};
+
+fn world(n_facts: usize) -> corroborate_datagen::synthetic::SyntheticWorld {
+    generate(&SyntheticConfig {
+        n_accurate: 8,
+        n_inaccurate: 2,
+        n_facts,
+        eta: 0.02,
+        seed: 42,
+    })
+    .expect("generation")
+}
+
+fn bench_delta_h_modes(c: &mut Criterion) {
+    // The literal Equation 9 spillover is ~25× slower than the self-term
+    // ranking (and collapses in quality); this bench keeps that cost
+    // visible. Smaller world so the spillover mode stays affordable.
+    let w = world(4_000);
+    let mut group = c.benchmark_group("incestheu_delta_h_mode");
+    group.sample_size(10);
+    for (label, mode) in [
+        ("self_term", DeltaHMode::SelfTerm),
+        ("equation9", DeltaHMode::Equation9),
+        ("full", DeltaHMode::Full),
+    ] {
+        let alg = IncEstimate::new(IncEstHeu::with_mode(mode));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &w.dataset, |b, ds| {
+            b.iter(|| {
+                let r = alg.corroborate(black_box(ds)).expect("corroboration");
+                black_box(r.rounds())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_prior_strength(c: &mut Criterion) {
+    let w = world(10_000);
+    let mut group = c.benchmark_group("incestheu_prior_strength");
+    group.sample_size(10);
+    for k in [0.0, 0.1, 1.0] {
+        let cfg = IncEstimateConfig { prior_strength: k, ..Default::default() };
+        let alg = IncEstimate::with_config(IncEstHeu::default(), cfg);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &w.dataset, |b, ds| {
+            b.iter(|| {
+                let r = alg.corroborate(black_box(ds)).expect("corroboration");
+                black_box(r.rounds())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_normalization(c: &mut Criterion) {
+    let w = world(10_000);
+    let mut group = c.benchmark_group("two_estimates_normalization");
+    group.sample_size(10);
+    for (label, norm) in [
+        ("rounding", Normalization::Rounding),
+        ("linear_rescale", Normalization::LinearRescale),
+        ("none", Normalization::None),
+    ] {
+        let cfg = TwoEstimatesConfig { normalization: norm, ..Default::default() };
+        let alg = TwoEstimates::new(cfg);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &w.dataset, |b, ds| {
+            b.iter(|| {
+                let r = alg.corroborate(black_box(ds)).expect("corroboration");
+                black_box(r.rounds())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_delta_h_modes, bench_prior_strength, bench_normalization);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Criterion timing of every corroborator — the machine-checked analogue
+//! of the paper's Table 6. Runs on a 1/4-scale restaurant world and a
+//! mid-size synthetic world so the whole suite stays under a minute;
+//! `cargo run --release -p corroborate-bench --bin table6` times the
+//! full-scale dataset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use corroborate_bench::corroboration_roster;
+use corroborate_datagen::restaurant::{generate as gen_restaurant, RestaurantConfig};
+use corroborate_datagen::synthetic::{generate as gen_synthetic, SyntheticConfig};
+
+fn bench_restaurant(c: &mut Criterion) {
+    let cfg = RestaurantConfig {
+        n_listings: 9_000,
+        golden_size: 400,
+        golden_true: 226,
+        calibration_iters: 3,
+        seed: 2012,
+    };
+    let world = gen_restaurant(&cfg).expect("generation");
+    let mut group = c.benchmark_group("restaurant_9k");
+    group.sample_size(10);
+    for alg in corroboration_roster(42) {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(alg.name()),
+            &world.dataset,
+            |b, ds| {
+                b.iter(|| {
+                    let r = alg.corroborate(black_box(ds)).expect("corroboration");
+                    black_box(r.probabilities().len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_synthetic(c: &mut Criterion) {
+    let cfg = SyntheticConfig {
+        n_accurate: 8,
+        n_inaccurate: 2,
+        n_facts: 10_000,
+        eta: 0.02,
+        seed: 42,
+    };
+    let world = gen_synthetic(&cfg).expect("generation");
+    let mut group = c.benchmark_group("synthetic_10k");
+    group.sample_size(10);
+    for alg in corroboration_roster(42) {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(alg.name()),
+            &world.dataset,
+            |b, ds| {
+                b.iter(|| {
+                    let r = alg.corroborate(black_box(ds)).expect("corroboration");
+                    black_box(r.probabilities().len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    // IncEstHeu scaling in the number of facts (§5.3 argues the cost is
+    // bounded by O(|F|²) in the worst case but near-linear in practice).
+    let mut group = c.benchmark_group("incestheu_scaling");
+    group.sample_size(10);
+    for n_facts in [2_000usize, 4_000, 8_000, 16_000] {
+        let cfg = SyntheticConfig {
+            n_accurate: 8,
+            n_inaccurate: 2,
+            n_facts,
+            eta: 0.02,
+            seed: 42,
+        };
+        let world = gen_synthetic(&cfg).expect("generation");
+        let alg = corroborate_algorithms::inc::IncEstimate::new(
+            corroborate_algorithms::inc::IncEstHeu::default(),
+        );
+        use corroborate_core::corroborator::Corroborator;
+        group.bench_with_input(BenchmarkId::from_parameter(n_facts), &world.dataset, |b, ds| {
+            b.iter(|| {
+                let r = alg.corroborate(black_box(ds)).expect("corroboration");
+                black_box(r.rounds())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_restaurant, bench_synthetic, bench_scaling);
+criterion_main!(benches);

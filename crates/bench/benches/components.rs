@@ -1,0 +1,123 @@
+//! Criterion micro-benchmarks of the substrates: vote-matrix
+//! construction, signature grouping, Corrob scoring, entropy, the dedup
+//! pipeline and ML training — so substrate regressions are visible
+//! independently of end-to-end algorithm timings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use corroborate_core::entropy::{binary_entropy, collective_entropy};
+use corroborate_core::groups::group_by_signature;
+use corroborate_core::prelude::*;
+use corroborate_core::scoring::corrob_probability_or;
+use corroborate_datagen::synthetic::{generate, SyntheticConfig};
+use corroborate_dedup::crawlgen::{demo_universe, synthetic_crawl, CrawlConfig};
+use corroborate_dedup::pipeline::dedup_to_dataset;
+use corroborate_ml::features::vote_features;
+use corroborate_ml::logistic::{LogisticConfig, LogisticRegression};
+use corroborate_ml::svm::{LinearSvm, SvmConfig};
+
+fn world() -> corroborate_datagen::synthetic::SyntheticWorld {
+    generate(&SyntheticConfig {
+        n_accurate: 8,
+        n_inaccurate: 2,
+        n_facts: 10_000,
+        eta: 0.02,
+        seed: 42,
+    })
+    .expect("generation")
+}
+
+fn bench_core(c: &mut Criterion) {
+    let w = world();
+    let ds = &w.dataset;
+    let facts: Vec<FactId> = ds.facts().collect();
+    let trust = TrustSnapshot::uniform(ds.n_sources(), 0.9).unwrap();
+
+    c.bench_function("group_by_signature_10k", |b| {
+        b.iter(|| black_box(group_by_signature(ds.votes(), black_box(&facts))).len())
+    });
+
+    c.bench_function("corrob_score_all_facts_10k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &f in &facts {
+                acc += corrob_probability_or(ds.votes().votes_on(f), &trust, 0.9);
+            }
+            black_box(acc)
+        })
+    });
+
+    c.bench_function("collective_entropy_10k", |b| {
+        let probs: Vec<f64> = (0..10_000).map(|i| (i as f64 % 100.0) / 100.0).collect();
+        b.iter(|| black_box(collective_entropy(probs.iter().copied())))
+    });
+
+    c.bench_function("binary_entropy", |b| {
+        b.iter(|| black_box(binary_entropy(black_box(0.37))))
+    });
+
+    c.bench_function("vote_matrix_build_10k", |b| {
+        b.iter(|| {
+            let mut mb = corroborate_core::vote::VoteMatrixBuilder::new(10, 10_000);
+            for &f in &facts {
+                for sv in ds.votes().votes_on(f) {
+                    mb.cast(sv.source, f, sv.vote).unwrap();
+                }
+            }
+            black_box(mb.build().n_votes())
+        })
+    });
+}
+
+fn bench_dedup(c: &mut Criterion) {
+    let mut universe = demo_universe();
+    for i in 0..190 {
+        universe.push(corroborate_dedup::crawlgen::Restaurant {
+            name: format!("Generated Eatery {i}"),
+            address: format!("{} West {}th Street", 10 + i, 1 + (i % 90)),
+            open: i % 4 != 0,
+        });
+    }
+    let crawl = synthetic_crawl(&universe, &CrawlConfig::default());
+    let mut group = c.benchmark_group("dedup");
+    group.sample_size(20);
+    group.bench_with_input(
+        BenchmarkId::new("pipeline", crawl.len()),
+        &crawl,
+        |b, crawl| b.iter(|| black_box(dedup_to_dataset(black_box(crawl)).unwrap().dataset.n_facts())),
+    );
+    group.finish();
+}
+
+fn bench_ml(c: &mut Criterion) {
+    let w = world();
+    let ds = &w.dataset;
+    let features = vote_features(ds);
+    let truth = ds.ground_truth().unwrap();
+    let facts: Vec<FactId> = ds.facts().take(600).collect();
+    let x: Vec<Vec<f64>> = facts.iter().map(|&f| features.row(f).to_vec()).collect();
+    let y: Vec<f64> = facts
+        .iter()
+        .map(|&f| if truth.label(f).as_bool() { 1.0 } else { -1.0 })
+        .collect();
+
+    let mut group = c.benchmark_group("ml_train_600");
+    group.sample_size(10);
+    group.bench_function("logistic", |b| {
+        b.iter(|| {
+            let m = LogisticRegression::fit(&x, &y, &LogisticConfig::default()).unwrap();
+            black_box(m.bias())
+        })
+    });
+    group.bench_function("svm_smo", |b| {
+        b.iter(|| {
+            let m = LinearSvm::fit(&x, &y, &SvmConfig::default()).unwrap();
+            black_box(m.weights()[0])
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_core, bench_dedup, bench_ml);
+criterion_main!(benches);

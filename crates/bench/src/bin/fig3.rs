@@ -1,0 +1,130 @@
+//! Reproduces **Figure 3**: accuracy of the methods on §6.3.1 synthetic
+//! datasets, under three parameter sweeps:
+//!
+//! - `a` — total sources 2–11, inaccurate fixed at 2 (Figure 3(a));
+//! - `b` — inaccurate sources 0–10 of 10 total (Figure 3(b));
+//! - `c` — η (fraction of F-voted facts) 0.01–0.05 (Figure 3(c)).
+//!
+//! Run `fig3 a`, `fig3 b`, `fig3 c`, or `fig3` for all three. Points are
+//! computed in parallel with scoped threads (one per parameter value).
+//!
+//! Shape expectations: IncEstHeu dominates everywhere; the other methods
+//! stay nearly flat around the (kept-set) true-fact prevalence; IncEstHeu
+//! degrades toward the pack as inaccurate sources take over in (b).
+
+use corroborate_bench::{corroboration_roster, f3, TextTable};
+use corroborate_datagen::synthetic::{generate, SyntheticConfig};
+
+/// Accuracy of every roster method on one synthetic configuration.
+fn sweep_point(cfg: &SyntheticConfig) -> Vec<(String, f64)> {
+    let world = generate(cfg).expect("generation succeeds");
+    corroboration_roster(cfg.seed)
+        .iter()
+        .map(|alg| {
+            let result = alg.corroborate(&world.dataset).expect("corroboration succeeds");
+            let accuracy = result
+                .confusion(&world.dataset)
+                .expect("labelled")
+                .accuracy();
+            (alg.name().to_string(), accuracy)
+        })
+        .collect()
+}
+
+fn run_sweep(title: &str, x_label: &str, configs: Vec<(String, SyntheticConfig)>) {
+    // One thread per sweep point.
+    let results: Vec<(String, Vec<(String, f64)>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = configs
+            .iter()
+            .map(|(x, cfg)| {
+                let x = x.clone();
+                let cfg = *cfg;
+                scope.spawn(move || (x, sweep_point(&cfg)))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("sweep thread")).collect()
+    });
+
+    let method_names: Vec<String> =
+        results[0].1.iter().map(|(name, _)| name.clone()).collect();
+    let mut header: Vec<String> = vec![x_label.to_string()];
+    header.extend(method_names.iter().cloned());
+    let mut table = TextTable::new(header);
+    for (x, accs) in &results {
+        let mut row = vec![x.clone()];
+        row.extend(accs.iter().map(|(_, a)| f3(*a)));
+        table.row(row);
+    }
+    println!("{title}");
+    println!("{}", table.render());
+}
+
+fn main() {
+    let which: Vec<String> = std::env::args().skip(1).collect();
+    let all = which.is_empty();
+    let has = |panel: &str| all || which.iter().any(|w| w == panel);
+
+    if has("a") {
+        // Figure 3(a): total sources 2..=11, 2 inaccurate.
+        let configs: Vec<(String, SyntheticConfig)> = (2..=11)
+            .map(|total: usize| {
+                let cfg = SyntheticConfig {
+                    n_accurate: total.saturating_sub(2),
+                    n_inaccurate: 2.min(total),
+                    n_facts: 20_000,
+                    eta: 0.02,
+                    seed: 42,
+                };
+                (total.to_string(), cfg)
+            })
+            .collect();
+        run_sweep(
+            "Figure 3(a) — accuracy vs number of sources (2 inaccurate)",
+            "sources",
+            configs,
+        );
+    }
+
+    if has("b") {
+        // Figure 3(b): 10 sources, inaccurate 0..=10.
+        let configs: Vec<(String, SyntheticConfig)> = (0..=10)
+            .map(|inaccurate: usize| {
+                let cfg = SyntheticConfig {
+                    n_accurate: 10 - inaccurate,
+                    n_inaccurate: inaccurate,
+                    n_facts: 20_000,
+                    eta: 0.02,
+                    seed: 42,
+                };
+                (inaccurate.to_string(), cfg)
+            })
+            .collect();
+        run_sweep(
+            "Figure 3(b) — accuracy vs number of inaccurate sources (10 total)",
+            "inaccurate",
+            configs,
+        );
+    }
+
+    if has("c") {
+        // Figure 3(c): η from 0.01 to 0.05.
+        let configs: Vec<(String, SyntheticConfig)> = [0.01, 0.02, 0.03, 0.04, 0.05]
+            .into_iter()
+            .map(|eta| {
+                let cfg = SyntheticConfig {
+                    n_accurate: 8,
+                    n_inaccurate: 2,
+                    n_facts: 20_000,
+                    eta,
+                    seed: 42,
+                };
+                (format!("{eta:.2}"), cfg)
+            })
+            .collect();
+        run_sweep(
+            "Figure 3(c) — accuracy vs fraction of F-voted facts (10 sources, 2 inaccurate)",
+            "eta",
+            configs,
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! Reproduces **Table 4**: precision / recall / accuracy / F1 of every
+//! method on the restaurant golden set. Corroboration methods run over
+//! the *full* 36,916-listing dataset and are scored on the 601-listing
+//! golden subset; the ML baselines run 10-fold CV over the golden set
+//! only, exactly as §6.1.1 describes.
+
+use corroborate_bench::{corroboration_roster, f2, TextTable};
+use corroborate_core::metrics::{confusion_on_subset, ConfusionMatrix};
+use corroborate_core::stats::{bootstrap_accuracy_ci, bootstrap_accuracy_diff_ci, mcnemar};
+use corroborate_core::prelude::*;
+use corroborate_datagen::restaurant::{generate, RestaurantConfig};
+use corroborate_ml::eval::evaluate_on_golden;
+use corroborate_ml::logistic::LogisticRegression;
+use corroborate_ml::naive_bayes::NaiveBayes;
+use corroborate_ml::svm::LinearSvm;
+
+const PAPER: &[(&str, &str)] = &[
+    ("Voting", "0.65 / 1.00 / 0.66 / 0.79"),
+    ("Counting", "0.94 / 0.65 / 0.76 / 0.77"),
+    ("BayesEstimate", "0.63 / 1.00 / 0.67 / 0.77"),
+    ("TwoEstimate", "0.65 / 1.00 / 0.66 / 0.79"),
+    ("ML-SVM (SMO)", "0.98 / 0.74 / 0.77 / 0.84"),
+    ("ML-Logistic", "0.86 / 0.85 / 0.82 / 0.82"),
+    ("IncEstPS", "0.66 / 1.00 / 0.68 / 0.79"),
+    ("IncEstHeu", "0.86 / 0.86 / 0.83 / 0.86"),
+];
+
+fn paper_row(name: &str) -> &'static str {
+    PAPER
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, row)| *row)
+        .unwrap_or("—")
+}
+
+fn main() {
+    let world = generate(&RestaurantConfig::default()).expect("generation succeeds");
+    let ds = &world.dataset;
+    let truth = ds.ground_truth().expect("simulated world is labelled");
+
+    let mut table = TextTable::new(vec![
+        "method",
+        "precision",
+        "recall",
+        "accuracy",
+        "95% CI",
+        "F1",
+        "TN",
+        "paper P/R/A/F1",
+    ]);
+    // Golden-restricted assignments for the accuracy bootstrap.
+    let golden_truth = TruthAssignment::from_bools(
+        &world
+            .golden
+            .iter()
+            .map(|&f| truth.label(f).as_bool())
+            .collect::<Vec<_>>(),
+    );
+    let table_ref = &mut table;
+    let mut push = |name: &str, m: &ConfusionMatrix, golden_pred: Option<&TruthAssignment>| {
+        let ci = golden_pred
+            .and_then(|pred| bootstrap_accuracy_ci(pred, &golden_truth, 1000, 0.95, 42).ok())
+            .map(|ci| format!("[{:.2}, {:.2}]", ci.lower, ci.upper))
+            .unwrap_or_else(|| "—".into());
+        table_ref.row(vec![
+            name.to_string(),
+            f2(m.precision()),
+            f2(m.recall()),
+            f2(m.accuracy()),
+            ci,
+            f2(m.f1()),
+            m.tn.to_string(),
+            paper_row(name).to_string(),
+        ]);
+    };
+
+    // Corroboration methods over the full dataset, scored on the golden.
+    let mut heu_decisions = None;
+    let mut voting_decisions = None;
+    for alg in corroboration_roster(42) {
+        let result = alg.corroborate(ds).expect("corroboration succeeds");
+        let m = confusion_on_subset(result.decisions(), truth, &world.golden)
+            .expect("golden ids valid");
+        if alg.name() == "IncEstHeu" {
+            heu_decisions = Some(result.decisions().clone());
+        }
+        if alg.name() == "Voting" {
+            voting_decisions = Some(result.decisions().clone());
+        }
+        let golden_pred = TruthAssignment::from_bools(
+            &world
+                .golden
+                .iter()
+                .map(|&f| result.decisions().label(f).as_bool())
+                .collect::<Vec<_>>(),
+        );
+        push(alg.name(), &m, Some(&golden_pred));
+    }
+
+    // ML baselines: 10-fold CV over the golden set.
+    let svm = evaluate_on_golden::<LinearSvm>(ds, &world.golden, 10, 42).expect("svm CV");
+    let svm_pred =
+        TruthAssignment::from_bools(&svm.predictions.iter().map(|&p| p > 0.0).collect::<Vec<_>>());
+    push("ML-SVM (SMO)", &svm.confusion, Some(&svm_pred));
+    let logit = evaluate_on_golden::<LogisticRegression>(ds, &world.golden, 10, 42)
+        .expect("logistic CV");
+    let logit_pred = TruthAssignment::from_bools(
+        &logit.predictions.iter().map(|&p| p > 0.0).collect::<Vec<_>>(),
+    );
+    push("ML-Logistic", &logit.confusion, Some(&logit_pred));
+    // A third ML baseline beyond the paper's two (generative counterpart).
+    let nb = evaluate_on_golden::<NaiveBayes>(ds, &world.golden, 10, 42).expect("nb CV");
+    let nb_pred =
+        TruthAssignment::from_bools(&nb.predictions.iter().map(|&p| p > 0.0).collect::<Vec<_>>());
+    push("ML-NaiveBayes (extra)", &nb.confusion, Some(&nb_pred));
+
+    println!("Table 4 — corroboration quality on the golden set ({} listings)", world.golden.len());
+    println!("{}", table.render());
+
+    // §6.2.2's significance claim: IncEstHeu vs the baselines, McNemar on
+    // golden-set decisions.
+    if let (Some(heu), Some(voting)) = (heu_decisions, voting_decisions) {
+        let golden_ds = ds.project_facts(&world.golden).expect("projection");
+        let project = |assign: &TruthAssignment| {
+            TruthAssignment::from_bools(
+                &world
+                    .golden
+                    .iter()
+                    .map(|&f| assign.label(f).as_bool())
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let test = mcnemar(
+            &project(&heu),
+            &project(&voting),
+            golden_ds.ground_truth().unwrap(),
+        )
+        .expect("same golden length");
+        println!(
+            "McNemar IncEstHeu vs Voting: χ² = {:.1}, p = {:.2e} (paper: significant, p < 0.001 → {})",
+            test.chi_squared,
+            test.p_value,
+            if test.significant_at(0.001) { "reproduced" } else { "NOT reproduced" }
+        );
+        let diff = bootstrap_accuracy_diff_ci(
+            &project(&heu),
+            &project(&voting),
+            golden_ds.ground_truth().unwrap(),
+            1000,
+            0.95,
+            42,
+        )
+        .expect("paired bootstrap");
+        println!(
+            "paired bootstrap, accuracy(IncEstHeu) − accuracy(Voting): {:.3} [{:.3}, {:.3}] (95% CI{})",
+            diff.estimate,
+            diff.lower,
+            diff.upper,
+            if diff.lower > 0.0 { ", excludes 0" } else { "" }
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! The [`Corroborator`] trait — the common interface every truth-discovery
+//! algorithm in this workspace implements — and [`CorroborationResult`],
+//! the structured outcome of a run.
+
+use crate::dataset::Dataset;
+use crate::error::CoreError;
+use crate::metrics::{trust_mse, ConfusionMatrix};
+use crate::trust::{TrustSnapshot, TrustTrajectory};
+use crate::truth::TruthAssignment;
+
+/// Outcome of a corroboration run: per-fact truth probabilities, the hard
+/// decisions derived from them, the final per-source trust scores, and the
+/// full multi-value trust trajectory when the algorithm produces one.
+#[derive(Debug, Clone)]
+pub struct CorroborationResult {
+    probabilities: Vec<f64>,
+    decisions: TruthAssignment,
+    trust: TrustSnapshot,
+    trajectory: Option<TrustTrajectory>,
+    rounds: usize,
+}
+
+impl CorroborationResult {
+    /// Assembles a result; decisions are derived from `probabilities` by
+    /// the paper's 0.5 threshold (Equation 2).
+    ///
+    /// `rounds` is the number of iterations (one-shot algorithms) or time
+    /// points (incremental algorithms) the run used.
+    pub fn new(
+        probabilities: Vec<f64>,
+        trust: TrustSnapshot,
+        trajectory: Option<TrustTrajectory>,
+        rounds: usize,
+    ) -> Result<Self, CoreError> {
+        for &p in &probabilities {
+            crate::error::check_probability("fact probability", p)?;
+        }
+        let decisions = TruthAssignment::from_probabilities(&probabilities);
+        Ok(Self { probabilities, decisions, trust, trajectory, rounds })
+    }
+
+    /// The probability that each fact is true, indexed by fact id.
+    pub fn probabilities(&self) -> &[f64] {
+        &self.probabilities
+    }
+
+    /// Probability of one fact.
+    pub fn probability(&self, fact: crate::ids::FactId) -> f64 {
+        self.probabilities[fact.index()]
+    }
+
+    /// Hard true/false decisions (threshold 0.5).
+    pub fn decisions(&self) -> &TruthAssignment {
+        &self.decisions
+    }
+
+    /// Final per-source trust scores.
+    pub fn trust(&self) -> &TrustSnapshot {
+        &self.trust
+    }
+
+    /// Multi-value trust trajectory, if the algorithm is incremental.
+    pub fn trajectory(&self) -> Option<&TrustTrajectory> {
+        self.trajectory.as_ref()
+    }
+
+    /// Number of rounds / iterations / time points used.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Confusion matrix against the dataset's ground truth.
+    ///
+    /// # Errors
+    /// [`CoreError::MissingComponent`] when the dataset has no ground truth.
+    pub fn confusion(&self, dataset: &Dataset) -> Result<ConfusionMatrix, CoreError> {
+        ConfusionMatrix::from_assignments(&self.decisions, dataset.require_ground_truth()?)
+    }
+
+    /// Trust-score MSE against the dataset's empirical source accuracies
+    /// (paper Equation 10 / Table 5).
+    pub fn trust_mse(&self, dataset: &Dataset) -> Result<f64, CoreError> {
+        let reference = dataset.source_accuracies()?;
+        trust_mse(&reference, self.trust.values())
+    }
+}
+
+/// A truth-discovery algorithm: maps a dataset to probabilities + trust.
+///
+/// Implementations must be deterministic given their configuration (any
+/// randomised algorithm takes an explicit seed in its config) and must not
+/// read the dataset's ground truth.
+pub trait Corroborator {
+    /// Short human-readable name used in benchmark tables (e.g.
+    /// `"TwoEstimate"`, `"IncEstHeu"`).
+    fn name(&self) -> &str;
+
+    /// Runs the algorithm over `dataset`.
+    fn corroborate(&self, dataset: &Dataset) -> Result<CorroborationResult, CoreError>;
+}
+
+/// Blanket impl so `Box<dyn Corroborator>` collections (benchmark harness
+/// method lists) work ergonomically.
+impl<T: Corroborator + ?Sized> Corroborator for Box<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn corroborate(&self, dataset: &Dataset) -> Result<CorroborationResult, CoreError> {
+        (**self).corroborate(dataset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+    use crate::ids::FactId;
+    use crate::truth::Label;
+    use crate::vote::Vote;
+
+    fn dataset() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        let s = b.add_source("s");
+        let f0 = b.add_fact_with_truth("f0", Label::True);
+        let f1 = b.add_fact_with_truth("f1", Label::False);
+        b.cast(s, f0, Vote::True).unwrap();
+        b.cast(s, f1, Vote::True).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn result_derives_decisions_from_probabilities() {
+        let trust = TrustSnapshot::uniform(1, 0.5).unwrap();
+        let r = CorroborationResult::new(vec![0.8, 0.2], trust, None, 1).unwrap();
+        assert!(r.decisions().label(FactId::new(0)).as_bool());
+        assert!(!r.decisions().label(FactId::new(1)).as_bool());
+        assert_eq!(r.probability(FactId::new(1)), 0.2);
+        assert_eq!(r.rounds(), 1);
+        assert!(r.trajectory().is_none());
+    }
+
+    #[test]
+    fn result_rejects_invalid_probabilities() {
+        let trust = TrustSnapshot::uniform(1, 0.5).unwrap();
+        assert!(CorroborationResult::new(vec![1.2], trust, None, 0).is_err());
+    }
+
+    #[test]
+    fn confusion_and_mse_against_dataset() {
+        let ds = dataset();
+        let trust = TrustSnapshot::from_values(vec![0.5]).unwrap();
+        let r = CorroborationResult::new(vec![0.9, 0.9], trust, None, 1).unwrap();
+        let m = r.confusion(&ds).unwrap();
+        assert_eq!((m.tp, m.fp), (1, 1));
+        // Source voted T on one true and one false fact → accuracy 0.5;
+        // computed trust 0.5 → MSE 0.
+        assert!(r.trust_mse(&ds).unwrap() < 1e-12);
+    }
+
+    struct AlwaysTrue;
+    impl Corroborator for AlwaysTrue {
+        fn name(&self) -> &str {
+            "AlwaysTrue"
+        }
+        fn corroborate(&self, dataset: &Dataset) -> Result<CorroborationResult, CoreError> {
+            CorroborationResult::new(
+                vec![1.0; dataset.n_facts()],
+                TrustSnapshot::uniform(dataset.n_sources(), 1.0)?,
+                None,
+                1,
+            )
+        }
+    }
+
+    #[test]
+    fn boxed_corroborator_delegates() {
+        let ds = dataset();
+        let boxed: Box<dyn Corroborator> = Box::new(AlwaysTrue);
+        assert_eq!(boxed.name(), "AlwaysTrue");
+        let r = boxed.corroborate(&ds).unwrap();
+        assert_eq!(r.probabilities(), &[1.0, 1.0]);
+    }
+}

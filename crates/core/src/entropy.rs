@@ -1,0 +1,98 @@
+//! Information-entropy utilities (paper §3.2, Equation 3).
+//!
+//! The entropy of an unknown fact with truth probability `p` is the binary
+//! entropy `H(p) = −p·log2 p − (1−p)·log2(1−p)`; the *collective entropy* of
+//! a set of unevaluated facts is the sum of their entropies. IncEstHeu
+//! selects fact groups to maximise the projected collective entropy of the
+//! remaining facts (Equation 9).
+
+/// Binary entropy of probability `p`, in bits.
+///
+/// By the standard information-theoretic convention `0·log 0 = 0`, so
+/// `H(0) = H(1) = 0`; the maximum `H(0.5) = 1`.
+///
+/// `p` outside `[0, 1]` is clamped — callers feed computed probabilities
+/// that can drift by an ulp past the boundary.
+#[inline]
+pub fn binary_entropy(p: f64) -> f64 {
+    let p = p.clamp(0.0, 1.0);
+    let mut h = 0.0;
+    if p > 0.0 {
+        h -= p * p.log2();
+    }
+    if p < 1.0 {
+        h -= (1.0 - p) * (1.0 - p).log2();
+    }
+    h
+}
+
+/// Collective entropy of a set of probabilities: `Σ H(p_i)`.
+pub fn collective_entropy(probs: impl IntoIterator<Item = f64>) -> f64 {
+    probs.into_iter().map(binary_entropy).sum()
+}
+
+/// Entropy delta when a fact's probability moves from `before` to `after`.
+#[inline]
+pub fn entropy_delta(before: f64, after: f64) -> f64 {
+    binary_entropy(after) - binary_entropy(before)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn endpoints_have_zero_entropy() {
+        assert_eq!(binary_entropy(0.0), 0.0);
+        assert_eq!(binary_entropy(1.0), 0.0);
+    }
+
+    #[test]
+    fn half_has_maximal_entropy_one() {
+        assert!(close(binary_entropy(0.5), 1.0));
+    }
+
+    #[test]
+    fn entropy_is_symmetric_around_half() {
+        for p in [0.1, 0.25, 0.3, 0.47] {
+            assert!(close(binary_entropy(p), binary_entropy(1.0 - p)), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn entropy_is_monotone_toward_half() {
+        assert!(binary_entropy(0.3) < binary_entropy(0.4));
+        assert!(binary_entropy(0.9) < binary_entropy(0.6));
+    }
+
+    #[test]
+    fn out_of_range_inputs_are_clamped() {
+        assert_eq!(binary_entropy(-0.1), 0.0);
+        assert_eq!(binary_entropy(1.1), 0.0);
+    }
+
+    #[test]
+    fn collective_entropy_sums() {
+        let h = collective_entropy([0.5, 0.5, 1.0]);
+        assert!(close(h, 2.0));
+        assert_eq!(collective_entropy(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn delta_signs() {
+        // Moving toward 0.5 raises entropy; away lowers it.
+        assert!(entropy_delta(0.9, 0.6) > 0.0);
+        assert!(entropy_delta(0.6, 0.9) < 0.0);
+        assert!(close(entropy_delta(0.3, 0.3), 0.0));
+    }
+
+    #[test]
+    fn known_value_quarter() {
+        // H(0.25) = 0.25*2 + 0.75*log2(4/3) ≈ 0.8112781245
+        assert!((binary_entropy(0.25) - 0.811_278_124_459_133).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,131 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+/// Errors produced by the core data model and by corroboration algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// An id referenced an element outside the dataset's dimensions.
+    IdOutOfRange {
+        /// `"source"`, `"fact"` or `"question"`.
+        kind: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The arena length it was checked against.
+        len: usize,
+    },
+    /// Two collections that must be parallel (same length) were not.
+    LengthMismatch {
+        /// What the collections describe.
+        what: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Observed length.
+        actual: usize,
+    },
+    /// A probability or trust score fell outside `[0, 1]`.
+    InvalidProbability {
+        /// Role of the value (e.g. `"initial trust"`).
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// An algorithm-specific configuration value was invalid.
+    InvalidConfig {
+        /// Human-readable description of the violated constraint.
+        message: String,
+    },
+    /// An iterative algorithm failed to converge within its iteration cap.
+    ///
+    /// Algorithms generally treat the cap as a soft stop and return the last
+    /// iterate; this error is only raised when the caller opted into strict
+    /// convergence checking.
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// Residual at the last iteration.
+        residual: f64,
+    },
+    /// The dataset is missing a component the operation requires
+    /// (e.g. ground truth for evaluation, question structure for
+    /// multi-answer corroboration).
+    MissingComponent {
+        /// The missing component.
+        what: &'static str,
+    },
+    /// The operation received an empty input it cannot handle.
+    EmptyInput {
+        /// What was empty.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::IdOutOfRange { kind, index, len } => {
+                write!(f, "{kind} id {index} out of range (dataset has {len})")
+            }
+            CoreError::LengthMismatch { what, expected, actual } => {
+                write!(f, "{what}: expected length {expected}, got {actual}")
+            }
+            CoreError::InvalidProbability { what, value } => {
+                write!(f, "{what} must lie in [0, 1], got {value}")
+            }
+            CoreError::InvalidConfig { message } => {
+                write!(f, "invalid configuration: {message}")
+            }
+            CoreError::NoConvergence { iterations, residual } => {
+                write!(
+                    f,
+                    "no convergence after {iterations} iterations (residual {residual:.3e})"
+                )
+            }
+            CoreError::MissingComponent { what } => {
+                write!(f, "dataset is missing required component: {what}")
+            }
+            CoreError::EmptyInput { what } => write!(f, "empty input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Validates that `value` is a probability, tagging errors with `what`.
+pub fn check_probability(what: &'static str, value: f64) -> Result<(), CoreError> {
+    if value.is_finite() && (0.0..=1.0).contains(&value) {
+        Ok(())
+    } else {
+        Err(CoreError::InvalidProbability { what, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CoreError::IdOutOfRange { kind: "fact", index: 9, len: 3 };
+        assert_eq!(e.to_string(), "fact id 9 out of range (dataset has 3)");
+        let e = CoreError::InvalidProbability { what: "initial trust", value: 1.5 };
+        assert!(e.to_string().contains("[0, 1]"));
+        let e = CoreError::NoConvergence { iterations: 10, residual: 0.5 };
+        assert!(e.to_string().contains("10 iterations"));
+    }
+
+    #[test]
+    fn check_probability_accepts_unit_interval() {
+        assert!(check_probability("p", 0.0).is_ok());
+        assert!(check_probability("p", 1.0).is_ok());
+        assert!(check_probability("p", 0.5).is_ok());
+    }
+
+    #[test]
+    fn check_probability_rejects_out_of_range_and_nan() {
+        assert!(check_probability("p", -0.01).is_err());
+        assert!(check_probability("p", 1.01).is_err());
+        assert!(check_probability("p", f64::NAN).is_err());
+        assert!(check_probability("p", f64::INFINITY).is_err());
+    }
+}

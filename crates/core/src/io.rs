@@ -1,0 +1,297 @@
+//! Plain-text dataset interchange: a minimal CSV dialect for votes and
+//! ground truth, so corroboration problems can be round-tripped to disk
+//! and fed in from external crawls without pulling in a serialisation
+//! framework.
+//!
+//! ## Votes file
+//!
+//! One vote per line, `source,fact,vote` with `vote ∈ {T, F}`; a header
+//! line `source,fact,vote` is optional. Sources and facts are registered
+//! in order of first appearance. Blank lines and `#` comments are
+//! skipped. Fields containing commas or quotes are double-quoted with
+//! `""` escaping.
+//!
+//! ```text
+//! # NYC crawl, Feb 2012
+//! source,fact,vote
+//! YellowPages,"Danny's Grand Sea Palace",T
+//! MenuPages,"Danny's Grand Sea Palace",F
+//! ```
+//!
+//! ## Truth file
+//!
+//! `fact,label` with `label ∈ {true, false}` (case-insensitive); facts not
+//! present in the votes file are added as voteless facts.
+
+use std::collections::HashMap;
+
+use crate::dataset::{Dataset, DatasetBuilder};
+use crate::error::CoreError;
+use crate::ids::{FactId, SourceId};
+use crate::truth::Label;
+use crate::vote::Vote;
+
+/// Escapes a CSV field (quotes when it contains a comma, quote or
+/// newline).
+fn escape(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Splits one CSV line into fields, honouring double-quoted fields with
+/// `""` escapes.
+///
+/// # Errors
+/// [`CoreError::InvalidConfig`] on an unterminated quote.
+fn split_line(line: &str, line_no: usize) -> Result<Vec<String>, CoreError> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' if field.is_empty() => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut field));
+            }
+            c => field.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(CoreError::InvalidConfig {
+            message: format!("line {line_no}: unterminated quoted field"),
+        });
+    }
+    fields.push(field);
+    Ok(fields)
+}
+
+/// Serialises a dataset's votes to the CSV dialect (with header).
+pub fn votes_to_csv(dataset: &Dataset) -> String {
+    let mut out = String::from("source,fact,vote\n");
+    for f in dataset.facts() {
+        for sv in dataset.votes().votes_on(f) {
+            out.push_str(&escape(dataset.source_name(sv.source)));
+            out.push(',');
+            out.push_str(&escape(dataset.fact_name(f)));
+            out.push(',');
+            out.push(sv.vote.symbol());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Serialises a dataset's ground truth (if any) to the truth CSV.
+///
+/// # Errors
+/// [`CoreError::MissingComponent`] when the dataset carries no truth.
+pub fn truth_to_csv(dataset: &Dataset) -> Result<String, CoreError> {
+    let truth = dataset.require_ground_truth()?;
+    let mut out = String::from("fact,label\n");
+    for (f, label) in truth.iter() {
+        out.push_str(&escape(dataset.fact_name(f)));
+        out.push(',');
+        out.push_str(if label.as_bool() { "true" } else { "false" });
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Parses a votes CSV (and optional truth CSV) into a dataset.
+///
+/// # Errors
+/// - [`CoreError::InvalidConfig`] on malformed lines, unknown vote
+///   symbols, or labels in the truth file that are neither `true` nor
+///   `false`.
+pub fn dataset_from_csv(votes_csv: &str, truth_csv: Option<&str>) -> Result<Dataset, CoreError> {
+    let mut b = DatasetBuilder::new();
+    let mut sources: HashMap<String, SourceId> = HashMap::new();
+    let mut facts: HashMap<String, FactId> = HashMap::new();
+    let mut truth: HashMap<String, Label> = HashMap::new();
+
+    if let Some(truth_csv) = truth_csv {
+        for (line_no, line) in truth_csv.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields = split_line(line, line_no + 1)?;
+            if fields.len() != 2 {
+                return Err(CoreError::InvalidConfig {
+                    message: format!("truth line {}: expected 2 fields, got {}", line_no + 1, fields.len()),
+                });
+            }
+            if fields[0] == "fact" && fields[1] == "label" {
+                // Header row (wherever comments put it).
+                continue;
+            }
+            let label = match fields[1].to_ascii_lowercase().as_str() {
+                "true" | "t" | "1" => Label::True,
+                "false" | "f" | "0" => Label::False,
+                other => {
+                    return Err(CoreError::InvalidConfig {
+                        message: format!("truth line {}: unknown label {other:?}", line_no + 1),
+                    })
+                }
+            };
+            truth.insert(fields[0].clone(), label);
+        }
+    }
+
+    let register_fact =
+        |b: &mut DatasetBuilder, facts: &mut HashMap<String, FactId>, name: &str| -> FactId {
+            if let Some(&f) = facts.get(name) {
+                return f;
+            }
+            let f = match truth.get(name) {
+                Some(&label) => b.add_fact_with_truth(name.to_string(), label),
+                None => b.add_fact(name.to_string()),
+            };
+            facts.insert(name.to_string(), f);
+            f
+        };
+
+    for (line_no, line) in votes_csv.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields = split_line(line, line_no + 1)?;
+        if fields.len() != 3 {
+            return Err(CoreError::InvalidConfig {
+                message: format!("votes line {}: expected 3 fields, got {}", line_no + 1, fields.len()),
+            });
+        }
+        if fields[0] == "source" && fields[1] == "fact" && fields[2] == "vote" {
+            // Header row (wherever comments put it).
+            continue;
+        }
+        let vote = match fields[2].to_ascii_uppercase().as_str() {
+            "T" => Vote::True,
+            "F" => Vote::False,
+            other => {
+                return Err(CoreError::InvalidConfig {
+                    message: format!("votes line {}: unknown vote {other:?}", line_no + 1),
+                })
+            }
+        };
+        let s = *sources.entry(fields[0].clone()).or_insert_with(|| b.add_source(&fields[0]));
+        let f = register_fact(&mut b, &mut facts, &fields[1]);
+        b.cast(s, f, vote)?;
+    }
+
+    // Truth-only facts (labelled but unvoted) become voteless facts,
+    // added in sorted-name order so parsing is deterministic.
+    let mut leftover: Vec<(&String, Label)> = truth
+        .iter()
+        .filter(|(name, _)| !facts.contains_key(*name))
+        .map(|(name, &label)| (name, label))
+        .collect();
+    leftover.sort_by(|a, b| a.0.cmp(b.0));
+    for (name, label) in leftover {
+        b.add_fact_with_truth(name.clone(), label);
+    }
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+
+    fn sample() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        let yp = b.add_source("YellowPages");
+        let mp = b.add_source("Menu,Pages"); // comma forces quoting
+        let f0 = b.add_fact_with_truth("Danny's \"Grand\" Palace", Label::False);
+        let f1 = b.add_fact_with_truth("M Bar", Label::True);
+        b.cast(yp, f0, Vote::True).unwrap();
+        b.cast(mp, f0, Vote::False).unwrap();
+        b.cast(mp, f1, Vote::True).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn votes_round_trip_through_csv() {
+        let ds = sample();
+        let votes = votes_to_csv(&ds);
+        let truth = truth_to_csv(&ds).unwrap();
+        let back = dataset_from_csv(&votes, Some(&truth)).unwrap();
+        assert_eq!(back.n_sources(), 2);
+        assert_eq!(back.n_facts(), 2);
+        assert_eq!(back.votes().n_votes(), 3);
+        // Names and votes survive quoting.
+        let danny = back
+            .facts()
+            .find(|&f| back.fact_name(f).contains("Grand"))
+            .unwrap();
+        assert_eq!(back.votes().tally(danny), (1, 1));
+        assert!(!back.ground_truth().unwrap().label(danny).as_bool());
+    }
+
+    #[test]
+    fn header_and_comments_are_skipped() {
+        let csv = "# a comment\nsource,fact,vote\nA,f1,T\n\nB,f1,F\n";
+        let ds = dataset_from_csv(csv, None).unwrap();
+        assert_eq!(ds.n_sources(), 2);
+        assert_eq!(ds.n_facts(), 1);
+        assert_eq!(ds.votes().tally(FactId::new(0)), (1, 1));
+    }
+
+    #[test]
+    fn truth_only_facts_become_voteless() {
+        let ds = dataset_from_csv("A,f1,T\n", Some("fact,label\nf1,true\nf2,false\n")).unwrap();
+        assert_eq!(ds.n_facts(), 2);
+        let f2 = ds.facts().find(|&f| ds.fact_name(f) == "f2").unwrap();
+        assert!(ds.votes().votes_on(f2).is_empty());
+        assert!(!ds.ground_truth().unwrap().label(f2).as_bool());
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected_with_line_numbers() {
+        let e = dataset_from_csv("A,f1\n", None).unwrap_err();
+        assert!(e.to_string().contains("line 1"), "{e}");
+        let e = dataset_from_csv("A,f1,X\n", None).unwrap_err();
+        assert!(e.to_string().contains("unknown vote"), "{e}");
+        let e = dataset_from_csv("\"A,f1,T\n", None).unwrap_err();
+        assert!(e.to_string().contains("unterminated"), "{e}");
+        let e = dataset_from_csv("A,f1,T\n", Some("f1,maybe\n")).unwrap_err();
+        assert!(e.to_string().contains("unknown label"), "{e}");
+    }
+
+    #[test]
+    fn vote_case_is_insensitive() {
+        let ds = dataset_from_csv("A,f1,t\nB,f1,f\n", None).unwrap();
+        assert_eq!(ds.votes().tally(FactId::new(0)), (1, 1));
+    }
+
+    #[test]
+    fn quoted_fields_with_escaped_quotes() {
+        let csv = "\"Source \"\"X\"\"\",\"fact, with comma\",T\n";
+        let ds = dataset_from_csv(csv, None).unwrap();
+        assert_eq!(ds.source_name(SourceId::new(0)), "Source \"X\"");
+        assert_eq!(ds.fact_name(FactId::new(0)), "fact, with comma");
+    }
+
+    #[test]
+    fn truth_export_requires_ground_truth() {
+        let mut b = DatasetBuilder::new();
+        b.add_source("s");
+        b.add_fact("unlabelled");
+        let ds = b.build().unwrap();
+        assert!(truth_to_csv(&ds).is_err());
+    }
+}

@@ -1,0 +1,432 @@
+//! Evaluation metrics (§6.1.2): precision, recall, accuracy, F1, trust-score
+//! MSE, and the Hubdub "number of errors" metric.
+//!
+//! Conventions follow the paper: the *positive class* is `true` facts, so
+//! precision is the fraction of predicted-true facts that are actually true
+//! and recall is the fraction of actually-true facts predicted true.
+
+use crate::error::CoreError;
+use crate::truth::TruthAssignment;
+
+/// 2×2 confusion matrix with `true` as the positive class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConfusionMatrix {
+    /// Predicted true, actually true.
+    pub tp: usize,
+    /// Predicted true, actually false.
+    pub fp: usize,
+    /// Predicted false, actually false.
+    pub tn: usize,
+    /// Predicted false, actually true.
+    pub fn_: usize,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix by comparing a prediction to the ground truth.
+    ///
+    /// # Errors
+    /// [`CoreError::LengthMismatch`] when the assignments cover different
+    /// numbers of facts.
+    pub fn from_assignments(
+        predicted: &TruthAssignment,
+        truth: &TruthAssignment,
+    ) -> Result<Self, CoreError> {
+        if predicted.len() != truth.len() {
+            return Err(CoreError::LengthMismatch {
+                what: "prediction vs ground truth",
+                expected: truth.len(),
+                actual: predicted.len(),
+            });
+        }
+        let mut m = ConfusionMatrix::default();
+        for (p, t) in predicted.labels().iter().zip(truth.labels()) {
+            match (p.as_bool(), t.as_bool()) {
+                (true, true) => m.tp += 1,
+                (true, false) => m.fp += 1,
+                (false, false) => m.tn += 1,
+                (false, true) => m.fn_ += 1,
+            }
+        }
+        Ok(m)
+    }
+
+    /// Total number of facts compared.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Precision `tp / (tp + fp)`; 1.0 when nothing was predicted true
+    /// (vacuous precision, the convention the paper's tables imply for
+    /// degenerate predictors).
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            1.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Recall `tp / (tp + fn)`; 1.0 when there are no true facts.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            1.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Accuracy `(tp + tn) / total`; 1.0 on an empty comparison.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            1.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+
+    /// F1 — the harmonic mean of precision and recall (0 when both are 0).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// The Hubdub metric (§6.2.6): number of errors = `fp + fn`.
+    pub fn errors(&self) -> usize {
+        self.fp + self.fn_
+    }
+
+    /// Bundles the four headline metrics.
+    pub fn summary(&self) -> QualitySummary {
+        QualitySummary {
+            precision: self.precision(),
+            recall: self.recall(),
+            accuracy: self.accuracy(),
+            f1: self.f1(),
+        }
+    }
+}
+
+/// The four quality numbers the paper's Tables 2 and 4 report per method.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualitySummary {
+    /// Fraction of predicted-true facts that are actually true.
+    pub precision: f64,
+    /// Fraction of actually-true facts predicted true.
+    pub recall: f64,
+    /// Fraction of facts classified correctly.
+    pub accuracy: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+impl std::fmt::Display for QualitySummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "P={:.2} R={:.2} A={:.2} F1={:.2}",
+            self.precision, self.recall, self.accuracy, self.f1
+        )
+    }
+}
+
+/// Brier score of probabilistic predictions: mean squared error between
+/// the predicted truth probability and the 0/1 outcome. Lower is better;
+/// 0.25 is the score of an uninformative constant 0.5.
+///
+/// The paper's tables only grade hard decisions; the Brier score grades
+/// the *probabilities* the algorithms expose, separating methods that are
+/// right-but-overconfident (rounded 2-Estimates) from calibrated ones.
+///
+/// # Errors
+/// - [`CoreError::LengthMismatch`] on differing lengths;
+/// - [`CoreError::EmptyInput`] on empty inputs.
+pub fn brier_score(probabilities: &[f64], truth: &TruthAssignment) -> Result<f64, CoreError> {
+    if probabilities.len() != truth.len() {
+        return Err(CoreError::LengthMismatch {
+            what: "probabilities vs ground truth",
+            expected: truth.len(),
+            actual: probabilities.len(),
+        });
+    }
+    if probabilities.is_empty() {
+        return Err(CoreError::EmptyInput { what: "Brier score" });
+    }
+    let sum: f64 = probabilities
+        .iter()
+        .zip(truth.labels())
+        .map(|(&p, l)| {
+            let y = if l.as_bool() { 1.0 } else { 0.0 };
+            (p - y) * (p - y)
+        })
+        .sum();
+    Ok(sum / probabilities.len() as f64)
+}
+
+/// One bin of a reliability (calibration) diagram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationBin {
+    /// Mean predicted probability of the facts in the bin.
+    pub mean_predicted: f64,
+    /// Observed fraction of true facts in the bin.
+    pub observed_true: f64,
+    /// Number of facts in the bin.
+    pub count: usize,
+}
+
+/// Equal-width reliability diagram over `[0, 1]`: facts are bucketed by
+/// predicted probability; a calibrated predictor has
+/// `observed_true ≈ mean_predicted` in every (populated) bin. Empty bins
+/// are omitted.
+///
+/// # Errors
+/// As [`brier_score`], plus [`CoreError::InvalidConfig`] for `n_bins = 0`.
+pub fn calibration_bins(
+    probabilities: &[f64],
+    truth: &TruthAssignment,
+    n_bins: usize,
+) -> Result<Vec<CalibrationBin>, CoreError> {
+    if probabilities.len() != truth.len() {
+        return Err(CoreError::LengthMismatch {
+            what: "probabilities vs ground truth",
+            expected: truth.len(),
+            actual: probabilities.len(),
+        });
+    }
+    if n_bins == 0 {
+        return Err(CoreError::InvalidConfig { message: "need at least one bin".into() });
+    }
+    let mut sum_p = vec![0.0; n_bins];
+    let mut sum_true = vec![0.0; n_bins];
+    let mut count = vec![0usize; n_bins];
+    for (&p, l) in probabilities.iter().zip(truth.labels()) {
+        let bin = ((p * n_bins as f64) as usize).min(n_bins - 1);
+        sum_p[bin] += p;
+        if l.as_bool() {
+            sum_true[bin] += 1.0;
+        }
+        count[bin] += 1;
+    }
+    Ok((0..n_bins)
+        .filter(|&b| count[b] > 0)
+        .map(|b| CalibrationBin {
+            mean_predicted: sum_p[b] / count[b] as f64,
+            observed_true: sum_true[b] / count[b] as f64,
+            count: count[b],
+        })
+        .collect())
+}
+
+/// Confusion matrix restricted to a subset of facts (e.g. a golden set):
+/// the paper's Table 4 runs algorithms over the full crawl but scores them
+/// on the 601 hand-checked listings.
+///
+/// # Errors
+/// - [`CoreError::LengthMismatch`] when the assignments differ in length;
+/// - [`CoreError::IdOutOfRange`] for subset ids outside the assignments.
+pub fn confusion_on_subset(
+    predicted: &TruthAssignment,
+    truth: &TruthAssignment,
+    subset: &[crate::ids::FactId],
+) -> Result<ConfusionMatrix, CoreError> {
+    if predicted.len() != truth.len() {
+        return Err(CoreError::LengthMismatch {
+            what: "prediction vs ground truth",
+            expected: truth.len(),
+            actual: predicted.len(),
+        });
+    }
+    let mut m = ConfusionMatrix::default();
+    for &f in subset {
+        let p = predicted.get(f)?;
+        let t = truth.get(f)?;
+        match (p.as_bool(), t.as_bool()) {
+            (true, true) => m.tp += 1,
+            (true, false) => m.fp += 1,
+            (false, false) => m.tn += 1,
+            (false, true) => m.fn_ += 1,
+        }
+    }
+    Ok(m)
+}
+
+/// Mean square error between reference trust scores and computed trust
+/// scores (paper Equation 10, Table 5).
+///
+/// Entries where the reference is `None` (source silent on the golden set)
+/// are skipped, mirroring the paper which only reports MSE over sources with
+/// measured accuracy.
+///
+/// # Errors
+/// - [`CoreError::LengthMismatch`] on differing lengths;
+/// - [`CoreError::EmptyInput`] when no comparable entries remain.
+pub fn trust_mse(reference: &[Option<f64>], computed: &[f64]) -> Result<f64, CoreError> {
+    if reference.len() != computed.len() {
+        return Err(CoreError::LengthMismatch {
+            what: "trust MSE inputs",
+            expected: reference.len(),
+            actual: computed.len(),
+        });
+    }
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (r, &c) in reference.iter().zip(computed) {
+        if let Some(r) = r {
+            let d = r - c;
+            sum += d * d;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        return Err(CoreError::EmptyInput { what: "trust MSE (no reference scores)" });
+    }
+    Ok(sum / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::truth::TruthAssignment;
+
+    fn assign(bits: &[bool]) -> TruthAssignment {
+        TruthAssignment::from_bools(bits)
+    }
+
+    #[test]
+    fn confusion_matrix_cells() {
+        let pred = assign(&[true, true, false, false, true]);
+        let truth = assign(&[true, false, false, true, true]);
+        let m = ConfusionMatrix::from_assignments(&pred, &truth).unwrap();
+        assert_eq!(m, ConfusionMatrix { tp: 2, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(m.total(), 5);
+        assert_eq!(m.errors(), 2);
+    }
+
+    #[test]
+    fn metrics_formulae() {
+        let m = ConfusionMatrix { tp: 7, fp: 2, tn: 3, fn_: 0 };
+        assert!((m.precision() - 7.0 / 9.0).abs() < 1e-12);
+        assert_eq!(m.recall(), 1.0);
+        assert!((m.accuracy() - 10.0 / 12.0).abs() < 1e-12);
+        let f1 = 2.0 * (7.0 / 9.0) / (7.0 / 9.0 + 1.0);
+        assert!((m.f1() - f1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn motivating_example_numbers_from_table_2() {
+        // "Our strategy": tp=7, fp=2, tn=3, fn=0 → P=0.78, R=1, A=0.83.
+        let m = ConfusionMatrix { tp: 7, fp: 2, tn: 3, fn_: 0 };
+        assert!((m.precision() - 0.78).abs() < 0.005);
+        assert!((m.accuracy() - 0.83).abs() < 0.005);
+        // TwoEstimate on the same data: predicts true for all but r12:
+        // tp=7, fp=4, tn=1, fn=0 → P=0.64, A=0.67.
+        let m = ConfusionMatrix { tp: 7, fp: 4, tn: 1, fn_: 0 };
+        assert!((m.precision() - 0.64).abs() < 0.005);
+        assert!((m.accuracy() - 0.67).abs() < 0.005);
+    }
+
+    #[test]
+    fn degenerate_cases_follow_conventions() {
+        let all_false_pred = ConfusionMatrix { tp: 0, fp: 0, tn: 2, fn_: 3 };
+        assert_eq!(all_false_pred.precision(), 1.0);
+        assert_eq!(all_false_pred.recall(), 0.0);
+        assert_eq!(all_false_pred.f1(), 0.0);
+        let empty = ConfusionMatrix::default();
+        assert_eq!(empty.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn length_mismatch_is_an_error() {
+        let a = assign(&[true]);
+        let b = assign(&[true, false]);
+        assert!(ConfusionMatrix::from_assignments(&a, &b).is_err());
+    }
+
+    #[test]
+    fn brier_score_grades_probabilities() {
+        let truth = assign(&[true, false]);
+        // Perfect and confident.
+        assert_eq!(brier_score(&[1.0, 0.0], &truth).unwrap(), 0.0);
+        // Uninformative 0.5 everywhere.
+        assert!((brier_score(&[0.5, 0.5], &truth).unwrap() - 0.25).abs() < 1e-12);
+        // Confidently wrong is the worst.
+        assert_eq!(brier_score(&[0.0, 1.0], &truth).unwrap(), 1.0);
+        // A calibrated-but-soft prediction beats the coin.
+        let soft = brier_score(&[0.8, 0.2], &truth).unwrap();
+        assert!(soft < 0.25 && soft > 0.0);
+        // Errors.
+        assert!(brier_score(&[0.5], &truth).is_err());
+        let empty = TruthAssignment::from_bools(&[]);
+        assert!(brier_score(&[], &empty).is_err());
+    }
+
+    #[test]
+    fn calibration_bins_group_by_probability() {
+        // 10 facts at p = 0.2 (2 true), 10 at p = 0.9 (9 true): calibrated.
+        let mut probs = Vec::new();
+        let mut bits = Vec::new();
+        for i in 0..10 {
+            probs.push(0.2);
+            bits.push(i < 2);
+        }
+        for i in 0..10 {
+            probs.push(0.9);
+            bits.push(i < 9);
+        }
+        let truth = assign(&bits);
+        let bins = calibration_bins(&probs, &truth, 10).unwrap();
+        assert_eq!(bins.len(), 2);
+        assert!((bins[0].mean_predicted - 0.2).abs() < 1e-12);
+        assert!((bins[0].observed_true - 0.2).abs() < 1e-12);
+        assert_eq!(bins[0].count, 10);
+        assert!((bins[1].observed_true - 0.9).abs() < 1e-12);
+        // p = 1.0 lands in the top bin, not out of range.
+        let bins = calibration_bins(&[1.0], &assign(&[true]), 4).unwrap();
+        assert_eq!(bins.len(), 1);
+        assert_eq!(bins[0].count, 1);
+        // Errors.
+        assert!(calibration_bins(&[0.5], &assign(&[true]), 0).is_err());
+        assert!(calibration_bins(&[0.5, 0.5], &assign(&[true]), 2).is_err());
+    }
+
+    #[test]
+    fn subset_confusion_only_counts_listed_facts() {
+        use crate::ids::FactId;
+        let pred = assign(&[true, true, false, true]);
+        let truth = assign(&[true, false, false, false]);
+        let m = confusion_on_subset(&pred, &truth, &[FactId::new(0), FactId::new(1)]).unwrap();
+        assert_eq!(m, ConfusionMatrix { tp: 1, fp: 1, tn: 0, fn_: 0 });
+        // Out-of-range subset id is an error, not a panic.
+        assert!(confusion_on_subset(&pred, &truth, &[FactId::new(9)]).is_err());
+        // Empty subset is legal and yields the empty matrix.
+        let empty = confusion_on_subset(&pred, &truth, &[]).unwrap();
+        assert_eq!(empty.total(), 0);
+    }
+
+    #[test]
+    fn mse_skips_unmeasured_sources() {
+        let reference = [Some(0.6), None, Some(0.9)];
+        let computed = [0.5, 0.123, 1.0];
+        let mse = trust_mse(&reference, &computed).unwrap();
+        assert!((mse - (0.01 + 0.01) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mse_error_cases() {
+        assert!(trust_mse(&[Some(0.5)], &[0.5, 0.6]).is_err());
+        assert!(trust_mse(&[None, None], &[0.5, 0.6]).is_err());
+    }
+
+    #[test]
+    fn summary_display() {
+        let s = ConfusionMatrix { tp: 1, fp: 0, tn: 1, fn_: 0 }.summary();
+        assert_eq!(s.to_string(), "P=1.00 R=1.00 A=1.00 F1=1.00");
+    }
+}

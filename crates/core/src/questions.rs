@@ -1,0 +1,131 @@
+//! Multi-answer question structure (Hubdub-style datasets).
+//!
+//! The paper's §6.2.6 evaluates IncEstimate on the Hubdub dataset, where
+//! each *question* has several mutually-exclusive candidate answers and each
+//! candidate answer is one binary fact ("this candidate is the settled
+//! answer"). A user vote *for* one candidate is implicitly a vote *against*
+//! its siblings; algorithms may exploit that expansion (see
+//! `corroborate-algorithms::multi_answer`).
+
+use crate::error::CoreError;
+use crate::ids::{FactId, QuestionId};
+
+/// Partition of a dataset's facts into mutually-exclusive answer groups.
+///
+/// Every fact belongs to exactly one question; single-fact "questions" model
+/// ordinary standalone binary facts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuestionStructure {
+    /// facts of each question, sorted.
+    members: Vec<Vec<FactId>>,
+    /// question of each fact, indexed by fact id.
+    question_of: Vec<QuestionId>,
+}
+
+impl QuestionStructure {
+    /// Builds the structure from a per-fact question id vector.
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidConfig`] if question ids are not dense
+    /// (`0..n_questions` each used at least once).
+    pub fn from_assignments(question_of: Vec<QuestionId>) -> Result<Self, CoreError> {
+        let n_questions = question_of
+            .iter()
+            .map(|q| q.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut members: Vec<Vec<FactId>> = vec![Vec::new(); n_questions];
+        for (fi, q) in question_of.iter().enumerate() {
+            members[q.index()].push(FactId::new(fi));
+        }
+        if let Some(empty) = members.iter().position(Vec::is_empty) {
+            return Err(CoreError::InvalidConfig {
+                message: format!("question ids are not dense: q{empty} has no facts"),
+            });
+        }
+        Ok(Self { members, question_of })
+    }
+
+    /// Number of questions.
+    pub fn n_questions(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Number of facts covered (== dataset's fact count).
+    pub fn n_facts(&self) -> usize {
+        self.question_of.len()
+    }
+
+    /// The candidate facts of `question`, sorted by fact id.
+    pub fn candidates(&self, question: QuestionId) -> &[FactId] {
+        &self.members[question.index()]
+    }
+
+    /// The question owning `fact`.
+    pub fn question_of(&self, fact: FactId) -> QuestionId {
+        self.question_of[fact.index()]
+    }
+
+    /// The sibling candidates of `fact` (same question, excluding `fact`).
+    pub fn siblings(&self, fact: FactId) -> impl Iterator<Item = FactId> + '_ {
+        self.candidates(self.question_of(fact))
+            .iter()
+            .copied()
+            .filter(move |&f| f != fact)
+    }
+
+    /// Iterator over all question ids.
+    pub fn questions(&self) -> impl Iterator<Item = QuestionId> + '_ {
+        (0..self.members.len()).map(QuestionId::new)
+    }
+
+    /// Largest number of candidates over all questions.
+    pub fn max_candidates(&self) -> usize {
+        self.members.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(i: usize) -> QuestionId {
+        QuestionId::new(i)
+    }
+    fn f(i: usize) -> FactId {
+        FactId::new(i)
+    }
+
+    #[test]
+    fn builds_membership_both_ways() {
+        let s = QuestionStructure::from_assignments(vec![q(0), q(1), q(0), q(1), q(1)]).unwrap();
+        assert_eq!(s.n_questions(), 2);
+        assert_eq!(s.n_facts(), 5);
+        assert_eq!(s.candidates(q(0)), &[f(0), f(2)]);
+        assert_eq!(s.candidates(q(1)), &[f(1), f(3), f(4)]);
+        assert_eq!(s.question_of(f(3)), q(1));
+        assert_eq!(s.max_candidates(), 3);
+    }
+
+    #[test]
+    fn siblings_exclude_self() {
+        let s = QuestionStructure::from_assignments(vec![q(0), q(0), q(0)]).unwrap();
+        let sib: Vec<_> = s.siblings(f(1)).collect();
+        assert_eq!(sib, vec![f(0), f(2)]);
+    }
+
+    #[test]
+    fn rejects_sparse_question_ids() {
+        // q1 never used.
+        let err = QuestionStructure::from_assignments(vec![q(0), q(2)]).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn empty_structure_is_valid() {
+        let s = QuestionStructure::from_assignments(vec![]).unwrap();
+        assert_eq!(s.n_questions(), 0);
+        assert_eq!(s.n_facts(), 0);
+        assert_eq!(s.questions().count(), 0);
+    }
+}

@@ -1,0 +1,96 @@
+//! The `Corrob` scoring rule (paper Equation 5, generalised to `F` votes).
+//!
+//! Given a trust snapshot `σ(S)`, the probability that a fact is true is the
+//! average, over the sources voting on it, of the probability that the vote
+//! is consistent with the fact being true:
+//!
+//! ```text
+//! σ(f) = ( Σ_{s: s(f)=T} σ(s)  +  Σ_{s: s(f)=F} (1 − σ(s)) ) / |S_f|
+//! ```
+//!
+//! This is the scoring the paper adopts from the TwoEstimate algorithm and
+//! uses inside IncEstimate (§5, "we assume the scoring of the TwoEstimate
+//! algorithm (Equation 5) is used").
+
+use crate::trust::TrustSnapshot;
+use crate::vote::{SourceVote, Vote};
+
+/// Corrob probability of a fact from its vote postings, under `trust`.
+///
+/// Returns `None` for facts with no votes — callers decide how to treat
+/// silent facts (the library's algorithms default them to the configured
+/// prior).
+pub fn corrob_probability(votes: &[SourceVote], trust: &TrustSnapshot) -> Option<f64> {
+    if votes.is_empty() {
+        return None;
+    }
+    let sum: f64 = votes
+        .iter()
+        .map(|sv| {
+            let t = trust.trust(sv.source);
+            match sv.vote {
+                Vote::True => t,
+                Vote::False => 1.0 - t,
+            }
+        })
+        .sum();
+    Some(sum / votes.len() as f64)
+}
+
+/// Corrob probability with a `prior` fallback for voteless facts.
+pub fn corrob_probability_or(votes: &[SourceVote], trust: &TrustSnapshot, prior: f64) -> f64 {
+    corrob_probability(votes, trust).unwrap_or(prior)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::SourceId;
+
+    fn sv(i: usize, vote: Vote) -> SourceVote {
+        SourceVote { source: SourceId::new(i), vote }
+    }
+
+    #[test]
+    fn affirmative_only_averages_trust() {
+        let trust = TrustSnapshot::from_values(vec![0.9, 0.7]).unwrap();
+        let p = corrob_probability(&[sv(0, Vote::True), sv(1, Vote::True)], &trust).unwrap();
+        assert!((p - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f_votes_contribute_one_minus_trust() {
+        // The paper's round-1 walkthrough: r12 with F from s2 (0.9), F from
+        // s3 (0.9), T from s4 (0.9) → (0.1 + 0.1 + 0.9)/3.
+        let trust = TrustSnapshot::uniform(5, 0.9).unwrap();
+        let votes = [sv(1, Vote::False), sv(2, Vote::False), sv(3, Vote::True)];
+        let p = corrob_probability(&votes, &trust).unwrap();
+        assert!((p - (0.1 + 0.1 + 0.9) / 3.0).abs() < 1e-12);
+        assert!(p < 0.5, "r12 must corroborate to false");
+    }
+
+    #[test]
+    fn round_two_walkthrough_r5() {
+        // r5: T from s1 (default 0.9), T from s4 (trust 0) → 0.45 < 0.5.
+        let trust = TrustSnapshot::from_values(vec![0.9, 1.0, 1.0, 0.0, 1.0]).unwrap();
+        let p = corrob_probability(&[sv(0, Vote::True), sv(3, Vote::True)], &trust).unwrap();
+        assert!((p - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn voteless_fact_returns_none_and_prior_fallback() {
+        let trust = TrustSnapshot::uniform(2, 0.9).unwrap();
+        assert_eq!(corrob_probability(&[], &trust), None);
+        assert_eq!(corrob_probability_or(&[], &trust, 0.9), 0.9);
+    }
+
+    #[test]
+    fn zero_trust_sources_invert_votes() {
+        let trust = TrustSnapshot::from_values(vec![0.0]).unwrap();
+        assert_eq!(
+            corrob_probability(&[sv(0, Vote::False)], &trust),
+            Some(1.0)
+        );
+        assert_eq!(corrob_probability(&[sv(0, Vote::True)], &trust), Some(0.0));
+    }
+}

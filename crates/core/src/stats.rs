@@ -1,0 +1,401 @@
+//! Small statistics helpers: summary statistics and the McNemar test used
+//! to back the paper's "statistically significant (p-value < 0.001)" claim
+//! when comparing two classifiers on the same golden set (§6.2.2).
+
+use crate::error::CoreError;
+use crate::truth::TruthAssignment;
+
+/// Arithmetic mean; `None` on empty input.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Sample standard deviation (n−1 denominator); `None` with fewer than two
+/// samples.
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    Some(var.sqrt())
+}
+
+/// Result of a McNemar test between two classifiers evaluated on the same
+/// ground truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McNemar {
+    /// Facts classifier A got right and B got wrong.
+    pub b_only_wrong: usize,
+    /// Facts classifier B got right and A got wrong.
+    pub a_only_wrong: usize,
+    /// The continuity-corrected chi-squared statistic
+    /// `(|b − c| − 1)² / (b + c)`.
+    pub chi_squared: f64,
+    /// Upper-tail p-value of `chi_squared` under χ²(1).
+    pub p_value: f64,
+}
+
+impl McNemar {
+    /// `true` when the difference is significant at level `alpha`.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// McNemar's test on paired predictions: do classifiers `a` and `b`
+/// disagree with ground truth at different rates?
+///
+/// With no discordant pairs the statistic is 0 and the p-value 1 (the
+/// classifiers are indistinguishable on this data).
+///
+/// # Errors
+/// [`CoreError::LengthMismatch`] if the three assignments differ in length.
+pub fn mcnemar(
+    a: &TruthAssignment,
+    b: &TruthAssignment,
+    truth: &TruthAssignment,
+) -> Result<McNemar, CoreError> {
+    if a.len() != truth.len() || b.len() != truth.len() {
+        return Err(CoreError::LengthMismatch {
+            what: "mcnemar inputs",
+            expected: truth.len(),
+            actual: a.len().max(b.len()),
+        });
+    }
+    let mut b_only_wrong = 0usize; // a right, b wrong
+    let mut a_only_wrong = 0usize; // b right, a wrong
+    for i in 0..truth.len() {
+        let t = truth.labels()[i];
+        let ra = a.labels()[i] == t;
+        let rb = b.labels()[i] == t;
+        match (ra, rb) {
+            (true, false) => b_only_wrong += 1,
+            (false, true) => a_only_wrong += 1,
+            _ => {}
+        }
+    }
+    let n = (b_only_wrong + a_only_wrong) as f64;
+    let chi_squared = if n == 0.0 {
+        0.0
+    } else {
+        let d = (b_only_wrong as f64 - a_only_wrong as f64).abs() - 1.0;
+        let d = d.max(0.0);
+        d * d / n
+    };
+    Ok(McNemar {
+        b_only_wrong,
+        a_only_wrong,
+        chi_squared,
+        p_value: chi2_1df_sf(chi_squared),
+    })
+}
+
+/// A percentile bootstrap confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapCi {
+    /// Point estimate on the full sample.
+    pub estimate: f64,
+    /// Lower bound of the interval.
+    pub lower: f64,
+    /// Upper bound of the interval.
+    pub upper: f64,
+    /// Confidence level used (e.g. 0.95).
+    pub level: f64,
+}
+
+/// Percentile-bootstrap confidence interval for the *accuracy* of a
+/// prediction: resamples the compared facts with replacement.
+///
+/// Deterministic given `seed`. Useful for reporting whether quality
+/// differences between methods on a golden set (e.g. the paper's
+/// Table 4) exceed sampling noise.
+///
+/// # Errors
+/// - [`CoreError::LengthMismatch`] on differing assignment lengths;
+/// - [`CoreError::EmptyInput`] on an empty comparison;
+/// - [`CoreError::InvalidConfig`] on a level outside `(0, 1)` or zero
+///   resamples.
+pub fn bootstrap_accuracy_ci(
+    predicted: &TruthAssignment,
+    truth: &TruthAssignment,
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> Result<BootstrapCi, CoreError> {
+    if predicted.len() != truth.len() {
+        return Err(CoreError::LengthMismatch {
+            what: "bootstrap inputs",
+            expected: truth.len(),
+            actual: predicted.len(),
+        });
+    }
+    let n = truth.len();
+    if n == 0 {
+        return Err(CoreError::EmptyInput { what: "bootstrap sample" });
+    }
+    if !(0.0 < level && level < 1.0) || resamples == 0 {
+        return Err(CoreError::InvalidConfig {
+            message: "bootstrap needs level in (0,1) and at least one resample".into(),
+        });
+    }
+    let correct: Vec<bool> = (0..n)
+        .map(|i| predicted.labels()[i] == truth.labels()[i])
+        .collect();
+    let estimate = correct.iter().filter(|&&c| c).count() as f64 / n as f64;
+
+    // SplitMix64 — tiny, deterministic, no external dependency needed in
+    // the core crate.
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+
+    let mut stats = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut hits = 0usize;
+        for _ in 0..n {
+            let idx = (next() % n as u64) as usize;
+            if correct[idx] {
+                hits += 1;
+            }
+        }
+        stats.push(hits as f64 / n as f64);
+    }
+    stats.sort_by(f64::total_cmp);
+    let alpha = (1.0 - level) / 2.0;
+    let pick = |q: f64| -> f64 {
+        let idx = ((stats.len() as f64 - 1.0) * q).round() as usize;
+        stats[idx]
+    };
+    Ok(BootstrapCi { estimate, lower: pick(alpha), upper: pick(1.0 - alpha), level })
+}
+
+/// Paired-bootstrap confidence interval for the *accuracy difference*
+/// `acc(a) − acc(b)` of two classifiers on the same ground truth: both
+/// predictions are resampled over the *same* fact indices, which respects
+/// the pairing (the right comparison for Table-4-style method contests —
+/// an interval excluding 0 means the gap exceeds sampling noise).
+///
+/// # Errors
+/// As [`bootstrap_accuracy_ci`].
+pub fn bootstrap_accuracy_diff_ci(
+    a: &TruthAssignment,
+    b: &TruthAssignment,
+    truth: &TruthAssignment,
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> Result<BootstrapCi, CoreError> {
+    if a.len() != truth.len() || b.len() != truth.len() {
+        return Err(CoreError::LengthMismatch {
+            what: "paired bootstrap inputs",
+            expected: truth.len(),
+            actual: a.len().max(b.len()),
+        });
+    }
+    let n = truth.len();
+    if n == 0 {
+        return Err(CoreError::EmptyInput { what: "bootstrap sample" });
+    }
+    if !(0.0 < level && level < 1.0) || resamples == 0 {
+        return Err(CoreError::InvalidConfig {
+            message: "bootstrap needs level in (0,1) and at least one resample".into(),
+        });
+    }
+    // +1 when only a is right, −1 when only b is right, 0 otherwise.
+    let delta: Vec<i8> = (0..n)
+        .map(|i| {
+            let ra = a.labels()[i] == truth.labels()[i];
+            let rb = b.labels()[i] == truth.labels()[i];
+            i8::from(ra) - i8::from(rb)
+        })
+        .collect();
+    let estimate = delta.iter().map(|&d| f64::from(d)).sum::<f64>() / n as f64;
+
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut stats = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut sum = 0i64;
+        for _ in 0..n {
+            let idx = (next() % n as u64) as usize;
+            sum += i64::from(delta[idx]);
+        }
+        stats.push(sum as f64 / n as f64);
+    }
+    stats.sort_by(f64::total_cmp);
+    let alpha = (1.0 - level) / 2.0;
+    let pick = |q: f64| -> f64 {
+        let idx = ((stats.len() as f64 - 1.0) * q).round() as usize;
+        stats[idx]
+    };
+    Ok(BootstrapCi { estimate, lower: pick(alpha), upper: pick(1.0 - alpha), level })
+}
+
+/// Survival function of the χ² distribution with 1 degree of freedom:
+/// `P(X > x) = erfc(sqrt(x/2))`.
+pub fn chi2_1df_sf(x: f64) -> f64 {
+    if x <= 0.0 {
+        return 1.0;
+    }
+    erfc((x / 2.0).sqrt())
+}
+
+/// Complementary error function, Abramowitz & Stegun 7.1.26 rational
+/// approximation (max absolute error ~1.5e−7 — ample for significance
+/// testing).
+pub fn erfc(x: f64) -> f64 {
+    let sign_negative = x < 0.0;
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    let erf = 1.0 - poly * (-x * x).exp();
+    if sign_negative {
+        1.0 + erf
+    } else {
+        1.0 - erf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+        assert_eq!(std_dev(&[1.0]), None);
+        let sd = std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((sd - 2.138_089_935).abs() < 1e-6);
+    }
+
+    #[test]
+    fn erfc_known_values() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-7);
+        assert!((erfc(1.0) - 0.157_299_2).abs() < 1e-6);
+        assert!((erfc(-1.0) - 1.842_700_8).abs() < 1e-6);
+        assert!(erfc(4.0) < 1e-7);
+    }
+
+    #[test]
+    fn chi2_survival_known_points() {
+        // P(χ²(1) > 3.841) ≈ 0.05
+        assert!((chi2_1df_sf(3.841) - 0.05).abs() < 1e-3);
+        // P(χ²(1) > 10.83) ≈ 0.001
+        assert!((chi2_1df_sf(10.83) - 0.001).abs() < 2e-4);
+        assert_eq!(chi2_1df_sf(0.0), 1.0);
+    }
+
+    #[test]
+    fn mcnemar_detects_one_sided_improvement() {
+        let n = 200;
+        let truth = TruthAssignment::from_bools(&vec![true; n]);
+        // a is always right; b wrong on the first 40.
+        let a = TruthAssignment::from_bools(&vec![true; n]);
+        let b_bits: Vec<bool> = (0..n).map(|i| i >= 40).collect();
+        let b = TruthAssignment::from_bools(&b_bits);
+        let m = mcnemar(&a, &b, &truth).unwrap();
+        assert_eq!(m.b_only_wrong, 40);
+        assert_eq!(m.a_only_wrong, 0);
+        assert!(m.significant_at(0.001), "p = {}", m.p_value);
+    }
+
+    #[test]
+    fn mcnemar_identical_classifiers_not_significant() {
+        let truth = TruthAssignment::from_bools(&[true, false, true]);
+        let a = TruthAssignment::from_bools(&[true, true, true]);
+        let m = mcnemar(&a, &a, &truth).unwrap();
+        assert_eq!(m.chi_squared, 0.0);
+        assert_eq!(m.p_value, 1.0);
+        assert!(!m.significant_at(0.05));
+    }
+
+    #[test]
+    fn mcnemar_length_mismatch() {
+        let t = TruthAssignment::from_bools(&[true]);
+        let a = TruthAssignment::from_bools(&[true, false]);
+        assert!(mcnemar(&a, &a, &t).is_err());
+    }
+
+    #[test]
+    fn bootstrap_ci_brackets_the_estimate() {
+        let n = 200;
+        let truth = TruthAssignment::from_bools(&vec![true; n]);
+        // 80% accurate prediction.
+        let bits: Vec<bool> = (0..n).map(|i| i % 5 != 0).collect();
+        let pred = TruthAssignment::from_bools(&bits);
+        let ci = bootstrap_accuracy_ci(&pred, &truth, 500, 0.95, 7).unwrap();
+        assert!((ci.estimate - 0.8).abs() < 1e-12);
+        assert!(ci.lower <= ci.estimate && ci.estimate <= ci.upper);
+        // Rough binomial width sanity: ±2σ ≈ ±0.057 at n = 200.
+        assert!(ci.upper - ci.lower < 0.2, "{ci:?}");
+        assert!(ci.upper - ci.lower > 0.02, "{ci:?}");
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic_per_seed() {
+        let truth = TruthAssignment::from_bools(&[true; 50]);
+        let pred = TruthAssignment::from_bools(&[true; 50]);
+        let a = bootstrap_accuracy_ci(&pred, &truth, 100, 0.9, 3).unwrap();
+        let b = bootstrap_accuracy_ci(&pred, &truth, 100, 0.9, 3).unwrap();
+        assert_eq!(a, b);
+        // Perfect prediction → degenerate interval at 1.
+        assert_eq!((a.lower, a.upper), (1.0, 1.0));
+    }
+
+    #[test]
+    fn paired_bootstrap_detects_a_real_gap() {
+        let n = 300;
+        let truth = TruthAssignment::from_bools(&vec![true; n]);
+        let a = TruthAssignment::from_bools(&vec![true; n]); // perfect
+        let b_bits: Vec<bool> = (0..n).map(|i| i % 4 != 0).collect(); // 75%
+        let b = TruthAssignment::from_bools(&b_bits);
+        let ci = bootstrap_accuracy_diff_ci(&a, &b, &truth, 500, 0.95, 11).unwrap();
+        assert!((ci.estimate - 0.25).abs() < 1e-12);
+        assert!(ci.lower > 0.0, "gap must be significant: {ci:?}");
+    }
+
+    #[test]
+    fn paired_bootstrap_accepts_no_gap() {
+        let n = 100;
+        let truth = TruthAssignment::from_bools(&vec![true; n]);
+        // a and b err on disjoint but equally-sized index sets.
+        let a_bits: Vec<bool> = (0..n).map(|i| i % 10 != 0).collect();
+        let b_bits: Vec<bool> = (0..n).map(|i| i % 10 != 1).collect();
+        let a = TruthAssignment::from_bools(&a_bits);
+        let b = TruthAssignment::from_bools(&b_bits);
+        let ci = bootstrap_accuracy_diff_ci(&a, &b, &truth, 500, 0.95, 11).unwrap();
+        assert_eq!(ci.estimate, 0.0);
+        assert!(ci.lower <= 0.0 && 0.0 <= ci.upper, "{ci:?}");
+    }
+
+    #[test]
+    fn bootstrap_rejects_bad_inputs() {
+        let truth = TruthAssignment::from_bools(&[true]);
+        let pred = TruthAssignment::from_bools(&[true, false]);
+        assert!(bootstrap_accuracy_ci(&pred, &truth, 10, 0.9, 0).is_err());
+        let empty = TruthAssignment::from_bools(&[]);
+        assert!(bootstrap_accuracy_ci(&empty, &empty, 10, 0.9, 0).is_err());
+        let one = TruthAssignment::from_bools(&[true]);
+        assert!(bootstrap_accuracy_ci(&one, &one, 0, 0.9, 0).is_err());
+        assert!(bootstrap_accuracy_ci(&one, &one, 10, 1.0, 0).is_err());
+    }
+}

@@ -1,0 +1,205 @@
+//! Trust scores: single-value snapshots and multi-value trajectories.
+//!
+//! The paper's key idea (§4) is that a source should not carry one global
+//! trust score: IncEstimate maintains an *incrementally calculated* trust
+//! score — a sequence of per-source values `σ_0(s), σ_1(s), …` where
+//! `σ_i(s)` reflects the source's accuracy over the facts evaluated before
+//! time point `t_i`. [`TrustSnapshot`] is one column of that sequence;
+//! [`TrustTrajectory`] is the whole matrix (what Figure 2 plots).
+
+use crate::error::{check_probability, CoreError};
+use crate::ids::SourceId;
+
+/// Per-source trust values at one time point (or the single global trust of
+/// a one-shot algorithm).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrustSnapshot {
+    values: Vec<f64>,
+}
+
+impl TrustSnapshot {
+    /// Uniform snapshot with every source at `value` (the paper's default
+    /// initial trust is 0.9).
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidProbability`] if `value ∉ [0, 1]`.
+    pub fn uniform(n_sources: usize, value: f64) -> Result<Self, CoreError> {
+        check_probability("trust score", value)?;
+        Ok(Self { values: vec![value; n_sources] })
+    }
+
+    /// Snapshot from explicit per-source values.
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidProbability`] on any value outside `[0, 1]`.
+    pub fn from_values(values: Vec<f64>) -> Result<Self, CoreError> {
+        for &v in &values {
+            check_probability("trust score", v)?;
+        }
+        Ok(Self { values })
+    }
+
+    /// Number of sources covered.
+    pub fn n_sources(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Trust of `source`.
+    #[inline]
+    pub fn trust(&self, source: SourceId) -> f64 {
+        self.values[source.index()]
+    }
+
+    /// Mutable access used by algorithms updating scores in place.
+    #[inline]
+    pub fn set(&mut self, source: SourceId, value: f64) {
+        debug_assert!(
+            (0.0..=1.0).contains(&value),
+            "trust {value} out of [0,1] for {source}"
+        );
+        self.values[source.index()] = value.clamp(0.0, 1.0);
+    }
+
+    /// Slice view, indexed by source id.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// A *positive source* has trust in `(0.5, 1]` (§3.1): more correct
+    /// votes than incorrect ones.
+    pub fn is_positive(&self, source: SourceId) -> bool {
+        self.trust(source) > 0.5
+    }
+
+    /// A *negative source* has trust in `[0, 0.5)`.
+    pub fn is_negative(&self, source: SourceId) -> bool {
+        self.trust(source) < 0.5
+    }
+
+    /// Largest absolute difference to another snapshot — the convergence
+    /// residual used by iterative algorithms.
+    ///
+    /// # Panics
+    /// Panics (debug assertion) if the snapshots cover different numbers of
+    /// sources; they always come from the same dataset.
+    pub fn max_abs_diff(&self, other: &TrustSnapshot) -> f64 {
+        debug_assert_eq!(self.values.len(), other.values.len());
+        self.values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The full multi-value trust history of an IncEstimate run: one
+/// [`TrustSnapshot`] per time point, starting with the initial snapshot at
+/// `t_0`.
+#[derive(Debug, Clone, Default)]
+pub struct TrustTrajectory {
+    snapshots: Vec<TrustSnapshot>,
+}
+
+impl TrustTrajectory {
+    /// Empty trajectory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the snapshot used at the next time point.
+    pub fn push(&mut self, snapshot: TrustSnapshot) {
+        self.snapshots.push(snapshot);
+    }
+
+    /// Number of recorded time points.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// Snapshot at time point `t` (0-based).
+    pub fn at(&self, t: usize) -> Option<&TrustSnapshot> {
+        self.snapshots.get(t)
+    }
+
+    /// The last snapshot — the trust scores "at the end of the last time
+    /// point, which reflects trustworthiness over the entire dataset"
+    /// (§6.2.3, used for the paper's Table 5 MSE).
+    pub fn last(&self) -> Option<&TrustSnapshot> {
+        self.snapshots.last()
+    }
+
+    /// The trust series of one source across all time points — one line of
+    /// the paper's Figure 2.
+    pub fn series(&self, source: SourceId) -> Vec<f64> {
+        self.snapshots.iter().map(|s| s.trust(source)).collect()
+    }
+
+    /// Iterator over snapshots in time order.
+    pub fn iter(&self) -> impl Iterator<Item = &TrustSnapshot> {
+        self.snapshots.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid(i: usize) -> SourceId {
+        SourceId::new(i)
+    }
+
+    #[test]
+    fn uniform_snapshot() {
+        let s = TrustSnapshot::uniform(3, 0.9).unwrap();
+        assert_eq!(s.n_sources(), 3);
+        assert_eq!(s.trust(sid(2)), 0.9);
+        assert!(TrustSnapshot::uniform(1, 1.2).is_err());
+    }
+
+    #[test]
+    fn from_values_validates() {
+        assert!(TrustSnapshot::from_values(vec![0.0, 1.0, 0.5]).is_ok());
+        assert!(TrustSnapshot::from_values(vec![0.5, -0.1]).is_err());
+        assert!(TrustSnapshot::from_values(vec![f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn positive_negative_classification_matches_section_3_1() {
+        let s = TrustSnapshot::from_values(vec![0.9, 0.5, 0.1]).unwrap();
+        assert!(s.is_positive(sid(0)));
+        assert!(!s.is_positive(sid(1)) && !s.is_negative(sid(1)));
+        assert!(s.is_negative(sid(2)));
+    }
+
+    #[test]
+    fn set_clamps_in_release_mode() {
+        let mut s = TrustSnapshot::uniform(1, 0.5).unwrap();
+        s.set(sid(0), 0.75);
+        assert_eq!(s.trust(sid(0)), 0.75);
+    }
+
+    #[test]
+    fn residual_is_max_abs_componentwise_diff() {
+        let a = TrustSnapshot::from_values(vec![0.2, 0.9]).unwrap();
+        let b = TrustSnapshot::from_values(vec![0.25, 0.6]).unwrap();
+        assert!((a.max_abs_diff(&b) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trajectory_records_series_per_source() {
+        let mut tr = TrustTrajectory::new();
+        tr.push(TrustSnapshot::from_values(vec![0.9, 0.9]).unwrap());
+        tr.push(TrustSnapshot::from_values(vec![1.0, 0.0]).unwrap());
+        tr.push(TrustSnapshot::from_values(vec![0.67, 0.7]).unwrap());
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.series(sid(1)), vec![0.9, 0.0, 0.7]);
+        assert_eq!(tr.last().unwrap().trust(sid(0)), 0.67);
+        assert_eq!(tr.at(1).unwrap().trust(sid(0)), 1.0);
+        assert!(tr.at(3).is_none());
+    }
+}

@@ -1,0 +1,160 @@
+//! Truth labels and assignments.
+
+use crate::error::CoreError;
+use crate::ids::FactId;
+
+/// The (binary) truth value of a fact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Label {
+    /// The fact holds in the real world.
+    True,
+    /// The fact is erroneous.
+    False,
+}
+
+impl Label {
+    /// Boolean polarity (`True` → `true`).
+    #[inline]
+    pub fn as_bool(self) -> bool {
+        matches!(self, Label::True)
+    }
+
+    /// Builds a label from a boolean polarity.
+    #[inline]
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            Label::True
+        } else {
+            Label::False
+        }
+    }
+
+    /// The paper's decision rule (Equation 2): `true` iff `σ(f) ≥ 0.5`.
+    #[inline]
+    pub fn from_probability(p: f64) -> Self {
+        Label::from_bool(p >= 0.5)
+    }
+}
+
+/// A complete truth assignment over the facts of a dataset.
+///
+/// Used both for ground truth (when known) and for the hard decisions an
+/// algorithm derives from its probabilities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TruthAssignment {
+    labels: Vec<Label>,
+}
+
+impl TruthAssignment {
+    /// Builds an assignment from per-fact labels (indexed by fact id).
+    pub fn new(labels: Vec<Label>) -> Self {
+        Self { labels }
+    }
+
+    /// Builds an assignment by thresholding per-fact probabilities at 0.5.
+    pub fn from_probabilities(probs: &[f64]) -> Self {
+        Self {
+            labels: probs.iter().map(|&p| Label::from_probability(p)).collect(),
+        }
+    }
+
+    /// Builds an assignment from booleans (`true` → [`Label::True`]).
+    pub fn from_bools(bools: &[bool]) -> Self {
+        Self {
+            labels: bools.iter().map(|&b| Label::from_bool(b)).collect(),
+        }
+    }
+
+    /// Number of facts labelled.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` when the assignment covers no facts.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The label of `fact`.
+    ///
+    /// # Panics
+    /// Panics if `fact` is out of range; assignments are always constructed
+    /// dataset-sized.
+    #[inline]
+    pub fn label(&self, fact: FactId) -> Label {
+        self.labels[fact.index()]
+    }
+
+    /// Checked access for callers holding ids of unknown provenance.
+    pub fn get(&self, fact: FactId) -> Result<Label, CoreError> {
+        self.labels.get(fact.index()).copied().ok_or(CoreError::IdOutOfRange {
+            kind: "fact",
+            index: fact.index(),
+            len: self.labels.len(),
+        })
+    }
+
+    /// Slice view of the labels, indexed by fact id.
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// Count of facts labelled true.
+    pub fn n_true(&self) -> usize {
+        self.labels.iter().filter(|l| l.as_bool()).count()
+    }
+
+    /// Count of facts labelled false.
+    pub fn n_false(&self) -> usize {
+        self.len() - self.n_true()
+    }
+
+    /// Iterator over `(fact, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (FactId, Label)> + '_ {
+        self.labels
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (FactId::new(i), l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_rule_matches_paper_equation_2() {
+        assert_eq!(Label::from_probability(0.5), Label::True);
+        assert_eq!(Label::from_probability(0.499_999), Label::False);
+        assert_eq!(Label::from_probability(1.0), Label::True);
+        assert_eq!(Label::from_probability(0.0), Label::False);
+    }
+
+    #[test]
+    fn assignment_counts_and_access() {
+        let a = TruthAssignment::from_bools(&[true, false, true]);
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        assert_eq!(a.n_true(), 2);
+        assert_eq!(a.n_false(), 1);
+        assert_eq!(a.label(FactId::new(1)), Label::False);
+        assert!(a.get(FactId::new(3)).is_err());
+    }
+
+    #[test]
+    fn from_probabilities_thresholds_each_entry() {
+        let a = TruthAssignment::from_probabilities(&[0.9, 0.1, 0.5]);
+        assert_eq!(
+            a.labels(),
+            &[Label::True, Label::False, Label::True]
+        );
+    }
+
+    #[test]
+    fn iter_pairs_labels_with_ids() {
+        let a = TruthAssignment::from_bools(&[false, true]);
+        let v: Vec<_> = a.iter().collect();
+        assert_eq!(v[0], (FactId::new(0), Label::False));
+        assert_eq!(v[1], (FactId::new(1), Label::True));
+    }
+}

@@ -1,0 +1,13 @@
+//! # corroborate-datagen
+//!
+//! Dataset generators for the `corroborate` workspace (placeholder header —
+//! extended as modules land).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod hubdub;
+pub mod motivating;
+pub mod restaurant;
+pub mod reviews;
+pub mod synthetic;

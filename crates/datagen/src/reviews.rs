@@ -1,0 +1,170 @@
+//! Per-listing review metadata — the signal behind the paper's *failed
+//! first attempt* (§6.2.1): "we used a variety of meta data (number of
+//! reviews, average interval of review time stamp, length since last
+//! review, etc) … and tested using a SVM classifier. However, the
+//! classifier resulted in a less-than-satisfactory accuracy (< 0.7)".
+//!
+//! This module simulates that metadata so the experiment can be re-run:
+//! review activity correlates with a restaurant being open (closed places
+//! stop accumulating reviews), but the correlation is *noisy* — obscure
+//! open restaurants also go quiet for months, and freshly-closed ones
+//! still look active — which is precisely why the authors abandoned the
+//! classifier route and built corroboration instead.
+
+use corroborate_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Review metadata of one listing, as a crawler would aggregate it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReviewStats {
+    /// Total number of reviews across sources.
+    pub n_reviews: u32,
+    /// Days since the most recent review at crawl time.
+    pub days_since_last: f64,
+    /// Mean days between consecutive reviews.
+    pub avg_interval_days: f64,
+    /// Mean star rating (1–5).
+    pub mean_rating: f64,
+}
+
+impl ReviewStats {
+    /// Flattens into the feature vector used by the classifiers (log
+    /// count, recency, cadence, rating).
+    pub fn features(&self) -> Vec<f64> {
+        vec![
+            f64::from(self.n_reviews).ln_1p(),
+            self.days_since_last.ln_1p(),
+            self.avg_interval_days.ln_1p(),
+            self.mean_rating,
+        ]
+    }
+}
+
+/// Configuration of the review simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReviewConfig {
+    /// Mean reviews for a popular open restaurant.
+    pub mean_reviews_open: f64,
+    /// Fraction of *open* restaurants that are obscure (review patterns
+    /// indistinguishable from closed ones) — the noise floor that caps
+    /// classifier accuracy, per the paper's observation.
+    pub obscure_rate: f64,
+    /// Fraction of *closed* restaurants that closed recently enough to
+    /// still look active.
+    pub freshly_closed_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ReviewConfig {
+    fn default() -> Self {
+        Self { mean_reviews_open: 60.0, obscure_rate: 0.38, freshly_closed_rate: 0.35, seed: 7 }
+    }
+}
+
+/// Generates review metadata for every fact of `dataset` (which must
+/// carry ground truth: open = true).
+///
+/// # Errors
+/// Requires ground truth on the dataset.
+pub fn generate_reviews(
+    dataset: &Dataset,
+    config: &ReviewConfig,
+) -> Result<Vec<ReviewStats>, CoreError> {
+    let truth = dataset.require_ground_truth()?;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut out = Vec::with_capacity(dataset.n_facts());
+    for f in dataset.facts() {
+        let open = truth.label(f).as_bool();
+        // Does this listing *look* like its class, or like the other one?
+        let looks_active = if open {
+            !rng.gen_bool(config.obscure_rate)
+        } else {
+            rng.gen_bool(config.freshly_closed_rate)
+        };
+        let exp = |rng: &mut StdRng, mean: f64| -> f64 {
+            -mean * (1.0 - rng.gen_range(0.0..1.0_f64)).ln()
+        };
+        let (n_reviews, days_since_last, avg_interval) = if looks_active {
+            let n = 3.0 + exp(&mut rng, config.mean_reviews_open);
+            (n, exp(&mut rng, 25.0), exp(&mut rng, 18.0) + 2.0)
+        } else {
+            let n = 1.0 + exp(&mut rng, 10.0);
+            (n, 120.0 + exp(&mut rng, 400.0), exp(&mut rng, 90.0) + 10.0)
+        };
+        out.push(ReviewStats {
+            n_reviews: n_reviews as u32,
+            days_since_last,
+            avg_interval_days: avg_interval,
+            mean_rating: (3.6 + rng.gen_range(-1.2..1.2_f64)).clamp(1.0, 5.0),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::restaurant::{generate, RestaurantConfig};
+
+    #[test]
+    fn reviews_cover_every_listing_deterministically() {
+        let world = generate(&RestaurantConfig::small(3)).unwrap();
+        let a = generate_reviews(&world.dataset, &ReviewConfig::default()).unwrap();
+        let b = generate_reviews(&world.dataset, &ReviewConfig::default()).unwrap();
+        assert_eq!(a.len(), world.dataset.n_facts());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn open_listings_are_more_active_on_average_but_overlap() {
+        let world = generate(&RestaurantConfig::small(3)).unwrap();
+        let reviews = generate_reviews(&world.dataset, &ReviewConfig::default()).unwrap();
+        let truth = world.dataset.ground_truth().unwrap();
+        let median_recency = |want_open: bool| -> f64 {
+            let mut vals: Vec<f64> = world
+                .dataset
+                .facts()
+                .filter(|&f| truth.label(f).as_bool() == want_open)
+                .map(|f| reviews[f.index()].days_since_last)
+                .collect();
+            vals.sort_by(f64::total_cmp);
+            vals[vals.len() / 2]
+        };
+        let open = median_recency(true);
+        let closed = median_recency(false);
+        // The signal exists (typical closed listing is much staler) ...
+        assert!(closed > 2.0 * open, "closed {closed:.0}d vs open {open:.0}d");
+        // ... but a large minority of each class crosses the other's
+        // typical range (the noise the paper ran into).
+        let stale_open = world
+            .dataset
+            .facts()
+            .filter(|&f| truth.label(f).as_bool())
+            .filter(|&f| reviews[f.index()].days_since_last > 120.0)
+            .count() as f64;
+        let n_open = truth.n_true() as f64;
+        assert!(stale_open / n_open > 0.2, "{}", stale_open / n_open);
+    }
+
+    #[test]
+    fn features_are_finite_and_fixed_width() {
+        let world = generate(&RestaurantConfig::small(5)).unwrap();
+        let reviews = generate_reviews(&world.dataset, &ReviewConfig::default()).unwrap();
+        for r in &reviews {
+            let f = r.features();
+            assert_eq!(f.len(), 4);
+            assert!(f.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn requires_ground_truth() {
+        let mut b = DatasetBuilder::new();
+        b.add_source("s");
+        b.add_fact("unlabelled");
+        let ds = b.build().unwrap();
+        assert!(generate_reviews(&ds, &ReviewConfig::default()).is_err());
+    }
+}

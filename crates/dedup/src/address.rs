@@ -1,0 +1,130 @@
+//! Rule-based street-address normalisation (paper §6.2.1: "we first wrote
+//! a rule-based script to normalize the addresses of all listings").
+//!
+//! The normaliser lower-cases, strips punctuation, expands the usual USPS
+//! abbreviations (`St` → `street`, `W` → `west`, …), spells out ordinal
+//! suffixes consistently (`46th` stays `46th`, `forty-sixth` is left to
+//! the similarity stage) and collapses whitespace, so that `346 W. 46th
+//! St.` and `346 West 46th Street` normalise identically.
+
+/// Expansion table applied to whole tokens after punctuation stripping.
+const EXPANSIONS: &[(&str, &str)] = &[
+    ("st", "street"),
+    ("str", "street"),
+    ("ave", "avenue"),
+    ("av", "avenue"),
+    ("blvd", "boulevard"),
+    ("rd", "road"),
+    ("dr", "drive"),
+    ("ln", "lane"),
+    ("pl", "place"),
+    ("sq", "square"),
+    ("ct", "court"),
+    ("hwy", "highway"),
+    ("pkwy", "parkway"),
+    ("n", "north"),
+    ("s", "south"),
+    ("e", "east"),
+    ("w", "west"),
+    ("ne", "northeast"),
+    ("nw", "northwest"),
+    ("se", "southeast"),
+    ("sw", "southwest"),
+    ("apt", "apartment"),
+    ("ste", "suite"),
+    ("fl", "floor"),
+    ("bldg", "building"),
+];
+
+/// Number-word table for small ordinals/cardinals occasionally spelled
+/// out in listings (`first` ↔ `1st`).
+const NUMBER_WORDS: &[(&str, &str)] = &[
+    ("first", "1st"),
+    ("second", "2nd"),
+    ("third", "3rd"),
+    ("fourth", "4th"),
+    ("fifth", "5th"),
+    ("sixth", "6th"),
+    ("seventh", "7th"),
+    ("eighth", "8th"),
+    ("ninth", "9th"),
+    ("tenth", "10th"),
+];
+
+/// Normalises one address into its canonical token string.
+pub fn normalize_address(raw: &str) -> String {
+    let mut tokens = Vec::new();
+    for raw_token in raw.split(|c: char| c.is_whitespace() || c == ',' || c == ';') {
+        let token: String = raw_token
+            .chars()
+            .filter(|c| c.is_alphanumeric())
+            .flat_map(|c| c.to_lowercase())
+            .collect();
+        if token.is_empty() {
+            continue;
+        }
+        let token = EXPANSIONS
+            .iter()
+            .find(|(abbr, _)| *abbr == token)
+            .map(|(_, full)| (*full).to_string())
+            .unwrap_or(token);
+        let token = NUMBER_WORDS
+            .iter()
+            .find(|(word, _)| *word == token)
+            .map(|(_, num)| (*num).to_string())
+            .unwrap_or(token);
+        tokens.push(token);
+    }
+    tokens.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expands_usps_abbreviations() {
+        assert_eq!(
+            normalize_address("346 W. 46th St."),
+            "346 west 46th street"
+        );
+        assert_eq!(
+            normalize_address("346 West 46th Street"),
+            "346 west 46th street"
+        );
+    }
+
+    #[test]
+    fn the_papers_example_address_unifies() {
+        // Danny's Grand Sea Palace, 346 West 46th St, New York.
+        let a = normalize_address("346 West 46th St, New York");
+        let b = normalize_address("346 W 46TH STREET, NEW YORK");
+        assert_eq!(a, b);
+        assert_eq!(a, "346 west 46th street new york");
+    }
+
+    #[test]
+    fn strips_punctuation_and_case() {
+        assert_eq!(normalize_address("12 E. 12th St; NY"), "12 east 12th street ny");
+        assert_eq!(normalize_address("  12   Main   Rd  "), "12 main road");
+    }
+
+    #[test]
+    fn number_words_become_numerals() {
+        assert_eq!(normalize_address("Fifth Ave"), "5th avenue");
+        assert_eq!(normalize_address("5th Avenue"), "5th avenue");
+    }
+
+    #[test]
+    fn direction_letters_expand_only_as_whole_tokens() {
+        // The standalone "W" expands but the "w" inside a word must not.
+        assert_eq!(normalize_address("W Broadway"), "west broadway");
+        assert_eq!(normalize_address("Washington Sq"), "washington square");
+    }
+
+    #[test]
+    fn empty_and_junk_inputs() {
+        assert_eq!(normalize_address(""), "");
+        assert_eq!(normalize_address("!!! ,,, ;;;"), "");
+    }
+}

@@ -1,0 +1,195 @@
+//! Duplicate clustering: group listings by normalised address, then merge
+//! listings within a group whose name similarity clears the threshold
+//! (paper §6.2.1; threshold 0.8) using a union–find structure.
+
+use std::collections::HashMap;
+
+use crate::address::normalize_address;
+use crate::listing::RawListing;
+use crate::similarity::listing_similarity;
+
+/// Disjoint-set (union–find) with path compression and union by size.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self { parent: (0..n).collect(), size: vec![1; n] }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were
+    /// distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] { (ra, rb) } else { (rb, ra) };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+        true
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` when the structure tracks no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+}
+
+/// The §6.2.1 deduplication threshold.
+pub const DEFAULT_THRESHOLD: f64 = 0.8;
+
+/// One deduplicated entity: the member listing indices (into the input
+/// slice) and the canonical normalised address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DedupCluster {
+    /// Indices of the member listings in the input order.
+    pub members: Vec<usize>,
+    /// Shared normalised address.
+    pub address: String,
+}
+
+/// Clusters raw listings into entities.
+///
+/// Listings sharing a normalised address are compared pairwise on their
+/// names; pairs above `threshold` merge. Listings at different addresses
+/// never merge (the paper groups by address first precisely to avoid the
+/// quadratic blow-up).
+pub fn cluster_listings(listings: &[RawListing], threshold: f64) -> Vec<DedupCluster> {
+    let normalized: Vec<String> = listings
+        .iter()
+        .map(|l| normalize_address(&l.address))
+        .collect();
+    let mut by_address: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (i, addr) in normalized.iter().enumerate() {
+        by_address.entry(addr).or_default().push(i);
+    }
+
+    let mut uf = UnionFind::new(listings.len());
+    let lower_names: Vec<String> = listings.iter().map(|l| l.name.to_lowercase()).collect();
+    for group in by_address.values() {
+        for (gi, &i) in group.iter().enumerate() {
+            for &j in &group[gi + 1..] {
+                if listing_similarity(&lower_names[i], &lower_names[j]) >= threshold {
+                    uf.union(i, j);
+                }
+            }
+        }
+    }
+
+    let mut clusters: HashMap<usize, DedupCluster> = HashMap::new();
+    for (i, address) in normalized.iter().enumerate() {
+        let root = uf.find(i);
+        clusters
+            .entry(root)
+            .or_insert_with(|| DedupCluster { members: Vec::new(), address: address.clone() })
+            .members
+            .push(i);
+    }
+    let mut out: Vec<DedupCluster> = clusters.into_values().collect();
+    // Deterministic order: by first member index.
+    out.sort_by_key(|c| c.members[0]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn listing(name: &str, address: &str, source: &str) -> RawListing {
+        RawListing {
+            name: name.into(),
+            address: address.into(),
+            source: source.into(),
+            closed: false,
+        }
+    }
+
+    #[test]
+    fn union_find_merges_and_compresses() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2));
+        assert_eq!(uf.find(2), uf.find(0));
+        assert_ne!(uf.find(3), uf.find(0));
+        assert_eq!(uf.len(), 5);
+        assert!(!uf.is_empty());
+    }
+
+    #[test]
+    fn same_restaurant_across_sources_merges() {
+        let listings = vec![
+            listing("Danny's Grand Sea Palace", "346 W 46th St", "YellowPages"),
+            listing("Dannys Grand Sea Palace", "346 West 46th Street", "CitySearch"),
+            listing("M Bar", "12 W 44th St", "Yelp"),
+        ];
+        let clusters = cluster_listings(&listings, DEFAULT_THRESHOLD);
+        assert_eq!(clusters.len(), 2);
+        let danny = clusters.iter().find(|c| c.members.contains(&0)).unwrap();
+        assert_eq!(danny.members, vec![0, 1]);
+        assert_eq!(danny.address, "346 west 46th street");
+    }
+
+    #[test]
+    fn different_names_at_same_address_stay_apart() {
+        let listings = vec![
+            listing("M Bar", "12 W 44th St", "Yelp"),
+            listing("Cafe Luna", "12 West 44th Street", "CitySearch"),
+        ];
+        let clusters = cluster_listings(&listings, DEFAULT_THRESHOLD);
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn same_name_at_different_addresses_stays_apart() {
+        // Chains must not merge across locations.
+        let listings = vec![
+            listing("Joe's Pizza", "7 Carmine St", "Yelp"),
+            listing("Joe's Pizza", "150 E 14th St", "Yelp"),
+        ];
+        let clusters = cluster_listings(&listings, DEFAULT_THRESHOLD);
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn transitive_merging_through_a_middle_variant() {
+        let listings = vec![
+            listing("Grand Sea Palace Restaurant", "1 Main St", "A"),
+            listing("Grand Sea Palace Restaurant NYC", "1 Main Street", "B"),
+            listing("Grand Sea Palace", "1 Main St.", "C"),
+        ];
+        let clusters = cluster_listings(&listings, 0.75);
+        assert_eq!(clusters.len(), 1, "{clusters:?}");
+        assert_eq!(clusters[0].members, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_input_yields_no_clusters() {
+        assert!(cluster_listings(&[], DEFAULT_THRESHOLD).is_empty());
+    }
+}

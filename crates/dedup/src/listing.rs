@@ -1,0 +1,46 @@
+//! Raw crawled listings — the dedup pipeline's input records.
+
+/// One listing as crawled from a source, before deduplication.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawListing {
+    /// Restaurant name as displayed by the source.
+    pub name: String,
+    /// Street address as displayed by the source.
+    pub address: String,
+    /// Name of the source carrying the listing.
+    pub source: String,
+    /// `true` when the source displays the listing as CLOSED — the `F`
+    /// vote of the corroboration problem.
+    pub closed: bool,
+}
+
+impl RawListing {
+    /// Convenience constructor.
+    pub fn new(
+        name: impl Into<String>,
+        address: impl Into<String>,
+        source: impl Into<String>,
+        closed: bool,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            address: address.into(),
+            source: source.into(),
+            closed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_copies_fields() {
+        let l = RawListing::new("M Bar", "12 W 44th St", "Yelp", true);
+        assert_eq!(l.name, "M Bar");
+        assert_eq!(l.address, "12 W 44th St");
+        assert_eq!(l.source, "Yelp");
+        assert!(l.closed);
+    }
+}

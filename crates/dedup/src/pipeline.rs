@@ -1,0 +1,171 @@
+//! End-to-end deduplication pipeline (paper §6.2.1): raw crawled listings
+//! → address normalisation → similarity clustering → a corroboration
+//! [`Dataset`] with one fact per deduplicated entity and one vote per
+//! (source, entity) pair.
+//!
+//! A source votes `F` for an entity when any of its member listings is
+//! displayed as CLOSED, otherwise `T` — a CLOSED banner is a stronger
+//! signal than a plain listing, so it wins when a source shows both.
+
+use std::collections::HashMap;
+
+use corroborate_core::prelude::*;
+
+use crate::cluster::{cluster_listings, DedupCluster, DEFAULT_THRESHOLD};
+use crate::listing::RawListing;
+
+/// Output of the pipeline: the dataset plus the cluster book-keeping that
+/// maps facts back to raw listings.
+#[derive(Debug, Clone)]
+pub struct DedupOutput {
+    /// The corroboration problem (no ground truth — that's the point).
+    pub dataset: Dataset,
+    /// Cluster `i` backs fact `i`.
+    pub clusters: Vec<DedupCluster>,
+}
+
+/// Runs the full pipeline with the paper's 0.8 threshold.
+pub fn dedup_to_dataset(listings: &[RawListing]) -> Result<DedupOutput, CoreError> {
+    dedup_to_dataset_with_threshold(listings, DEFAULT_THRESHOLD)
+}
+
+/// Runs the full pipeline with an explicit similarity threshold.
+pub fn dedup_to_dataset_with_threshold(
+    listings: &[RawListing],
+    threshold: f64,
+) -> Result<DedupOutput, CoreError> {
+    if !(0.0..=1.0).contains(&threshold) {
+        return Err(CoreError::InvalidConfig {
+            message: format!("threshold must be in [0, 1], got {threshold}"),
+        });
+    }
+    let clusters = cluster_listings(listings, threshold);
+
+    let mut b = DatasetBuilder::new();
+    let mut source_ids: HashMap<&str, SourceId> = HashMap::new();
+    for l in listings {
+        if !source_ids.contains_key(l.source.as_str()) {
+            let id = b.add_source(l.source.clone());
+            source_ids.insert(l.source.as_str(), id);
+        }
+    }
+
+    for cluster in &clusters {
+        // Representative name: the longest member name (most descriptive).
+        let name = cluster
+            .members
+            .iter()
+            .map(|&i| listings[i].name.as_str())
+            .max_by_key(|n| n.len())
+            .unwrap_or("");
+        let fact = b.add_fact(format!("{name} @ {}", cluster.address));
+        // Per-source vote: F if the source shows any member CLOSED.
+        let mut votes: HashMap<SourceId, Vote> = HashMap::new();
+        for &i in &cluster.members {
+            let s = source_ids[listings[i].source.as_str()];
+            let v = if listings[i].closed { Vote::False } else { Vote::True };
+            let entry = votes.entry(s).or_insert(v);
+            if v == Vote::False {
+                *entry = Vote::False;
+            }
+        }
+        let mut ordered: Vec<(SourceId, Vote)> = votes.into_iter().collect();
+        ordered.sort_by_key(|(s, _)| *s);
+        for (s, v) in ordered {
+            b.cast(s, fact, v)?;
+        }
+    }
+
+    Ok(DedupOutput { dataset: b.build()?, clusters })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn listing(name: &str, address: &str, source: &str, closed: bool) -> RawListing {
+        RawListing::new(name, address, source, closed)
+    }
+
+    fn crawl() -> Vec<RawListing> {
+        vec![
+            listing("Danny's Grand Sea Palace", "346 W 46th St", "YellowPages", false),
+            listing("Dannys Grand Sea Palace", "346 West 46th Street", "CitySearch", false),
+            listing("M Bar", "12 W 44th St", "Yelp", false),
+            listing("M Bar", "12 West 44th St", "MenuPages", true),
+            listing("M BAR", "12 W. 44th Street", "Yelp", false),
+        ]
+    }
+
+    #[test]
+    fn pipeline_builds_one_fact_per_entity() {
+        let out = dedup_to_dataset(&crawl()).unwrap();
+        assert_eq!(out.dataset.n_facts(), 2);
+        assert_eq!(out.dataset.n_sources(), 4);
+        assert_eq!(out.clusters.len(), 2);
+    }
+
+    #[test]
+    fn closed_listing_becomes_an_f_vote() {
+        let out = dedup_to_dataset(&crawl()).unwrap();
+        // M Bar cluster: Yelp T (two open listings), MenuPages F.
+        let m_bar = out
+            .dataset
+            .facts()
+            .find(|&f| out.dataset.fact_name(f).to_lowercase().contains("m bar"))
+            .unwrap();
+        let (t, f) = out.dataset.votes().tally(m_bar);
+        assert_eq!((t, f), (1, 1));
+    }
+
+    #[test]
+    fn duplicate_open_listings_collapse_to_one_vote() {
+        let out = dedup_to_dataset(&crawl()).unwrap();
+        let m_bar = out
+            .dataset
+            .facts()
+            .find(|&f| out.dataset.fact_name(f).to_lowercase().contains("m bar"))
+            .unwrap();
+        // Yelp contributed two raw listings but exactly one vote.
+        let votes = out.dataset.votes().votes_on(m_bar);
+        assert_eq!(votes.len(), 2);
+    }
+
+    #[test]
+    fn closed_beats_open_within_one_source() {
+        let listings = vec![
+            listing("M Bar", "12 W 44th St", "Yelp", false),
+            listing("M Bar", "12 West 44th Street", "Yelp", true),
+        ];
+        let out = dedup_to_dataset(&listings).unwrap();
+        let f = out.dataset.facts().next().unwrap();
+        assert_eq!(
+            out.dataset.votes().vote(SourceId::new(0), f),
+            Some(Vote::False)
+        );
+    }
+
+    #[test]
+    fn fact_names_carry_a_member_name_and_address() {
+        let out = dedup_to_dataset(&crawl()).unwrap();
+        let names: Vec<&str> = out.dataset.facts().map(|f| out.dataset.fact_name(f)).collect();
+        assert!(
+            names.iter().any(|n| n.contains("M Bar") || n.contains("M BAR")),
+            "{names:?}"
+        );
+        assert!(names.iter().all(|n| n.contains(" @ ")), "{names:?}");
+    }
+
+    #[test]
+    fn threshold_is_validated() {
+        assert!(dedup_to_dataset_with_threshold(&[], 1.5).is_err());
+        assert!(dedup_to_dataset_with_threshold(&[], 0.8).is_ok());
+    }
+
+    #[test]
+    fn empty_crawl_yields_empty_dataset() {
+        let out = dedup_to_dataset(&[]).unwrap();
+        assert_eq!(out.dataset.n_facts(), 0);
+        assert_eq!(out.dataset.n_sources(), 0);
+    }
+}

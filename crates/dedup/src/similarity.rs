@@ -1,0 +1,148 @@
+//! Term-level and character-3-gram cosine similarity (paper §6.2.1: "we
+//! adopted the cosine similarity score at the term level as well as 3-gram
+//! level and used a threshold of 0.8").
+
+use std::collections::HashMap;
+
+/// A sparse term-frequency vector.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TfVector {
+    counts: HashMap<String, f64>,
+    norm: f64,
+}
+
+impl TfVector {
+    /// Builds a vector from an iterator of tokens.
+    pub fn from_tokens<I: IntoIterator<Item = String>>(tokens: I) -> Self {
+        let mut counts: HashMap<String, f64> = HashMap::new();
+        for t in tokens {
+            *counts.entry(t).or_insert(0.0) += 1.0;
+        }
+        let norm = counts.values().map(|c| c * c).sum::<f64>().sqrt();
+        Self { counts, norm }
+    }
+
+    /// Cosine similarity with another vector; 0 when either is empty.
+    pub fn cosine(&self, other: &TfVector) -> f64 {
+        if self.norm == 0.0 || other.norm == 0.0 {
+            return 0.0;
+        }
+        // Iterate the smaller map.
+        let (small, large) = if self.counts.len() <= other.counts.len() {
+            (&self.counts, &other.counts)
+        } else {
+            (&other.counts, &self.counts)
+        };
+        let dot: f64 = small
+            .iter()
+            .filter_map(|(t, c)| large.get(t).map(|d| c * d))
+            .sum();
+        dot / (self.norm * other.norm)
+    }
+
+    /// Number of distinct tokens.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// `true` when no tokens were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+}
+
+/// Whitespace word tokens of `text`.
+pub fn term_tokens(text: &str) -> impl Iterator<Item = String> + '_ {
+    text.split_whitespace().map(str::to_string)
+}
+
+/// Character 3-grams of `text` (spaces included, padded with `^`/`$`
+/// sentinels so short strings still produce grams).
+pub fn trigrams(text: &str) -> Vec<String> {
+    let padded: Vec<char> = std::iter::once('^')
+        .chain(text.chars())
+        .chain(std::iter::once('$'))
+        .collect();
+    if padded.len() < 3 {
+        return vec![padded.iter().collect()];
+    }
+    padded.windows(3).map(|w| w.iter().collect()).collect()
+}
+
+/// The §6.2.1 similarity: the average of term-level and 3-gram-level
+/// cosine similarity of the two strings.
+pub fn listing_similarity(a: &str, b: &str) -> f64 {
+    let term = TfVector::from_tokens(term_tokens(a)).cosine(&TfVector::from_tokens(term_tokens(b)));
+    let gram = TfVector::from_tokens(trigrams(a))
+        .cosine(&TfVector::from_tokens(trigrams(b)));
+    (term + gram) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn identical_strings_have_similarity_one() {
+        assert!(close(listing_similarity("dannys grand sea palace", "dannys grand sea palace"), 1.0));
+    }
+
+    #[test]
+    fn disjoint_strings_have_similarity_near_zero() {
+        let s = listing_similarity("alpha beta", "zzq yyx");
+        assert!(s < 0.2, "similarity {s}");
+    }
+
+    #[test]
+    fn cosine_is_symmetric_and_bounded() {
+        let pairs = [
+            ("dannys grand sea palace", "danny grand sea palace"),
+            ("m bar", "m bar restaurant"),
+            ("", "anything"),
+        ];
+        for (a, b) in pairs {
+            let ab = listing_similarity(a, b);
+            let ba = listing_similarity(b, a);
+            assert!(close(ab, ba));
+            assert!((0.0..=1.0 + 1e-12).contains(&ab));
+        }
+    }
+
+    #[test]
+    fn near_duplicates_clear_the_papers_threshold() {
+        // Typical crawl variants of the same restaurant.
+        let s = listing_similarity("dannys grand sea palace", "danny's grand sea palace");
+        assert!(s > 0.8, "similarity {s}");
+        let s = listing_similarity("cafe mogador", "café mogador restaurant");
+        // An accent plus an extra token is punishing under raw cosine —
+        // such variants genuinely fall below the paper's 0.8 merge
+        // threshold (the rule-based normaliser, not the similarity, is
+        // what must absorb diacritics).
+        assert!(s > 0.4 && s < 0.8, "similarity {s}");
+    }
+
+    #[test]
+    fn different_restaurants_stay_below_threshold() {
+        let s = listing_similarity("m bar", "k bar lounge");
+        assert!(s < 0.8, "similarity {s}");
+    }
+
+    #[test]
+    fn trigram_padding_handles_short_strings() {
+        assert_eq!(trigrams(""), vec!["^$".to_string()]);
+        assert_eq!(trigrams("ab"), vec!["^ab".to_string(), "ab$".to_string()]);
+    }
+
+    #[test]
+    fn tfvector_counts_and_emptiness() {
+        let v = TfVector::from_tokens(["a".to_string(), "a".to_string(), "b".to_string()]);
+        assert_eq!(v.len(), 2);
+        assert!(!v.is_empty());
+        assert!(TfVector::from_tokens(std::iter::empty()).is_empty());
+        assert_eq!(TfVector::default().cosine(&v), 0.0);
+    }
+}

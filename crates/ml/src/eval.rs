@@ -1,0 +1,139 @@
+//! Evaluation driver for the ML baselines, mirroring §6.1.1: 10-fold
+//! cross-validation **over the golden set only** ("they only run over the
+//! golden set", §6.2.5), reporting the Table 4 quality metrics and the
+//! Table 5 per-source trust estimates.
+
+use corroborate_core::error::CoreError;
+use corroborate_core::ids::FactId;
+use corroborate_core::metrics::ConfusionMatrix;
+use corroborate_core::prelude::*;
+
+use crate::features::{signed_labels, vote_features};
+use crate::kfold::{cross_validate, Classifier};
+
+/// Result of evaluating an ML baseline on a golden subset.
+#[derive(Debug, Clone)]
+pub struct MlEvaluation {
+    /// Out-of-fold `±1` prediction per golden fact (parallel to the
+    /// golden slice passed in).
+    pub predictions: Vec<f64>,
+    /// Confusion matrix over the golden subset.
+    pub confusion: ConfusionMatrix,
+    /// Per-source trust estimate: agreement rate of the source's votes
+    /// (on golden facts) with the model's predictions; `None` for sources
+    /// silent on the golden set.
+    pub trust: Vec<Option<f64>>,
+}
+
+/// Runs k-fold CV for classifier `C` on the golden facts of `dataset`.
+///
+/// # Errors
+/// Requires ground truth on the dataset; propagates CV errors.
+pub fn evaluate_on_golden<C: Classifier>(
+    dataset: &Dataset,
+    golden: &[FactId],
+    k: usize,
+    seed: u64,
+) -> Result<MlEvaluation, CoreError> {
+    let truth = dataset.require_ground_truth()?;
+    let features = vote_features(dataset);
+    let x: Vec<Vec<f64>> = golden.iter().map(|&f| features.row(f).to_vec()).collect();
+    let y = signed_labels(truth, golden);
+    let predictions = cross_validate::<C>(&x, &y, k, seed)?;
+
+    let mut m = ConfusionMatrix::default();
+    for (&pred, &label) in predictions.iter().zip(&y) {
+        match (pred > 0.0, label > 0.0) {
+            (true, true) => m.tp += 1,
+            (true, false) => m.fp += 1,
+            (false, false) => m.tn += 1,
+            (false, true) => m.fn_ += 1,
+        }
+    }
+
+    // Trust: agreement of each source's golden votes with the predictions.
+    let mut predicted_of = std::collections::HashMap::new();
+    for (i, &f) in golden.iter().enumerate() {
+        predicted_of.insert(f, predictions[i] > 0.0);
+    }
+    let trust = dataset
+        .sources()
+        .map(|s| {
+            let mut agree = 0usize;
+            let mut total = 0usize;
+            for fv in dataset.votes().votes_by(s) {
+                if let Some(&pred) = predicted_of.get(&fv.fact) {
+                    total += 1;
+                    if fv.vote.as_bool() == pred {
+                        agree += 1;
+                    }
+                }
+            }
+            if total == 0 {
+                None
+            } else {
+                Some(agree as f64 / total as f64)
+            }
+        })
+        .collect();
+
+    Ok(MlEvaluation { predictions, confusion: m, trust })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logistic::LogisticRegression;
+    use crate::svm::LinearSvm;
+
+    /// A dataset where one source's F vote perfectly marks false facts —
+    /// the pattern the paper says ML models exploit.
+    fn marked_world() -> (Dataset, Vec<FactId>) {
+        let mut b = DatasetBuilder::new();
+        let noisy = b.add_source("noisy");
+        let marker = b.add_source("marker");
+        let mut golden = Vec::new();
+        for i in 0..120 {
+            let truth = i % 3 != 0;
+            let f = b.add_fact_with_truth(format!("f{i}"), Label::from_bool(truth));
+            b.cast(noisy, f, Vote::True).unwrap();
+            if !truth {
+                b.cast(marker, f, Vote::False).unwrap();
+            } else if i % 2 == 0 {
+                b.cast(marker, f, Vote::True).unwrap();
+            }
+            golden.push(f);
+        }
+        (b.build().unwrap(), golden)
+    }
+
+    #[test]
+    fn both_classifiers_learn_the_f_vote_signal() {
+        let (ds, golden) = marked_world();
+        let logit =
+            evaluate_on_golden::<LogisticRegression>(&ds, &golden, 10, 1).unwrap();
+        let svm = evaluate_on_golden::<LinearSvm>(&ds, &golden, 10, 1).unwrap();
+        assert!(logit.confusion.accuracy() > 0.95, "{:?}", logit.confusion);
+        assert!(svm.confusion.accuracy() > 0.95, "{:?}", svm.confusion);
+    }
+
+    #[test]
+    fn trust_reflects_source_quality() {
+        let (ds, golden) = marked_world();
+        let eval = evaluate_on_golden::<LogisticRegression>(&ds, &golden, 10, 1).unwrap();
+        let noisy = eval.trust[0].unwrap();
+        let marker = eval.trust[1].unwrap();
+        assert!(marker > noisy, "marker {marker} vs noisy {noisy}");
+        assert!(marker > 0.9);
+    }
+
+    #[test]
+    fn requires_ground_truth() {
+        let mut b = DatasetBuilder::new();
+        b.add_source("s");
+        b.add_fact("unlabelled");
+        let ds = b.build().unwrap();
+        let e = evaluate_on_golden::<LogisticRegression>(&ds, &[FactId::new(0)], 2, 0);
+        assert!(e.is_err());
+    }
+}

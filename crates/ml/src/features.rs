@@ -1,0 +1,126 @@
+//! Vote featurisation for the machine-learning baselines (§6.1.1): each
+//! fact becomes a fixed-length vector with a one-hot encoding of every
+//! source's vote — `T`, `F` or *missing*.
+//!
+//! The paper's analysis (§6.2.2) found that ML models beat the
+//! corroboration baselines largely because the *missing* indicator carries
+//! signal ("a missing vote could be seen as either an F vote or that a
+//! source has no knowledge"); encoding absence explicitly is therefore
+//! essential.
+
+use corroborate_core::prelude::*;
+
+/// Number of features emitted per source (`T` / `F` / missing one-hot).
+pub const FEATURES_PER_SOURCE: usize = 3;
+
+/// A dense design matrix with one row per fact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureMatrix {
+    n_features: usize,
+    rows: Vec<Vec<f64>>,
+}
+
+impl FeatureMatrix {
+    /// Number of rows (facts).
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// The feature row of `fact`.
+    pub fn row(&self, fact: FactId) -> &[f64] {
+        &self.rows[fact.index()]
+    }
+
+    /// All rows, indexed by fact id.
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+}
+
+/// Builds the one-hot vote features for every fact of `dataset`.
+pub fn vote_features(dataset: &Dataset) -> FeatureMatrix {
+    let n_features = dataset.n_sources() * FEATURES_PER_SOURCE;
+    let mut rows = Vec::with_capacity(dataset.n_facts());
+    for f in dataset.facts() {
+        let mut row = vec![0.0; n_features];
+        // Default: every source missing.
+        for s in 0..dataset.n_sources() {
+            row[s * FEATURES_PER_SOURCE + 2] = 1.0;
+        }
+        for sv in dataset.votes().votes_on(f) {
+            let base = sv.source.index() * FEATURES_PER_SOURCE;
+            row[base + 2] = 0.0;
+            match sv.vote {
+                Vote::True => row[base] = 1.0,
+                Vote::False => row[base + 1] = 1.0,
+            }
+        }
+        rows.push(row);
+    }
+    FeatureMatrix { n_features, rows }
+}
+
+/// Extracts `±1` labels (true → `+1`) for the given facts from the ground
+/// truth; used to train the classifiers on a golden subset.
+pub fn signed_labels(truth: &TruthAssignment, facts: &[FactId]) -> Vec<f64> {
+    facts
+        .iter()
+        .map(|&f| if truth.label(f).as_bool() { 1.0 } else { -1.0 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        let s0 = b.add_source("a");
+        let s1 = b.add_source("b");
+        let f0 = b.add_fact_with_truth("f0", Label::True);
+        let f1 = b.add_fact_with_truth("f1", Label::False);
+        b.cast(s0, f0, Vote::True).unwrap();
+        b.cast(s1, f0, Vote::False).unwrap();
+        b.cast(s0, f1, Vote::True).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn one_hot_encoding_is_exact() {
+        let ds = tiny();
+        let m = vote_features(&ds);
+        assert_eq!(m.n_rows(), 2);
+        assert_eq!(m.n_features(), 6);
+        // f0: s0 = T → (1,0,0); s1 = F → (0,1,0).
+        assert_eq!(m.row(FactId::new(0)), &[1.0, 0.0, 0.0, 0.0, 1.0, 0.0]);
+        // f1: s0 = T; s1 missing → (0,0,1).
+        assert_eq!(m.row(FactId::new(1)), &[1.0, 0.0, 0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn each_source_block_sums_to_one() {
+        let ds = tiny();
+        let m = vote_features(&ds);
+        for row in m.rows() {
+            for s in 0..2 {
+                let sum: f64 = row[s * 3..(s + 1) * 3].iter().sum();
+                assert_eq!(sum, 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn signed_labels_map_polarity() {
+        let ds = tiny();
+        let labels = signed_labels(
+            ds.ground_truth().unwrap(),
+            &[FactId::new(0), FactId::new(1)],
+        );
+        assert_eq!(labels, vec![1.0, -1.0]);
+    }
+}

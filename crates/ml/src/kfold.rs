@@ -1,0 +1,184 @@
+//! Stratified k-fold cross-validation (the paper evaluates its ML
+//! baselines with 10-fold CV, §6.1.1).
+
+use corroborate_core::error::CoreError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A classifier trainable on `±1` labels — implemented by the logistic
+/// regression and the SMO SVM so the CV driver can treat them uniformly.
+pub trait Classifier: Sized {
+    /// Trains a model.
+    fn fit(x: &[Vec<f64>], y: &[f64]) -> Result<Self, CoreError>;
+    /// Predicts `±1` for one row.
+    fn predict(&self, row: &[f64]) -> f64;
+}
+
+impl Classifier for crate::logistic::LogisticRegression {
+    fn fit(x: &[Vec<f64>], y: &[f64]) -> Result<Self, CoreError> {
+        Self::fit(x, y, &crate::logistic::LogisticConfig::default())
+    }
+    fn predict(&self, row: &[f64]) -> f64 {
+        self.predict(row)
+    }
+}
+
+impl Classifier for crate::svm::LinearSvm {
+    fn fit(x: &[Vec<f64>], y: &[f64]) -> Result<Self, CoreError> {
+        Self::fit(x, y, &crate::svm::SvmConfig::default())
+    }
+    fn predict(&self, row: &[f64]) -> f64 {
+        self.predict(row)
+    }
+}
+
+/// Splits `0..labels.len()` into `k` folds, stratified so each fold keeps
+/// the global class balance. Deterministic given the seed.
+///
+/// # Errors
+/// [`CoreError::InvalidConfig`] when `k < 2` or there are fewer instances
+/// than folds.
+pub fn stratified_folds(labels: &[f64], k: usize, seed: u64) -> Result<Vec<Vec<usize>>, CoreError> {
+    if k < 2 {
+        return Err(CoreError::InvalidConfig { message: "need at least 2 folds".into() });
+    }
+    if labels.len() < k {
+        return Err(CoreError::InvalidConfig {
+            message: format!("{} instances cannot fill {k} folds", labels.len()),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut positives: Vec<usize> = (0..labels.len()).filter(|&i| labels[i] > 0.0).collect();
+    let mut negatives: Vec<usize> = (0..labels.len()).filter(|&i| labels[i] <= 0.0).collect();
+    for pool in [&mut positives, &mut negatives] {
+        for i in (1..pool.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            pool.swap(i, j);
+        }
+    }
+    let mut folds = vec![Vec::new(); k];
+    for (pos, &idx) in positives.iter().chain(&negatives).enumerate() {
+        folds[pos % k].push(idx);
+    }
+    Ok(folds)
+}
+
+/// Runs k-fold cross-validation: trains on `k−1` folds, predicts the held
+/// one, and returns the out-of-fold prediction (`±1`) for every instance.
+///
+/// # Errors
+/// Propagates fold-construction and training errors.
+pub fn cross_validate<C: Classifier>(
+    x: &[Vec<f64>],
+    y: &[f64],
+    k: usize,
+    seed: u64,
+) -> Result<Vec<f64>, CoreError> {
+    if x.len() != y.len() {
+        return Err(CoreError::LengthMismatch {
+            what: "features vs labels",
+            expected: y.len(),
+            actual: x.len(),
+        });
+    }
+    let folds = stratified_folds(y, k, seed)?;
+    let mut predictions = vec![0.0; y.len()];
+    for held in &folds {
+        let held_set: std::collections::HashSet<usize> = held.iter().copied().collect();
+        let mut train_x = Vec::with_capacity(x.len() - held.len());
+        let mut train_y = Vec::with_capacity(x.len() - held.len());
+        for i in 0..x.len() {
+            if !held_set.contains(&i) {
+                train_x.push(x[i].clone());
+                train_y.push(y[i]);
+            }
+        }
+        let model = C::fit(&train_x, &train_y)?;
+        for &i in held {
+            predictions[i] = model.predict(&x[i]);
+        }
+    }
+    Ok(predictions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logistic::LogisticRegression;
+    use crate::svm::LinearSvm;
+
+    #[test]
+    fn folds_partition_and_stratify() {
+        let labels: Vec<f64> = (0..100).map(|i| if i < 60 { 1.0 } else { -1.0 }).collect();
+        let folds = stratified_folds(&labels, 10, 1).unwrap();
+        assert_eq!(folds.len(), 10);
+        let mut seen = [false; 100];
+        for fold in &folds {
+            assert_eq!(fold.len(), 10);
+            let pos = fold.iter().filter(|&&i| labels[i] > 0.0).count();
+            assert_eq!(pos, 6, "stratification preserved per fold");
+            for &i in fold {
+                assert!(!seen[i], "index {i} in two folds");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn folds_are_deterministic_per_seed() {
+        let labels = vec![1.0; 20];
+        assert_eq!(
+            stratified_folds(&labels, 4, 9).unwrap(),
+            stratified_folds(&labels, 4, 9).unwrap()
+        );
+        assert_ne!(
+            stratified_folds(&labels, 4, 9).unwrap(),
+            stratified_folds(&labels, 4, 10).unwrap()
+        );
+    }
+
+    #[test]
+    fn rejects_degenerate_folds() {
+        assert!(stratified_folds(&[1.0, 1.0], 1, 0).is_err());
+        assert!(stratified_folds(&[1.0], 2, 0).is_err());
+    }
+
+    fn linear_problem(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        // label = sign(x0 − x1), noiseless.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let a = (i % 7) as f64 / 3.0 - 1.0;
+            let b = (i % 5) as f64 / 2.0 - 1.0;
+            if (a - b).abs() < 0.2 {
+                continue;
+            }
+            x.push(vec![a, b]);
+            y.push(if a > b { 1.0 } else { -1.0 });
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn cross_validation_recovers_a_learnable_concept() {
+        let (x, y) = linear_problem(120);
+        for preds in [
+            cross_validate::<LogisticRegression>(&x, &y, 10, 3).unwrap(),
+            cross_validate::<LinearSvm>(&x, &y, 10, 3).unwrap(),
+        ] {
+            let correct = preds.iter().zip(&y).filter(|(p, l)| p == l).count();
+            assert!(
+                correct as f64 / y.len() as f64 > 0.9,
+                "{correct}/{} correct",
+                y.len()
+            );
+        }
+    }
+
+    #[test]
+    fn cross_validate_checks_lengths() {
+        let e = cross_validate::<LogisticRegression>(&[vec![1.0]], &[1.0, -1.0], 2, 0);
+        assert!(e.is_err());
+    }
+}

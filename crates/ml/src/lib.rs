@@ -1,0 +1,47 @@
+//! # corroborate-ml
+//!
+//! From-scratch machine-learning baselines for the `corroborate`
+//! workspace, replacing the Weka classifiers the paper uses (§6.1.1):
+//!
+//! - [`logistic`] — L2-regularised logistic regression (`ML-Logistic`);
+//! - [`svm`] — a linear SVM trained by simplified SMO (`ML-SVM (SMO)`);
+//! - [`naive_bayes`] — Bernoulli naive Bayes (a third baseline beyond the
+//!   paper's two, the generative counterpart of the corroborators);
+//! - [`features`] — one-hot vote featurisation (`T` / `F` / *missing*
+//!   per source; the missing indicator is the signal the paper credits
+//!   the ML models' edge to);
+//! - [`kfold`] — stratified k-fold cross-validation (the paper uses
+//!   10-fold);
+//! - [`eval`] — the §6.1.1 evaluation protocol: CV over the golden set,
+//!   reporting Table 4 quality and Table 5 trust estimates.
+//!
+//! ```
+//! use corroborate_core::prelude::*;
+//! use corroborate_ml::eval::evaluate_on_golden;
+//! use corroborate_ml::logistic::LogisticRegression;
+//!
+//! let mut b = DatasetBuilder::new();
+//! let s = b.add_source("src");
+//! let mut golden = Vec::new();
+//! for i in 0..20 {
+//!     let truth = i % 2 == 0;
+//!     let f = b.add_fact_with_truth(format!("f{i}"), Label::from_bool(truth));
+//!     if truth { b.cast(s, f, Vote::True).unwrap(); }
+//!     else { b.cast(s, f, Vote::False).unwrap(); }
+//!     golden.push(f);
+//! }
+//! let ds = b.build().unwrap();
+//! let eval = evaluate_on_golden::<LogisticRegression>(&ds, &golden, 5, 1).unwrap();
+//! assert!(eval.confusion.accuracy() > 0.9);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub mod eval;
+pub mod features;
+pub mod kfold;
+pub mod logistic;
+pub mod naive_bayes;
+pub mod svm;

@@ -1,0 +1,193 @@
+//! Bernoulli naive Bayes — a third ML baseline beyond the paper's two
+//! Weka classifiers. On one-hot vote features it amounts to learning, per
+//! source, `P(vote | listing open)` and `P(vote | listing closed)` and
+//! multiplying the evidence — i.e. exactly the generative counterpart of
+//! the corroboration methods, which makes it a natural calibration point
+//! between them and the discriminative models.
+
+use corroborate_core::error::CoreError;
+
+/// Configuration for [`NaiveBayes`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NaiveBayesConfig {
+    /// Laplace smoothing pseudo-count added to every feature/class cell.
+    pub smoothing: f64,
+}
+
+impl Default for NaiveBayesConfig {
+    fn default() -> Self {
+        Self { smoothing: 1.0 }
+    }
+}
+
+/// A trained Bernoulli naive Bayes model over binary (0/1) features.
+#[derive(Debug, Clone)]
+pub struct NaiveBayes {
+    /// `log P(x_j = 1 | class)` per class (0 = negative, 1 = positive).
+    log_on: [Vec<f64>; 2],
+    /// `log P(x_j = 0 | class)`.
+    log_off: [Vec<f64>; 2],
+    /// `log P(class)`.
+    log_prior: [f64; 2],
+}
+
+impl NaiveBayes {
+    /// Trains on rows `x` (features in `[0, 1]`, treated as Bernoulli with
+    /// anything `> 0.5` counting as on) with `±1` labels `y`.
+    ///
+    /// # Errors
+    /// The usual malformed-input errors; additionally requires at least
+    /// one example of each class (a single-class "model" is a constant and
+    /// almost always a training-set bug).
+    pub fn fit(x: &[Vec<f64>], y: &[f64], config: &NaiveBayesConfig) -> Result<Self, CoreError> {
+        if x.len() != y.len() {
+            return Err(CoreError::LengthMismatch {
+                what: "features vs labels",
+                expected: y.len(),
+                actual: x.len(),
+            });
+        }
+        if x.is_empty() {
+            return Err(CoreError::EmptyInput { what: "training set" });
+        }
+        if config.smoothing.is_nan() || config.smoothing <= 0.0 {
+            return Err(CoreError::InvalidConfig {
+                message: format!("smoothing must be positive, got {}", config.smoothing),
+            });
+        }
+        let n_features = x[0].len();
+        if let Some(bad) = x.iter().find(|r| r.len() != n_features) {
+            return Err(CoreError::LengthMismatch {
+                what: "feature row width",
+                expected: n_features,
+                actual: bad.len(),
+            });
+        }
+        let mut class_count = [0.0f64; 2];
+        let mut on_count = [vec![0.0f64; n_features], vec![0.0f64; n_features]];
+        for (row, &label) in x.iter().zip(y) {
+            let c = usize::from(label > 0.0);
+            class_count[c] += 1.0;
+            for (j, &v) in row.iter().enumerate() {
+                if v > 0.5 {
+                    on_count[c][j] += 1.0;
+                }
+            }
+        }
+        if class_count[0] == 0.0 || class_count[1] == 0.0 {
+            return Err(CoreError::InvalidConfig {
+                message: "training set must contain both classes".into(),
+            });
+        }
+        let s = config.smoothing;
+        let total = class_count[0] + class_count[1];
+        let mut log_on = [vec![0.0; n_features], vec![0.0; n_features]];
+        let mut log_off = [vec![0.0; n_features], vec![0.0; n_features]];
+        for c in 0..2 {
+            for j in 0..n_features {
+                let p_on = (on_count[c][j] + s) / (class_count[c] + 2.0 * s);
+                log_on[c][j] = p_on.ln();
+                log_off[c][j] = (1.0 - p_on).ln();
+            }
+        }
+        Ok(Self {
+            log_on,
+            log_off,
+            log_prior: [
+                (class_count[0] / total).ln(),
+                (class_count[1] / total).ln(),
+            ],
+        })
+    }
+
+    /// Posterior probability that the row's label is `+1`.
+    pub fn predict_probability(&self, row: &[f64]) -> f64 {
+        let mut log_score = [self.log_prior[0], self.log_prior[1]];
+        for (c, score) in log_score.iter_mut().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                *score += if v > 0.5 { self.log_on[c][j] } else { self.log_off[c][j] };
+            }
+        }
+        1.0 / (1.0 + (log_score[0] - log_score[1]).exp())
+    }
+
+    /// Hard `±1` prediction.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        if self.predict_probability(row) >= 0.5 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+}
+
+impl crate::kfold::Classifier for NaiveBayes {
+    fn fit(x: &[Vec<f64>], y: &[f64]) -> Result<Self, CoreError> {
+        Self::fit(x, y, &NaiveBayesConfig::default())
+    }
+    fn predict(&self, row: &[f64]) -> f64 {
+        self.predict(row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One feature perfectly predicts the class; a second is noise.
+    fn marker_problem() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..40 {
+            let pos = i % 2 == 0;
+            x.push(vec![f64::from(u8::from(pos)), f64::from(u8::from(i % 3 == 0))]);
+            y.push(if pos { 1.0 } else { -1.0 });
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn learns_a_marker_feature() {
+        let (x, y) = marker_problem();
+        let model = NaiveBayes::fit(&x, &y, &NaiveBayesConfig::default()).unwrap();
+        for (row, &label) in x.iter().zip(&y) {
+            assert_eq!(model.predict(row), label, "{row:?}");
+        }
+        assert!(model.predict_probability(&[1.0, 0.0]) > 0.9);
+        assert!(model.predict_probability(&[0.0, 0.0]) < 0.1);
+    }
+
+    #[test]
+    fn smoothing_prevents_zero_probabilities() {
+        // A feature never seen "on" in the negative class must not give
+        // −∞ log-likelihood at prediction time.
+        let x = vec![vec![1.0], vec![1.0], vec![0.0], vec![0.0]];
+        let y = vec![1.0, 1.0, -1.0, -1.0];
+        let model = NaiveBayes::fit(&x, &y, &NaiveBayesConfig::default()).unwrap();
+        let p = model.predict_probability(&[1.0]);
+        assert!(p > 0.5 && p < 1.0, "p = {p}");
+    }
+
+    #[test]
+    fn rejects_single_class_and_bad_config() {
+        let x = vec![vec![1.0], vec![0.0]];
+        assert!(NaiveBayes::fit(&x, &[1.0, 1.0], &NaiveBayesConfig::default()).is_err());
+        assert!(NaiveBayes::fit(
+            &x,
+            &[1.0, -1.0],
+            &NaiveBayesConfig { smoothing: 0.0 }
+        )
+        .is_err());
+        assert!(NaiveBayes::fit(&[], &[], &NaiveBayesConfig::default()).is_err());
+        assert!(NaiveBayes::fit(&x, &[1.0], &NaiveBayesConfig::default()).is_err());
+    }
+
+    #[test]
+    fn works_through_the_cv_driver() {
+        use crate::kfold::cross_validate;
+        let (x, y) = marker_problem();
+        let preds = cross_validate::<NaiveBayes>(&x, &y, 5, 1).unwrap();
+        let correct = preds.iter().zip(&y).filter(|(p, l)| p == l).count();
+        assert_eq!(correct, y.len());
+    }
+}

@@ -1,0 +1,84 @@
+//! Multi-answer question resolution — the paper's §6.2.6 Hubdub scenario:
+//! hundreds of settled prediction-market questions, each with several
+//! mutually-exclusive candidate answers and bets from users of wildly
+//! varying reliability.
+//!
+//! ```sh
+//! cargo run --release --example hubdub_questions
+//! ```
+
+use corroborate::algorithms::baseline::Voting;
+use corroborate::algorithms::galland::TwoEstimates;
+use corroborate::algorithms::multi_answer::{DecisionPolicy, MultiAnswer, MultiAnswerConfig};
+use corroborate::datagen::hubdub::{generate, HubdubConfig};
+use corroborate::prelude::*;
+
+fn main() {
+    let world = generate(&HubdubConfig::default()).expect("generation succeeds");
+    let ds = &world.dataset;
+    let questions = ds.questions().expect("multi-answer dataset");
+    println!(
+        "{} questions, {} candidate answers, {} users, {} bets\n",
+        questions.n_questions(),
+        ds.n_facts(),
+        ds.n_sources(),
+        ds.votes().n_votes()
+    );
+
+    let cfg = MultiAnswerConfig {
+        expand_implicit_negatives: true,
+        decision: DecisionPolicy::Argmax,
+    };
+    let algs: Vec<Box<dyn Corroborator>> = vec![
+        Box::new(MultiAnswer::with_config(Voting, cfg)),
+        Box::new(MultiAnswer::with_config(TwoEstimates::default(), cfg)),
+        Box::new(MultiAnswer::with_config(IncEstimate::new(IncEstHeu::default()), cfg)),
+    ];
+
+    let truth = ds.ground_truth().expect("settled questions");
+    for alg in algs {
+        let r = alg.corroborate(ds).expect("corroboration");
+        // Question-level accuracy: did the predicted winner match the
+        // settled answer?
+        let mut right = 0;
+        for q in questions.questions() {
+            let predicted = questions
+                .candidates(q)
+                .iter()
+                .find(|&&c| r.decisions().label(c).as_bool());
+            let actual = questions
+                .candidates(q)
+                .iter()
+                .find(|&&c| truth.label(c).as_bool());
+            if predicted == actual {
+                right += 1;
+            }
+        }
+        let errors = r.confusion(ds).expect("labelled").errors();
+        println!(
+            "{:<28} questions right: {:>3}/{}   fact errors: {}",
+            alg.name(),
+            right,
+            questions.n_questions(),
+            errors
+        );
+    }
+
+    // Show one resolved question in detail.
+    let q = questions.questions().next().expect("non-empty");
+    let r = MultiAnswer::with_config(IncEstimate::new(IncEstHeu::default()), cfg)
+        .corroborate(ds)
+        .expect("corroboration");
+    println!("\nexample question q0:");
+    for &c in questions.candidates(q) {
+        let bets = ds.votes().votes_on(c).len();
+        println!(
+            "  {:<8} {} bets, p = {:.2}, predicted {}, settled {}",
+            ds.fact_name(c),
+            bets,
+            r.probability(c),
+            r.decisions().label(c).as_bool(),
+            truth.label(c).as_bool()
+        );
+    }
+}

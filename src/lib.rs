@@ -1,0 +1,69 @@
+//! # corroborate
+//!
+//! A production-quality Rust reproduction of *“Corroborating Facts from
+//! Affirmative Statements”* (Minji Wu & Amélie Marian, EDBT 2014) — truth
+//! discovery in the regime where almost every fact receives only
+//! affirmative statements, so conventional corroboration collapses into
+//! “believe everything”.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! - [`core`] — datasets, votes, trust scores, entropy, metrics
+//!   (`corroborate-core`);
+//! - [`algorithms`] — **IncEstimate** (the paper's contribution, with the
+//!   `IncEstHeu` entropy heuristic and `IncEstPS` foil) plus every
+//!   baseline: `Voting`, `Counting`, `2-/3-Estimates`, `Cosine`,
+//!   `BayesEstimate`/LTM, `TruthFinder`, `AvgLog`, `Invest`,
+//!   `PooledInvest`, and the multi-answer adapter
+//!   (`corroborate-algorithms`);
+//! - [`ml`] — from-scratch logistic regression and SMO-trained linear SVM
+//!   baselines with 10-fold CV (`corroborate-ml`);
+//! - [`datagen`] — the §6.3.1 synthetic generator, the Table-3-calibrated
+//!   restaurant world, the Hubdub-like multi-answer generator and the
+//!   exact §2 motivating example (`corroborate-datagen`);
+//! - [`dedup`] — the §6.2.1 listing-deduplication pipeline
+//!   (`corroborate-dedup`).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use corroborate::prelude::*;
+//! use corroborate::algorithms::inc::{IncEstimate, IncEstHeu};
+//!
+//! // Two bad-quality directories list a closed restaurant; a careful
+//! // source flags a sibling listing CLOSED.
+//! let mut b = DatasetBuilder::new();
+//! let yp = b.add_source("YellowPages");
+//! let cs = b.add_source("CitySearch");
+//! let mp = b.add_source("MenuPages");
+//! let dannys = b.add_fact("Danny's Grand Sea Palace");
+//! b.cast(yp, dannys, Vote::True).unwrap();
+//! b.cast(cs, dannys, Vote::True).unwrap();
+//! let other = b.add_fact("some other stale listing");
+//! b.cast(yp, other, Vote::True).unwrap();
+//! b.cast(mp, other, Vote::False).unwrap();
+//! let ds = b.build().unwrap();
+//!
+//! let result = IncEstimate::new(IncEstHeu::default()).corroborate(&ds).unwrap();
+//! assert_eq!(result.probabilities().len(), 2);
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and
+//! `crates/bench/src/bin/` for the binaries regenerating every table and
+//! figure of the paper.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub use corroborate_algorithms as algorithms;
+pub use corroborate_core as core;
+pub use corroborate_datagen as datagen;
+pub use corroborate_dedup as dedup;
+pub use corroborate_ml as ml;
+
+/// Convenience re-exports: the core prelude plus the headline algorithm.
+pub mod prelude {
+    pub use corroborate_algorithms::inc::{IncEstHeu, IncEstPS, IncEstimate};
+    pub use corroborate_core::prelude::*;
+}

@@ -1,0 +1,115 @@
+//! End-to-end tests of the `corroborate` command-line binary: generate a
+//! dataset to CSV, inspect it, and corroborate it — exercising the io
+//! module, the CLI plumbing and the algorithm registry through the real
+//! executable.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_corroborate"))
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("corroborate-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn generate_stats_run_round_trip() {
+    let votes = tmp("votes.csv");
+    let truth = tmp("truth.csv");
+
+    // generate
+    let out = bin()
+        .args(["generate", "--kind", "motivating"])
+        .arg("--out-votes")
+        .arg(&votes)
+        .arg("--out-truth")
+        .arg(&truth)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // stats
+    let out = bin()
+        .arg("stats")
+        .arg("--votes")
+        .arg(&votes)
+        .arg("--truth")
+        .arg(&truth)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("sources: 5"), "{stdout}");
+    assert!(stdout.contains("facts:   12"), "{stdout}");
+    assert!(stdout.contains("affirmative-only facts: 10"), "{stdout}");
+
+    // run with the default algorithm
+    let out = bin()
+        .arg("run")
+        .arg("--votes")
+        .arg(&votes)
+        .arg("--truth")
+        .arg(&truth)
+        .args(["--algorithm", "inc-heu", "--trust"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stdout.starts_with("fact,probability,decision"), "{stdout}");
+    // r12 must be uncovered as false.
+    assert!(stdout.lines().any(|l| l.starts_with("r12,") && l.ends_with("false")), "{stdout}");
+    assert!(stderr.contains("vs ground truth"), "{stderr}");
+    assert!(stderr.contains("source trust"), "{stderr}");
+
+    let _ = std::fs::remove_file(&votes);
+    let _ = std::fs::remove_file(&truth);
+}
+
+#[test]
+fn unknown_algorithm_fails_cleanly() {
+    let votes = tmp("unknown-alg.csv");
+    std::fs::write(&votes, "A,f1,T\n").unwrap();
+    let out = bin()
+        .arg("run")
+        .arg("--votes")
+        .arg(&votes)
+        .args(["--algorithm", "definitely-not-real"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown algorithm"), "{stderr}");
+    let _ = std::fs::remove_file(&votes);
+}
+
+#[test]
+fn algorithms_listing_names_every_method() {
+    let out = bin().arg("algorithms").output().expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in ["voting", "two-estimates", "bayes", "accuvote", "inc-heu"] {
+        assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let out = bin()
+        .arg("run")
+        .args(["--votes", "/nonexistent/path.csv"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn no_arguments_prints_usage() {
+    let out = bin().output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
