@@ -102,7 +102,10 @@ impl BayesEstimateConfig {
         for (name, p) in [("alpha0", self.alpha0), ("alpha1", self.alpha1), ("beta", self.beta)] {
             if !(p.a > 0.0 && p.b > 0.0) {
                 return Err(CoreError::InvalidConfig {
-                    message: format!("{name} pseudo-counts must be positive, got ({}, {})", p.a, p.b),
+                    message: format!(
+                        "{name} pseudo-counts must be positive, got ({}, {})",
+                        p.a, p.b
+                    ),
                 });
             }
         }
@@ -198,8 +201,7 @@ impl Corroborator for BayesEstimate {
                         *ls += (num / den).ln();
                     }
                 }
-                let p_true =
-                    1.0 / (1.0 + (log_score[0] - log_score[1]).exp());
+                let p_true = 1.0 / (1.0 + (log_score[0] - log_score[1]).exp());
                 let new_t = rng.gen_bool(p_true.clamp(1e-12, 1.0 - 1e-12));
                 truth[fi] = new_t;
                 let t_new = usize::from(new_t);
@@ -214,10 +216,7 @@ impl Corroborator for BayesEstimate {
             }
         }
 
-        let probs: Vec<f64> = true_samples
-            .iter()
-            .map(|&c| c as f64 / cfg.samples as f64)
-            .collect();
+        let probs: Vec<f64> = true_samples.iter().map(|&c| c as f64 / cfg.samples as f64).collect();
 
         // Exported trust: expected fraction of each source's votes that are
         // consistent with the posterior truth probabilities.
@@ -238,12 +237,7 @@ impl Corroborator for BayesEstimate {
             trust.push(sum / votes.len() as f64);
         }
 
-        CorroborationResult::new(
-            probs,
-            TrustSnapshot::from_values(trust)?,
-            None,
-            total_iters,
-        )
+        CorroborationResult::new(probs, TrustSnapshot::from_values(trust)?, None, total_iters)
     }
 }
 
@@ -285,12 +279,8 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let ds = motivating_example();
-        let a = BayesEstimate::new(BayesEstimateConfig::paper_priors(7))
-            .corroborate(&ds)
-            .unwrap();
-        let b = BayesEstimate::new(BayesEstimateConfig::paper_priors(7))
-            .corroborate(&ds)
-            .unwrap();
+        let a = BayesEstimate::new(BayesEstimateConfig::paper_priors(7)).corroborate(&ds).unwrap();
+        let b = BayesEstimate::new(BayesEstimateConfig::paper_priors(7)).corroborate(&ds).unwrap();
         assert_eq!(a.probabilities(), b.probabilities());
     }
 

@@ -64,9 +64,7 @@ pub fn diagnose_chains(
     n_chains: usize,
 ) -> Result<GibbsDiagnostics, CoreError> {
     if n_chains < 2 {
-        return Err(CoreError::InvalidConfig {
-            message: "R-hat needs at least two chains".into(),
-        });
+        return Err(CoreError::InvalidConfig { message: "R-hat needs at least two chains".into() });
     }
     let mut chain_means: Vec<Vec<f64>> = Vec::with_capacity(n_chains);
     for chain in 0..n_chains {

@@ -57,15 +57,9 @@ mod tests {
 
     #[test]
     fn rejects_zero_iterations_and_nan_tolerance() {
-        assert!(IterationControl { max_iterations: 0, tolerance: 0.0 }
-            .validate()
-            .is_err());
-        assert!(IterationControl { max_iterations: 5, tolerance: f64::NAN }
-            .validate()
-            .is_err());
-        assert!(IterationControl { max_iterations: 5, tolerance: -1.0 }
-            .validate()
-            .is_err());
+        assert!(IterationControl { max_iterations: 0, tolerance: 0.0 }.validate().is_err());
+        assert!(IterationControl { max_iterations: 5, tolerance: f64::NAN }.validate().is_err());
+        assert!(IterationControl { max_iterations: 5, tolerance: -1.0 }.validate().is_err());
     }
 
     #[test]

@@ -260,11 +260,8 @@ impl Corroborator for AccuVote {
                     .count();
                 trust[s.index()] = correct as f64 / votes.len() as f64;
             }
-            let residual = trust
-                .iter()
-                .zip(&previous)
-                .map(|(a, b)| (a - b).abs())
-                .fold(0.0, f64::max);
+            let residual =
+                trust.iter().zip(&previous).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
             if cfg.iteration.converged(residual) {
                 break;
             }

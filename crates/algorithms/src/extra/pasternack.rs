@@ -137,9 +137,7 @@ impl Corroborator for Pasternack {
                     let pol = usize::from(fv.vote.is_affirmative());
                     investment[fv.fact.index()][pol] += match self.variant {
                         // Sums/AvgLog beliefs are plain trust sums.
-                        PasternackVariant::Sums | PasternackVariant::AvgLog => {
-                            trust[s.index()]
-                        }
+                        PasternackVariant::Sums | PasternackVariant::AvgLog => trust[s.index()],
                         _ => share,
                     };
                 }
@@ -185,8 +183,7 @@ impl Corroborator for Pasternack {
                             // Repayment proportional to investment share.
                             let inv = investment[fi][pol];
                             if inv > 1e-300 {
-                                belief[fi][pol] * (previous[s.index()] / votes.len() as f64)
-                                    / inv
+                                belief[fi][pol] * (previous[s.index()] / votes.len() as f64) / inv
                             } else {
                                 0.0
                             }
@@ -206,11 +203,8 @@ impl Corroborator for Pasternack {
                     *t /= max;
                 }
             }
-            let residual = trust
-                .iter()
-                .zip(&previous)
-                .map(|(a, b)| (a - b).abs())
-                .fold(0.0, f64::max);
+            let residual =
+                trust.iter().zip(&previous).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
             if cfg.iteration.converged(residual) {
                 break;
             }
@@ -256,12 +250,7 @@ mod tests {
             let r = Pasternack::new(v).corroborate(&ds).unwrap();
             for f in ds.facts() {
                 if ds.votes().is_affirmative_only(f) {
-                    assert!(
-                        r.decisions().label(f).as_bool(),
-                        "{:?}: {}",
-                        v,
-                        ds.fact_name(f)
-                    );
+                    assert!(r.decisions().label(f).as_bool(), "{:?}: {}", v, ds.fact_name(f));
                 }
             }
         }
@@ -307,11 +296,9 @@ mod tests {
     #[test]
     fn growth_exponent_validation() {
         let cfg = PasternackConfig { growth: 0.5, ..Default::default() };
-        assert!(
-            Pasternack::with_config(PasternackVariant::Invest, cfg)
-                .corroborate(&motivating_example())
-                .is_err()
-        );
+        assert!(Pasternack::with_config(PasternackVariant::Invest, cfg)
+            .corroborate(&motivating_example())
+            .is_err());
     }
 
     #[test]

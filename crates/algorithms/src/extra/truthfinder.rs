@@ -114,11 +114,8 @@ impl Corroborator for TruthFinder {
                     .sum();
                 trust[s.index()] = sum / votes.len() as f64;
             }
-            let residual = trust
-                .iter()
-                .zip(&previous)
-                .map(|(a, b)| (a - b).abs())
-                .fold(0.0, f64::max);
+            let residual =
+                trust.iter().zip(&previous).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
             if cfg.iteration.converged(residual) {
                 break;
             }
@@ -139,7 +136,7 @@ mod tests {
         let r = TruthFinder::default().corroborate(&ds).unwrap();
         // T-only facts with two+ supporters must be confidently true.
         assert!(r.probability(FactId::new(1)) > 0.6); // r2: 4 supporters
-        // r12 (2 F vs 1 T) must score lowest.
+                                                      // r12 (2 F vs 1 T) must score lowest.
         let min = r.probabilities().iter().cloned().fold(f64::INFINITY, f64::min);
         assert!((r.probability(FactId::new(11)) - min).abs() < 1e-9);
     }
@@ -160,9 +157,7 @@ mod tests {
     #[test]
     fn gamma_must_be_positive() {
         let cfg = TruthFinderConfig { gamma: 0.0, ..Default::default() };
-        assert!(TruthFinder::new(cfg)
-            .corroborate(&motivating_example())
-            .is_err());
+        assert!(TruthFinder::new(cfg).corroborate(&motivating_example()).is_err());
     }
 
     #[test]

@@ -23,11 +23,7 @@ pub struct CosineConfig {
 
 impl Default for CosineConfig {
     fn default() -> Self {
-        Self {
-            initial_trust: 0.8,
-            damping: 0.2,
-            iteration: IterationControl::default(),
-        }
+        Self { initial_trust: 0.8, damping: 0.2, iteration: IterationControl::default() }
     }
 }
 
@@ -108,22 +104,19 @@ impl Corroborator for Cosine {
                 // The vote vector's norm is sqrt(|votes|) since entries are ±1.
                 let denom = (votes.len() as f64).sqrt() * norm_v.sqrt();
                 let cosine = if denom < 1e-12 { 0.0 } else { dot / denom };
-                trust[s.index()] =
-                    cfg.damping * previous[s.index()] + (1.0 - cfg.damping) * cosine;
+                trust[s.index()] = cfg.damping * previous[s.index()] + (1.0 - cfg.damping) * cosine;
             }
-            let residual = trust
-                .iter()
-                .zip(&previous)
-                .map(|(a, b)| (a - b).abs())
-                .fold(0.0, f64::max);
+            let residual =
+                trust.iter().zip(&previous).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
             if cfg.iteration.converged(residual) {
                 break;
             }
         }
 
         let probs: Vec<f64> = value.iter().map(|v| ((v + 1.0) / 2.0).clamp(0.0, 1.0)).collect();
-        let exported =
-            TrustSnapshot::from_values(trust.iter().map(|t| ((t + 1.0) / 2.0).clamp(0.0, 1.0)).collect())?;
+        let exported = TrustSnapshot::from_values(
+            trust.iter().map(|t| ((t + 1.0) / 2.0).clamp(0.0, 1.0)).collect(),
+        )?;
         CorroborationResult::new(probs, exported, None, rounds)
     }
 }

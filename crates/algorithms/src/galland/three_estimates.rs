@@ -51,10 +51,7 @@ impl Default for ThreeEstimatesConfig {
 impl ThreeEstimatesConfig {
     fn validate(&self) -> Result<(), CoreError> {
         corroborate_core::error::check_probability("initial error", self.initial_error)?;
-        corroborate_core::error::check_probability(
-            "initial difficulty",
-            self.initial_difficulty,
-        )?;
+        corroborate_core::error::check_probability("initial difficulty", self.initial_difficulty)?;
         corroborate_core::error::check_probability("voteless prior", self.voteless_prior)?;
         self.iteration.validate()
     }
@@ -165,19 +162,15 @@ impl Corroborator for ThreeEstimates {
             }
             difficulty = new_difficulty;
 
-            let residual = error
-                .iter()
-                .zip(&previous_error)
-                .map(|(a, b)| (a - b).abs())
-                .fold(0.0, f64::max);
+            let residual =
+                error.iter().zip(&previous_error).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
             if cfg.iteration.converged(residual) {
                 break;
             }
         }
 
         score_facts(&error, &difficulty, &mut probs);
-        let trust =
-            TrustSnapshot::from_values(error.iter().map(|e| 1.0 - e).collect())?;
+        let trust = TrustSnapshot::from_values(error.iter().map(|e| 1.0 - e).collect())?;
         CorroborationResult::new(probs, trust, None, rounds)
     }
 }

@@ -77,8 +77,7 @@ impl TwoEstimates {
 /// One fact-scoring pass: Corrob under `trust`, writing into `probs`.
 fn score_facts(dataset: &Dataset, trust: &TrustSnapshot, prior: f64, probs: &mut [f64]) {
     for f in dataset.facts() {
-        probs[f.index()] =
-            corrob_probability_or(dataset.votes().votes_on(f), trust, prior);
+        probs[f.index()] = corrob_probability_or(dataset.votes().votes_on(f), trust, prior);
     }
 }
 
@@ -149,12 +148,7 @@ mod tests {
         // restaurants except for r12" ...
         for f in ds.facts() {
             let expected = ds.fact_name(f) != "r12";
-            assert_eq!(
-                r.decisions().label(f).as_bool(),
-                expected,
-                "{}",
-                ds.fact_name(f)
-            );
+            assert_eq!(r.decisions().label(f).as_bool(), expected, "{}", ds.fact_name(f));
         }
         // ... "and a trust score of {1, 1, 0.8, 0.9, 1}".
         let expected_trust = [1.0, 1.0, 0.8, 0.9, 1.0];
@@ -244,11 +238,7 @@ mod tests {
         let r = TwoEstimates::new(cfg).corroborate(&ds).unwrap();
         // r12 (2 F votes vs 1 T) must still score lowest.
         let r12 = FactId::new(11);
-        let min = r
-            .probabilities()
-            .iter()
-            .cloned()
-            .fold(f64::INFINITY, f64::min);
+        let min = r.probabilities().iter().cloned().fold(f64::INFINITY, f64::min);
         assert!((r.probability(r12) - min).abs() < 1e-9);
     }
 }

@@ -37,9 +37,16 @@
 //!   prefers borderline groups (their evaluation keeps spillover entropy
 //!   high), mislabels them while source trust is still noisy, drags the
 //!   voting sources below 0.5 and collapses (accuracy well below the
-//!   baselines). It is kept for the ablation benches; it is also two
-//!   orders of magnitude slower (measured ~150× at 4k facts), far from
-//!   the paper's reported runtime.
+//!   baselines). It is kept for the ablation benches. Its spillover sum
+//!   used to make it two orders of magnitude slower than the default
+//!   mode; the source→group inverted index restricts each candidate's sum
+//!   to index-adjacent groups, and the bound-pruned scorer below skips
+//!   candidates that provably cannot win. On the 4k-fact synthetic world
+//!   (404 groups, ~68k candidate scorings over 242 rounds) this runs the
+//!   full Equation 9 mode in ~0.06 s versus ~1.3 s for the pre-index
+//!   full-scan scorer — a ~22× speedup with bit-identical selections (see
+//!   `docs/PERFORMANCE.md` and `BENCH_incheu.json` for the methodology
+//!   and current numbers).
 //! - [`DeltaHMode::Full`] sums both terms (the literal collective-entropy
 //!   objective); it inherits Equation 9's cascade on adversarial
 //!   geometries.
@@ -51,10 +58,10 @@
 
 use corroborate_core::entropy::binary_entropy;
 use corroborate_core::groups::FactGroup;
-use corroborate_core::ids::FactId;
-use corroborate_core::vote::{SourceVote, Vote};
+use corroborate_core::ids::{FactId, SourceId};
+use corroborate_core::vote::Vote;
 
-use super::{IncState, SelectionStrategy};
+use super::{par, IncState, SelectionStrategy};
 
 /// Which terms of the collective-entropy objective rank the fact groups.
 /// See the module-level documentation for the full derivation.
@@ -88,82 +95,582 @@ impl IncEstHeu {
     }
 }
 
-/// Trust overlay: the projected trust of the sources affected by the
-/// candidate group, sparse over source ids.
-struct ProjectedTrust<'a> {
-    state: &'a IncState<'a>,
-    affected: Vec<(corroborate_core::ids::SourceId, f64)>,
+/// Per-candidate scatter of signed trust shifts over the inverted index:
+/// one accumulator slot per group plus a touched bitmap. Built by
+/// [`walk_shifts`] in one O(Σ deg(affected)) pass and then replayed in
+/// ascending group order as many times as the caller needs — the bound
+/// pass and the exact pass share a single walk of the posting lists.
+struct ShiftWalk {
+    /// `Σ_{s ∈ sig(c) ∩ sig(g)} ±Δσ(s)` per group; valid where `touched`.
+    acc: Vec<f64>,
+    /// Bitmap over group indices marking groups reached by the scatter.
+    touched: Vec<u64>,
 }
 
-impl ProjectedTrust<'_> {
-    fn trust(&self, source: corroborate_core::ids::SourceId) -> f64 {
-        self.affected
-            .iter()
-            .find(|(s, _)| *s == source)
-            .map(|(_, t)| *t)
-            .unwrap_or_else(|| self.state.trust().trust(source))
-    }
-
-    /// Corrob probability of `signature` under the overlay.
-    fn probability(&self, signature: &[SourceVote], prior: f64) -> f64 {
-        if signature.is_empty() {
-            return prior;
-        }
-        let sum: f64 = signature
-            .iter()
-            .map(|sv| match sv.vote {
-                Vote::True => self.trust(sv.source),
-                Vote::False => 1.0 - self.trust(sv.source),
-            })
-            .sum();
-        sum / signature.len() as f64
-    }
+std::thread_local! {
+    /// Reused per-thread scatter buffers: scoring runs tens of thousands of
+    /// candidate walks per round, and a fresh allocation + memset per walk
+    /// costs more than the scatter itself.
+    static WALK_SCRATCH: std::cell::RefCell<ShiftWalk> =
+        const { std::cell::RefCell::new(ShiftWalk { acc: Vec::new(), touched: Vec::new() }) };
 }
 
-/// Computes the spillover sum of Equation 9 for the candidate group at
-/// `candidate_idx`, given all remaining groups and their cached current
-/// probabilities.
-fn spillover(
-    state: &IncState<'_>,
-    groups: &[FactGroup],
-    probs: &[f64],
-    candidate_idx: usize,
-) -> f64 {
-    let candidate = &groups[candidate_idx];
-    let p = probs[candidate_idx];
-    let outcome = p >= 0.5;
+/// Scatters the candidate's projected trust shifts `Δσ(s)` into the
+/// [`ShiftWalk`]: for every signature source, its signed shift is added to
+/// the accumulator of every live group it votes on (postings are compacted
+/// to live groups after each round). Per group, sources contribute in
+/// signature order — the same order every previous formulation used, so
+/// downstream sums are bit-identical.
+fn walk_shifts(state: &IncState<'_>, candidate_gi: usize, walk: &mut ShiftWalk) {
+    let groups = state.groups();
+    let candidate = &groups[candidate_gi];
+    let outcome = state.group_probability(candidate_gi) >= 0.5;
     let size = candidate.facts.len() as u32;
-
-    // Projected trust for the sources the candidate's evaluation touches.
-    let affected: Vec<_> = candidate
-        .signature
-        .iter()
-        .map(|sv| {
-            let agrees = sv.vote.is_affirmative() == outcome;
-            let extra_matches = if agrees { size } else { 0 };
-            (sv.source, state.projected_trust(sv.source, extra_matches, size))
-        })
-        .collect();
-    let overlay = ProjectedTrust { state, affected };
-
-    let prior = state.config().voteless_prior;
-    let mut dh = 0.0;
-    for (gi, other) in groups.iter().enumerate() {
-        if gi == candidate_idx {
-            continue;
+    let index = state.source_index();
+    walk.reset(groups.len());
+    for sv in &candidate.signature {
+        let agrees = sv.vote.is_affirmative() == outcome;
+        let extra_matches = if agrees { size } else { 0 };
+        let shift =
+            state.projected_trust(sv.source, extra_matches, size) - state.trust().trust(sv.source);
+        for posting in index.groups_of(sv.source) {
+            walk.acc[posting.group] += match posting.vote {
+                Vote::True => shift,
+                Vote::False => -shift,
+            };
+            walk.touched[posting.group >> 6] |= 1u64 << (posting.group & 63);
         }
-        // Only groups sharing an affected source can change probability.
-        let touched = other
-            .signature
-            .iter()
-            .any(|sv| overlay.affected.iter().any(|(s, _)| *s == sv.source));
-        if !touched {
-            continue;
-        }
-        let p_new = overlay.probability(&other.signature, prior);
-        dh += other.facts.len() as f64 * (binary_entropy(p_new) - binary_entropy(probs[gi]));
     }
-    dh
+}
+
+impl ShiftWalk {
+    /// Prepares the buffers for a universe of `n_groups` groups: grows them
+    /// if needed and zeroes exactly the slots the previous walk dirtied.
+    fn reset(&mut self, n_groups: usize) {
+        if self.acc.len() < n_groups {
+            self.acc.resize(n_groups, 0.0);
+            self.touched.resize(n_groups.div_ceil(64), 0);
+        }
+        for word in 0..self.touched.len() {
+            let mut bits = self.touched[word];
+            while bits != 0 {
+                self.acc[(word << 6) + bits.trailing_zeros() as usize] = 0.0;
+                bits &= bits - 1;
+            }
+            self.touched[word] = 0;
+        }
+    }
+    /// Calls `f(group, acc)` once per touched group, ascending by group
+    /// index (bitmap scan order).
+    #[inline]
+    fn for_each(&self, mut f: impl FnMut(usize, f64)) {
+        for (word, &bits) in self.touched.iter().enumerate() {
+            let mut bits = bits;
+            while bits != 0 {
+                let gi = (word << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                f(gi, self.acc[gi]);
+            }
+        }
+    }
+}
+
+/// Computes the spillover sum of Equation 9 for the candidate group
+/// `candidate_gi` (a stable index into [`IncState::groups`]).
+///
+/// The evaluation of the candidate moves the trust of exactly the sources
+/// in its signature, and the Corrob score is a *mean* of per-source
+/// contributions, so for every other group the new probability is reachable
+/// without touching its signature at all:
+///
+/// ```text
+/// p_new(g) = p_old(g) + (Σ_{s ∈ sig(c) ∩ sig(g)} ±Δσ(s)) / |sig(g)|
+/// ```
+///
+/// where `Δσ(s)` is the source's projected trust shift and the sign follows
+/// `g`'s vote polarity for `s`. The inner sums come from one
+/// [`walk_shifts`] scatter over the affected sources' posting lists —
+/// O(Σ deg(s)) — and the entropy delta then costs one `binary_entropy` per
+/// touched group, with the old entropy read from the
+/// [`IncState::group_entropy`] cache. Compared to the full-scan scorer this
+/// replaced (all G groups × an O(|sig_a|·|sig_b|) overlap check × an
+/// O(|sig_b|) overlay recompute × two entropy calls), the per-candidate
+/// cost drops from O(G·|sig|²) to O(Σ deg(affected) + |touched|).
+///
+/// Groups sharing no source keep `p_new == p_old` exactly and contribute a
+/// hard zero, exactly as in the full-scan version; accumulated deltas agree
+/// with the recomputed overlay mean to within ulps (the equivalence suite
+/// in `naive_ref` pins this at 1e-12 together with identical selections).
+pub(super) fn spillover(state: &IncState<'_>, candidate_gi: usize) -> f64 {
+    let groups = state.groups();
+    WALK_SCRATCH.with_borrow_mut(|walk| {
+        walk_shifts(state, candidate_gi, walk);
+        let mut dh = 0.0;
+        walk.for_each(|gi, acc| {
+            if gi == candidate_gi {
+                return;
+            }
+            let group = &groups[gi];
+            if group.facts.is_empty() {
+                return;
+            }
+            let p_new = state.group_probability(gi) + acc / group.signature.len() as f64;
+            dh += group.facts.len() as f64 * (binary_entropy(p_new) - state.group_entropy(gi));
+        });
+        dh
+    })
+}
+
+/// Minimum of `|H''|` on `[0, 1]` — attained at p = ½: `4/ln 2`.
+const GLOBAL_CMIN: f64 = 4.0 / std::f64::consts::LN_2;
+
+/// Everything the per-touched-group hot loops need, packed into one cache
+/// line per group (the walk passes are load-bound; scattering these over
+/// five parallel arrays costs five cache misses per touched group).
+/// Values are copied bit-exactly from the state caches, so sums over them
+/// match sums over the originals bit for bit.
+#[derive(Clone, Copy, Default)]
+struct GroupBound {
+    /// `H'(p_g) = log2((1−p)/p)` (±∞ at the boundaries).
+    slope: f64,
+    /// `1/|sig_g|` (0 for dead/voteless groups).
+    inv_len: f64,
+    /// `|H''(p_g)|` — the minimum curvature over any probability move
+    /// *away* from ½.
+    c_away: f64,
+    /// Cached Corrob probability [`IncState::group_probability`].
+    p: f64,
+    /// Cached entropy [`IncState::group_entropy`].
+    h: f64,
+    /// `|FG|` as f64 (0 for dead groups).
+    size: f64,
+    /// `|sig_g|` as f64 — the exact pass divides by this, matching
+    /// [`spillover`]'s `acc / len` bit for bit.
+    len: f64,
+}
+
+/// Per-round tables for bound-pruned spillover scoring, built once per
+/// `select` and shared by both parts.
+struct BoundTables {
+    /// Packed per-group hot-loop data.
+    gb: Vec<GroupBound>,
+    /// Per source: Σ over its live finite-slope postings of
+    /// `±size·slope/len` — the reordered linear part of the tangent bound.
+    v: Vec<f64>,
+    /// Flattened `n_sources × n_sources` matrix: `M[s][s'] = Σ_g
+    /// (C_MIN/2)·size_g·(±1)(±1)/len_g²` over live finite-slope groups
+    /// voted on by both sources (signs follow the group's polarity for each
+    /// source). Expanding `x_cg²` over source pairs turns the summed
+    /// curvature term `Σ_g (C_MIN/2)·size_g·x_cg²` into the quadratic form
+    /// `Σ_{s,s'∈sig(c)} δ_s·δ_s'·M[s][s']` — second-order accuracy for the
+    /// O(|sig|²) prescreen with no posting walk.
+    m: Vec<f64>,
+    /// Number of sources (row stride of `m`).
+    n_sources: usize,
+    /// Per size bucket, per source: Σ over the source's live finite-slope
+    /// postings of the group's clamp-slack *rate* — multiplied by the
+    /// candidate's actual `|δ_s|` at prescreen time (the deficit bound is
+    /// linear in each shift), valid for candidates whose group size is
+    /// within the bucket.
+    sl_rate: Vec<Vec<f64>>,
+    /// Per size bucket, per source: Σ of `size_g` over the source's live
+    /// *infinite-slope* postings (`p` exactly 0 or 1). Entropy's derivative
+    /// is unbounded at the boundary, so no per-shift linear bound exists;
+    /// these groups are charged in full.
+    sl_cst: Vec<Vec<f64>>,
+}
+
+/// Bucket index for a candidate group size: candidates of size `n` use
+/// slack tables built for the power-of-two edge `≥ n`, so their projected
+/// trust shifts (monotone in the evaluated batch size) stay within the
+/// table's assumptions at ≤ 2× pessimism.
+#[inline]
+fn bucket_of(n: usize) -> usize {
+    (usize::BITS - (n.max(1) - 1).leading_zeros()) as usize
+}
+
+/// Builds the per-round [`BoundTables`]: O(buckets · (votes + postings))
+/// plus one trust projection per source per bucket — thousands of flops,
+/// amortised over every candidate scored this round.
+fn bound_tables(state: &IncState<'_>) -> BoundTables {
+    let groups = state.groups();
+    let index = state.source_index();
+    let n_sources = index.n_sources();
+
+    let mut gb = vec![GroupBound::default(); groups.len()];
+    for (gi, g) in groups.iter().enumerate() {
+        if g.facts.is_empty() || g.signature.is_empty() {
+            continue;
+        }
+        let p = state.group_probability(gi);
+        gb[gi] = GroupBound {
+            slope: ((1.0 - p) / p).log2(),
+            inv_len: 1.0 / g.signature.len() as f64,
+            c_away: 1.0 / (std::f64::consts::LN_2 * p * (1.0 - p)),
+            p,
+            h: state.group_entropy(gi),
+            size: g.facts.len() as f64,
+            len: g.signature.len() as f64,
+        };
+    }
+
+    let mut v = vec![0.0f64; n_sources];
+    for (si, v_s) in v.iter_mut().enumerate() {
+        for posting in index.groups_of(SourceId::new(si)) {
+            let g = &gb[posting.group];
+            if g.size == 0.0 {
+                continue;
+            }
+            if g.slope.is_finite() {
+                let w = match posting.vote {
+                    Vote::True => 1.0,
+                    Vote::False => -1.0,
+                };
+                *v_s += w * g.size * g.slope * g.inv_len;
+            }
+        }
+    }
+
+    // Pairwise curvature matrix. GLOBAL_CMIN is a valid curvature floor in
+    // either direction, so the subtracted quadratic form keeps the
+    // prescreen an upper bound regardless of where each move points.
+    let mut m = vec![0.0f64; n_sources * n_sources];
+    for (gi, g) in groups.iter().enumerate() {
+        let b = &gb[gi];
+        if b.size == 0.0 || !b.slope.is_finite() {
+            continue;
+        }
+        let w = 0.5 * GLOBAL_CMIN * b.size * b.inv_len * b.inv_len;
+        for svi in &g.signature {
+            let wi = match svi.vote {
+                Vote::True => w,
+                Vote::False => -w,
+            };
+            let row = svi.source.index() * n_sources;
+            for svj in &g.signature {
+                let wij = match svj.vote {
+                    Vote::True => wi,
+                    Vote::False => -wi,
+                };
+                m[row + svj.source.index()] += wij;
+            }
+        }
+    }
+
+    // Slack tables, one per candidate-size bucket. Small candidates shift
+    // trust very little, so their slack is near zero and the O(|sig|)
+    // bound alone prunes them; only the few large candidates fall through
+    // to the walk tiers.
+    let nmax = groups.iter().map(|g| g.facts.len()).max().unwrap_or(1).max(1);
+    let n_buckets = bucket_of(nmax) + 1;
+    let mut sl_rate = Vec::with_capacity(n_buckets);
+    let mut sl_cst = Vec::with_capacity(n_buckets);
+    for b in 0..n_buckets {
+        let edge = (1usize << b).min(nmax) as u32;
+        let smax: Vec<f64> = (0..n_sources)
+            .map(|si| {
+                let s = SourceId::new(si);
+                let t = state.trust().trust(s);
+                let down = t - state.projected_trust(s, 0, edge);
+                let up = state.projected_trust(s, edge, edge) - t;
+                down.max(up)
+            })
+            .collect();
+        let mut rate_b = vec![0.0f64; n_sources];
+        let mut cst_b = vec![0.0f64; n_sources];
+        for (gi, g) in groups.iter().enumerate() {
+            if g.facts.is_empty() || g.signature.is_empty() {
+                continue;
+            }
+            let b = &gb[gi];
+            if !b.slope.is_finite() {
+                // p exactly 0 or 1: no slope; the term is ≤ size·(1 − 0),
+                // charged in full to every shared source (a candidate
+                // triggers it with any one of them).
+                for sv in &g.signature {
+                    cst_b[sv.source.index()] += b.size;
+                }
+                continue;
+            }
+            // Clamp slack, split subadditively over the group's sources.
+            // For a candidate sharing source set I with actual shifts
+            // `δ_s`, the clamp arm `−H` can exceed the prescreen's
+            // quadratic arm by at most `size·(A − H)₊` where
+            // `A = u·Σ_{s∈I} |δ_s|` and `u = (|slope| +
+            // (C_MIN/2)·x_max)/len` (the curvature inflation covers the
+            // subtracted quadratic form at the worst achievable move).
+            // With `U = u·Σ_{s∈sig} smax_s ≥ A`, `(A − H)₊ ≤ (1 − H/U)·A`,
+            // so charging source `s` the rate `size·u·(1 − H/U)` *per unit
+            // of actual shift* covers the deficit; the prescreen multiplies
+            // by the candidate's true `|δ_s|`, far below the bucket's
+            // worst case in late rounds. Whenever `U ≤ H` — the group's
+            // whole worst-case move stays within its entropy — every rate
+            // is zero, which is what makes the O(|sig|²) prescreen bite
+            // once trust shifts shrink.
+            let smax_sum: f64 = g.signature.iter().map(|sv| smax[sv.source.index()]).sum();
+            let x_max = smax_sum * b.inv_len;
+            let u = b.inv_len * (b.slope.abs() + 0.5 * GLOBAL_CMIN * x_max);
+            let total = smax_sum * u;
+            if total <= b.h {
+                continue;
+            }
+            let rate = (1.0 - b.h / total) * b.size * u;
+            for sv in &g.signature {
+                rate_b[sv.source.index()] += rate;
+            }
+        }
+        sl_rate.push(rate_b);
+        sl_cst.push(cst_b);
+    }
+
+    BoundTables { gb, v, m, n_sources, sl_rate, sl_cst }
+}
+
+/// Upper bound on one touched group's spillover term, without evaluating
+/// any entropy.
+///
+/// Binary entropy is concave, so whenever `p + x` stays in `[0, 1]`,
+/// Taylor's remainder gives `H(p + x) − H(p) ≤ H'(p)·x − c·x²/2` for any
+/// `c ≤ min |H''|` over the interval: `|H''|` grows away from ½, so a move
+/// away from ½ takes its minimum at `p` itself (precomputed in `c_away`),
+/// and a move toward ½ falls back to the global [`GLOBAL_CMIN`]. When
+/// `p + x` escapes `[0, 1]`, `binary_entropy` clamps and the change is
+/// exactly `−H(p)`; `max` of the two covers both cases. ±∞ slope at the
+/// boundaries falls back to the global `H ≤ 1` bound.
+#[inline]
+fn ub_term(g: &GroupBound, acc: f64) -> f64 {
+    if !g.slope.is_finite() {
+        return g.size;
+    }
+    let x = acc * g.inv_len;
+    let c = if x * (0.5 - g.p) > 0.0 { GLOBAL_CMIN } else { g.c_away };
+    g.size * (g.slope * x - 0.5 * c * x * x).max(-g.h)
+}
+
+/// [`spillover`] under a pruning cut, sharing one [`walk_shifts`] scatter
+/// between two replay passes:
+///
+/// 1. **Bound pass** — sums the curvature-tightened tangent bound
+///    ([`ub_term`]) with no entropy evaluation. If the total stays under
+///    `cut`, the exact score provably cannot reach the bar and the
+///    candidate returns NaN without ever computing an entropy.
+/// 2. **Exact pass with early abandonment** — accumulates the exact sum
+///    alongside the *remaining* upper bound (the bound total minus the
+///    [`ub_term`]s already passed; both passes replay the identical terms
+///    in the identical order, so the subtraction is float-exact). As soon
+///    as `partial + remaining < cut` the final score provably cannot reach
+///    `cut` and the candidate returns NaN.
+///
+/// The exact accumulation is the same operations in the same order as
+/// [`spillover`], so a completing candidate returns the bit-identical
+/// score.
+fn spillover_pruned(state: &IncState<'_>, candidate_gi: usize, t: &BoundTables, cut: f64) -> f64 {
+    WALK_SCRATCH.with_borrow_mut(|walk| {
+        walk_shifts(state, candidate_gi, walk);
+        let mut ub = 0.0;
+        walk.for_each(|gi, acc| {
+            let g = &t.gb[gi];
+            if gi == candidate_gi || g.size == 0.0 {
+                return;
+            }
+            ub += ub_term(g, acc);
+        });
+        if ub < cut {
+            return f64::NAN;
+        }
+        let mut dh = 0.0;
+        let mut remaining = ub;
+        let mut abandoned = false;
+        walk.for_each(|gi, acc| {
+            let g = &t.gb[gi];
+            if abandoned || gi == candidate_gi || g.size == 0.0 {
+                return;
+            }
+            remaining -= ub_term(g, acc);
+            let p_new = g.p + acc / g.len;
+            dh += g.size * (binary_entropy(p_new) - g.h);
+            if dh + remaining < cut {
+                abandoned = true;
+            }
+        });
+        if abandoned {
+            f64::NAN
+        } else {
+            dh
+        }
+    })
+}
+
+/// O(|sig|²) posting-walk-free prescreen for one candidate.
+///
+/// Summing the curvature-tightened tangent bound
+/// `Σ_g size_g·(slope_g·x_cg − (C_MIN/2)·x_cg²)` over touched groups
+/// reorders over the *sources* of the candidate's signature:
+/// `x_cg = (Σ_{s ∈ sig(c) ∩ sig(g)} ±δ_s)/len_g`, so the linear part
+/// collapses to `Σ_{s ∈ sig(c)} δ_s·v[s]` and the quadratic part to the
+/// form `Σ_{s,s' ∈ sig(c)} δ_s·δ_s'·M[s][s']`, both with per-round tables —
+/// no posting walk per candidate. The reordered sums include the
+/// candidate's own group (it posts on its own sources); both its parts are
+/// subtracted back exactly.
+///
+/// Returns `(rank, bound)`: `rank` is the slack-free second-order estimate —
+/// a close approximation of the true score, used to order candidates and
+/// pick the bar — and `bound` adds the candidate's size-bucketed clamp
+/// slack, making it a valid upper bound on [`spillover`] fit for pruning.
+fn linear_prescreen(state: &IncState<'_>, t: &BoundTables, candidate_gi: usize) -> (f64, f64) {
+    let candidate = &state.groups()[candidate_gi];
+    let outcome = state.group_probability(candidate_gi) >= 0.5;
+    let size = candidate.facts.len() as u32;
+    let bucket = bucket_of(candidate.facts.len());
+    let (sl_rate, sl_cst) = (&t.sl_rate[bucket], &t.sl_cst[bucket]);
+    let mut deltas = Vec::with_capacity(candidate.signature.len());
+    let mut lin = 0.0;
+    let mut slack = 0.0;
+    let mut own_num = 0.0;
+    for sv in &candidate.signature {
+        let agrees = sv.vote.is_affirmative() == outcome;
+        let extra_matches = if agrees { size } else { 0 };
+        let delta =
+            state.projected_trust(sv.source, extra_matches, size) - state.trust().trust(sv.source);
+        let si = sv.source.index();
+        deltas.push((si, delta));
+        lin += delta * t.v[si];
+        slack += sl_rate[si] * delta.abs() + sl_cst[si];
+        own_num += match sv.vote {
+            Vote::True => delta,
+            Vote::False => -delta,
+        };
+    }
+    // Quadratic form over the signature's source pairs, minus the
+    // candidate's own group's exact contribution to both parts.
+    let mut quad = 0.0;
+    for &(si, di) in &deltas {
+        let row = &t.m[si * t.n_sources..(si + 1) * t.n_sources];
+        for &(sj, dj) in &deltas {
+            quad += di * dj * row[sj];
+        }
+    }
+    let g = &t.gb[candidate_gi];
+    if g.slope.is_finite() {
+        lin -= g.size * g.slope * own_num * g.inv_len;
+        quad -= 0.5 * GLOBAL_CMIN * g.size * g.inv_len * g.inv_len * own_num * own_num;
+    }
+    let est = lin - quad;
+    (est, est + slack)
+}
+
+/// Block size for the adaptive-bar loop: small enough that the bar rises
+/// quickly — each block's best exact score becomes the next block's cut,
+/// and when the linear ranking misorders a part the bar still converges
+/// within a few blocks — at the cost of [`par::map_scores`] batches below
+/// its parallel threshold (small blocks run sequentially even under
+/// `--features rayon`; the walk tiers inside a block are where the time
+/// goes, and pruning more than pays for the lost fan-out).
+const PRUNE_BLOCK: usize = 8;
+
+/// Scores one part under a spillover-bearing mode with adaptive-bar bound
+/// pruning.
+///
+/// Every candidate first gets the O(|sig|) [`linear_prescreen`]; candidates
+/// are then processed in descending order of the slack-free estimate, in
+/// blocks of [`PRUNE_BLOCK`]. Within a block each candidate passes through
+/// tiers of increasingly tight (and expensive) scoring against the bar
+/// frozen at block entry: linear bound, then the shared-walk bound and
+/// early-abandoning exact passes of [`spillover_pruned`] — dropping out at
+/// the first tier that proves it stays under the bar. After each block the bar
+/// rises to the best exact score seen so far, so later blocks prune against
+/// an ever-tighter cut even when the linear ranking is inaccurate (early
+/// rounds, where large trust deltas overwhelm the tangent approximation).
+///
+/// A pruned candidate satisfies `exact ≤ bound < cut < bar ≤ max(exact
+/// scores)`, so it can neither win nor tie the argmax — the selection
+/// (tie-breaks included) is provably identical to scoring every candidate,
+/// whatever order the bar rose in; pruning only skips work for candidates
+/// that cannot matter. Pruned entries are returned as NaN, which
+/// [`best_of`] skips.
+fn scores_pruned(
+    state: &IncState<'_>,
+    part: &[usize],
+    mode: DeltaHMode,
+    t: &BoundTables,
+) -> Vec<f64> {
+    let groups = state.groups();
+    let self_term = |gi: usize| -> f64 {
+        match mode {
+            DeltaHMode::Full => -(groups[gi].facts.len() as f64) * state.group_entropy(gi),
+            _ => 0.0,
+        }
+    };
+
+    let mut ranks = Vec::with_capacity(part.len());
+    let mut lins = Vec::with_capacity(part.len());
+    for &gi in part {
+        let (lin, ub) = linear_prescreen(state, t, gi);
+        let st = self_term(gi);
+        ranks.push(lin + st);
+        lins.push(ub + st);
+    }
+    let mut order: Vec<usize> = (0..part.len()).collect();
+    order.sort_unstable_by(|&a, &b| ranks[b].total_cmp(&ranks[a]));
+
+    // Seed the bar with the top-ranked candidate's exact score.
+    let m = order[0];
+    let mut bar = spillover(state, part[m]) + self_term(part[m]);
+    // Safety margin: the bounds dominate the exact score in the reals, but
+    // all are rounded sums — never let float noise prune an exact tie.
+    let margin = |bar: f64| bar - 1e-9 * (1.0 + bar.abs());
+    let mut cut = margin(bar);
+
+    let mut scores = vec![f64::NAN; part.len()];
+    scores[m] = bar;
+    for block in order[1..].chunks(PRUNE_BLOCK) {
+        let block_scores = par::map_scores(block, |k| {
+            if lins[k] < cut {
+                return f64::NAN;
+            }
+            let gi = part[k];
+            let st = self_term(gi);
+            spillover_pruned(state, gi, t, cut - st) + st
+        });
+        for (&k, &s) in block.iter().zip(&block_scores) {
+            scores[k] = s;
+            if s > bar {
+                bar = s;
+                cut = margin(bar);
+            }
+        }
+    }
+    scores
+}
+
+/// Argmax over one part with the documented tie-breaks; `scores[k]` is the
+/// exact ΔH score of `part[k]`, or NaN for candidates [`scores_pruned`]
+/// proved unable to win or tie.
+fn best_of(groups: &[FactGroup], part: &[usize], scores: &[f64]) -> usize {
+    let mut best_i = part[0];
+    let mut best_score = f64::NEG_INFINITY;
+    for (&i, &s) in part.iter().zip(scores) {
+        if s.is_nan() {
+            continue;
+        }
+        // Exact score ties are systematic at t_0 (every source has the
+        // same default trust, so e.g. every T-only signature scores
+        // identically). Break them by signature length — more votes on a
+        // fact means stronger corroboration, so its projected label is
+        // the safest to commit and the per-source credit is spread over
+        // co-voting sources instead of anointing one arbitrary source.
+        // Then larger groups, then canonical order.
+        let better = s > best_score
+            || (s == best_score
+                && (groups[i].signature.len() > groups[best_i].signature.len()
+                    || (groups[i].signature.len() == groups[best_i].signature.len()
+                        && groups[i].facts.len() > groups[best_i].facts.len())));
+        if better {
+            best_score = s;
+            best_i = i;
+        }
+    }
+    best_i
 }
 
 impl SelectionStrategy for IncEstHeu {
@@ -176,20 +683,22 @@ impl SelectionStrategy for IncEstHeu {
     }
 
     fn select(&self, state: &IncState<'_>) -> Vec<FactId> {
-        let groups = state.remaining_groups();
-        let probs: Vec<f64> = groups
-            .iter()
-            .map(|g| state.signature_probability(&g.signature))
-            .collect();
+        let groups = state.groups();
 
-        // Strict partition (§5.1): positive above 0.5, negative below.
+        // Strict partition (§5.1) of the live groups: positive above 0.5,
+        // negative below. Probabilities come from the per-group cache —
+        // nothing is recomputed here.
         let mut positive = Vec::new();
         let mut negative = Vec::new();
-        for (i, &p) in probs.iter().enumerate() {
+        for (gi, g) in groups.iter().enumerate() {
+            if g.facts.is_empty() {
+                continue;
+            }
+            let p = state.group_probability(gi);
             if p > 0.5 {
-                positive.push(i);
+                positive.push(gi);
             } else if p < 0.5 {
-                negative.push(i);
+                negative.push(gi);
             }
         }
 
@@ -199,43 +708,26 @@ impl SelectionStrategy for IncEstHeu {
             return Vec::new();
         }
 
-        let score = |i: usize| -> f64 {
-            match self.mode {
-                DeltaHMode::SelfTerm => -binary_entropy(probs[i]),
-                DeltaHMode::Equation9 => spillover(state, &groups, &probs, i),
-                DeltaHMode::Full => {
-                    spillover(state, &groups, &probs, i)
-                        - groups[i].facts.len() as f64 * binary_entropy(probs[i])
-                }
-            }
+        // Score both parts. `par::map_scores` fills score vectors
+        // positionally (parallel under `--features rayon`, plain map
+        // otherwise), so the sequential argmax sees the same scores in the
+        // same order either way. Self-term scores are O(1) cache reads;
+        // spillover-bearing modes go through the bound-pruned scorer.
+        let mode = self.mode;
+        let (pos_scores, neg_scores) = if mode == DeltaHMode::SelfTerm {
+            (
+                par::map_scores(&positive, |gi| -state.group_entropy(gi)),
+                par::map_scores(&negative, |gi| -state.group_entropy(gi)),
+            )
+        } else {
+            let tables = bound_tables(state);
+            (
+                scores_pruned(state, &positive, mode, &tables),
+                scores_pruned(state, &negative, mode, &tables),
+            )
         };
-        let best = |part: &[usize]| -> usize {
-            let mut best_i = part[0];
-            let mut best_score = f64::NEG_INFINITY;
-            for &i in part {
-                let s = score(i);
-                // Exact score ties are systematic at t_0 (every source has
-                // the same default trust, so e.g. every T-only signature
-                // scores identically). Break them by signature length —
-                // more votes on a fact means stronger corroboration, so
-                // its projected label is the safest to commit and the
-                // per-source credit is spread over co-voting sources
-                // instead of anointing one arbitrary source. Then larger
-                // groups, then canonical order.
-                let better = s > best_score
-                    || (s == best_score
-                        && (groups[i].signature.len() > groups[best_i].signature.len()
-                            || (groups[i].signature.len() == groups[best_i].signature.len()
-                                && groups[i].facts.len() > groups[best_i].facts.len())));
-                if better {
-                    best_score = s;
-                    best_i = i;
-                }
-            }
-            best_i
-        };
-        let fg_pos = &groups[best(&positive)];
-        let fg_neg = &groups[best(&negative)];
+        let fg_pos = &groups[best_of(groups, &positive, &pos_scores)];
+        let fg_neg = &groups[best_of(groups, &negative, &neg_scores)];
 
         // Balanced pick: n facts from each, n = size of the smaller group.
         let n = fg_pos.facts.len().min(fg_neg.facts.len());
@@ -253,8 +745,7 @@ mod tests {
     use corroborate_core::prelude::*;
     use corroborate_datagen::motivating::motivating_example;
 
-    const MODES: [DeltaHMode; 3] =
-        [DeltaHMode::SelfTerm, DeltaHMode::Equation9, DeltaHMode::Full];
+    const MODES: [DeltaHMode; 3] = [DeltaHMode::SelfTerm, DeltaHMode::Equation9, DeltaHMode::Full];
 
     #[test]
     fn names_reflect_modes() {
@@ -268,9 +759,7 @@ mod tests {
     fn terminates_and_covers_every_fact_in_all_modes() {
         let ds = motivating_example();
         for mode in MODES {
-            let r = IncEstimate::new(IncEstHeu::with_mode(mode))
-                .corroborate(&ds)
-                .unwrap();
+            let r = IncEstimate::new(IncEstHeu::with_mode(mode)).corroborate(&ds).unwrap();
             assert_eq!(r.probabilities().len(), ds.n_facts());
             assert!(r.rounds() >= 2, "{mode:?} must be genuinely incremental");
         }
@@ -280,12 +769,8 @@ mod tests {
     fn beats_two_estimates_on_the_motivating_example() {
         use crate::galland::TwoEstimates;
         let ds = motivating_example();
-        let two = TwoEstimates::default()
-            .corroborate(&ds)
-            .unwrap()
-            .confusion(&ds)
-            .unwrap()
-            .accuracy();
+        let two =
+            TwoEstimates::default().corroborate(&ds).unwrap().confusion(&ds).unwrap().accuracy();
         for mode in MODES {
             let heu = IncEstimate::new(IncEstHeu::with_mode(mode))
                 .corroborate(&ds)
@@ -293,10 +778,7 @@ mod tests {
                 .confusion(&ds)
                 .unwrap()
                 .accuracy();
-            assert!(
-                heu > two,
-                "{mode:?}: IncEstHeu accuracy {heu} must beat TwoEstimate {two}"
-            );
+            assert!(heu > two, "{mode:?}: IncEstHeu accuracy {heu} must beat TwoEstimate {two}");
         }
     }
 
@@ -304,9 +786,7 @@ mod tests {
     fn identifies_r12_as_false_in_all_modes() {
         let ds = motivating_example();
         for mode in MODES {
-            let r = IncEstimate::new(IncEstHeu::with_mode(mode))
-                .corroborate(&ds)
-                .unwrap();
+            let r = IncEstimate::new(IncEstHeu::with_mode(mode)).corroborate(&ds).unwrap();
             assert!(!r.decisions().label(FactId::new(11)).as_bool(), "{mode:?}");
         }
     }
@@ -321,9 +801,8 @@ mod tests {
         // walkthrough's 0.83 and TwoEstimate's 0.67. Pinned so any change
         // to the spillover computation is caught deliberately.
         let ds = motivating_example();
-        let r = IncEstimate::new(IncEstHeu::with_mode(DeltaHMode::Equation9))
-            .corroborate(&ds)
-            .unwrap();
+        let r =
+            IncEstimate::new(IncEstHeu::with_mode(DeltaHMode::Equation9)).corroborate(&ds).unwrap();
         assert_eq!(r.rounds(), 3);
         for (i, expected_false) in [(5, true), (11, true), (3, false), (4, false)] {
             assert_eq!(
@@ -360,10 +839,7 @@ mod tests {
         for mode in MODES {
             let sel = IncEstHeu::with_mode(mode).select(&state);
             assert!(!sel.is_empty(), "{mode:?}");
-            let labels: Vec<bool> = sel
-                .iter()
-                .map(|&f| state.fact_probability(f) >= 0.5)
-                .collect();
+            let labels: Vec<bool> = sel.iter().map(|&f| state.fact_probability(f) >= 0.5).collect();
             assert!(labels.iter().any(|&b| b), "{mode:?}");
             assert!(labels.iter().any(|&b| !b), "{mode:?}");
             let t = labels.iter().filter(|&&b| b).count();
@@ -431,30 +907,21 @@ mod tests {
         let r = IncEstimate::new(IncEstHeu::default()).corroborate(&ds).unwrap();
 
         // The bad source ends discredited.
-        assert!(
-            r.trust().trust(bad) < 0.5,
-            "bad source trust = {}",
-            r.trust().trust(bad)
-        );
+        assert!(r.trust().trust(bad) < 0.5, "bad source trust = {}", r.trust().trust(bad));
         // Every conflict fact is false.
         for i in 0..12 {
             assert!(!r.decisions().label(FactId::new(i)).as_bool());
         }
         // The cascade catches solo facts evaluated after the trust dip —
         // Voting can never do this (one T vote, zero F votes always wins).
-        let solo_false = solo
-            .iter()
-            .filter(|&&f| !r.decisions().label(f).as_bool())
-            .count();
+        let solo_false = solo.iter().filter(|&&f| !r.decisions().label(f).as_bool()).count();
         assert!(
             solo_false >= 2,
             "at least the late-evaluated solo facts must be false, got {solo_false}"
         );
         use crate::baseline::Voting;
         let voting = Voting.corroborate(&ds).unwrap();
-        assert!(solo
-            .iter()
-            .all(|&f| voting.decisions().label(f).as_bool()));
+        assert!(solo.iter().all(|&f| voting.decisions().label(f).as_bool()));
         // Facts backed by the good sources survive.
         for f in fine {
             assert!(r.decisions().label(f).as_bool());

@@ -23,6 +23,9 @@
 //!   §2.3 walkthrough (Table 2's "Our strategy" row) and for testing.
 
 mod heuristic;
+#[cfg(test)]
+mod naive_ref;
+pub(crate) mod par;
 mod prob_select;
 mod session;
 
@@ -30,7 +33,9 @@ pub use heuristic::{DeltaHMode, IncEstHeu};
 pub use prob_select::IncEstPS;
 pub use session::{IncEstimateSession, StepReport};
 
+use corroborate_core::entropy::binary_entropy;
 use corroborate_core::groups::{group_by_signature, FactGroup};
+use corroborate_core::index::SourceGroupIndex;
 use corroborate_core::prelude::*;
 use corroborate_core::scoring::corrob_probability_or;
 
@@ -99,13 +104,28 @@ pub struct IncState<'a> {
     /// Evaluated probability per fact (config prior until evaluated).
     probs: Vec<f64>,
     /// Signature groups in canonical order, maintained incrementally:
-    /// evaluating a fact removes it from its group, so per-round group
-    /// construction costs O(evaluated) instead of re-hashing every
-    /// remaining signature (strategies call
-    /// [`remaining_groups`](Self::remaining_groups) each round).
+    /// evaluating a fact removes it from its group (groups drain to empty
+    /// rather than being removed, so group indices stay stable), and
+    /// strategies iterate the live ones via
+    /// [`remaining_groups`](Self::remaining_groups) without any per-round
+    /// re-grouping or cloning.
     groups: Vec<FactGroup>,
     /// Group index of each fact.
     group_of: Vec<usize>,
+    /// Source→group inverted index over `groups`; postings never change.
+    index: SourceGroupIndex,
+    /// Cached Corrob probability per group under the current trust
+    /// snapshot, refreshed via dirty tracking: a round only recomputes the
+    /// groups voted on by sources whose trust value actually moved —
+    /// O(votes of changed sources) instead of O(total votes).
+    group_probs: Vec<f64>,
+    /// Cached `binary_entropy(group_probs[g])`, refreshed in the same dirty
+    /// pass — ΔH scoring reads each group's current entropy thousands of
+    /// times per round and must never recompute it per candidate.
+    group_entropies: Vec<f64>,
+    /// Scratch dirty flags for the cache refresh (always all-false between
+    /// rounds).
+    dirty: Vec<bool>,
 }
 
 impl<'a> IncState<'a> {
@@ -119,17 +139,29 @@ impl<'a> IncState<'a> {
                 group_of[f.index()] = gi;
             }
         }
+        let index = SourceGroupIndex::build(&groups, dataset.n_sources());
+        let trust = TrustSnapshot::uniform(dataset.n_sources(), config.initial_trust)?;
+        let group_probs: Vec<f64> = groups
+            .iter()
+            .map(|g| corrob_probability_or(&g.signature, &trust, config.voteless_prior))
+            .collect();
+        let group_entropies = group_probs.iter().map(|&p| binary_entropy(p)).collect();
+        let dirty = vec![false; groups.len()];
         Ok(Self {
             dataset,
             config,
             remaining_mask: vec![true; dataset.n_facts()],
             remaining_count: dataset.n_facts(),
-            trust: TrustSnapshot::uniform(dataset.n_sources(), config.initial_trust)?,
+            trust,
             matches: vec![0; dataset.n_sources()],
             totals: vec![0; dataset.n_sources()],
             probs: vec![config.voteless_prior; dataset.n_facts()],
             groups,
             group_of,
+            index,
+            group_probs,
+            group_entropies,
+            dirty,
         })
     }
 
@@ -180,12 +212,48 @@ impl<'a> IncState<'a> {
     /// deterministic canonical order (equal to
     /// [`group_by_signature`] over [`remaining_facts`](Self::remaining_facts)
     /// — maintained incrementally, see the struct docs).
-    pub fn remaining_groups(&self) -> Vec<FactGroup> {
-        self.groups
-            .iter()
-            .filter(|g| !g.facts.is_empty())
-            .cloned()
-            .collect()
+    ///
+    /// This is a borrowed view: no per-round clone of the group list.
+    pub fn remaining_groups(&self) -> impl Iterator<Item = &FactGroup> + '_ {
+        self.groups.iter().filter(|g| !g.facts.is_empty())
+    }
+
+    /// All signature groups in canonical order, *including* drained ones
+    /// (empty `facts`) — indices into this slice are stable for the whole
+    /// run and key the probability cache and the inverted index.
+    pub fn groups(&self) -> &[FactGroup] {
+        &self.groups
+    }
+
+    /// Cached Corrob probability of group `group` (an index into
+    /// [`groups`](Self::groups)) under the current trust snapshot.
+    ///
+    /// For live groups this is bit-identical to recomputing
+    /// [`signature_probability`](Self::signature_probability) on the
+    /// group's signature: the cache is refreshed with the same kernel
+    /// whenever a voting source's trust value changes. Groups that drained
+    /// to empty are compacted out of the index and may retain a stale
+    /// value.
+    pub fn group_probability(&self, group: usize) -> f64 {
+        self.group_probs[group]
+    }
+
+    /// Cached binary entropy of [`group_probability`](Self::group_probability)
+    /// — bit-identical to calling
+    /// [`binary_entropy`](corroborate_core::entropy::binary_entropy) on it,
+    /// refreshed in the same dirty pass as the probability cache.
+    pub fn group_entropy(&self, group: usize) -> f64 {
+        self.group_entropies[group]
+    }
+
+    /// The source→group inverted index over [`groups`](Self::groups).
+    pub fn source_index(&self) -> &SourceGroupIndex {
+        &self.index
+    }
+
+    /// Group index of `fact` in [`groups`](Self::groups).
+    pub fn group_of(&self, fact: FactId) -> usize {
+        self.group_of[fact.index()]
     }
 
     /// Corrob probability of a vote signature under the current trust.
@@ -242,8 +310,41 @@ impl<'a> IncState<'a> {
                 self.matches[sv.source.index()] += 1;
             }
         }
+        self.refresh_trust_and_cache();
+    }
+
+    /// Recomputes the trust snapshot from the counters, then refreshes the
+    /// group-probability cache for exactly the groups voted on by sources
+    /// whose trust value moved (dirty tracking over the inverted index).
+    ///
+    /// Also compacts groups that drained to empty out of the posting lists
+    /// first, so spillover walks and dirty marking stay proportional to the
+    /// live degree of each source. Dead groups contribute nothing to either,
+    /// so compaction never changes results.
+    fn refresh_trust_and_cache(&mut self) {
+        let groups = &self.groups;
+        self.index.retain_groups(|gi| !groups[gi].facts.is_empty());
+        let mut dirty_groups: Vec<usize> = Vec::new();
         for s in self.dataset.sources() {
-            self.trust.set(s, self.projected_trust(s, 0, 0));
+            let updated = self.projected_trust(s, 0, 0);
+            if updated.to_bits() != self.trust.trust(s).to_bits() {
+                for posting in self.index.groups_of(s) {
+                    if !self.dirty[posting.group] {
+                        self.dirty[posting.group] = true;
+                        dirty_groups.push(posting.group);
+                    }
+                }
+            }
+            self.trust.set(s, updated);
+        }
+        for &gi in &dirty_groups {
+            self.dirty[gi] = false;
+            self.group_probs[gi] = corrob_probability_or(
+                &self.groups[gi].signature,
+                &self.trust,
+                self.config.voteless_prior,
+            );
+            self.group_entropies[gi] = binary_entropy(self.group_probs[gi]);
         }
     }
 
@@ -253,7 +354,10 @@ impl<'a> IncState<'a> {
     pub(crate) fn evaluate(&mut self, facts: &[FactId]) {
         for &f in facts {
             debug_assert!(self.remaining_mask[f.index()], "fact evaluated twice: {f}");
-            let p = self.fact_probability(f);
+            // The cached group probability is valid throughout the loop:
+            // evaluation fixes probabilities under σ_i, and the snapshot
+            // only advances in refresh_trust_and_cache below.
+            let p = self.group_probs[self.group_of[f.index()]];
             self.probs[f.index()] = p;
             self.remaining_mask[f.index()] = false;
             self.remaining_count -= 1;
@@ -266,9 +370,7 @@ impl<'a> IncState<'a> {
                 }
             }
         }
-        for s in self.dataset.sources() {
-            self.trust.set(s, self.projected_trust(s, 0, 0));
-        }
+        self.refresh_trust_and_cache();
     }
 }
 
@@ -384,10 +486,8 @@ mod tests {
     #[test]
     fn section_2_3_walkthrough_reproduces_exactly() {
         let ds = motivating_example();
-        let schedule = FixedSchedule::new(
-            "Walkthrough",
-            vec![vec![fid(8), fid(11)], vec![fid(4), fid(5)]],
-        );
+        let schedule =
+            FixedSchedule::new("Walkthrough", vec![vec![fid(8), fid(11)], vec![fid(4), fid(5)]]);
         // The walkthrough's arithmetic uses the raw match fraction.
         let cfg = IncEstimateConfig { prior_strength: 0.0, ..Default::default() };
         let r = IncEstimate::with_config(schedule, cfg).corroborate(&ds).unwrap();
@@ -436,8 +536,7 @@ mod tests {
         // since it has a trust score of 0 from the first round, the
         // corroboration assigns a low score for both restaurants."
         let ds = motivating_example();
-        let schedule =
-            FixedSchedule::new("W", vec![vec![fid(8), fid(11)], vec![fid(4), fid(5)]]);
+        let schedule = FixedSchedule::new("W", vec![vec![fid(8), fid(11)], vec![fid(4), fid(5)]]);
         let cfg = IncEstimateConfig { prior_strength: 0.0, ..Default::default() };
         let r = IncEstimate::with_config(schedule, cfg).corroborate(&ds).unwrap();
         // r5 = (σ(s1)=0.9 default + σ(s4)=0) / 2 = 0.45.
@@ -449,9 +548,7 @@ mod tests {
     #[test]
     fn empty_schedule_evaluates_everything_in_one_round() {
         let ds = motivating_example();
-        let r = IncEstimate::new(FixedSchedule::new("OneShot", vec![]))
-            .corroborate(&ds)
-            .unwrap();
+        let r = IncEstimate::new(FixedSchedule::new("OneShot", vec![])).corroborate(&ds).unwrap();
         assert_eq!(r.rounds(), 1);
         // All facts scored under the uniform default trust: every T-only
         // fact gets 0.9; r12 gets (0.1+0.1+0.9)/3; r6 gets 0.5 → true.
@@ -462,10 +559,7 @@ mod tests {
     #[test]
     fn schedule_skips_already_evaluated_facts() {
         let ds = motivating_example();
-        let schedule = FixedSchedule::new(
-            "Dup",
-            vec![vec![fid(0), fid(1)], vec![fid(1), fid(2)]],
-        );
+        let schedule = FixedSchedule::new("Dup", vec![vec![fid(0), fid(1)], vec![fid(1), fid(2)]]);
         let r = IncEstimate::new(schedule).corroborate(&ds).unwrap();
         // Must terminate and evaluate every fact exactly once.
         assert_eq!(r.probabilities().len(), 12);
@@ -475,9 +569,8 @@ mod tests {
     #[test]
     fn trajectory_starts_with_uniform_default() {
         let ds = motivating_example();
-        let r = IncEstimate::new(FixedSchedule::new("X", vec![vec![fid(0)]]))
-            .corroborate(&ds)
-            .unwrap();
+        let r =
+            IncEstimate::new(FixedSchedule::new("X", vec![vec![fid(0)]])).corroborate(&ds).unwrap();
         let t0 = r.trajectory().unwrap().at(0).unwrap();
         for s in ds.sources() {
             assert_eq!(t0.trust(s), 0.9);
@@ -488,12 +581,10 @@ mod tests {
     fn invalid_config_is_rejected() {
         let ds = motivating_example();
         let cfg = IncEstimateConfig { initial_trust: -0.2, ..Default::default() };
-        let e = IncEstimate::with_config(FixedSchedule::new("X", vec![]), cfg)
-            .corroborate(&ds);
+        let e = IncEstimate::with_config(FixedSchedule::new("X", vec![]), cfg).corroborate(&ds);
         assert!(e.is_err());
         let cfg = IncEstimateConfig { prior_strength: -1.0, ..Default::default() };
-        let e = IncEstimate::with_config(FixedSchedule::new("X", vec![]), cfg)
-            .corroborate(&ds);
+        let e = IncEstimate::with_config(FixedSchedule::new("X", vec![]), cfg).corroborate(&ds);
         assert!(e.is_err());
     }
 
@@ -519,14 +610,59 @@ mod tests {
         let mut state = IncState::new(&ds, IncEstimateConfig::default()).unwrap();
         // Evaluate an arbitrary mix, including whole and partial groups.
         state.evaluate(&[fid(0), fid(6), fid(11)]);
-        let cached = state.remaining_groups();
+        let cached: Vec<_> = state.remaining_groups().cloned().collect();
         let recomputed = group_by_signature(ds.votes(), &state.remaining_facts());
         assert_eq!(cached, recomputed);
         state.evaluate(&[fid(7)]);
         assert_eq!(
-            state.remaining_groups(),
+            state.remaining_groups().cloned().collect::<Vec<_>>(),
             group_by_signature(ds.votes(), &state.remaining_facts())
         );
+    }
+
+    #[test]
+    fn group_probability_cache_tracks_trust_updates() {
+        let ds = motivating_example();
+        let mut state = IncState::new(&ds, IncEstimateConfig::default()).unwrap();
+        let check = |state: &IncState<'_>| {
+            // Drained groups are compacted out of the index and may keep a
+            // stale cache entry; the contract covers live groups only.
+            for (gi, g) in state.groups().iter().enumerate().filter(|(_, g)| !g.facts.is_empty()) {
+                let fresh = state.signature_probability(&g.signature);
+                assert_eq!(
+                    state.group_probability(gi).to_bits(),
+                    fresh.to_bits(),
+                    "group {gi} cache drifted: {} vs {}",
+                    state.group_probability(gi),
+                    fresh
+                );
+            }
+        };
+        check(&state);
+        state.evaluate(&[fid(8), fid(11)]);
+        check(&state);
+        state.evaluate(&[fid(4), fid(5)]);
+        check(&state);
+        state.seed(fid(0), Label::True);
+        check(&state);
+    }
+
+    #[test]
+    fn inverted_index_covers_every_group_signature() {
+        let ds = motivating_example();
+        let state = IncState::new(&ds, IncEstimateConfig::default()).unwrap();
+        let index = state.source_index();
+        let total: usize = state.groups().iter().map(|g| g.signature.len()).sum();
+        assert_eq!(index.n_postings(), total);
+        for (gi, g) in state.groups().iter().enumerate() {
+            for sv in &g.signature {
+                assert!(
+                    index.groups_of(sv.source).iter().any(|p| p.group == gi),
+                    "posting missing for source {} group {gi}",
+                    sv.source
+                );
+            }
+        }
     }
 
     #[test]
@@ -537,6 +673,6 @@ mod tests {
         assert_eq!(state.projected_trust(sid(0), 0, 0), 0.9);
         assert_eq!(state.projected_trust(sid(0), 1, 2), 0.5);
         assert_eq!(state.remaining_count(), 12);
-        assert_eq!(state.remaining_groups().len(), 10); // r7=r8, r4=r10 merge
+        assert_eq!(state.remaining_groups().count(), 10); // r7=r8, r4=r10 merge
     }
 }

@@ -1,0 +1,281 @@
+//! Naive pre-index reference for the IncEstHeu scoring path, compiled only
+//! for tests.
+//!
+//! This replicates, decision for decision, the O(G²·|sig|²)-per-round
+//! implementation the inverted-index engine replaced: clone the remaining
+//! groups each round, recompute every group probability from the trust
+//! snapshot, and scan *all* groups for the Equation 9 spillover with a
+//! linear overlay lookup. The equivalence suite below drives both
+//! implementations over randomized datasets and asserts identical
+//! probabilities, scores, and selections — any divergence in the fast path
+//! is a bug, not a tolerance question.
+
+use corroborate_core::entropy::binary_entropy;
+use corroborate_core::groups::FactGroup;
+use corroborate_core::ids::{FactId, SourceId};
+use corroborate_core::vote::{SourceVote, Vote};
+
+use super::{DeltaHMode, IncState};
+
+/// Trust overlay with the original linear `affected` lookup.
+struct LinearOverlay<'a> {
+    state: &'a IncState<'a>,
+    affected: Vec<(SourceId, f64)>,
+}
+
+impl LinearOverlay<'_> {
+    fn trust(&self, source: SourceId) -> f64 {
+        self.affected
+            .iter()
+            .find(|(s, _)| *s == source)
+            .map(|(_, t)| *t)
+            .unwrap_or_else(|| self.state.trust().trust(source))
+    }
+
+    fn probability(&self, signature: &[SourceVote], prior: f64) -> f64 {
+        if signature.is_empty() {
+            return prior;
+        }
+        let sum: f64 = signature
+            .iter()
+            .map(|sv| match sv.vote {
+                Vote::True => self.trust(sv.source),
+                Vote::False => 1.0 - self.trust(sv.source),
+            })
+            .sum();
+        sum / signature.len() as f64
+    }
+}
+
+/// The remaining groups, cloned — the per-round allocation the borrowed
+/// view replaced.
+pub(super) fn remaining_groups(state: &IncState<'_>) -> Vec<FactGroup> {
+    state.remaining_groups().cloned().collect()
+}
+
+/// Every remaining group's probability, recomputed from the snapshot.
+pub(super) fn probabilities(state: &IncState<'_>, groups: &[FactGroup]) -> Vec<f64> {
+    groups.iter().map(|g| state.signature_probability(&g.signature)).collect()
+}
+
+/// Equation 9 spillover by full scan over the remaining group list.
+pub(super) fn spillover(
+    state: &IncState<'_>,
+    groups: &[FactGroup],
+    probs: &[f64],
+    candidate_idx: usize,
+) -> f64 {
+    let candidate = &groups[candidate_idx];
+    let p = probs[candidate_idx];
+    let outcome = p >= 0.5;
+    let size = candidate.facts.len() as u32;
+
+    let affected: Vec<_> = candidate
+        .signature
+        .iter()
+        .map(|sv| {
+            let agrees = sv.vote.is_affirmative() == outcome;
+            let extra_matches = if agrees { size } else { 0 };
+            (sv.source, state.projected_trust(sv.source, extra_matches, size))
+        })
+        .collect();
+    let overlay = LinearOverlay { state, affected };
+
+    let prior = state.config().voteless_prior;
+    let mut dh = 0.0;
+    for (gi, other) in groups.iter().enumerate() {
+        if gi == candidate_idx {
+            continue;
+        }
+        let touched =
+            other.signature.iter().any(|sv| overlay.affected.iter().any(|(s, _)| *s == sv.source));
+        if !touched {
+            continue;
+        }
+        let p_new = overlay.probability(&other.signature, prior);
+        dh += other.facts.len() as f64 * (binary_entropy(p_new) - binary_entropy(probs[gi]));
+    }
+    dh
+}
+
+/// The pre-index `IncEstHeu::select`, tie-breaks and all.
+pub(super) fn select(state: &IncState<'_>, mode: DeltaHMode) -> Vec<FactId> {
+    let groups = remaining_groups(state);
+    let probs = probabilities(state, &groups);
+
+    let mut positive = Vec::new();
+    let mut negative = Vec::new();
+    for (i, &p) in probs.iter().enumerate() {
+        if p > 0.5 {
+            positive.push(i);
+        } else if p < 0.5 {
+            negative.push(i);
+        }
+    }
+    if positive.is_empty() || negative.is_empty() {
+        return Vec::new();
+    }
+
+    let score = |i: usize| -> f64 {
+        match mode {
+            DeltaHMode::SelfTerm => -binary_entropy(probs[i]),
+            DeltaHMode::Equation9 => spillover(state, &groups, &probs, i),
+            DeltaHMode::Full => {
+                spillover(state, &groups, &probs, i)
+                    - groups[i].facts.len() as f64 * binary_entropy(probs[i])
+            }
+        }
+    };
+    let best = |part: &[usize]| -> usize {
+        let mut best_i = part[0];
+        let mut best_score = f64::NEG_INFINITY;
+        for &i in part {
+            let s = score(i);
+            let better = s > best_score
+                || (s == best_score
+                    && (groups[i].signature.len() > groups[best_i].signature.len()
+                        || (groups[i].signature.len() == groups[best_i].signature.len()
+                            && groups[i].facts.len() > groups[best_i].facts.len())));
+            if better {
+                best_score = s;
+                best_i = i;
+            }
+        }
+        best_i
+    };
+    let fg_pos = &groups[best(&positive)];
+    let fg_neg = &groups[best(&negative)];
+
+    let n = fg_pos.facts.len().min(fg_neg.facts.len());
+    let mut selection = Vec::with_capacity(2 * n);
+    selection.extend_from_slice(&fg_pos.facts[..n]);
+    selection.extend_from_slice(&fg_neg.facts[..n]);
+    selection
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{heuristic, IncEstHeu, IncEstimateConfig, SelectionStrategy};
+    use super::*;
+    use corroborate_core::prelude::*;
+    use corroborate_datagen::motivating::motivating_example;
+    use proptest::prelude::*;
+
+    const MODES: [DeltaHMode; 3] = [DeltaHMode::SelfTerm, DeltaHMode::Equation9, DeltaHMode::Full];
+
+    /// Drives a full run round by round, asserting at every time point that
+    /// the indexed/cached engine and this naive reference agree exactly.
+    fn assert_equivalent_run(ds: &Dataset, mode: DeltaHMode) {
+        let mut state = IncState::new(ds, IncEstimateConfig::default()).unwrap();
+        let strategy = IncEstHeu::with_mode(mode);
+        let mut rounds = 0usize;
+        while state.remaining_count() > 0 {
+            rounds += 1;
+            assert!(rounds <= ds.n_facts() + 1, "{mode:?}: runaway round count");
+
+            let naive_groups = remaining_groups(&state);
+            let naive_probs = probabilities(&state, &naive_groups);
+
+            // Cached per-group probabilities are bit-identical to scratch
+            // recomputation (1e-12 is the contract; the cache meets it
+            // exactly because it reuses the same kernel).
+            let live: Vec<usize> = state
+                .groups()
+                .iter()
+                .enumerate()
+                .filter(|(_, g)| !g.facts.is_empty())
+                .map(|(gi, _)| gi)
+                .collect();
+            assert_eq!(live.len(), naive_groups.len());
+            for (&gi, &p) in live.iter().zip(&naive_probs) {
+                assert!(
+                    (state.group_probability(gi) - p).abs() <= 1e-12,
+                    "{mode:?}: cache {} vs naive {p} for group {gi}",
+                    state.group_probability(gi)
+                );
+                assert_eq!(state.group_probability(gi).to_bits(), p.to_bits());
+            }
+
+            // Spillover scores agree for every live candidate.
+            for (k, &gi) in live.iter().enumerate() {
+                let naive = spillover(&state, &naive_groups, &naive_probs, k);
+                let fast = heuristic::spillover(&state, gi);
+                assert!(
+                    (naive - fast).abs() <= 1e-12,
+                    "{mode:?}: spillover {naive} vs {fast} for group {gi}"
+                );
+            }
+
+            // Identical selections, including tie-breaks.
+            let naive_sel = select(&state, mode);
+            let fast_sel = strategy.select(&state);
+            assert_eq!(naive_sel, fast_sel, "{mode:?}: selections diverge");
+
+            let round = if fast_sel.is_empty() { state.remaining_facts() } else { fast_sel };
+            state.evaluate(&round);
+        }
+    }
+
+    /// Builds a dataset from a flat source×fact vote grid
+    /// (0 = no vote, 1 = T, 2 = F).
+    fn grid_dataset(n_sources: usize, n_facts: usize, cells: &[u8]) -> Dataset {
+        let mut b = DatasetBuilder::new();
+        let sources: Vec<SourceId> =
+            (0..n_sources).map(|i| b.add_source(format!("s{i}"))).collect();
+        let facts: Vec<FactId> = (0..n_facts).map(|i| b.add_fact(format!("f{i}"))).collect();
+        for (k, &c) in cells.iter().enumerate() {
+            let s = sources[k / n_facts];
+            let f = facts[k % n_facts];
+            match c {
+                1 => b.cast(s, f, Vote::True).unwrap(),
+                2 => b.cast(s, f, Vote::False).unwrap(),
+                _ => {}
+            }
+        }
+        b.build().unwrap()
+    }
+
+    fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+        (2usize..6, 3usize..24).prop_flat_map(|(n_sources, n_facts)| {
+            proptest::collection::vec(0u8..3, n_sources * n_facts)
+                .prop_map(move |cells| grid_dataset(n_sources, n_facts, &cells))
+        })
+    }
+
+    #[test]
+    fn motivating_example_scores_are_bit_identical() {
+        let ds = motivating_example();
+        for mode in MODES {
+            assert_equivalent_run(&ds, mode);
+        }
+    }
+
+    #[test]
+    fn naive_select_matches_pinned_equation9_first_round() {
+        // The Equation9 pinned outcome test hand-traces round 1 = {r5, r12};
+        // the naive reference must reproduce the same first selection.
+        let ds = motivating_example();
+        let state = IncState::new(&ds, IncEstimateConfig::default()).unwrap();
+        let sel = select(&state, DeltaHMode::Equation9);
+        assert_eq!(sel, vec![FactId::new(4), FactId::new(11)]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn equivalence_self_term(ds in dataset_strategy()) {
+            assert_equivalent_run(&ds, DeltaHMode::SelfTerm);
+        }
+
+        #[test]
+        fn equivalence_equation9(ds in dataset_strategy()) {
+            assert_equivalent_run(&ds, DeltaHMode::Equation9);
+        }
+
+        #[test]
+        fn equivalence_full(ds in dataset_strategy()) {
+            assert_equivalent_run(&ds, DeltaHMode::Full);
+        }
+    }
+}

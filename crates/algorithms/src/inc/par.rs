@@ -1,0 +1,76 @@
+//! Feature-gated parallel scoring for the ΔH candidate loop.
+//!
+//! Under `--features rayon`, [`map_scores`] fans the per-candidate score
+//! computation out over scoped OS threads in fixed positional chunks; the
+//! output vector is written by position, so the result — and therefore every
+//! downstream argmax and tie-break — is bit-identical to the sequential
+//! path. (The feature keeps the upstream crate's name, but is implemented on
+//! `std::thread::scope`: the offline build image cannot vendor rayon. The
+//! call shape is a drop-in for `par_iter().map().collect()`, so swapping the
+//! real crate back in is a one-file change.)
+//!
+//! Without the feature this module is a zero-cost sequential map.
+
+/// Sequential threshold: below this many candidates the spawn overhead
+/// dominates any win, so the parallel build falls back to the plain map.
+#[cfg(feature = "rayon")]
+const MIN_PARALLEL_ITEMS: usize = 32;
+
+/// Maps `score` over `items`, returning scores in positional order.
+#[cfg(feature = "rayon")]
+pub(crate) fn map_scores<F>(items: &[usize], score: F) -> Vec<f64>
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    let n = items.len();
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(n.max(1));
+    if threads <= 1 || n < MIN_PARALLEL_ITEMS {
+        return items.iter().map(|&i| score(i)).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out = vec![0.0f64; n];
+    let score = &score;
+    std::thread::scope(|scope| {
+        for (out_chunk, item_chunk) in out.chunks_mut(chunk).zip(items.chunks(chunk)) {
+            scope.spawn(move || {
+                for (slot, &i) in out_chunk.iter_mut().zip(item_chunk) {
+                    *slot = score(i);
+                }
+            });
+        }
+    });
+    out
+}
+
+/// Maps `score` over `items`, returning scores in positional order.
+#[cfg(not(feature = "rayon"))]
+pub(crate) fn map_scores<F>(items: &[usize], score: F) -> Vec<f64>
+where
+    F: Fn(usize) -> f64,
+{
+    items.iter().map(|&i| score(i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::map_scores;
+
+    #[test]
+    fn preserves_positional_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let scores = map_scores(&items, |i| i as f64 * 0.5 - 3.0);
+        assert_eq!(scores.len(), items.len());
+        for (k, &i) in items.iter().enumerate() {
+            assert_eq!(scores[k].to_bits(), (i as f64 * 0.5 - 3.0).to_bits());
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_tiny_inputs() {
+        assert!(map_scores(&[], |_| 0.0).is_empty());
+        assert_eq!(map_scores(&[7], |i| i as f64), vec![7.0]);
+    }
+}

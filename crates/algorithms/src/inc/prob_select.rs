@@ -21,18 +21,21 @@ impl SelectionStrategy for IncEstPS {
     }
 
     fn select(&self, state: &IncState<'_>) -> Vec<FactId> {
-        let groups = state.remaining_groups();
+        let groups = state.groups();
         let mut best: Option<(f64, usize)> = None;
-        for (i, g) in groups.iter().enumerate() {
-            let p = state.signature_probability(&g.signature);
+        for (gi, g) in groups.iter().enumerate() {
+            if g.facts.is_empty() {
+                continue;
+            }
+            let p = state.group_probability(gi);
             // Strictly-greater keeps the first (canonical-order) group on
             // ties → deterministic.
             if best.is_none_or(|(bp, _)| p > bp) {
-                best = Some((p, i));
+                best = Some((p, gi));
             }
         }
         match best {
-            Some((_, i)) => groups[i].facts.clone(),
+            Some((_, gi)) => groups[gi].facts.clone(),
             None => Vec::new(),
         }
     }
@@ -84,12 +87,8 @@ mod tests {
     #[test]
     fn heuristic_is_at_least_as_accurate_as_greedy() {
         let ds = motivating_example();
-        let ps = IncEstimate::new(IncEstPS)
-            .corroborate(&ds)
-            .unwrap()
-            .confusion(&ds)
-            .unwrap()
-            .accuracy();
+        let ps =
+            IncEstimate::new(IncEstPS).corroborate(&ds).unwrap().confusion(&ds).unwrap().accuracy();
         let heu = IncEstimate::new(IncEstHeu::default())
             .corroborate(&ds)
             .unwrap()

@@ -81,7 +81,8 @@ impl<'a, S: SelectionStrategy> IncEstimateSession<'a, S> {
         self.state.seed(fact, label);
         // Seeding replaces the latest snapshot rather than adding a time
         // point: it is knowledge injected *at* t_i, not a round.
-        self.trajectory = replace_last(std::mem::take(&mut self.trajectory), self.state.trust().clone());
+        self.trajectory =
+            replace_last(std::mem::take(&mut self.trajectory), self.state.trust().clone());
         Ok(())
     }
 
@@ -100,15 +101,8 @@ impl<'a, S: SelectionStrategy> IncEstimateSession<'a, S> {
         self.state.evaluate(&selection);
         self.rounds += 1;
         self.trajectory.push(self.state.trust().clone());
-        let evaluated = selection
-            .into_iter()
-            .map(|f| (f, self.state.probability(f)))
-            .collect();
-        Some(StepReport {
-            round: self.rounds,
-            evaluated,
-            trust: self.state.trust().clone(),
-        })
+        let evaluated = selection.into_iter().map(|f| (f, self.state.probability(f))).collect();
+        Some(StepReport { round: self.rounds, evaluated, trust: self.state.trust().clone() })
     }
 
     /// Drains the remaining rounds and assembles the final result.
@@ -173,10 +167,7 @@ mod tests {
         let oneshot = IncEstimate::new(IncEstHeu::default()).corroborate(&ds).unwrap();
         assert_eq!(stepped.probabilities(), oneshot.probabilities());
         assert_eq!(stepped.rounds(), oneshot.rounds());
-        assert_eq!(
-            stepped.trust().values(),
-            oneshot.trust().values()
-        );
+        assert_eq!(stepped.trust().values(), oneshot.trust().values());
     }
 
     #[test]
@@ -219,12 +210,9 @@ mod tests {
         // Semi-supervised: seeding the known-false r12 and r6 lets the
         // heuristic discredit s4 before round 1.
         let ds = motivating_example();
-        let mut session = IncEstimateSession::new(
-            &ds,
-            IncEstHeu::default(),
-            IncEstimateConfig::default(),
-        )
-        .unwrap();
+        let mut session =
+            IncEstimateSession::new(&ds, IncEstHeu::default(), IncEstimateConfig::default())
+                .unwrap();
         session.seed(fid(11), Label::False).unwrap();
         session.seed(fid(5), Label::False).unwrap();
         let seeded = session.finish().unwrap();

@@ -88,9 +88,7 @@ pub fn expand_implicit_negatives(dataset: &Dataset) -> Result<Dataset, CoreError
             None => b.add_fact(dataset.fact_name(f).to_string()),
         };
     }
-    b.set_question_assignments(
-        dataset.facts().map(|f| questions.question_of(f)).collect(),
-    );
+    b.set_question_assignments(dataset.facts().map(|f| questions.question_of(f)).collect());
     // Explicit votes first (they win over synthetic negatives).
     for f in dataset.facts() {
         for sv in dataset.votes().votes_on(f) {
@@ -224,9 +222,7 @@ mod tests {
     #[test]
     fn argmax_declares_exactly_one_candidate_per_question() {
         let ds = quiz();
-        let r = MultiAnswer::new(TwoEstimates::default())
-            .corroborate(&ds)
-            .unwrap();
+        let r = MultiAnswer::new(TwoEstimates::default()).corroborate(&ds).unwrap();
         let q = ds.questions().unwrap();
         for question in q.questions() {
             let winners = q
@@ -256,9 +252,7 @@ mod tests {
         // u0 proved reliable on q0, u2 did not; 2-Estimates on the expanded
         // dataset must break q1 toward u0's answer.
         let ds = quiz();
-        let r = MultiAnswer::new(TwoEstimates::default())
-            .corroborate(&ds)
-            .unwrap();
+        let r = MultiAnswer::new(TwoEstimates::default()).corroborate(&ds).unwrap();
         assert!(r.decisions().label(FactId::new(3)).as_bool(), "u0's answer wins");
         assert!(!r.decisions().label(FactId::new(4)).as_bool());
         assert_eq!(r.confusion(&ds).unwrap().errors(), 0);

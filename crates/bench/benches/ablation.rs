@@ -13,14 +13,8 @@ use corroborate_core::corroborator::Corroborator;
 use corroborate_datagen::synthetic::{generate, SyntheticConfig};
 
 fn world(n_facts: usize) -> corroborate_datagen::synthetic::SyntheticWorld {
-    generate(&SyntheticConfig {
-        n_accurate: 8,
-        n_inaccurate: 2,
-        n_facts,
-        eta: 0.02,
-        seed: 42,
-    })
-    .expect("generation")
+    generate(&SyntheticConfig { n_accurate: 8, n_inaccurate: 2, n_facts, eta: 0.02, seed: 42 })
+        .expect("generation")
 }
 
 fn bench_delta_h_modes(c: &mut Criterion) {

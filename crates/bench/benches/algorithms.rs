@@ -23,42 +23,29 @@ fn bench_restaurant(c: &mut Criterion) {
     let mut group = c.benchmark_group("restaurant_9k");
     group.sample_size(10);
     for alg in corroboration_roster(42) {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(alg.name()),
-            &world.dataset,
-            |b, ds| {
-                b.iter(|| {
-                    let r = alg.corroborate(black_box(ds)).expect("corroboration");
-                    black_box(r.probabilities().len())
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(alg.name()), &world.dataset, |b, ds| {
+            b.iter(|| {
+                let r = alg.corroborate(black_box(ds)).expect("corroboration");
+                black_box(r.probabilities().len())
+            })
+        });
     }
     group.finish();
 }
 
 fn bench_synthetic(c: &mut Criterion) {
-    let cfg = SyntheticConfig {
-        n_accurate: 8,
-        n_inaccurate: 2,
-        n_facts: 10_000,
-        eta: 0.02,
-        seed: 42,
-    };
+    let cfg =
+        SyntheticConfig { n_accurate: 8, n_inaccurate: 2, n_facts: 10_000, eta: 0.02, seed: 42 };
     let world = gen_synthetic(&cfg).expect("generation");
     let mut group = c.benchmark_group("synthetic_10k");
     group.sample_size(10);
     for alg in corroboration_roster(42) {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(alg.name()),
-            &world.dataset,
-            |b, ds| {
-                b.iter(|| {
-                    let r = alg.corroborate(black_box(ds)).expect("corroboration");
-                    black_box(r.probabilities().len())
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(alg.name()), &world.dataset, |b, ds| {
+            b.iter(|| {
+                let r = alg.corroborate(black_box(ds)).expect("corroboration");
+                black_box(r.probabilities().len())
+            })
+        });
     }
     group.finish();
 }
@@ -69,13 +56,7 @@ fn bench_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("incestheu_scaling");
     group.sample_size(10);
     for n_facts in [2_000usize, 4_000, 8_000, 16_000] {
-        let cfg = SyntheticConfig {
-            n_accurate: 8,
-            n_inaccurate: 2,
-            n_facts,
-            eta: 0.02,
-            seed: 42,
-        };
+        let cfg = SyntheticConfig { n_accurate: 8, n_inaccurate: 2, n_facts, eta: 0.02, seed: 42 };
         let world = gen_synthetic(&cfg).expect("generation");
         let alg = corroborate_algorithms::inc::IncEstimate::new(
             corroborate_algorithms::inc::IncEstHeu::default(),

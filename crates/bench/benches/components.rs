@@ -53,9 +53,7 @@ fn bench_core(c: &mut Criterion) {
         b.iter(|| black_box(collective_entropy(probs.iter().copied())))
     });
 
-    c.bench_function("binary_entropy", |b| {
-        b.iter(|| black_box(binary_entropy(black_box(0.37))))
-    });
+    c.bench_function("binary_entropy", |b| b.iter(|| black_box(binary_entropy(black_box(0.37)))));
 
     c.bench_function("vote_matrix_build_10k", |b| {
         b.iter(|| {
@@ -82,11 +80,9 @@ fn bench_dedup(c: &mut Criterion) {
     let crawl = synthetic_crawl(&universe, &CrawlConfig::default());
     let mut group = c.benchmark_group("dedup");
     group.sample_size(20);
-    group.bench_with_input(
-        BenchmarkId::new("pipeline", crawl.len()),
-        &crawl,
-        |b, crawl| b.iter(|| black_box(dedup_to_dataset(black_box(crawl)).unwrap().dataset.n_facts())),
-    );
+    group.bench_with_input(BenchmarkId::new("pipeline", crawl.len()), &crawl, |b, crawl| {
+        b.iter(|| black_box(dedup_to_dataset(black_box(crawl)).unwrap().dataset.n_facts()))
+    });
     group.finish();
 }
 
@@ -97,10 +93,8 @@ fn bench_ml(c: &mut Criterion) {
     let truth = ds.ground_truth().unwrap();
     let facts: Vec<FactId> = ds.facts().take(600).collect();
     let x: Vec<Vec<f64>> = facts.iter().map(|&f| features.row(f).to_vec()).collect();
-    let y: Vec<f64> = facts
-        .iter()
-        .map(|&f| if truth.label(f).as_bool() { 1.0 } else { -1.0 })
-        .collect();
+    let y: Vec<f64> =
+        facts.iter().map(|&f| if truth.label(f).as_bool() { 1.0 } else { -1.0 }).collect();
 
     let mut group = c.benchmark_group("ml_train_600");
     group.sample_size(10);

@@ -55,10 +55,7 @@ fn main() {
         let syn_result = alg.corroborate(&synthetic.dataset).expect("synthetic run");
         let result = alg.corroborate(&restaurant.dataset).expect("restaurant run");
         let elapsed = start.elapsed().as_secs_f64();
-        let syn = syn_result
-            .confusion(&synthetic.dataset)
-            .expect("labelled")
-            .accuracy();
+        let syn = syn_result.confusion(&synthetic.dataset).expect("labelled").accuracy();
         let brier = brier_score(
             syn_result.probabilities(),
             synthetic.dataset.ground_truth().expect("labelled"),
@@ -81,5 +78,7 @@ fn main() {
     );
     println!("{}", table.render());
     println!("(The single-trust-score methods cluster at the prevalence; only IncEstHeu,");
-    println!(" and to a lesser degree Counting's precision trade, escape it — the paper's thesis.)");
+    println!(
+        " and to a lesser degree Counting's precision trade, escape it — the paper's thesis.)"
+    );
 }

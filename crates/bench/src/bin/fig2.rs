@@ -55,23 +55,18 @@ fn main() {
     let summary = std::env::args().any(|a| a == "--summary");
     let world = generate(&RestaurantConfig::default()).expect("generation succeeds");
 
-    let ps = IncEstimate::new(IncEstPS)
-        .corroborate(&world.dataset)
-        .expect("IncEstPS run");
+    let ps = IncEstimate::new(IncEstPS).corroborate(&world.dataset).expect("IncEstPS run");
     print_series("IncEstPS", ps.trajectory().expect("incremental"), summary);
 
-    let heu = IncEstimate::new(IncEstHeu::default())
-        .corroborate(&world.dataset)
-        .expect("IncEstHeu run");
+    let heu =
+        IncEstimate::new(IncEstHeu::default()).corroborate(&world.dataset).expect("IncEstHeu run");
     print_series("IncEstHeu", heu.trajectory().expect("incremental"), summary);
 
     // The paper's qualitative claim for (b): YP and CS become negative
     // sources at some time point.
     let traj = heu.trajectory().unwrap();
     for (idx, name) in [(0usize, "YellowPages"), (4usize, "CitySearch")] {
-        let crossing = traj
-            .iter()
-            .position(|snap| snap.trust(SourceId::new(idx)) < 0.5);
+        let crossing = traj.iter().position(|snap| snap.trust(SourceId::new(idx)) < 0.5);
         match crossing {
             Some(t) => println!("# {name} drops below 0.5 at t{t} (paper: after t12)"),
             None => println!("# {name} never drops below 0.5"),

@@ -22,10 +22,7 @@ fn sweep_point(cfg: &SyntheticConfig) -> Vec<(String, f64)> {
         .iter()
         .map(|alg| {
             let result = alg.corroborate(&world.dataset).expect("corroboration succeeds");
-            let accuracy = result
-                .confusion(&world.dataset)
-                .expect("labelled")
-                .accuracy();
+            let accuracy = result.confusion(&world.dataset).expect("labelled").accuracy();
             (alg.name().to_string(), accuracy)
         })
         .collect()
@@ -45,8 +42,7 @@ fn run_sweep(title: &str, x_label: &str, configs: Vec<(String, SyntheticConfig)>
         handles.into_iter().map(|h| h.join().expect("sweep thread")).collect()
     });
 
-    let method_names: Vec<String> =
-        results[0].1.iter().map(|(name, _)| name.clone()).collect();
+    let method_names: Vec<String> = results[0].1.iter().map(|(name, _)| name.clone()).collect();
     let mut header: Vec<String> = vec![x_label.to_string()];
     header.extend(method_names.iter().cloned());
     let mut table = TextTable::new(header);
@@ -78,11 +74,7 @@ fn main() {
                 (total.to_string(), cfg)
             })
             .collect();
-        run_sweep(
-            "Figure 3(a) — accuracy vs number of sources (2 inaccurate)",
-            "sources",
-            configs,
-        );
+        run_sweep("Figure 3(a) — accuracy vs number of sources (2 inaccurate)", "sources", configs);
     }
 
     if has("b") {

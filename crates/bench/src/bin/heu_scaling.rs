@@ -1,0 +1,260 @@
+//! Scaling bench for the IncEstHeu entropy engine: times all three
+//! [`DeltaHMode`]s at 1k/4k/16k synthetic facts, plus a naive-vs-indexed
+//! comparison that reproduces the pre-index full-scan scorer through the
+//! public [`SelectionStrategy`] API. Results are written as JSON to
+//! `BENCH_incheu.json` at the repository root.
+//!
+//! Run with `--release`; the JSON is the evidence artifact behind the
+//! complexity claims in `docs/PERFORMANCE.md`.
+
+use std::time::Instant;
+
+use corroborate_algorithms::inc::{
+    DeltaHMode, IncEstHeu, IncEstimate, IncState, SelectionStrategy,
+};
+use corroborate_core::entropy::binary_entropy;
+use corroborate_core::groups::FactGroup;
+use corroborate_core::ids::{FactId, SourceId};
+use corroborate_core::prelude::*;
+use corroborate_core::vote::{SourceVote, Vote};
+use corroborate_datagen::synthetic::{generate, SyntheticConfig};
+
+const SIZES: [usize; 3] = [1_000, 4_000, 16_000];
+const MODES: [DeltaHMode; 3] = [DeltaHMode::SelfTerm, DeltaHMode::Equation9, DeltaHMode::Full];
+
+fn mode_name(mode: DeltaHMode) -> &'static str {
+    match mode {
+        DeltaHMode::SelfTerm => "SelfTerm",
+        DeltaHMode::Equation9 => "Equation9",
+        DeltaHMode::Full => "Full",
+    }
+}
+
+/// The pre-index IncEstHeu scorer, rebuilt on the public state API: clone
+/// the remaining groups every round, recompute every probability from the
+/// snapshot, and compute Equation 9 spillover by scanning all groups with a
+/// linear overlay lookup — O(G²·|sig|²) per round, the complexity the
+/// inverted index removed.
+#[derive(Debug, Clone, Copy)]
+struct NaiveHeu {
+    mode: DeltaHMode,
+}
+
+struct LinearOverlay<'a> {
+    state: &'a IncState<'a>,
+    affected: Vec<(SourceId, f64)>,
+}
+
+impl LinearOverlay<'_> {
+    fn trust(&self, source: SourceId) -> f64 {
+        self.affected
+            .iter()
+            .find(|(s, _)| *s == source)
+            .map(|(_, t)| *t)
+            .unwrap_or_else(|| self.state.trust().trust(source))
+    }
+
+    fn probability(&self, signature: &[SourceVote], prior: f64) -> f64 {
+        if signature.is_empty() {
+            return prior;
+        }
+        let sum: f64 = signature
+            .iter()
+            .map(|sv| match sv.vote {
+                Vote::True => self.trust(sv.source),
+                Vote::False => 1.0 - self.trust(sv.source),
+            })
+            .sum();
+        sum / signature.len() as f64
+    }
+}
+
+fn naive_spillover(
+    state: &IncState<'_>,
+    groups: &[FactGroup],
+    probs: &[f64],
+    candidate_idx: usize,
+) -> f64 {
+    let candidate = &groups[candidate_idx];
+    let p = probs[candidate_idx];
+    let outcome = p >= 0.5;
+    let size = candidate.facts.len() as u32;
+    let affected: Vec<_> = candidate
+        .signature
+        .iter()
+        .map(|sv| {
+            let agrees = sv.vote.is_affirmative() == outcome;
+            let extra_matches = if agrees { size } else { 0 };
+            (sv.source, state.projected_trust(sv.source, extra_matches, size))
+        })
+        .collect();
+    let overlay = LinearOverlay { state, affected };
+
+    let prior = state.config().voteless_prior;
+    let mut dh = 0.0;
+    for (gi, other) in groups.iter().enumerate() {
+        if gi == candidate_idx {
+            continue;
+        }
+        let touched =
+            other.signature.iter().any(|sv| overlay.affected.iter().any(|(s, _)| *s == sv.source));
+        if !touched {
+            continue;
+        }
+        let p_new = overlay.probability(&other.signature, prior);
+        dh += other.facts.len() as f64 * (binary_entropy(p_new) - binary_entropy(probs[gi]));
+    }
+    dh
+}
+
+impl SelectionStrategy for NaiveHeu {
+    fn name(&self) -> &str {
+        "NaiveHeu"
+    }
+
+    fn select(&self, state: &IncState<'_>) -> Vec<FactId> {
+        let groups: Vec<FactGroup> = state.remaining_groups().cloned().collect();
+        let probs: Vec<f64> =
+            groups.iter().map(|g| state.signature_probability(&g.signature)).collect();
+
+        let mut positive = Vec::new();
+        let mut negative = Vec::new();
+        for (i, &p) in probs.iter().enumerate() {
+            if p > 0.5 {
+                positive.push(i);
+            } else if p < 0.5 {
+                negative.push(i);
+            }
+        }
+        if positive.is_empty() || negative.is_empty() {
+            return Vec::new();
+        }
+
+        let score = |i: usize| -> f64 {
+            match self.mode {
+                DeltaHMode::SelfTerm => -binary_entropy(probs[i]),
+                DeltaHMode::Equation9 => naive_spillover(state, &groups, &probs, i),
+                DeltaHMode::Full => {
+                    naive_spillover(state, &groups, &probs, i)
+                        - groups[i].facts.len() as f64 * binary_entropy(probs[i])
+                }
+            }
+        };
+        let best = |part: &[usize]| -> usize {
+            let mut best_i = part[0];
+            let mut best_score = f64::NEG_INFINITY;
+            for &i in part {
+                let s = score(i);
+                let better = s > best_score
+                    || (s == best_score
+                        && (groups[i].signature.len() > groups[best_i].signature.len()
+                            || (groups[i].signature.len() == groups[best_i].signature.len()
+                                && groups[i].facts.len() > groups[best_i].facts.len())));
+                if better {
+                    best_score = s;
+                    best_i = i;
+                }
+            }
+            best_i
+        };
+        let fg_pos = &groups[best(&positive)];
+        let fg_neg = &groups[best(&negative)];
+        let n = fg_pos.facts.len().min(fg_neg.facts.len());
+        let mut selection = Vec::with_capacity(2 * n);
+        selection.extend_from_slice(&fg_pos.facts[..n]);
+        selection.extend_from_slice(&fg_neg.facts[..n]);
+        selection
+    }
+}
+
+fn world(n_facts: usize) -> Dataset {
+    let cfg = SyntheticConfig { n_accurate: 8, n_inaccurate: 2, n_facts, eta: 0.02, seed: 42 };
+    generate(&cfg).expect("synthetic generation succeeds").dataset
+}
+
+fn time_run<S: SelectionStrategy>(strategy: S, ds: &Dataset) -> (f64, usize, f64) {
+    let start = Instant::now();
+    let result = IncEstimate::new(strategy).corroborate(ds).expect("corroboration succeeds");
+    let elapsed = start.elapsed().as_secs_f64();
+    std::hint::black_box(result.probabilities().len());
+    let accuracy = result.confusion(ds).expect("ground truth present").accuracy();
+    (elapsed, result.rounds(), accuracy)
+}
+
+fn json_escape_free(s: &str) -> &str {
+    // All strings we emit are static identifiers; just assert that.
+    assert!(!s.contains(['"', '\\']), "unexpected JSON-unsafe string: {s}");
+    s
+}
+
+fn main() {
+    let parallel = cfg!(feature = "rayon");
+    println!("IncEstHeu scaling bench (rayon feature: {parallel})\n");
+
+    let mut entries = Vec::new();
+    for &n in &SIZES {
+        let ds = world(n);
+        let n_groups = corroborate_core::groups::group_by_signature(
+            ds.votes(),
+            &ds.facts().collect::<Vec<_>>(),
+        )
+        .len();
+        for mode in MODES {
+            let (secs, rounds, accuracy) = time_run(IncEstHeu::with_mode(mode), &ds);
+            println!(
+                "{:>9} n={n:<6} groups={n_groups:<5} {secs:>9.4}s  rounds={rounds:<5} A={accuracy:.3}",
+                mode_name(mode)
+            );
+            entries.push(format!(
+                concat!(
+                    "    {{\"mode\": \"{}\", \"n_facts\": {}, \"n_groups\": {}, ",
+                    "\"indexed_s\": {:.6}, \"rounds\": {}, \"accuracy\": {:.4}}}"
+                ),
+                json_escape_free(mode_name(mode)),
+                n,
+                n_groups,
+                secs,
+                rounds,
+                accuracy
+            ));
+        }
+    }
+
+    // Naive-vs-indexed comparison at 4k facts — the pre-index scorer
+    // replicated above versus the shipped engine, identical selections.
+    println!("\nnaive full-scan comparison at 4k facts:");
+    let ds = world(4_000);
+    let mut comparisons = Vec::new();
+    for &mode in &MODES {
+        let (naive_s, naive_rounds, naive_a) = time_run(NaiveHeu { mode }, &ds);
+        let (indexed_s, indexed_rounds, indexed_a) = time_run(IncEstHeu::with_mode(mode), &ds);
+        assert_eq!(naive_rounds, indexed_rounds, "{mode:?}: round counts diverge");
+        assert!((naive_a - indexed_a).abs() < 1e-12, "{mode:?}: accuracy diverges");
+        let speedup = naive_s / indexed_s;
+        println!(
+            "{:>9}  naive {naive_s:>9.4}s  indexed {indexed_s:>9.4}s  speedup {speedup:>7.1}x",
+            mode_name(mode)
+        );
+        comparisons.push(format!(
+            concat!(
+                "    {{\"mode\": \"{}\", \"n_facts\": 4000, \"naive_s\": {:.6}, ",
+                "\"indexed_s\": {:.6}, \"speedup\": {:.2}}}"
+            ),
+            json_escape_free(mode_name(mode)),
+            naive_s,
+            indexed_s,
+            speedup
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"heu_scaling\",\n  \"rayon_feature\": {parallel},\n  \
+         \"config\": {{\"n_accurate\": 8, \"n_inaccurate\": 2, \"eta\": 0.02, \"seed\": 42}},\n  \
+         \"scaling\": [\n{}\n  ],\n  \"naive_comparison_4k\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n"),
+        comparisons.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_incheu.json");
+    std::fs::write(path, &json).expect("write BENCH_incheu.json");
+    println!("\nwrote {path}");
+}

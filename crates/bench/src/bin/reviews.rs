@@ -43,13 +43,9 @@ fn main() {
 
     // 1. The paper's pre-study: SVM on review metadata, 10-fold CV over
     //    the golden listings.
-    let review_x: Vec<Vec<f64>> = world
-        .golden
-        .iter()
-        .map(|&f| reviews[f.index()].features())
-        .collect();
-    let preds =
-        cross_validate::<LinearSvm>(&review_x, &labels, 10, 42).expect("review CV");
+    let review_x: Vec<Vec<f64>> =
+        world.golden.iter().map(|&f| reviews[f.index()].features()).collect();
+    let preds = cross_validate::<LinearSvm>(&review_x, &labels, 10, 42).expect("review CV");
     let m = confusion(&preds, &labels);
     table.row(vec![
         "SVM on review metadata".to_string(),
@@ -59,8 +55,7 @@ fn main() {
 
     // 2. The same classifier on vote features.
     let votes = vote_features(ds);
-    let vote_x: Vec<Vec<f64>> =
-        world.golden.iter().map(|&f| votes.row(f).to_vec()).collect();
+    let vote_x: Vec<Vec<f64>> = world.golden.iter().map(|&f| votes.row(f).to_vec()).collect();
     let preds = cross_validate::<LinearSvm>(&vote_x, &labels, 10, 42).expect("vote CV");
     let m = confusion(&preds, &labels);
     table.row(vec![

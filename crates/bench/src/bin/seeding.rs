@@ -19,19 +19,12 @@ fn main() {
     let ds = &world.dataset;
     let truth = ds.ground_truth().expect("labelled");
 
-    let mut table = TextTable::new(vec![
-        "seeded labels",
-        "eval facts",
-        "accuracy (unseeded golden)",
-        "F1",
-    ]);
+    let mut table =
+        TextTable::new(vec!["seeded labels", "eval facts", "accuracy (unseeded golden)", "F1"]);
     for n_seeds in [0usize, 50, 100, 200, 400] {
-        let mut session = IncEstimateSession::new(
-            ds,
-            IncEstHeu::default(),
-            IncEstimateConfig::default(),
-        )
-        .expect("session");
+        let mut session =
+            IncEstimateSession::new(ds, IncEstHeu::default(), IncEstimateConfig::default())
+                .expect("session");
         // Seed the first n golden labels (the golden set is already a
         // stratified sample, so a prefix is a smaller stratified-ish one).
         let (seeded, held_out) = world.golden.split_at(n_seeds.min(world.golden.len()));

@@ -17,13 +17,8 @@ use corroborate_datagen::motivating::motivating_example;
 
 fn main() {
     let ds = motivating_example();
-    let mut table = TextTable::new(vec![
-        "method",
-        "precision",
-        "recall",
-        "accuracy",
-        "paper P/R/A",
-    ]);
+    let mut table =
+        TextTable::new(vec!["method", "precision", "recall", "accuracy", "paper P/R/A"]);
 
     let mut push = |name: &str, r: &CorroborationResult, paper: &str| {
         let m = r.confusion(&ds).expect("ground truth present");
@@ -39,18 +34,13 @@ fn main() {
     let two = TwoEstimates::default().corroborate(&ds).unwrap();
     push("TwoEstimate", &two, "0.64 / 1.00 / 0.67");
 
-    let bayes = BayesEstimate::new(BayesEstimateConfig::paper_priors(42))
-        .corroborate(&ds)
-        .unwrap();
+    let bayes = BayesEstimate::new(BayesEstimateConfig::paper_priors(42)).corroborate(&ds).unwrap();
     push("BayesEstimate", &bayes, "0.58 / 1.00 / 0.58");
 
     // The §2.3 walkthrough: Table 1 rows are 0-based (r9 = f8, r12 = f11).
     let schedule = FixedSchedule::new(
         "Our strategy (§2.3 walkthrough)",
-        vec![
-            vec![FactId::new(8), FactId::new(11)],
-            vec![FactId::new(4), FactId::new(5)],
-        ],
+        vec![vec![FactId::new(8), FactId::new(11)], vec![FactId::new(4), FactId::new(5)]],
     );
     let raw = IncEstimateConfig { prior_strength: 0.0, ..Default::default() };
     let ours = IncEstimate::with_config(schedule, raw).corroborate(&ds).unwrap();

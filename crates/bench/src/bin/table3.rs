@@ -16,9 +16,7 @@ fn main() {
         "restaurant world: {} listings, {} votes, {} listings with F votes\n",
         ds.n_facts(),
         ds.votes().n_votes(),
-        ds.facts()
-            .filter(|&f| !ds.votes().is_affirmative_only(f))
-            .count()
+        ds.facts().filter(|&f| !ds.votes().is_affirmative_only(f)).count()
     );
 
     // Coverage row.
@@ -57,12 +55,7 @@ fn main() {
     ]);
     let full_acc = world.realised_accuracy().expect("ground truth");
     for (i, name) in SOURCE_NAMES.iter().enumerate() {
-        acc.row(vec![
-            name.to_string(),
-            f2(TARGET_ACCURACY[i]),
-            f2(golden_acc[i]),
-            f2(full_acc[i]),
-        ]);
+        acc.row(vec![name.to_string(), f2(TARGET_ACCURACY[i]), f2(golden_acc[i]), f2(full_acc[i])]);
     }
     println!("Table 3c — source accuracy");
     println!("{}", acc.render());
@@ -78,11 +71,7 @@ fn main() {
     }
     let mut fv = TextTable::new(vec!["source", "F votes (paper)", "F votes (simulated)"]);
     for (i, name) in SOURCE_NAMES.iter().enumerate() {
-        fv.row(vec![
-            name.to_string(),
-            TARGET_F_VOTES[i].to_string(),
-            f_counts[i].to_string(),
-        ]);
+        fv.row(vec![name.to_string(), TARGET_F_VOTES[i].to_string(), f_counts[i].to_string()]);
     }
     println!("§6.2.1 — F-vote counts");
     println!("{}", fv.render());

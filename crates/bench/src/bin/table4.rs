@@ -6,8 +6,8 @@
 
 use corroborate_bench::{corroboration_roster, f2, TextTable};
 use corroborate_core::metrics::{confusion_on_subset, ConfusionMatrix};
-use corroborate_core::stats::{bootstrap_accuracy_ci, bootstrap_accuracy_diff_ci, mcnemar};
 use corroborate_core::prelude::*;
+use corroborate_core::stats::{bootstrap_accuracy_ci, bootstrap_accuracy_diff_ci, mcnemar};
 use corroborate_datagen::restaurant::{generate, RestaurantConfig};
 use corroborate_ml::eval::evaluate_on_golden;
 use corroborate_ml::logistic::LogisticRegression;
@@ -26,11 +26,7 @@ const PAPER: &[(&str, &str)] = &[
 ];
 
 fn paper_row(name: &str) -> &'static str {
-    PAPER
-        .iter()
-        .find(|(n, _)| *n == name)
-        .map(|(_, row)| *row)
-        .unwrap_or("—")
+    PAPER.iter().find(|(n, _)| *n == name).map(|(_, row)| *row).unwrap_or("—")
 }
 
 fn main() {
@@ -50,11 +46,7 @@ fn main() {
     ]);
     // Golden-restricted assignments for the accuracy bootstrap.
     let golden_truth = TruthAssignment::from_bools(
-        &world
-            .golden
-            .iter()
-            .map(|&f| truth.label(f).as_bool())
-            .collect::<Vec<_>>(),
+        &world.golden.iter().map(|&f| truth.label(f).as_bool()).collect::<Vec<_>>(),
     );
     let table_ref = &mut table;
     let mut push = |name: &str, m: &ConfusionMatrix, golden_pred: Option<&TruthAssignment>| {
@@ -102,8 +94,8 @@ fn main() {
     let svm_pred =
         TruthAssignment::from_bools(&svm.predictions.iter().map(|&p| p > 0.0).collect::<Vec<_>>());
     push("ML-SVM (SMO)", &svm.confusion, Some(&svm_pred));
-    let logit = evaluate_on_golden::<LogisticRegression>(ds, &world.golden, 10, 42)
-        .expect("logistic CV");
+    let logit =
+        evaluate_on_golden::<LogisticRegression>(ds, &world.golden, 10, 42).expect("logistic CV");
     let logit_pred = TruthAssignment::from_bools(
         &logit.predictions.iter().map(|&p| p > 0.0).collect::<Vec<_>>(),
     );
@@ -123,19 +115,11 @@ fn main() {
         let golden_ds = ds.project_facts(&world.golden).expect("projection");
         let project = |assign: &TruthAssignment| {
             TruthAssignment::from_bools(
-                &world
-                    .golden
-                    .iter()
-                    .map(|&f| assign.label(f).as_bool())
-                    .collect::<Vec<_>>(),
+                &world.golden.iter().map(|&f| assign.label(f).as_bool()).collect::<Vec<_>>(),
             )
         };
-        let test = mcnemar(
-            &project(&heu),
-            &project(&voting),
-            golden_ds.ground_truth().unwrap(),
-        )
-        .expect("same golden length");
+        let test = mcnemar(&project(&heu), &project(&voting), golden_ds.ground_truth().unwrap())
+            .expect("same golden length");
         println!(
             "McNemar IncEstHeu vs Voting: χ² = {:.1}, p = {:.2e} (paper: significant, p < 0.001 → {})",
             test.chi_squared,

@@ -37,22 +37,16 @@ fn main() {
         table.row(row);
     };
 
-    push(
-        "Source accuracy (measured)",
-        &golden_acc,
-        "—",
-    );
+    push("Source accuracy (measured)", &golden_acc, "—");
 
     let two = TwoEstimates::default().corroborate(ds).unwrap();
     push("TwoEstimate", two.trust().values(), "0.063");
 
-    let bayes = BayesEstimate::new(BayesEstimateConfig::paper_priors(42))
-        .corroborate(ds)
-        .unwrap();
+    let bayes = BayesEstimate::new(BayesEstimateConfig::paper_priors(42)).corroborate(ds).unwrap();
     push("BayesEstimate", bayes.trust().values(), "0.066");
 
-    let logit = evaluate_on_golden::<LogisticRegression>(ds, &world.golden, 10, 42)
-        .expect("logistic CV");
+    let logit =
+        evaluate_on_golden::<LogisticRegression>(ds, &world.golden, 10, 42).expect("logistic CV");
     let logit_trust: Vec<f64> = logit.trust.iter().map(|t| t.unwrap_or(0.5)).collect();
     push("ML-Logistic", &logit_trust, "0.004");
 

@@ -27,10 +27,8 @@ fn main() {
         ds.votes().n_votes()
     );
 
-    let cfg = MultiAnswerConfig {
-        expand_implicit_negatives: true,
-        decision: DecisionPolicy::Threshold,
-    };
+    let cfg =
+        MultiAnswerConfig { expand_implicit_negatives: true, decision: DecisionPolicy::Threshold };
     let algs: Vec<(Box<dyn Corroborator>, &str)> = vec![
         (Box::new(MultiAnswer::with_config(Voting, cfg)), "292"),
         (Box::new(MultiAnswer::with_config(Counting, cfg)), "327"),
@@ -38,10 +36,7 @@ fn main() {
         (Box::new(MultiAnswer::with_config(ThreeEstimates::default(), cfg)), "270"),
         (Box::new(MultiAnswer::with_config(Cosine::default(), cfg)), "—"),
         (Box::new(MultiAnswer::with_config(IncEstimate::new(IncEstPS), cfg)), "—"),
-        (
-            Box::new(MultiAnswer::with_config(IncEstimate::new(IncEstHeu::default()), cfg)),
-            "262",
-        ),
+        (Box::new(MultiAnswer::with_config(IncEstimate::new(IncEstHeu::default()), cfg)), "262"),
     ];
 
     let mut table = TextTable::new(vec!["method", "errors", "paper errors"]);

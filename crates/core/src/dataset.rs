@@ -64,9 +64,7 @@ impl Dataset {
 
     /// Ground truth, or an error naming the missing component.
     pub fn require_ground_truth(&self) -> Result<&TruthAssignment, CoreError> {
-        self.ground_truth
-            .as_ref()
-            .ok_or(CoreError::MissingComponent { what: "ground truth" })
+        self.ground_truth.as_ref().ok_or(CoreError::MissingComponent { what: "ground truth" })
     }
 
     /// Question structure, if attached.
@@ -76,9 +74,7 @@ impl Dataset {
 
     /// Question structure, or an error naming the missing component.
     pub fn require_questions(&self) -> Result<&QuestionStructure, CoreError> {
-        self.questions
-            .as_ref()
-            .ok_or(CoreError::MissingComponent { what: "question structure" })
+        self.questions.as_ref().ok_or(CoreError::MissingComponent { what: "question structure" })
     }
 
     /// Iterator over all source ids.
@@ -103,10 +99,8 @@ impl Dataset {
         if votes.is_empty() {
             return Ok(None);
         }
-        let correct = votes
-            .iter()
-            .filter(|fv| fv.vote.as_bool() == truth.label(fv.fact).as_bool())
-            .count();
+        let correct =
+            votes.iter().filter(|fv| fv.vote.as_bool() == truth.label(fv.fact).as_bool()).count();
         Ok(Some(correct as f64 / votes.len() as f64))
     }
 
@@ -397,9 +391,7 @@ impl DatasetBuilder {
             mb.cast(s, f, v)?;
         }
         let ground_truth = if !self.truth.is_empty() && self.truth.iter().all(Option::is_some) {
-            Some(TruthAssignment::new(
-                self.truth.iter().map(|l| l.unwrap()).collect(),
-            ))
+            Some(TruthAssignment::new(self.truth.iter().map(|l| l.unwrap()).collect()))
         } else {
             None
         };
@@ -482,26 +474,18 @@ mod tests {
         b.add_fact("unlabelled");
         let ds = b.build().unwrap();
         assert!(ds.ground_truth().is_none());
-        assert!(matches!(
-            ds.require_ground_truth(),
-            Err(CoreError::MissingComponent { .. })
-        ));
+        assert!(matches!(ds.require_ground_truth(), Err(CoreError::MissingComponent { .. })));
     }
 
     #[test]
     fn project_facts_remaps_ids_truth_and_votes() {
         let ds = small();
-        let sub = ds
-            .project_facts(&[FactId::new(2), FactId::new(0)])
-            .unwrap();
+        let sub = ds.project_facts(&[FactId::new(2), FactId::new(0)]).unwrap();
         assert_eq!(sub.n_facts(), 2);
         assert_eq!(sub.fact_name(FactId::new(0)), "f2");
         // f2 had a single T vote from s1.
         assert_eq!(sub.votes().votes_on(FactId::new(0)).len(), 1);
-        assert_eq!(
-            sub.ground_truth().unwrap().label(FactId::new(1)),
-            Label::True
-        );
+        assert_eq!(sub.ground_truth().unwrap().label(FactId::new(1)), Label::True);
     }
 
     #[test]
@@ -527,9 +511,7 @@ mod tests {
         let ds = b.build().unwrap();
         assert_eq!(ds.questions().unwrap().n_questions(), 2);
         // Project away question 0 entirely: remaining structure re-densifies.
-        let sub = ds
-            .project_facts(&[FactId::new(2), FactId::new(3)])
-            .unwrap();
+        let sub = ds.project_facts(&[FactId::new(2), FactId::new(3)]).unwrap();
         let q = sub.questions().unwrap();
         assert_eq!(q.n_questions(), 1);
         assert_eq!(q.candidates(QuestionId::new(0)).len(), 2);
@@ -542,10 +524,7 @@ mod tests {
         b.add_fact("f0");
         b.add_fact("f1");
         b.set_question_assignments(vec![QuestionId::new(0)]);
-        assert!(matches!(
-            b.build(),
-            Err(CoreError::LengthMismatch { .. })
-        ));
+        assert!(matches!(b.build(), Err(CoreError::LengthMismatch { .. })));
     }
 
     #[test]

@@ -76,10 +76,7 @@ impl fmt::Display for CoreError {
                 write!(f, "invalid configuration: {message}")
             }
             CoreError::NoConvergence { iterations, residual } => {
-                write!(
-                    f,
-                    "no convergence after {iterations} iterations (residual {residual:.3e})"
-                )
+                write!(f, "no convergence after {iterations} iterations (residual {residual:.3e})")
             }
             CoreError::MissingComponent { what } => {
                 write!(f, "dataset is missing required component: {what}")

@@ -33,7 +33,7 @@ impl FactGroup {
 /// (lexicographically by `(source, vote)`), members by fact id. Facts with
 /// empty signatures (no votes) form their own group, placed first.
 pub fn group_by_signature(matrix: &VoteMatrix, facts: &[FactId]) -> Vec<FactGroup> {
-    let mut map: HashMap<&[SourceVote], Vec<FactId>> = HashMap::new();
+    let mut map: HashMap<&[SourceVote], Vec<FactId>> = HashMap::with_capacity(facts.len());
     for &f in facts {
         map.entry(matrix.signature(f)).or_default().push(f);
     }
@@ -44,11 +44,9 @@ pub fn group_by_signature(matrix: &VoteMatrix, facts: &[FactId]) -> Vec<FactGrou
             FactGroup { signature: sig.to_vec(), facts: members }
         })
         .collect();
-    groups.sort_by(|a, b| {
-        let ka = a.signature.iter().map(|sv| (sv.source, sv.vote));
-        let kb = b.signature.iter().map(|sv| (sv.source, sv.vote));
-        ka.cmp(kb)
-    });
+    // `SourceVote: Ord` by (source, vote) — signatures compare directly,
+    // with no per-comparison key-tuple rebuild.
+    groups.sort_unstable_by(|a, b| a.signature.cmp(&b.signature));
     groups
 }
 
@@ -104,10 +102,7 @@ mod tests {
         assert!(groups[0].signature.is_empty());
         assert_eq!(groups[0].facts, vec![fid(3)]);
         // Same-signature facts share a group.
-        let tt = groups
-            .iter()
-            .find(|g| g.facts.contains(&fid(0)))
-            .unwrap();
+        let tt = groups.iter().find(|g| g.facts.contains(&fid(0))).unwrap();
         assert_eq!(tt.facts, vec![fid(0), fid(1)]);
         assert_eq!(tt.size(), 2);
         // Polarity matters: f2 (T,F) is not grouped with f0 (T,T).

@@ -1,0 +1,201 @@
+//! Source→group inverted index over fact groups.
+//!
+//! The IncEstimate hot path repeatedly asks "which fact groups does source
+//! `s` vote on?" — the spillover term of Equation 9 only changes the Corrob
+//! probability of groups sharing a source with the evaluated group, and a
+//! trust update only dirties the probabilities of groups the re-scored
+//! sources vote on. Scanning every remaining group per query makes both
+//! operations O(G·|sig|²); this index answers them in O(deg(s)).
+//!
+//! Postings are built once from the canonical group list; groups keep their
+//! index for the lifetime of a run (they drain to empty rather than being
+//! removed), so a posting's group id stays valid. Owners may call
+//! [`SourceGroupIndex::retain_groups`] after evaluation rounds to compact
+//! drained groups out of the posting lists — callers still defensively skip
+//! groups with no remaining members.
+
+use crate::groups::FactGroup;
+use crate::ids::SourceId;
+use crate::vote::Vote;
+
+/// One posting: a group a source votes on, with the vote's polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupPosting {
+    /// Index of the group in the canonical group list.
+    pub group: usize,
+    /// The polarity the source asserts for every fact of that group.
+    pub vote: Vote,
+}
+
+/// Inverted index from sources to the fact groups they vote on.
+///
+/// Built from a canonical [`FactGroup`] list; postings per source are sorted
+/// ascending by group index (construction visits groups in order).
+#[derive(Debug, Clone, Default)]
+pub struct SourceGroupIndex {
+    postings: Vec<Vec<GroupPosting>>,
+}
+
+impl SourceGroupIndex {
+    /// Builds the index over `groups` for a universe of `n_sources` sources.
+    ///
+    /// Signatures reference only sources below `n_sources`; out-of-range
+    /// sources would indicate a corrupted dataset and panic via indexing.
+    pub fn build(groups: &[FactGroup], n_sources: usize) -> Self {
+        let mut postings = vec![Vec::new(); n_sources];
+        for (gi, group) in groups.iter().enumerate() {
+            for sv in &group.signature {
+                postings[sv.source.index()].push(GroupPosting { group: gi, vote: sv.vote });
+            }
+        }
+        Self { postings }
+    }
+
+    /// The groups `source` votes on, ascending by group index.
+    #[inline]
+    pub fn groups_of(&self, source: SourceId) -> &[GroupPosting] {
+        &self.postings[source.index()]
+    }
+
+    /// Number of groups `source` votes on (the source's index degree).
+    #[inline]
+    pub fn degree(&self, source: SourceId) -> usize {
+        self.postings[source.index()].len()
+    }
+
+    /// Number of sources covered.
+    #[inline]
+    pub fn n_sources(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Total number of postings (`Σ_s deg(s)` = Σ_g |sig(g)|).
+    pub fn n_postings(&self) -> usize {
+        self.postings.iter().map(Vec::len).sum()
+    }
+
+    /// Drops every posting whose group fails the `live` predicate,
+    /// preserving the per-source sort order.
+    ///
+    /// Groups drain monotonically over an IncEstimate run, so callers can
+    /// compact after each evaluation round and keep posting walks
+    /// proportional to the *live* degree instead of the build-time degree.
+    /// Dead groups contribute nothing to spillover or dirty tracking, so
+    /// removal never changes results.
+    pub fn retain_groups(&mut self, mut live: impl FnMut(usize) -> bool) {
+        for posts in &mut self.postings {
+            posts.retain(|p| live(p.group));
+        }
+    }
+
+    /// Collects the distinct groups touched by any of `sources`, sorted
+    /// ascending — the candidate set the spillover sum iterates.
+    pub fn touched_groups(&self, sources: impl IntoIterator<Item = SourceId>) -> Vec<usize> {
+        let mut touched: Vec<usize> =
+            sources.into_iter().flat_map(|s| self.groups_of(s).iter().map(|p| p.group)).collect();
+        touched.sort_unstable();
+        touched.dedup();
+        touched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::groups::group_by_signature;
+    use crate::ids::FactId;
+    use crate::vote::VoteMatrixBuilder;
+
+    fn sid(i: usize) -> SourceId {
+        SourceId::new(i)
+    }
+    fn fid(i: usize) -> FactId {
+        FactId::new(i)
+    }
+
+    fn sample_groups() -> Vec<FactGroup> {
+        // f0,f1: {s0 T, s1 T}; f2: {s0 T, s1 F}; f3: no votes; f4: {s1 T}.
+        let mut b = VoteMatrixBuilder::new(3, 5);
+        b.cast(sid(0), fid(0), Vote::True).unwrap();
+        b.cast(sid(1), fid(0), Vote::True).unwrap();
+        b.cast(sid(0), fid(1), Vote::True).unwrap();
+        b.cast(sid(1), fid(1), Vote::True).unwrap();
+        b.cast(sid(0), fid(2), Vote::True).unwrap();
+        b.cast(sid(1), fid(2), Vote::False).unwrap();
+        b.cast(sid(1), fid(4), Vote::True).unwrap();
+        let m = b.build();
+        let facts: Vec<FactId> = m.facts().collect();
+        group_by_signature(&m, &facts)
+    }
+
+    #[test]
+    fn postings_cover_every_signature_entry() {
+        let groups = sample_groups();
+        let index = SourceGroupIndex::build(&groups, 3);
+        assert_eq!(index.n_sources(), 3);
+        let total_sig: usize = groups.iter().map(|g| g.signature.len()).sum();
+        assert_eq!(index.n_postings(), total_sig);
+        // Every posting round-trips to a signature entry with the same vote.
+        for s in 0..3 {
+            for p in index.groups_of(sid(s)) {
+                let sv = groups[p.group]
+                    .signature
+                    .iter()
+                    .find(|sv| sv.source == sid(s))
+                    .expect("posting matches a signature entry");
+                assert_eq!(sv.vote, p.vote);
+            }
+        }
+    }
+
+    #[test]
+    fn postings_are_sorted_and_degrees_match() {
+        let groups = sample_groups();
+        let index = SourceGroupIndex::build(&groups, 3);
+        for s in 0..3 {
+            let posts = index.groups_of(sid(s));
+            assert!(posts.windows(2).all(|w| w[0].group < w[1].group));
+            assert_eq!(index.degree(sid(s)), posts.len());
+        }
+        // s2 casts no votes.
+        assert_eq!(index.degree(sid(2)), 0);
+    }
+
+    #[test]
+    fn touched_groups_unions_sorted_dedup() {
+        let groups = sample_groups();
+        let index = SourceGroupIndex::build(&groups, 3);
+        let touched = index.touched_groups([sid(0), sid(1)]);
+        // Exactly the groups with a non-empty signature.
+        let expected: Vec<usize> = groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| !g.signature.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(touched, expected);
+        assert!(index.touched_groups([sid(2)]).is_empty());
+    }
+
+    #[test]
+    fn retain_groups_drops_postings_in_order() {
+        let groups = sample_groups();
+        let mut index = SourceGroupIndex::build(&groups, 3);
+        // Drop the {s0 T, s1 T} group (first posting of both sources).
+        let dead = index.groups_of(sid(0))[0].group;
+        index.retain_groups(|g| g != dead);
+        for s in 0..3 {
+            let posts = index.groups_of(sid(s));
+            assert!(posts.iter().all(|p| p.group != dead));
+            assert!(posts.windows(2).all(|w| w[0].group < w[1].group));
+        }
+        assert_eq!(index.n_postings(), 2 + 1);
+    }
+
+    #[test]
+    fn empty_universe_is_fine() {
+        let index = SourceGroupIndex::build(&[], 0);
+        assert_eq!(index.n_postings(), 0);
+        assert_eq!(index.n_sources(), 0);
+    }
+}

@@ -130,7 +130,11 @@ pub fn dataset_from_csv(votes_csv: &str, truth_csv: Option<&str>) -> Result<Data
             let fields = split_line(line, line_no + 1)?;
             if fields.len() != 2 {
                 return Err(CoreError::InvalidConfig {
-                    message: format!("truth line {}: expected 2 fields, got {}", line_no + 1, fields.len()),
+                    message: format!(
+                        "truth line {}: expected 2 fields, got {}",
+                        line_no + 1,
+                        fields.len()
+                    ),
                 });
             }
             if fields[0] == "fact" && fields[1] == "label" {
@@ -171,7 +175,11 @@ pub fn dataset_from_csv(votes_csv: &str, truth_csv: Option<&str>) -> Result<Data
         let fields = split_line(line, line_no + 1)?;
         if fields.len() != 3 {
             return Err(CoreError::InvalidConfig {
-                message: format!("votes line {}: expected 3 fields, got {}", line_no + 1, fields.len()),
+                message: format!(
+                    "votes line {}: expected 3 fields, got {}",
+                    line_no + 1,
+                    fields.len()
+                ),
             });
         }
         if fields[0] == "source" && fields[1] == "fact" && fields[2] == "vote" {
@@ -234,10 +242,7 @@ mod tests {
         assert_eq!(back.n_facts(), 2);
         assert_eq!(back.votes().n_votes(), 3);
         // Names and votes survive quoting.
-        let danny = back
-            .facts()
-            .find(|&f| back.fact_name(f).contains("Grand"))
-            .unwrap();
+        let danny = back.facts().find(|&f| back.fact_name(f).contains("Grand")).unwrap();
         assert_eq!(back.votes().tally(danny), (1, 1));
         assert!(!back.ground_truth().unwrap().label(danny).as_bool());
     }

@@ -20,6 +20,8 @@
 //! - [`entropy`] — binary/collective entropy (paper Equation 3);
 //! - [`scoring`] — the `Corrob` rule (Equation 5);
 //! - [`groups`] — fact groups keyed by vote signature (§5.1);
+//! - [`index`] — the source→group inverted index behind IncEstimate's
+//!   incremental scoring engine;
 //! - [`metrics`] / [`stats`] — precision/recall/accuracy/F1, trust-score
 //!   MSE (Equation 10), Hubdub error counts, and McNemar significance;
 //! - [`corroborator`] — the [`Corroborator`](corroborator::Corroborator)
@@ -56,6 +58,7 @@ pub mod entropy;
 pub mod error;
 pub mod groups;
 pub mod ids;
+pub mod index;
 pub mod io;
 pub mod metrics;
 pub mod questions;

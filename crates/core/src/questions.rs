@@ -29,11 +29,7 @@ impl QuestionStructure {
     /// [`CoreError::InvalidConfig`] if question ids are not dense
     /// (`0..n_questions` each used at least once).
     pub fn from_assignments(question_of: Vec<QuestionId>) -> Result<Self, CoreError> {
-        let n_questions = question_of
-            .iter()
-            .map(|q| q.index() + 1)
-            .max()
-            .unwrap_or(0);
+        let n_questions = question_of.iter().map(|q| q.index() + 1).max().unwrap_or(0);
         let mut members: Vec<Vec<FactId>> = vec![Vec::new(); n_questions];
         for (fi, q) in question_of.iter().enumerate() {
             members[q.index()].push(FactId::new(fi));
@@ -68,10 +64,7 @@ impl QuestionStructure {
 
     /// The sibling candidates of `fact` (same question, excluding `fact`).
     pub fn siblings(&self, fact: FactId) -> impl Iterator<Item = FactId> + '_ {
-        self.candidates(self.question_of(fact))
-            .iter()
-            .copied()
-            .filter(move |&f| f != fact)
+        self.candidates(self.question_of(fact)).iter().copied().filter(move |&f| f != fact)
     }
 
     /// Iterator over all question ids.

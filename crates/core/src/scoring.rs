@@ -87,10 +87,7 @@ mod tests {
     #[test]
     fn zero_trust_sources_invert_votes() {
         let trust = TrustSnapshot::from_values(vec![0.0]).unwrap();
-        assert_eq!(
-            corrob_probability(&[sv(0, Vote::False)], &trust),
-            Some(1.0)
-        );
+        assert_eq!(corrob_probability(&[sv(0, Vote::False)], &trust), Some(1.0));
         assert_eq!(corrob_probability(&[sv(0, Vote::True)], &trust), Some(0.0));
     }
 }

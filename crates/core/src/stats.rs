@@ -87,12 +87,7 @@ pub fn mcnemar(
         let d = d.max(0.0);
         d * d / n
     };
-    Ok(McNemar {
-        b_only_wrong,
-        a_only_wrong,
-        chi_squared,
-        p_value: chi2_1df_sf(chi_squared),
-    })
+    Ok(McNemar { b_only_wrong, a_only_wrong, chi_squared, p_value: chi2_1df_sf(chi_squared) })
 }
 
 /// A percentile bootstrap confidence interval.
@@ -143,9 +138,7 @@ pub fn bootstrap_accuracy_ci(
             message: "bootstrap needs level in (0,1) and at least one resample".into(),
         });
     }
-    let correct: Vec<bool> = (0..n)
-        .map(|i| predicted.labels()[i] == truth.labels()[i])
-        .collect();
+    let correct: Vec<bool> = (0..n).map(|i| predicted.labels()[i] == truth.labels()[i]).collect();
     let estimate = correct.iter().filter(|&&c| c).count() as f64 / n as f64;
 
     // SplitMix64 — tiny, deterministic, no external dependency needed in
@@ -265,7 +258,8 @@ pub fn erfc(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     let erf = 1.0 - poly * (-x * x).exp();
     if sign_negative {
         1.0 + erf

@@ -53,10 +53,7 @@ impl TrustSnapshot {
     /// Mutable access used by algorithms updating scores in place.
     #[inline]
     pub fn set(&mut self, source: SourceId, value: f64) {
-        debug_assert!(
-            (0.0..=1.0).contains(&value),
-            "trust {value} out of [0,1] for {source}"
-        );
+        debug_assert!((0.0..=1.0).contains(&value), "trust {value} out of [0,1] for {source}");
         self.values[source.index()] = value.clamp(0.0, 1.0);
     }
 
@@ -84,11 +81,7 @@ impl TrustSnapshot {
     /// sources; they always come from the same dataset.
     pub fn max_abs_diff(&self, other: &TrustSnapshot) -> f64 {
         debug_assert_eq!(self.values.len(), other.values.len());
-        self.values
-            .iter()
-            .zip(&other.values)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max)
+        self.values.iter().zip(&other.values).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
     }
 }
 

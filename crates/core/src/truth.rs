@@ -53,16 +53,12 @@ impl TruthAssignment {
 
     /// Builds an assignment by thresholding per-fact probabilities at 0.5.
     pub fn from_probabilities(probs: &[f64]) -> Self {
-        Self {
-            labels: probs.iter().map(|&p| Label::from_probability(p)).collect(),
-        }
+        Self { labels: probs.iter().map(|&p| Label::from_probability(p)).collect() }
     }
 
     /// Builds an assignment from booleans (`true` → [`Label::True`]).
     pub fn from_bools(bools: &[bool]) -> Self {
-        Self {
-            labels: bools.iter().map(|&b| Label::from_bool(b)).collect(),
-        }
+        Self { labels: bools.iter().map(|&b| Label::from_bool(b)).collect() }
     }
 
     /// Number of facts labelled.
@@ -111,10 +107,7 @@ impl TruthAssignment {
 
     /// Iterator over `(fact, label)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (FactId, Label)> + '_ {
-        self.labels
-            .iter()
-            .enumerate()
-            .map(|(i, &l)| (FactId::new(i), l))
+        self.labels.iter().enumerate().map(|(i, &l)| (FactId::new(i), l))
     }
 }
 
@@ -144,10 +137,7 @@ mod tests {
     #[test]
     fn from_probabilities_thresholds_each_entry() {
         let a = TruthAssignment::from_probabilities(&[0.9, 0.1, 0.5]);
-        assert_eq!(
-            a.labels(),
-            &[Label::True, Label::False, Label::True]
-        );
+        assert_eq!(a.labels(), &[Label::True, Label::False, Label::True]);
     }
 
     #[test]

@@ -68,7 +68,10 @@ impl Vote {
 }
 
 /// A `(source, vote)` posting attached to a fact.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// Ordered by `(source, vote)` — the canonical signature order, which makes
+/// signature slices directly comparable without rebuilding key tuples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SourceVote {
     /// The source casting the vote.
     pub source: SourceId,
@@ -137,10 +140,7 @@ impl VoteMatrix {
     /// The vote of `source` on `fact`, or `None` if the source is silent.
     pub fn vote(&self, source: SourceId, fact: FactId) -> Option<Vote> {
         let postings = &self.by_fact[fact.index()];
-        postings
-            .binary_search_by_key(&source, |sv| sv.source)
-            .ok()
-            .map(|i| postings[i].vote)
+        postings.binary_search_by_key(&source, |sv| sv.source).ok().map(|i| postings[i].vote)
     }
 
     /// Iterator over all fact ids.
@@ -223,11 +223,7 @@ pub struct VoteMatrixBuilder {
 impl VoteMatrixBuilder {
     /// Creates an empty builder for `n_sources × n_facts`.
     pub fn new(n_sources: usize, n_facts: usize) -> Self {
-        Self {
-            n_sources,
-            n_facts,
-            by_fact: vec![Vec::new(); n_facts],
-        }
+        Self { n_sources, n_facts, by_fact: vec![Vec::new(); n_facts] }
     }
 
     /// Records a vote. Casting twice for the same `(source, fact)` pair
@@ -276,21 +272,13 @@ impl VoteMatrixBuilder {
             postings.sort_by_key(|sv| sv.source);
             n_votes += postings.len();
             for sv in postings.iter() {
-                by_source[sv.source.index()].push(FactVote {
-                    fact: FactId::new(fi),
-                    vote: sv.vote,
-                });
+                by_source[sv.source.index()]
+                    .push(FactVote { fact: FactId::new(fi), vote: sv.vote });
             }
         }
         // by_source postings are already sorted by fact because we visited
         // facts in increasing order.
-        VoteMatrix {
-            n_sources: self.n_sources,
-            n_facts: self.n_facts,
-            by_fact,
-            by_source,
-            n_votes,
-        }
+        VoteMatrix { n_sources: self.n_sources, n_facts: self.n_facts, by_fact, by_source, n_votes }
     }
 }
 
@@ -349,10 +337,7 @@ mod tests {
             ]
         );
         // by-source orientation contains the same votes.
-        assert_eq!(
-            m.votes_by(sid(2)),
-            &[FactVote { fact: fid(0), vote: Vote::True }]
-        );
+        assert_eq!(m.votes_by(sid(2)), &[FactVote { fact: fid(0), vote: Vote::True }]);
         assert_eq!(m.vote(sid(1), fid(3)), Some(Vote::True));
         assert_eq!(m.vote(sid(1), fid(0)), None);
     }

@@ -95,13 +95,14 @@ impl HubdubConfig {
             });
         }
         if self.n_categories == 0 {
-            return Err(CoreError::InvalidConfig {
-                message: "need at least one category".into(),
-            });
+            return Err(CoreError::InvalidConfig { message: "need at least one category".into() });
         }
         if !(0.0..=0.5).contains(&self.category_spread) {
             return Err(CoreError::InvalidConfig {
-                message: format!("category_spread must be in [0, 0.5], got {}", self.category_spread),
+                message: format!(
+                    "category_spread must be in [0, 0.5], got {}",
+                    self.category_spread
+                ),
             });
         }
         Ok(())
@@ -124,9 +125,8 @@ pub fn generate(config: &HubdubConfig) -> Result<HubdubWorld, CoreError> {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut b = DatasetBuilder::new();
 
-    let users: Vec<SourceId> = (0..config.n_users)
-        .map(|i| b.add_source(format!("user{i}")))
-        .collect();
+    let users: Vec<SourceId> =
+        (0..config.n_users).map(|i| b.add_source(format!("user{i}"))).collect();
     let reliability: Vec<f64> = (0..config.n_users)
         .map(|_| rng.gen_range(config.reliability.0..=config.reliability.1))
         .collect();
@@ -164,10 +164,7 @@ pub fn generate(config: &HubdubConfig) -> Result<HubdubWorld, CoreError> {
         settled.push(answer);
         let mut facts = Vec::with_capacity(k);
         for c in 0..k {
-            let f = b.add_fact_with_truth(
-                format!("q{q}c{c}"),
-                Label::from_bool(c == answer),
-            );
+            let f = b.add_fact_with_truth(format!("q{q}c{c}"), Label::from_bool(c == answer));
             assignments.push(QuestionId::new(q));
             facts.push(f);
         }
@@ -240,11 +237,8 @@ mod tests {
         // Exactly one settled answer per question.
         let truth = w.dataset.ground_truth().unwrap();
         for question in q.questions() {
-            let winners = q
-                .candidates(question)
-                .iter()
-                .filter(|&&f| truth.label(f).as_bool())
-                .count();
+            let winners =
+                q.candidates(question).iter().filter(|&&f| truth.label(f).as_bool()).count();
             assert_eq!(winners, 1, "{question}");
         }
     }
@@ -261,11 +255,8 @@ mod tests {
         let w = world();
         let q = w.dataset.questions().unwrap();
         for question in q.questions() {
-            let bets: usize = q
-                .candidates(question)
-                .iter()
-                .map(|&f| w.dataset.votes().votes_on(f).len())
-                .sum();
+            let bets: usize =
+                q.candidates(question).iter().map(|&f| w.dataset.votes().votes_on(f).len()).sum();
             assert!(bets >= 1, "{question}");
         }
     }
@@ -283,19 +274,13 @@ mod tests {
     #[test]
     fn participation_is_heavy_tailed() {
         let w = world();
-        let mut counts: Vec<usize> = w
-            .dataset
-            .sources()
-            .map(|s| w.dataset.votes().votes_by(s).len())
-            .collect();
+        let mut counts: Vec<usize> =
+            w.dataset.sources().map(|s| w.dataset.votes().votes_by(s).len()).collect();
         counts.sort_unstable_by(|a, b| b.cmp(a));
         // The top 10% of users cast a disproportionate share of votes.
         let total: usize = counts.iter().sum();
         let top: usize = counts[..counts.len() / 10].iter().sum();
-        assert!(
-            top as f64 > 0.4 * total as f64,
-            "top decile cast {top} of {total}"
-        );
+        assert!(top as f64 > 0.4 * total as f64, "top decile cast {top} of {total}");
     }
 
     #[test]

@@ -38,14 +38,8 @@ use rand::{Rng, SeedableRng};
 pub const N_SOURCES: usize = 6;
 
 /// The six crawled sources, in the paper's Table 3 order.
-pub const SOURCE_NAMES: [&str; N_SOURCES] = [
-    "YellowPages",
-    "Foursquare",
-    "MenuPages",
-    "OpenTable",
-    "CitySearch",
-    "Yelp",
-];
+pub const SOURCE_NAMES: [&str; N_SOURCES] =
+    ["YellowPages", "Foursquare", "MenuPages", "OpenTable", "CitySearch", "Yelp"];
 
 /// Table 3's coverage row (fraction of all listings each source carries).
 pub const TARGET_COVERAGE: [f64; N_SOURCES] = [0.59, 0.24, 0.20, 0.07, 0.50, 0.35];
@@ -144,31 +138,19 @@ pub struct RestaurantWorld {
 impl RestaurantWorld {
     /// Realised coverage per source (compare to [`TARGET_COVERAGE`]).
     pub fn realised_coverage(&self) -> Vec<f64> {
-        self.dataset
-            .sources()
-            .map(|s| self.dataset.source_coverage(s))
-            .collect()
+        self.dataset.sources().map(|s| self.dataset.source_coverage(s)).collect()
     }
 
     /// Realised vote accuracy per source over the **golden set** (compare
     /// to [`TARGET_ACCURACY`]), mirroring how the paper measures Table 3.
     pub fn realised_golden_accuracy(&self) -> Result<Vec<f64>, CoreError> {
         let golden_ds = self.dataset.project_facts(&self.golden)?;
-        Ok(golden_ds
-            .source_accuracies()?
-            .into_iter()
-            .map(|a| a.unwrap_or(f64::NAN))
-            .collect())
+        Ok(golden_ds.source_accuracies()?.into_iter().map(|a| a.unwrap_or(f64::NAN)).collect())
     }
 
     /// Realised full-dataset vote accuracy per source.
     pub fn realised_accuracy(&self) -> Result<Vec<f64>, CoreError> {
-        Ok(self
-            .dataset
-            .source_accuracies()?
-            .into_iter()
-            .map(|a| a.unwrap_or(f64::NAN))
-            .collect())
+        Ok(self.dataset.source_accuracies()?.into_iter().map(|a| a.unwrap_or(f64::NAN)).collect())
     }
 }
 
@@ -203,9 +185,8 @@ fn model_stats(h: &[f64; N_SOURCES], w: &[f64; N_SOURCES], f: &[f64; N_SOURCES])
     let mut stats = ModelStats { tt: [0.0; N_SOURCES], tf: [0.0; N_SOURCES], ff: [0.0; N_SOURCES] };
     for z in POP_VALUES {
         let silent_t: f64 = (0..N_SOURCES).map(|s| 1.0 - (h[s] * z).min(1.0)).product();
-        let silent_f: f64 = (0..N_SOURCES)
-            .map(|s| (1.0 - f[s]) * (1.0 - (w[s] * z).min(1.0)))
-            .product();
+        let silent_f: f64 =
+            (0..N_SOURCES).map(|s| (1.0 - f[s]) * (1.0 - (w[s] * z).min(1.0))).product();
         let keep_t = (1.0 - silent_t).max(1e-9);
         let keep_f = (1.0 - silent_f).max(1e-9);
         for s in 0..N_SOURCES {
@@ -347,18 +328,13 @@ pub fn generate(config: &RestaurantConfig) -> Result<RestaurantWorld, CoreError>
         keyed[..k].iter().map(|&(_, f)| f).collect()
     };
 
-    let true_weighted: Vec<(FactId, f64)> = true_ids
-        .iter()
-        .map(|&(f, n)| (f, (n as f64).powf(GOLDEN_POPULARITY_POWER)))
-        .collect();
+    let true_weighted: Vec<(FactId, f64)> =
+        true_ids.iter().map(|&(f, n)| (f, (n as f64).powf(GOLDEN_POPULARITY_POWER))).collect();
     let mut golden = weighted_draw(&true_weighted, config.golden_true, &mut rng);
 
     // False part: F-voted share first, then popularity-weighted rest.
-    let f_voted: Vec<(FactId, f64)> = false_ids
-        .iter()
-        .filter(|&&(_, _, has_f)| has_f)
-        .map(|&(f, _, _)| (f, 1.0))
-        .collect();
+    let f_voted: Vec<(FactId, f64)> =
+        false_ids.iter().filter(|&&(_, _, has_f)| has_f).map(|&(f, _, _)| (f, 1.0)).collect();
     let n_from_f = ((golden_false as f64 * GOLDEN_F_VOTED_SHARE) as usize).min(f_voted.len());
     let mut false_part = weighted_draw(&f_voted, n_from_f, &mut rng);
     let chosen: std::collections::HashSet<FactId> = false_part.iter().copied().collect();
@@ -373,12 +349,7 @@ pub fn generate(config: &RestaurantConfig) -> Result<RestaurantWorld, CoreError>
     golden.extend(false_part);
     golden.sort_unstable();
 
-    Ok(RestaurantWorld {
-        dataset: b.build()?,
-        golden,
-        hit_rate: h,
-        noise_rate: w,
-    })
+    Ok(RestaurantWorld { dataset: b.build()?, golden, hit_rate: h, noise_rate: w })
 }
 
 #[cfg(test)]
@@ -419,11 +390,8 @@ mod tests {
     #[test]
     fn coverage_matches_table_3_targets() {
         let w = world();
-        for (s, (&got, &want)) in w
-            .realised_coverage()
-            .iter()
-            .zip(TARGET_COVERAGE.iter())
-            .enumerate()
+        for (s, (&got, &want)) in
+            w.realised_coverage().iter().zip(TARGET_COVERAGE.iter()).enumerate()
         {
             assert!(
                 (got - want).abs() < 0.05,
@@ -479,11 +447,8 @@ mod tests {
     fn f_voted_listings_are_a_small_minority() {
         // <2% of listings have F votes, the paper's defining regime.
         let w = world();
-        let f_voted = w
-            .dataset
-            .facts()
-            .filter(|&f| !w.dataset.votes().is_affirmative_only(f))
-            .count();
+        let f_voted =
+            w.dataset.facts().filter(|&f| !w.dataset.votes().is_affirmative_only(f)).count();
         let frac = f_voted as f64 / w.dataset.n_facts() as f64;
         assert!(frac < 0.035, "F-voted fraction {frac}");
         assert!(frac > 0.0);
@@ -494,14 +459,9 @@ mod tests {
         // YellowPages–CitySearch overlap: Table 3 reports 0.43; pure
         // independence would give ≈0.37. The popularity factor must lift
         // it visibly above independence.
-        let w = generate(&RestaurantConfig {
-            n_listings: 10_000,
-            ..RestaurantConfig::small(5)
-        })
-        .unwrap();
-        let j = w
-            .dataset
-            .source_overlap(SourceId::new(0), SourceId::new(4));
+        let w = generate(&RestaurantConfig { n_listings: 10_000, ..RestaurantConfig::small(5) })
+            .unwrap();
+        let j = w.dataset.source_overlap(SourceId::new(0), SourceId::new(4));
         assert!(j > 0.38, "YP–CS Jaccard {j:.3}");
         assert!(j < 0.55, "YP–CS Jaccard {j:.3}");
     }

@@ -123,11 +123,7 @@ pub fn generate(config: &SyntheticConfig) -> Result<SyntheticWorld, CoreError> {
         } else {
             format!("inaccurate{}", i - config.n_accurate)
         });
-        let sigma: f64 = if accurate {
-            rng.gen_range(0.7..1.0)
-        } else {
-            rng.gen_range(0.5..0.7)
-        };
+        let sigma: f64 = if accurate { rng.gen_range(0.7..1.0) } else { rng.gen_range(0.5..0.7) };
         // Equation 11; clamped into (0, 1].
         let coverage: f64 = (1.0 - sigma + rng.gen_range(0.0..1.0_f64) * 0.2).clamp(0.01, 1.0);
         designed_trust.push(sigma);
@@ -162,11 +158,7 @@ pub fn generate(config: &SyntheticConfig) -> Result<SyntheticWorld, CoreError> {
         let accurate = accurate_range.contains(&s);
         let c = designed_coverage[s];
         let sigma = designed_trust[s];
-        let wrong_rate = if accurate {
-            0.0
-        } else {
-            (c * (1.0 - sigma) / sigma).clamp(0.0, 1.0)
-        };
+        let wrong_rate = if accurate { 0.0 } else { (c * (1.0 - sigma) / sigma).clamp(0.0, 1.0) };
         for (i, &t) in truths.iter().enumerate() {
             if t {
                 if rng.gen_bool(c) {
@@ -252,20 +244,14 @@ mod tests {
         for f in w.dataset.facts() {
             assert!(!w.dataset.votes().votes_on(f).is_empty());
         }
-        assert_eq!(
-            w.dataset.n_facts() + w.dropped_voteless,
-            small().n_facts
-        );
+        assert_eq!(w.dataset.n_facts() + w.dropped_voteless, small().n_facts);
     }
 
     #[test]
     fn eta_controls_f_voted_fact_count_exactly() {
         let w = generate(&small()).unwrap();
         let ds = &w.dataset;
-        let f_voted = ds
-            .facts()
-            .filter(|&f| !ds.votes().is_affirmative_only(f))
-            .count();
+        let f_voted = ds.facts().filter(|&f| !ds.votes().is_affirmative_only(f)).count();
         assert_eq!(f_voted, (0.03 * 2_000.0) as usize);
     }
 
@@ -300,12 +286,8 @@ mod tests {
         let cfg = SyntheticConfig { n_facts: 20_000, ..small() };
         let w = generate(&cfg).unwrap();
         let acc = w.dataset.source_accuracies().unwrap();
-        for (s, &designed) in w
-            .designed_trust
-            .iter()
-            .enumerate()
-            .skip(cfg.n_accurate)
-            .take(cfg.n_inaccurate)
+        for (s, &designed) in
+            w.designed_trust.iter().enumerate().skip(cfg.n_accurate).take(cfg.n_inaccurate)
         {
             let realised = acc[s].unwrap();
             assert!(
@@ -327,10 +309,7 @@ mod tests {
         };
         let acc_cov = mean(0..4);
         let inacc_cov = mean(4..6);
-        assert!(
-            inacc_cov > acc_cov,
-            "inaccurate {inacc_cov:.3} must exceed accurate {acc_cov:.3}"
-        );
+        assert!(inacc_cov > acc_cov, "inaccurate {inacc_cov:.3} must exceed accurate {acc_cov:.3}");
     }
 
     #[test]
@@ -360,13 +339,8 @@ mod tests {
 
     #[test]
     fn all_inaccurate_world_has_no_f_votes() {
-        let cfg = SyntheticConfig {
-            n_accurate: 0,
-            n_inaccurate: 5,
-            n_facts: 1_000,
-            eta: 0.05,
-            seed: 1,
-        };
+        let cfg =
+            SyntheticConfig { n_accurate: 0, n_inaccurate: 5, n_facts: 1_000, eta: 0.05, seed: 1 };
         let w = generate(&cfg).unwrap();
         for f in w.dataset.facts() {
             assert!(w.dataset.votes().is_affirmative_only(f));

@@ -84,14 +84,8 @@ mod tests {
 
     #[test]
     fn expands_usps_abbreviations() {
-        assert_eq!(
-            normalize_address("346 W. 46th St."),
-            "346 west 46th street"
-        );
-        assert_eq!(
-            normalize_address("346 West 46th Street"),
-            "346 west 46th street"
-        );
+        assert_eq!(normalize_address("346 W. 46th St."), "346 west 46th street");
+        assert_eq!(normalize_address("346 West 46th Street"), "346 west 46th street");
     }
 
     #[test]

@@ -80,10 +80,7 @@ pub struct DedupCluster {
 /// never merge (the paper groups by address first precisely to avoid the
 /// quadratic blow-up).
 pub fn cluster_listings(listings: &[RawListing], threshold: f64) -> Vec<DedupCluster> {
-    let normalized: Vec<String> = listings
-        .iter()
-        .map(|l| normalize_address(&l.address))
-        .collect();
+    let normalized: Vec<String> = listings.iter().map(|l| normalize_address(&l.address)).collect();
     let mut by_address: HashMap<&str, Vec<usize>> = HashMap::new();
     for (i, addr) in normalized.iter().enumerate() {
         by_address.entry(addr).or_default().push(i);

@@ -22,12 +22,7 @@ impl RawListing {
         source: impl Into<String>,
         closed: bool,
     ) -> Self {
-        Self {
-            name: name.into(),
-            address: address.into(),
-            source: source.into(),
-            closed,
-        }
+        Self { name: name.into(), address: address.into(), source: source.into(), closed }
     }
 }
 

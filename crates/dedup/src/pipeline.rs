@@ -139,20 +139,14 @@ mod tests {
         ];
         let out = dedup_to_dataset(&listings).unwrap();
         let f = out.dataset.facts().next().unwrap();
-        assert_eq!(
-            out.dataset.votes().vote(SourceId::new(0), f),
-            Some(Vote::False)
-        );
+        assert_eq!(out.dataset.votes().vote(SourceId::new(0), f), Some(Vote::False));
     }
 
     #[test]
     fn fact_names_carry_a_member_name_and_address() {
         let out = dedup_to_dataset(&crawl()).unwrap();
         let names: Vec<&str> = out.dataset.facts().map(|f| out.dataset.fact_name(f)).collect();
-        assert!(
-            names.iter().any(|n| n.contains("M Bar") || n.contains("M BAR")),
-            "{names:?}"
-        );
+        assert!(names.iter().any(|n| n.contains("M Bar") || n.contains("M BAR")), "{names:?}");
         assert!(names.iter().all(|n| n.contains(" @ ")), "{names:?}");
     }
 

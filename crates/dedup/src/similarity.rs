@@ -33,10 +33,7 @@ impl TfVector {
         } else {
             (&other.counts, &self.counts)
         };
-        let dot: f64 = small
-            .iter()
-            .filter_map(|(t, c)| large.get(t).map(|d| c * d))
-            .sum();
+        let dot: f64 = small.iter().filter_map(|(t, c)| large.get(t).map(|d| c * d)).sum();
         dot / (self.norm * other.norm)
     }
 
@@ -59,10 +56,8 @@ pub fn term_tokens(text: &str) -> impl Iterator<Item = String> + '_ {
 /// Character 3-grams of `text` (spaces included, padded with `^`/`$`
 /// sentinels so short strings still produce grams).
 pub fn trigrams(text: &str) -> Vec<String> {
-    let padded: Vec<char> = std::iter::once('^')
-        .chain(text.chars())
-        .chain(std::iter::once('$'))
-        .collect();
+    let padded: Vec<char> =
+        std::iter::once('^').chain(text.chars()).chain(std::iter::once('$')).collect();
     if padded.len() < 3 {
         return vec![padded.iter().collect()];
     }
@@ -73,8 +68,7 @@ pub fn trigrams(text: &str) -> Vec<String> {
 /// cosine similarity of the two strings.
 pub fn listing_similarity(a: &str, b: &str) -> f64 {
     let term = TfVector::from_tokens(term_tokens(a)).cosine(&TfVector::from_tokens(term_tokens(b)));
-    let gram = TfVector::from_tokens(trigrams(a))
-        .cosine(&TfVector::from_tokens(trigrams(b)));
+    let gram = TfVector::from_tokens(trigrams(a)).cosine(&TfVector::from_tokens(trigrams(b)));
     (term + gram) / 2.0
 }
 
@@ -88,7 +82,10 @@ mod tests {
 
     #[test]
     fn identical_strings_have_similarity_one() {
-        assert!(close(listing_similarity("dannys grand sea palace", "dannys grand sea palace"), 1.0));
+        assert!(close(
+            listing_similarity("dannys grand sea palace", "dannys grand sea palace"),
+            1.0
+        ));
     }
 
     #[test]

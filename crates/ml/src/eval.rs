@@ -110,8 +110,7 @@ mod tests {
     #[test]
     fn both_classifiers_learn_the_f_vote_signal() {
         let (ds, golden) = marked_world();
-        let logit =
-            evaluate_on_golden::<LogisticRegression>(&ds, &golden, 10, 1).unwrap();
+        let logit = evaluate_on_golden::<LogisticRegression>(&ds, &golden, 10, 1).unwrap();
         let svm = evaluate_on_golden::<LinearSvm>(&ds, &golden, 10, 1).unwrap();
         assert!(logit.confusion.accuracy() > 0.95, "{:?}", logit.confusion);
         assert!(svm.confusion.accuracy() > 0.95, "{:?}", svm.confusion);

@@ -68,10 +68,7 @@ pub fn vote_features(dataset: &Dataset) -> FeatureMatrix {
 /// Extracts `±1` labels (true → `+1`) for the given facts from the ground
 /// truth; used to train the classifiers on a golden subset.
 pub fn signed_labels(truth: &TruthAssignment, facts: &[FactId]) -> Vec<f64> {
-    facts
-        .iter()
-        .map(|&f| if truth.label(f).as_bool() { 1.0 } else { -1.0 })
-        .collect()
+    facts.iter().map(|&f| if truth.label(f).as_bool() { 1.0 } else { -1.0 }).collect()
 }
 
 #[cfg(test)]
@@ -117,10 +114,7 @@ mod tests {
     #[test]
     fn signed_labels_map_polarity() {
         let ds = tiny();
-        let labels = signed_labels(
-            ds.ground_truth().unwrap(),
-            &[FactId::new(0), FactId::new(1)],
-        );
+        let labels = signed_labels(ds.ground_truth().unwrap(), &[FactId::new(0), FactId::new(1)]);
         assert_eq!(labels, vec![1.0, -1.0]);
     }
 }

@@ -168,11 +168,7 @@ mod tests {
             cross_validate::<LinearSvm>(&x, &y, 10, 3).unwrap(),
         ] {
             let correct = preds.iter().zip(&y).filter(|(p, l)| p == l).count();
-            assert!(
-                correct as f64 / y.len() as f64 > 0.9,
-                "{correct}/{} correct",
-                y.len()
-            );
+            assert!(correct as f64 / y.len() as f64 > 0.9, "{correct}/{} correct", y.len());
         }
     }
 

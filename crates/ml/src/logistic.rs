@@ -73,8 +73,7 @@ impl LogisticRegression {
             grad.iter_mut().for_each(|g| *g = 0.0);
             let mut grad_bias = 0.0;
             for (row, &label) in x.iter().zip(y) {
-                let z: f64 =
-                    bias + row.iter().zip(&weights).map(|(a, b)| a * b).sum::<f64>();
+                let z: f64 = bias + row.iter().zip(&weights).map(|(a, b)| a * b).sum::<f64>();
                 // y ∈ {−1, +1}: residual of P(y=+1).
                 let target = if label > 0.0 { 1.0 } else { 0.0 };
                 let err = sigmoid(z) - target;
@@ -93,8 +92,7 @@ impl LogisticRegression {
 
     /// Probability that the row's label is `+1`.
     pub fn predict_probability(&self, row: &[f64]) -> f64 {
-        let z: f64 =
-            self.bias + row.iter().zip(&self.weights).map(|(a, b)| a * b).sum::<f64>();
+        let z: f64 = self.bias + row.iter().zip(&self.weights).map(|(a, b)| a * b).sum::<f64>();
         sigmoid(z)
     }
 
@@ -159,12 +157,8 @@ mod tests {
     #[test]
     fn rejects_malformed_input() {
         assert!(LogisticRegression::fit(&[], &[], &LogisticConfig::default()).is_err());
-        assert!(LogisticRegression::fit(
-            &[vec![1.0]],
-            &[1.0, -1.0],
-            &LogisticConfig::default()
-        )
-        .is_err());
+        assert!(LogisticRegression::fit(&[vec![1.0]], &[1.0, -1.0], &LogisticConfig::default())
+            .is_err());
         assert!(LogisticRegression::fit(
             &[vec![1.0], vec![1.0, 2.0]],
             &[1.0, -1.0],
@@ -179,12 +173,9 @@ mod tests {
     fn strong_l2_shrinks_weights() {
         let (x, y) = xor_free_problem();
         let free = LogisticRegression::fit(&x, &y, &LogisticConfig::default()).unwrap();
-        let ridge = LogisticRegression::fit(
-            &x,
-            &y,
-            &LogisticConfig { l2: 1.0, ..Default::default() },
-        )
-        .unwrap();
+        let ridge =
+            LogisticRegression::fit(&x, &y, &LogisticConfig { l2: 1.0, ..Default::default() })
+                .unwrap();
         assert!(ridge.weights()[0].abs() < free.weights()[0].abs());
     }
 }

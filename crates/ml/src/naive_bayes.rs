@@ -93,10 +93,7 @@ impl NaiveBayes {
         Ok(Self {
             log_on,
             log_off,
-            log_prior: [
-                (class_count[0] / total).ln(),
-                (class_count[1] / total).ln(),
-            ],
+            log_prior: [(class_count[0] / total).ln(), (class_count[1] / total).ln()],
         })
     }
 
@@ -172,12 +169,7 @@ mod tests {
     fn rejects_single_class_and_bad_config() {
         let x = vec![vec![1.0], vec![0.0]];
         assert!(NaiveBayes::fit(&x, &[1.0, 1.0], &NaiveBayesConfig::default()).is_err());
-        assert!(NaiveBayes::fit(
-            &x,
-            &[1.0, -1.0],
-            &NaiveBayesConfig { smoothing: 0.0 }
-        )
-        .is_err());
+        assert!(NaiveBayes::fit(&x, &[1.0, -1.0], &NaiveBayesConfig { smoothing: 0.0 }).is_err());
         assert!(NaiveBayes::fit(&[], &[], &NaiveBayesConfig::default()).is_err());
         assert!(NaiveBayes::fit(&x, &[1.0], &NaiveBayesConfig::default()).is_err());
     }

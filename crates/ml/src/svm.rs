@@ -93,8 +93,8 @@ impl LinearSvm {
             for i in 0..n {
                 let e_i = f(&weights, bias, &x[i]) - y[i];
                 let r = e_i * y[i];
-                let violates =
-                    (r < -config.tolerance && alpha[i] < config.c) || (r > config.tolerance && alpha[i] > 0.0);
+                let violates = (r < -config.tolerance && alpha[i] < config.c)
+                    || (r > config.tolerance && alpha[i] > 0.0);
                 if !violates {
                     continue;
                 }
@@ -224,11 +224,8 @@ mod tests {
         y.push(-1.0);
         let model = LinearSvm::fit(&x, &y, &SvmConfig::default()).unwrap();
         // The clean majority still classifies correctly.
-        let correct = x[..6]
-            .iter()
-            .zip(&y[..6])
-            .filter(|(row, l)| model.predict(row) == **l)
-            .count();
+        let correct =
+            x[..6].iter().zip(&y[..6]).filter(|(row, l)| model.predict(row) == **l).count();
         assert!(correct >= 5, "correct = {correct}");
     }
 

@@ -25,10 +25,8 @@ fn main() {
         ds.votes().n_votes()
     );
 
-    let cfg = MultiAnswerConfig {
-        expand_implicit_negatives: true,
-        decision: DecisionPolicy::Argmax,
-    };
+    let cfg =
+        MultiAnswerConfig { expand_implicit_negatives: true, decision: DecisionPolicy::Argmax };
     let algs: Vec<Box<dyn Corroborator>> = vec![
         Box::new(MultiAnswer::with_config(Voting, cfg)),
         Box::new(MultiAnswer::with_config(TwoEstimates::default(), cfg)),
@@ -42,14 +40,9 @@ fn main() {
         // settled answer?
         let mut right = 0;
         for q in questions.questions() {
-            let predicted = questions
-                .candidates(q)
-                .iter()
-                .find(|&&c| r.decisions().label(c).as_bool());
-            let actual = questions
-                .candidates(q)
-                .iter()
-                .find(|&&c| truth.label(c).as_bool());
+            let predicted =
+                questions.candidates(q).iter().find(|&&c| r.decisions().label(c).as_bool());
+            let actual = questions.candidates(q).iter().find(|&&c| truth.label(c).as_bool());
             if predicted == actual {
                 right += 1;
             }

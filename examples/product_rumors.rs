@@ -24,14 +24,10 @@ fn main() {
 
     // Two careful outlets that verify before publishing, three
     // echo-chamber blogs that repeat anything.
-    let careful: Vec<SourceId> = ["TechWire", "LaunchDesk"]
-        .iter()
-        .map(|n| b.add_source(*n))
-        .collect();
-    let echo: Vec<SourceId> = ["RumorHub", "LeakCentral", "GadgetBuzz"]
-        .iter()
-        .map(|n| b.add_source(*n))
-        .collect();
+    let careful: Vec<SourceId> =
+        ["TechWire", "LaunchDesk"].iter().map(|n| b.add_source(*n)).collect();
+    let echo: Vec<SourceId> =
+        ["RumorHub", "LeakCentral", "GadgetBuzz"].iter().map(|n| b.add_source(*n)).collect();
 
     let mut truth = Vec::new();
     let mut rumors = Vec::new();
@@ -104,10 +100,9 @@ fn main() {
         truth.iter().filter(|t| !**t).count()
     );
 
-    for alg in [
-        &TwoEstimates::default() as &dyn Corroborator,
-        &IncEstimate::new(IncEstHeu::default()),
-    ] {
+    for alg in
+        [&TwoEstimates::default() as &dyn Corroborator, &IncEstimate::new(IncEstHeu::default())]
+    {
         let r = alg.corroborate(&ds).expect("corroboration");
         let m = r.confusion(&ds).expect("ground truth attached");
         println!(

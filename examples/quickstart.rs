@@ -52,7 +52,12 @@ fn main() {
 
     let ds = b.build().expect("well-formed dataset");
 
-    println!("{} sources, {} facts, {} votes\n", ds.n_sources(), ds.n_facts(), ds.votes().n_votes());
+    println!(
+        "{} sources, {} facts, {} votes\n",
+        ds.n_sources(),
+        ds.n_facts(),
+        ds.votes().n_votes()
+    );
 
     for alg in [
         &Voting as &dyn Corroborator,

@@ -26,11 +26,8 @@ fn main() {
             open: i % 3 != 0,
         });
     }
-    let crawl_config = CrawlConfig {
-        stale_rate: 0.5,
-        closed_flag_rate: 0.5,
-        ..CrawlConfig::default()
-    };
+    let crawl_config =
+        CrawlConfig { stale_rate: 0.5, closed_flag_rate: 0.5, ..CrawlConfig::default() };
     let crawl = synthetic_crawl(&universe, &crawl_config);
     println!(
         "crawled {} raw listings of {} restaurants from {} directories",
@@ -48,9 +45,8 @@ fn main() {
     );
 
     // 3. Corroborate with IncEstimate and compare with majority voting.
-    let inc = IncEstimate::new(IncEstHeu::default())
-        .corroborate(&out.dataset)
-        .expect("corroboration");
+    let inc =
+        IncEstimate::new(IncEstHeu::default()).corroborate(&out.dataset).expect("corroboration");
     let voting = Voting.corroborate(&out.dataset).expect("voting");
 
     println!("entities where IncEstimate disagrees with majority voting:");
@@ -72,11 +68,7 @@ fn main() {
 
     println!("\nsource trust (IncEstimate):");
     for s in out.dataset.sources() {
-        println!(
-            "  {:<12} {:.2}",
-            out.dataset.source_name(s),
-            inc.trust().trust(s)
-        );
+        println!("  {:<12} {:.2}", out.dataset.source_name(s), inc.trust().trust(s));
     }
 
     // 4. Audit summary: which entities would we send an inspector to?

@@ -97,9 +97,9 @@ fn load_dataset(args: &Args) -> Result<Dataset, String> {
     let votes = std::fs::read_to_string(votes_path)
         .map_err(|e| format!("cannot read {votes_path}: {e}"))?;
     let truth = match args.get("truth") {
-        Some(path) => Some(
-            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?,
-        ),
+        Some(path) => {
+            Some(std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?)
+        }
         None => None,
     };
     dataset_from_csv(&votes, truth.as_deref()).map_err(|e| e.to_string())
@@ -171,11 +171,8 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
     );
     println!("\nper-source coverage / affirmative rate:");
     for s in ds.sources() {
-        let rate = ds
-            .votes()
-            .affirmative_rate(s)
-            .map(|r| format!("{r:.3}"))
-            .unwrap_or_else(|| "-".into());
+        let rate =
+            ds.votes().affirmative_rate(s).map(|r| format!("{r:.3}")).unwrap_or_else(|| "-".into());
         println!(
             "  {:<24} coverage {:.3}  T-rate {}",
             ds.source_name(s),
@@ -187,9 +184,7 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
         println!("\nper-source accuracy vs ground truth:");
         let acc = ds.source_accuracies().map_err(|e| e.to_string())?;
         for s in ds.sources() {
-            let a = acc[s.index()]
-                .map(|a| format!("{a:.3}"))
-                .unwrap_or_else(|| "-".into());
+            let a = acc[s.index()].map(|a| format!("{a:.3}")).unwrap_or_else(|| "-".into());
             println!("  {:<24} {}", ds.source_name(s), a);
         }
     }
@@ -206,29 +201,25 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     let ds = match kind {
         "motivating" => corroborate::datagen::motivating::motivating_example(),
         "synthetic" => {
-            let mut cfg = corroborate::datagen::synthetic::SyntheticConfig { seed, ..Default::default() };
+            let mut cfg =
+                corroborate::datagen::synthetic::SyntheticConfig { seed, ..Default::default() };
             if let Some(n) = args.get("facts") {
                 cfg.n_facts = n.parse().map_err(|_| format!("bad --facts {n:?}"))?;
             }
-            corroborate::datagen::synthetic::generate(&cfg)
-                .map_err(|e| e.to_string())?
-                .dataset
+            corroborate::datagen::synthetic::generate(&cfg).map_err(|e| e.to_string())?.dataset
         }
         "restaurant" => {
-            let mut cfg = corroborate::datagen::restaurant::RestaurantConfig { seed, ..Default::default() };
+            let mut cfg =
+                corroborate::datagen::restaurant::RestaurantConfig { seed, ..Default::default() };
             if let Some(n) = args.get("facts") {
                 cfg.n_listings = n.parse().map_err(|_| format!("bad --facts {n:?}"))?;
                 cfg.golden_size = cfg.golden_size.min(cfg.n_listings);
             }
-            corroborate::datagen::restaurant::generate(&cfg)
-                .map_err(|e| e.to_string())?
-                .dataset
+            corroborate::datagen::restaurant::generate(&cfg).map_err(|e| e.to_string())?.dataset
         }
         "hubdub" => {
             let cfg = corroborate::datagen::hubdub::HubdubConfig { seed, ..Default::default() };
-            corroborate::datagen::hubdub::generate(&cfg)
-                .map_err(|e| e.to_string())?
-                .dataset
+            corroborate::datagen::hubdub::generate(&cfg).map_err(|e| e.to_string())?.dataset
         }
         other => return Err(format!("unknown --kind {other:?}")),
     };

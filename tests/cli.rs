@@ -98,11 +98,8 @@ fn algorithms_listing_names_every_method() {
 
 #[test]
 fn missing_file_is_a_clean_error() {
-    let out = bin()
-        .arg("run")
-        .args(["--votes", "/nonexistent/path.csv"])
-        .output()
-        .expect("binary runs");
+    let out =
+        bin().arg("run").args(["--votes", "/nonexistent/path.csv"]).output().expect("binary runs");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 }

@@ -43,9 +43,7 @@ fn golden_set_protocol_spans_generator_algorithms_and_ml() {
     let truth = ds.ground_truth().expect("simulated world is labelled");
 
     // Corroborate full data, score golden subset.
-    let heu = IncEstimate::new(IncEstHeu::default())
-        .corroborate(ds)
-        .expect("IncEstHeu");
+    let heu = IncEstimate::new(IncEstHeu::default()).corroborate(ds).expect("IncEstHeu");
     let heu_m = confusion_on_subset(heu.decisions(), truth, &world.golden).expect("subset");
     let voting = Voting.corroborate(ds).expect("voting");
     let voting_m = confusion_on_subset(voting.decisions(), truth, &world.golden).expect("subset");
@@ -79,9 +77,7 @@ fn golden_set_protocol_spans_generator_algorithms_and_ml() {
 #[test]
 fn trajectories_are_exposed_through_the_umbrella_crate() {
     let world = generate(&RestaurantConfig::small(3)).expect("generation");
-    let r = IncEstimate::new(IncEstHeu::default())
-        .corroborate(&world.dataset)
-        .expect("run");
+    let r = IncEstimate::new(IncEstHeu::default()).corroborate(&world.dataset).expect("run");
     let traj = r.trajectory().expect("incremental algorithm records trust");
     assert_eq!(traj.len(), r.rounds() + 1);
     // Every snapshot stays within [0, 1] for every source.

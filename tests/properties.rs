@@ -15,25 +15,22 @@ use proptest::prelude::*;
 fn arb_dataset() -> impl Strategy<Value = Dataset> {
     (1usize..=6, 1usize..=25).prop_flat_map(|(n_sources, n_facts)| {
         // Each (source, fact) cell: 0 = absent, 1 = T, 2 = F.
-        proptest::collection::vec(0u8..3, n_sources * n_facts).prop_map(
-            move |cells| {
-                let mut b = DatasetBuilder::new();
-                let sources: Vec<SourceId> =
-                    (0..n_sources).map(|i| b.add_source(format!("s{i}"))).collect();
-                let facts: Vec<FactId> =
-                    (0..n_facts).map(|i| b.add_fact(format!("f{i}"))).collect();
-                for (idx, &cell) in cells.iter().enumerate() {
-                    let s = sources[idx / n_facts];
-                    let f = facts[idx % n_facts];
-                    match cell {
-                        1 => b.cast(s, f, Vote::True).unwrap(),
-                        2 => b.cast(s, f, Vote::False).unwrap(),
-                        _ => {}
-                    }
+        proptest::collection::vec(0u8..3, n_sources * n_facts).prop_map(move |cells| {
+            let mut b = DatasetBuilder::new();
+            let sources: Vec<SourceId> =
+                (0..n_sources).map(|i| b.add_source(format!("s{i}"))).collect();
+            let facts: Vec<FactId> = (0..n_facts).map(|i| b.add_fact(format!("f{i}"))).collect();
+            for (idx, &cell) in cells.iter().enumerate() {
+                let s = sources[idx / n_facts];
+                let f = facts[idx % n_facts];
+                match cell {
+                    1 => b.cast(s, f, Vote::True).unwrap(),
+                    2 => b.cast(s, f, Vote::False).unwrap(),
+                    _ => {}
                 }
-                b.build().unwrap()
-            },
-        )
+            }
+            b.build().unwrap()
+        })
     })
 }
 
