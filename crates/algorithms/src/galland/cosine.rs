@@ -7,8 +7,10 @@
 //! the paper compares against.
 
 use corroborate_core::prelude::*;
+use corroborate_obs::{Counter, IterationRecord, Observer, Span, NOOP};
 
 use crate::convergence::IterationControl;
+use crate::{timed, OBS_EMIT};
 
 /// Configuration for [`Cosine`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -50,14 +52,19 @@ impl Cosine {
     pub fn new(config: CosineConfig) -> Self {
         Self { config }
     }
-}
 
-impl Corroborator for Cosine {
-    fn name(&self) -> &str {
-        "Cosine"
-    }
-
-    fn corroborate(&self, dataset: &Dataset) -> Result<CorroborationResult, CoreError> {
+    /// [`Corroborator::corroborate`] with telemetry: every fixpoint
+    /// iteration emits an [`IterationRecord`] carrying the trust residual
+    /// the convergence test thresholds, plus iteration counters and span
+    /// timings.
+    ///
+    /// # Errors
+    /// Propagates configuration validation errors.
+    pub fn corroborate_observed<O: Observer>(
+        &self,
+        dataset: &Dataset,
+        obs: &O,
+    ) -> Result<CorroborationResult, CoreError> {
         self.config.validate()?;
         let cfg = &self.config;
         // Trust lives in [-1, 1] internally (a perfectly anti-correlated
@@ -69,45 +76,52 @@ impl Corroborator for Cosine {
 
         for _ in 0..cfg.iteration.max_iterations {
             rounds += 1;
-            // Value step: trust-weighted average of signed votes.
-            for f in dataset.facts() {
-                let votes = dataset.votes().votes_on(f);
-                if votes.is_empty() {
-                    value[f.index()] = 0.0;
-                    continue;
+            let residual = timed(obs, Span::Iteration, || {
+                // Value step: trust-weighted average of signed votes.
+                for f in dataset.facts() {
+                    let votes = dataset.votes().votes_on(f);
+                    if votes.is_empty() {
+                        value[f.index()] = 0.0;
+                        continue;
+                    }
+                    let sum: f64 = votes
+                        .iter()
+                        .map(|sv| {
+                            let sign = if sv.vote.is_affirmative() { 1.0 } else { -1.0 };
+                            sign * trust[sv.source.index()]
+                        })
+                        .sum();
+                    value[f.index()] = (sum / votes.len() as f64).clamp(-1.0, 1.0);
                 }
-                let sum: f64 = votes
-                    .iter()
-                    .map(|sv| {
-                        let sign = if sv.vote.is_affirmative() { 1.0 } else { -1.0 };
-                        sign * trust[sv.source.index()]
-                    })
-                    .sum();
-                value[f.index()] = (sum / votes.len() as f64).clamp(-1.0, 1.0);
+                // Trust step: cosine between the source's ±1 vote vector
+                // and the value estimates on its support, damped.
+                let previous = trust.clone();
+                for s in dataset.sources() {
+                    let votes = dataset.votes().votes_by(s);
+                    if votes.is_empty() {
+                        continue;
+                    }
+                    let mut dot = 0.0;
+                    let mut norm_v = 0.0;
+                    for fv in votes {
+                        let sign = if fv.vote.is_affirmative() { 1.0 } else { -1.0 };
+                        let v = value[fv.fact.index()];
+                        dot += sign * v;
+                        norm_v += v * v;
+                    }
+                    // The vote vector's norm is sqrt(|votes|) since entries
+                    // are ±1.
+                    let denom = (votes.len() as f64).sqrt() * norm_v.sqrt();
+                    let cosine = if denom < 1e-12 { 0.0 } else { dot / denom };
+                    trust[s.index()] =
+                        cfg.damping * previous[s.index()] + (1.0 - cfg.damping) * cosine;
+                }
+                trust.iter().zip(&previous).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
+            });
+            if O::ENABLED && OBS_EMIT {
+                obs.add(Counter::Iterations, 1);
+                obs.iteration(&IterationRecord { iteration: rounds - 1, residual });
             }
-            // Trust step: cosine between the source's ±1 vote vector and
-            // the value estimates on its support, damped.
-            let previous = trust.clone();
-            for s in dataset.sources() {
-                let votes = dataset.votes().votes_by(s);
-                if votes.is_empty() {
-                    continue;
-                }
-                let mut dot = 0.0;
-                let mut norm_v = 0.0;
-                for fv in votes {
-                    let sign = if fv.vote.is_affirmative() { 1.0 } else { -1.0 };
-                    let v = value[fv.fact.index()];
-                    dot += sign * v;
-                    norm_v += v * v;
-                }
-                // The vote vector's norm is sqrt(|votes|) since entries are ±1.
-                let denom = (votes.len() as f64).sqrt() * norm_v.sqrt();
-                let cosine = if denom < 1e-12 { 0.0 } else { dot / denom };
-                trust[s.index()] = cfg.damping * previous[s.index()] + (1.0 - cfg.damping) * cosine;
-            }
-            let residual =
-                trust.iter().zip(&previous).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
             if cfg.iteration.converged(residual) {
                 break;
             }
@@ -118,6 +132,16 @@ impl Corroborator for Cosine {
             trust.iter().map(|t| ((t + 1.0) / 2.0).clamp(0.0, 1.0)).collect(),
         )?;
         CorroborationResult::new(probs, exported, None, rounds)
+    }
+}
+
+impl Corroborator for Cosine {
+    fn name(&self) -> &str {
+        "Cosine"
+    }
+
+    fn corroborate(&self, dataset: &Dataset) -> Result<CorroborationResult, CoreError> {
+        self.corroborate_observed(dataset, &NOOP)
     }
 }
 

@@ -17,9 +17,11 @@
 //! original implementation is not public.
 
 use corroborate_core::prelude::*;
+use corroborate_obs::{Counter, IterationRecord, Observer, Span, NOOP};
 
 use super::Normalization;
 use crate::convergence::IterationControl;
+use crate::{timed, OBS_EMIT};
 
 /// Configuration for [`ThreeEstimates`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,14 +75,19 @@ impl ThreeEstimates {
     pub fn config(&self) -> &ThreeEstimatesConfig {
         &self.config
     }
-}
 
-impl Corroborator for ThreeEstimates {
-    fn name(&self) -> &str {
-        "ThreeEstimate"
-    }
-
-    fn corroborate(&self, dataset: &Dataset) -> Result<CorroborationResult, CoreError> {
+    /// [`Corroborator::corroborate`] with telemetry: every fixpoint
+    /// iteration emits an [`IterationRecord`] carrying the error-factor
+    /// residual the convergence test thresholds, plus iteration counters
+    /// and span timings.
+    ///
+    /// # Errors
+    /// Propagates configuration validation errors.
+    pub fn corroborate_observed<O: Observer>(
+        &self,
+        dataset: &Dataset,
+        obs: &O,
+    ) -> Result<CorroborationResult, CoreError> {
         self.config.validate()?;
         let cfg = &self.config;
         let n_facts = dataset.n_facts();
@@ -114,56 +121,61 @@ impl Corroborator for ThreeEstimates {
 
         for _ in 0..cfg.iteration.max_iterations {
             rounds += 1;
-            score_facts(&error, &difficulty, &mut probs);
-            cfg.normalization.apply(&mut probs);
+            let residual = timed(obs, Span::Iteration, || {
+                score_facts(&error, &difficulty, &mut probs);
+                cfg.normalization.apply(&mut probs);
 
-            // Observed wrongness of each vote under the current estimates:
-            // w(s, f) = |vote − p(f)|.
-            // Difficulty: the average wrongness of the votes on the fact —
-            // a fact everybody gets right is easy.
-            let mut new_difficulty = vec![0.0; n_facts];
-            for f in dataset.facts() {
-                let votes = dataset.votes().votes_on(f);
-                if votes.is_empty() {
-                    new_difficulty[f.index()] = cfg.initial_difficulty;
-                    continue;
+                // Observed wrongness of each vote under the current
+                // estimates: w(s, f) = |vote − p(f)|.
+                // Difficulty: the average wrongness of the votes on the
+                // fact — a fact everybody gets right is easy.
+                let mut new_difficulty = vec![0.0; n_facts];
+                for f in dataset.facts() {
+                    let votes = dataset.votes().votes_on(f);
+                    if votes.is_empty() {
+                        new_difficulty[f.index()] = cfg.initial_difficulty;
+                        continue;
+                    }
+                    let w: f64 = votes
+                        .iter()
+                        .map(|sv| {
+                            let ind = if sv.vote.is_affirmative() { 1.0 } else { 0.0 };
+                            (ind - probs[f.index()]).abs()
+                        })
+                        .sum();
+                    new_difficulty[f.index()] = w / votes.len() as f64;
                 }
-                let w: f64 = votes
-                    .iter()
-                    .map(|sv| {
-                        let ind = if sv.vote.is_affirmative() { 1.0 } else { 0.0 };
-                        (ind - probs[f.index()]).abs()
-                    })
-                    .sum();
-                new_difficulty[f.index()] = w / votes.len() as f64;
+
+                // Error factor: average wrongness of the source's votes,
+                // discounted by difficulty — being wrong on a hard fact is
+                // less indicative of a bad source (the 1/(φ + ½) weighting
+                // keeps the factor bounded while preserving Galland's
+                // "difficulty excuses errors" coupling).
+                let previous_error = error.clone();
+                for s in dataset.sources() {
+                    let votes = dataset.votes().votes_by(s);
+                    if votes.is_empty() {
+                        continue;
+                    }
+                    let mut num = 0.0;
+                    let mut den = 0.0;
+                    for fv in votes {
+                        let ind = if fv.vote.is_affirmative() { 1.0 } else { 0.0 };
+                        let wrong = (ind - probs[fv.fact.index()]).abs();
+                        let weight = 1.0 / (new_difficulty[fv.fact.index()] + 0.5);
+                        num += wrong * weight;
+                        den += weight;
+                    }
+                    error[s.index()] = (num / den).clamp(0.0, 1.0);
+                }
+                difficulty = new_difficulty;
+
+                error.iter().zip(&previous_error).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
+            });
+            if O::ENABLED && OBS_EMIT {
+                obs.add(Counter::Iterations, 1);
+                obs.iteration(&IterationRecord { iteration: rounds - 1, residual });
             }
-
-            // Error factor: average wrongness of the source's votes,
-            // discounted by difficulty — being wrong on a hard fact is
-            // less indicative of a bad source (the 1/(φ + ½) weighting
-            // keeps the factor bounded while preserving Galland's
-            // "difficulty excuses errors" coupling).
-            let previous_error = error.clone();
-            for s in dataset.sources() {
-                let votes = dataset.votes().votes_by(s);
-                if votes.is_empty() {
-                    continue;
-                }
-                let mut num = 0.0;
-                let mut den = 0.0;
-                for fv in votes {
-                    let ind = if fv.vote.is_affirmative() { 1.0 } else { 0.0 };
-                    let wrong = (ind - probs[fv.fact.index()]).abs();
-                    let weight = 1.0 / (new_difficulty[fv.fact.index()] + 0.5);
-                    num += wrong * weight;
-                    den += weight;
-                }
-                error[s.index()] = (num / den).clamp(0.0, 1.0);
-            }
-            difficulty = new_difficulty;
-
-            let residual =
-                error.iter().zip(&previous_error).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
             if cfg.iteration.converged(residual) {
                 break;
             }
@@ -172,6 +184,16 @@ impl Corroborator for ThreeEstimates {
         score_facts(&error, &difficulty, &mut probs);
         let trust = TrustSnapshot::from_values(error.iter().map(|e| 1.0 - e).collect())?;
         CorroborationResult::new(probs, trust, None, rounds)
+    }
+}
+
+impl Corroborator for ThreeEstimates {
+    fn name(&self) -> &str {
+        "ThreeEstimate"
+    }
+
+    fn corroborate(&self, dataset: &Dataset) -> Result<CorroborationResult, CoreError> {
+        self.corroborate_observed(dataset, &NOOP)
     }
 }
 

@@ -20,9 +20,11 @@
 
 use corroborate_core::prelude::*;
 use corroborate_core::scoring::corrob_probability_or;
+use corroborate_obs::{Counter, IterationRecord, Observer, Span, NOOP};
 
 use super::Normalization;
 use crate::convergence::IterationControl;
+use crate::{timed, OBS_EMIT};
 
 /// Configuration for [`TwoEstimates`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -72,6 +74,48 @@ impl TwoEstimates {
     pub fn config(&self) -> &TwoEstimatesConfig {
         &self.config
     }
+
+    /// [`Corroborator::corroborate`] with telemetry: every fixpoint
+    /// iteration emits an [`IterationRecord`] carrying the trust residual
+    /// the convergence test thresholds, plus iteration counters and span
+    /// timings.
+    ///
+    /// # Errors
+    /// Propagates configuration validation errors.
+    pub fn corroborate_observed<O: Observer>(
+        &self,
+        dataset: &Dataset,
+        obs: &O,
+    ) -> Result<CorroborationResult, CoreError> {
+        self.config.validate()?;
+        let cfg = &self.config;
+        let mut trust = TrustSnapshot::uniform(dataset.n_sources(), cfg.initial_trust)?;
+        let mut probs = vec![cfg.voteless_prior; dataset.n_facts()];
+        let mut rounds = 0;
+
+        for _ in 0..cfg.iteration.max_iterations {
+            rounds += 1;
+            let residual = timed(obs, Span::Iteration, || {
+                score_facts(dataset, &trust, cfg.voteless_prior, &mut probs);
+                cfg.normalization.apply(&mut probs);
+                let previous = trust.clone();
+                update_trust(dataset, &probs, cfg.initial_trust, &mut trust);
+                trust.max_abs_diff(&previous)
+            });
+            if O::ENABLED && OBS_EMIT {
+                obs.add(Counter::Iterations, 1);
+                obs.iteration(&IterationRecord { iteration: rounds - 1, residual });
+            }
+            if cfg.iteration.converged(residual) {
+                break;
+            }
+        }
+        // Final fact probabilities from the converged trust, *without*
+        // normalisation, so callers see informative scores; decisions use
+        // the standard 0.5 threshold.
+        score_facts(dataset, &trust, cfg.voteless_prior, &mut probs);
+        CorroborationResult::new(probs, trust, None, rounds)
+    }
 }
 
 /// One fact-scoring pass: Corrob under `trust`, writing into `probs`.
@@ -110,27 +154,7 @@ impl Corroborator for TwoEstimates {
     }
 
     fn corroborate(&self, dataset: &Dataset) -> Result<CorroborationResult, CoreError> {
-        self.config.validate()?;
-        let cfg = &self.config;
-        let mut trust = TrustSnapshot::uniform(dataset.n_sources(), cfg.initial_trust)?;
-        let mut probs = vec![cfg.voteless_prior; dataset.n_facts()];
-        let mut rounds = 0;
-
-        for _ in 0..cfg.iteration.max_iterations {
-            rounds += 1;
-            score_facts(dataset, &trust, cfg.voteless_prior, &mut probs);
-            cfg.normalization.apply(&mut probs);
-            let previous = trust.clone();
-            update_trust(dataset, &probs, cfg.initial_trust, &mut trust);
-            if cfg.iteration.converged(trust.max_abs_diff(&previous)) {
-                break;
-            }
-        }
-        // Final fact probabilities from the converged trust, *without*
-        // normalisation, so callers see informative scores; decisions use
-        // the standard 0.5 threshold.
-        score_facts(dataset, &trust, cfg.voteless_prior, &mut probs);
-        CorroborationResult::new(probs, trust, None, rounds)
+        self.corroborate_observed(dataset, &NOOP)
     }
 }
 

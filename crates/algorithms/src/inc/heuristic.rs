@@ -56,12 +56,15 @@
 //! that remains in one final round, exactly like the walkthrough's third
 //! round.
 
+use std::sync::atomic::Ordering;
+
 use corroborate_core::entropy::binary_entropy;
 use corroborate_core::groups::FactGroup;
 use corroborate_core::ids::{FactId, SourceId};
 use corroborate_core::vote::Vote;
+use corroborate_obs::{Observer, SelectionRecord, TierTally};
 
-use super::{par, IncState, SelectionStrategy};
+use super::{par, IncState, SelectionStrategy, OBS_EMIT};
 
 /// Which terms of the collective-entropy objective rank the fact groups.
 /// See the module-level documentation for the full derivation.
@@ -121,7 +124,7 @@ std::thread_local! {
 /// to live groups after each round). Per group, sources contribute in
 /// signature order — the same order every previous formulation used, so
 /// downstream sums are bit-identical.
-fn walk_shifts(state: &IncState<'_>, candidate_gi: usize, walk: &mut ShiftWalk) {
+fn walk_shifts<O: Observer>(state: &IncState<'_, O>, candidate_gi: usize, walk: &mut ShiftWalk) {
     let groups = state.groups();
     let candidate = &groups[candidate_gi];
     let outcome = state.group_probability(candidate_gi) >= 0.5;
@@ -201,7 +204,7 @@ impl ShiftWalk {
 /// hard zero, exactly as in the full-scan version; accumulated deltas agree
 /// with the recomputed overlay mean to within ulps (the equivalence suite
 /// in `naive_ref` pins this at 1e-12 together with identical selections).
-pub(super) fn spillover(state: &IncState<'_>, candidate_gi: usize) -> f64 {
+pub(super) fn spillover<O: Observer>(state: &IncState<'_, O>, candidate_gi: usize) -> f64 {
     let groups = state.groups();
     WALK_SCRATCH.with_borrow_mut(|walk| {
         walk_shifts(state, candidate_gi, walk);
@@ -292,7 +295,7 @@ fn bucket_of(n: usize) -> usize {
 /// Builds the per-round [`BoundTables`]: O(buckets · (votes + postings))
 /// plus one trust projection per source per bucket — thousands of flops,
 /// amortised over every candidate scored this round.
-fn bound_tables(state: &IncState<'_>) -> BoundTables {
+fn bound_tables<O: Observer>(state: &IncState<'_, O>) -> BoundTables {
     let groups = state.groups();
     let index = state.source_index();
     let n_sources = index.n_sources();
@@ -464,7 +467,17 @@ fn ub_term(g: &GroupBound, acc: f64) -> f64 {
 /// The exact accumulation is the same operations in the same order as
 /// [`spillover`], so a completing candidate returns the bit-identical
 /// score.
-fn spillover_pruned(state: &IncState<'_>, candidate_gi: usize, t: &BoundTables, cut: f64) -> f64 {
+///
+/// `tally` records which tier resolved the candidate (walk-bound kill,
+/// early abandon, or exact completion); it is touched only when the
+/// observer is enabled.
+fn spillover_pruned<O: Observer>(
+    state: &IncState<'_, O>,
+    candidate_gi: usize,
+    t: &BoundTables,
+    cut: f64,
+    tally: &TierTally,
+) -> f64 {
     WALK_SCRATCH.with_borrow_mut(|walk| {
         walk_shifts(state, candidate_gi, walk);
         let mut ub = 0.0;
@@ -476,6 +489,9 @@ fn spillover_pruned(state: &IncState<'_>, candidate_gi: usize, t: &BoundTables, 
             ub += ub_term(g, acc);
         });
         if ub < cut {
+            if O::ENABLED && OBS_EMIT {
+                tally.walk_bound.fetch_add(1, Ordering::Relaxed);
+            }
             return f64::NAN;
         }
         let mut dh = 0.0;
@@ -493,6 +509,10 @@ fn spillover_pruned(state: &IncState<'_>, candidate_gi: usize, t: &BoundTables, 
                 abandoned = true;
             }
         });
+        if O::ENABLED && OBS_EMIT {
+            let tier = if abandoned { &tally.early_abandon } else { &tally.exact };
+            tier.fetch_add(1, Ordering::Relaxed);
+        }
         if abandoned {
             f64::NAN
         } else {
@@ -517,7 +537,11 @@ fn spillover_pruned(state: &IncState<'_>, candidate_gi: usize, t: &BoundTables, 
 /// a close approximation of the true score, used to order candidates and
 /// pick the bar — and `bound` adds the candidate's size-bucketed clamp
 /// slack, making it a valid upper bound on [`spillover`] fit for pruning.
-fn linear_prescreen(state: &IncState<'_>, t: &BoundTables, candidate_gi: usize) -> (f64, f64) {
+fn linear_prescreen<O: Observer>(
+    state: &IncState<'_, O>,
+    t: &BoundTables,
+    candidate_gi: usize,
+) -> (f64, f64) {
     let candidate = &state.groups()[candidate_gi];
     let outcome = state.group_probability(candidate_gi) >= 0.5;
     let size = candidate.facts.len() as u32;
@@ -588,11 +612,12 @@ const PRUNE_BLOCK: usize = 8;
 /// whatever order the bar rose in; pruning only skips work for candidates
 /// that cannot matter. Pruned entries are returned as NaN, which
 /// [`best_of`] skips.
-fn scores_pruned(
-    state: &IncState<'_>,
+fn scores_pruned<O: Observer>(
+    state: &IncState<'_, O>,
     part: &[usize],
     mode: DeltaHMode,
     t: &BoundTables,
+    tally: &TierTally,
 ) -> Vec<f64> {
     let groups = state.groups();
     let self_term = |gi: usize| -> f64 {
@@ -616,6 +641,9 @@ fn scores_pruned(
     // Seed the bar with the top-ranked candidate's exact score.
     let m = order[0];
     let mut bar = spillover(state, part[m]) + self_term(part[m]);
+    if O::ENABLED && OBS_EMIT {
+        tally.exact.fetch_add(1, Ordering::Relaxed);
+    }
     // Safety margin: the bounds dominate the exact score in the reals, but
     // all are rounded sums — never let float noise prune an exact tie.
     let margin = |bar: f64| bar - 1e-9 * (1.0 + bar.abs());
@@ -626,11 +654,14 @@ fn scores_pruned(
     for block in order[1..].chunks(PRUNE_BLOCK) {
         let block_scores = par::map_scores(block, |k| {
             if lins[k] < cut {
+                if O::ENABLED && OBS_EMIT {
+                    tally.prescreen.fetch_add(1, Ordering::Relaxed);
+                }
                 return f64::NAN;
             }
             let gi = part[k];
             let st = self_term(gi);
-            spillover_pruned(state, gi, t, cut - st) + st
+            spillover_pruned(state, gi, t, cut - st, tally) + st
         });
         for (&k, &s) in block.iter().zip(&block_scores) {
             scores[k] = s;
@@ -645,8 +676,9 @@ fn scores_pruned(
 
 /// Argmax over one part with the documented tie-breaks; `scores[k]` is the
 /// exact ΔH score of `part[k]`, or NaN for candidates [`scores_pruned`]
-/// proved unable to win or tie.
-fn best_of(groups: &[FactGroup], part: &[usize], scores: &[f64]) -> usize {
+/// proved unable to win or tie. Returns the winning group index and its
+/// exact (projected ΔH) score.
+fn best_of(groups: &[FactGroup], part: &[usize], scores: &[f64]) -> (usize, f64) {
     let mut best_i = part[0];
     let mut best_score = f64::NEG_INFINITY;
     for (&i, &s) in part.iter().zip(scores) {
@@ -670,7 +702,7 @@ fn best_of(groups: &[FactGroup], part: &[usize], scores: &[f64]) -> usize {
             best_i = i;
         }
     }
-    best_i
+    (best_i, best_score)
 }
 
 impl SelectionStrategy for IncEstHeu {
@@ -682,7 +714,7 @@ impl SelectionStrategy for IncEstHeu {
         }
     }
 
-    fn select(&self, state: &IncState<'_>) -> Vec<FactId> {
+    fn select<O: Observer>(&self, state: &IncState<'_, O>) -> Vec<FactId> {
         let groups = state.groups();
 
         // Strict partition (§5.1) of the live groups: positive above 0.5,
@@ -714,7 +746,13 @@ impl SelectionStrategy for IncEstHeu {
         // same order either way. Self-term scores are O(1) cache reads;
         // spillover-bearing modes go through the bound-pruned scorer.
         let mode = self.mode;
+        let tally = TierTally::new();
         let (pos_scores, neg_scores) = if mode == DeltaHMode::SelfTerm {
+            // Self-term scores are exact O(1) cache reads: every candidate
+            // counts as exact-scored, no pruning tiers exist.
+            if O::ENABLED && OBS_EMIT {
+                tally.exact.fetch_add((positive.len() + negative.len()) as u64, Ordering::Relaxed);
+            }
             (
                 par::map_scores(&positive, |gi| -state.group_entropy(gi)),
                 par::map_scores(&negative, |gi| -state.group_entropy(gi)),
@@ -722,12 +760,31 @@ impl SelectionStrategy for IncEstHeu {
         } else {
             let tables = bound_tables(state);
             (
-                scores_pruned(state, &positive, mode, &tables),
-                scores_pruned(state, &negative, mode, &tables),
+                scores_pruned(state, &positive, mode, &tables, &tally),
+                scores_pruned(state, &negative, mode, &tables, &tally),
             )
         };
-        let fg_pos = &groups[best_of(groups, &positive, &pos_scores)];
-        let fg_neg = &groups[best_of(groups, &negative, &neg_scores)];
+        let (best_pos, pos_score) = best_of(groups, &positive, &pos_scores);
+        let (best_neg, neg_score) = best_of(groups, &negative, &neg_scores);
+        let fg_pos = &groups[best_pos];
+        let fg_neg = &groups[best_neg];
+
+        if O::ENABLED && OBS_EMIT {
+            let obs = state.observer();
+            tally.flush_to(obs);
+            let (prescreen, walk_bound, early_abandon, exact) = tally.snapshot();
+            obs.selection(&SelectionRecord {
+                positive_group: Some(best_pos),
+                negative_group: Some(best_neg),
+                projected_dh_pos: Some(pos_score),
+                projected_dh_neg: Some(neg_score),
+                candidates: (positive.len() + negative.len()) as u64,
+                prescreen_killed: prescreen,
+                walk_bound_killed: walk_bound,
+                early_abandon_killed: early_abandon,
+                exact_scored: exact,
+            });
+        }
 
         // Balanced pick: n facts from each, n = size of the smaller group.
         let n = fg_pos.facts.len().min(fg_neg.facts.len());

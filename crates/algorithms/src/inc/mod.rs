@@ -38,6 +38,9 @@ use corroborate_core::groups::{group_by_signature, FactGroup};
 use corroborate_core::index::SourceGroupIndex;
 use corroborate_core::prelude::*;
 use corroborate_core::scoring::corrob_probability_or;
+use corroborate_obs::{Counter, NoopObserver, Observer, Span, NOOP};
+
+use crate::{timed, OBS_EMIT};
 
 /// Configuration shared by every IncEstimate strategy.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -88,8 +91,15 @@ impl IncEstimateConfig {
 
 /// The evolving state of an IncEstimate run, exposed read-only to
 /// [`SelectionStrategy`] implementations.
+///
+/// Generic over the attached [`Observer`] (static dispatch): with the
+/// default [`NoopObserver`] every telemetry hook monomorphises to nothing,
+/// so uninstrumented runs compile to the pre-telemetry code exactly.
 #[derive(Debug)]
-pub struct IncState<'a> {
+pub struct IncState<'a, O: Observer = NoopObserver> {
+    /// Telemetry sink; `&NOOP` unless built via
+    /// [`IncEstimateSession::with_observer`].
+    obs: &'a O,
     dataset: &'a Dataset,
     config: IncEstimateConfig,
     /// `true` while the fact is still unevaluated.
@@ -129,7 +139,22 @@ pub struct IncState<'a> {
 }
 
 impl<'a> IncState<'a> {
+    /// State with the no-op observer. Defined only on the
+    /// `IncState<'a, NoopObserver>` instantiation so `IncState::new` in the
+    /// tests keeps inferring the default observer (the engine itself goes
+    /// through [`Self::with_observer`]).
+    #[cfg(test)]
     fn new(dataset: &'a Dataset, config: IncEstimateConfig) -> Result<Self, CoreError> {
+        Self::with_observer(dataset, config, &NOOP)
+    }
+}
+
+impl<'a, O: Observer> IncState<'a, O> {
+    fn with_observer(
+        dataset: &'a Dataset,
+        config: IncEstimateConfig,
+        obs: &'a O,
+    ) -> Result<Self, CoreError> {
         config.validate()?;
         let all_facts: Vec<FactId> = dataset.facts().collect();
         let groups = group_by_signature(dataset.votes(), &all_facts);
@@ -148,6 +173,7 @@ impl<'a> IncState<'a> {
         let group_entropies = group_probs.iter().map(|&p| binary_entropy(p)).collect();
         let dirty = vec![false; groups.len()];
         Ok(Self {
+            obs,
             dataset,
             config,
             remaining_mask: vec![true; dataset.n_facts()],
@@ -176,6 +202,26 @@ impl<'a> IncState<'a> {
     /// The dataset under corroboration.
     pub fn dataset(&self) -> &Dataset {
         self.dataset
+    }
+
+    /// The attached telemetry observer.
+    pub fn observer(&self) -> &'a O {
+        self.obs
+    }
+
+    /// Collective entropy of the unevaluated population:
+    /// `Σ_g |FG_g| · H(p_g)` over live groups, from the entropy cache.
+    ///
+    /// O(groups) — intended for telemetry (the per-round ΔH trajectory),
+    /// not for hot-path scoring; emission sites only compute it when the
+    /// observer is enabled.
+    pub fn remaining_entropy(&self) -> f64 {
+        self.groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| !g.facts.is_empty())
+            .map(|(gi, g)| g.facts.len() as f64 * self.group_entropies[gi])
+            .sum()
     }
 
     /// The active configuration.
@@ -322,60 +368,81 @@ impl<'a> IncState<'a> {
     /// live degree of each source. Dead groups contribute nothing to either,
     /// so compaction never changes results.
     fn refresh_trust_and_cache(&mut self) {
-        let groups = &self.groups;
-        self.index.retain_groups(|gi| !groups[gi].facts.is_empty());
-        let mut dirty_groups: Vec<usize> = Vec::new();
-        for s in self.dataset.sources() {
-            let updated = self.projected_trust(s, 0, 0);
-            if updated.to_bits() != self.trust.trust(s).to_bits() {
-                for posting in self.index.groups_of(s) {
-                    if !self.dirty[posting.group] {
-                        self.dirty[posting.group] = true;
-                        dirty_groups.push(posting.group);
+        let obs = self.obs;
+        timed(obs, Span::CacheRefresh, || {
+            let groups = &self.groups;
+            let compacted = self.index.retain_groups(|gi| !groups[gi].facts.is_empty());
+            let mut dirty_groups: Vec<usize> = Vec::new();
+            for s in self.dataset.sources() {
+                let updated = self.projected_trust(s, 0, 0);
+                if updated.to_bits() != self.trust.trust(s).to_bits() {
+                    for posting in self.index.groups_of(s) {
+                        if !self.dirty[posting.group] {
+                            self.dirty[posting.group] = true;
+                            dirty_groups.push(posting.group);
+                        }
                     }
                 }
+                self.trust.set(s, updated);
             }
-            self.trust.set(s, updated);
-        }
-        for &gi in &dirty_groups {
-            self.dirty[gi] = false;
-            self.group_probs[gi] = corrob_probability_or(
-                &self.groups[gi].signature,
-                &self.trust,
-                self.config.voteless_prior,
-            );
-            self.group_entropies[gi] = binary_entropy(self.group_probs[gi]);
-        }
+            for &gi in &dirty_groups {
+                self.dirty[gi] = false;
+                self.group_probs[gi] = corrob_probability_or(
+                    &self.groups[gi].signature,
+                    &self.trust,
+                    self.config.voteless_prior,
+                );
+                self.group_entropies[gi] = binary_entropy(self.group_probs[gi]);
+            }
+            if O::ENABLED && OBS_EMIT {
+                obs.add(Counter::PostingsCompacted, compacted as u64);
+                if !dirty_groups.is_empty() {
+                    obs.add(Counter::CacheRefreshes, 1);
+                    obs.add(Counter::GroupsRecomputed, dirty_groups.len() as u64);
+                }
+            }
+        });
     }
 
     /// Evaluates `facts` at the current time point: fixes their
     /// probabilities under `σ_i(S)`, folds the rounded outcomes into the
     /// per-source counters, and recomputes the trust snapshot `σ_{i+1}(S)`.
     pub(crate) fn evaluate(&mut self, facts: &[FactId]) {
-        for &f in facts {
-            debug_assert!(self.remaining_mask[f.index()], "fact evaluated twice: {f}");
-            // The cached group probability is valid throughout the loop:
-            // evaluation fixes probabilities under σ_i, and the snapshot
-            // only advances in refresh_trust_and_cache below.
-            let p = self.group_probs[self.group_of[f.index()]];
-            self.probs[f.index()] = p;
-            self.remaining_mask[f.index()] = false;
-            self.remaining_count -= 1;
-            self.remove_from_group(f);
-            let outcome = Label::from_probability(p);
-            for sv in self.dataset.votes().votes_on(f) {
-                self.totals[sv.source.index()] += 1;
-                if sv.vote.as_bool() == outcome.as_bool() {
-                    self.matches[sv.source.index()] += 1;
+        let obs = self.obs;
+        timed(obs, Span::Evaluate, || {
+            for &f in facts {
+                debug_assert!(self.remaining_mask[f.index()], "fact evaluated twice: {f}");
+                // The cached group probability is valid throughout the loop:
+                // evaluation fixes probabilities under σ_i, and the snapshot
+                // only advances in refresh_trust_and_cache below.
+                let p = self.group_probs[self.group_of[f.index()]];
+                self.probs[f.index()] = p;
+                self.remaining_mask[f.index()] = false;
+                self.remaining_count -= 1;
+                self.remove_from_group(f);
+                let outcome = Label::from_probability(p);
+                for sv in self.dataset.votes().votes_on(f) {
+                    self.totals[sv.source.index()] += 1;
+                    if sv.vote.as_bool() == outcome.as_bool() {
+                        self.matches[sv.source.index()] += 1;
+                    }
                 }
             }
+            self.refresh_trust_and_cache();
+        });
+        if O::ENABLED && OBS_EMIT {
+            obs.add(Counter::FactsEvaluated, facts.len() as u64);
         }
-        self.refresh_trust_and_cache();
     }
 }
 
 /// A fact-selection strategy for IncEstimate (the paper's
 /// `Select_Facts(F̄, σ(S))`).
+///
+/// `select` is generic over the state's [`Observer`] (static dispatch —
+/// this trait is never used as a trait object); strategies may emit
+/// telemetry through [`IncState::observer`], and must produce bit-identical
+/// selections whatever observer is attached.
 pub trait SelectionStrategy {
     /// Strategy name used in result tables (e.g. `"IncEstHeu"`).
     fn name(&self) -> &str;
@@ -383,7 +450,17 @@ pub trait SelectionStrategy {
     /// Picks the facts to evaluate at the current time point. Every
     /// returned id must still be unevaluated; returning an empty vector
     /// makes the engine evaluate all remaining facts in one final round.
-    fn select(&self, state: &IncState<'_>) -> Vec<FactId>;
+    fn select<O: Observer>(&self, state: &IncState<'_, O>) -> Vec<FactId>;
+}
+
+impl<S: SelectionStrategy + ?Sized> SelectionStrategy for &S {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn select<O: Observer>(&self, state: &IncState<'_, O>) -> Vec<FactId> {
+        (**self).select(state)
+    }
 }
 
 /// The IncEstimate engine (Algorithm 1), generic over the selection
@@ -409,6 +486,20 @@ impl<S: SelectionStrategy> IncEstimate<S> {
     pub fn strategy(&self) -> &S {
         &self.strategy
     }
+
+    /// [`Corroborator::corroborate`] with telemetry: the run streams
+    /// per-round records, pruning-tier counters, and span timings into
+    /// `obs`. With [`NoopObserver`] this is exactly `corroborate`.
+    ///
+    /// # Errors
+    /// Propagates configuration validation and result-assembly errors.
+    pub fn corroborate_observed<O: Observer>(
+        &self,
+        dataset: &Dataset,
+        obs: &O,
+    ) -> Result<CorroborationResult, CoreError> {
+        IncEstimateSession::with_observer(dataset, &self.strategy, self.config, obs)?.finish()
+    }
 }
 
 impl<S: SelectionStrategy> Corroborator for IncEstimate<S> {
@@ -417,24 +508,7 @@ impl<S: SelectionStrategy> Corroborator for IncEstimate<S> {
     }
 
     fn corroborate(&self, dataset: &Dataset) -> Result<CorroborationResult, CoreError> {
-        let mut state = IncState::new(dataset, self.config)?;
-        let mut trajectory = TrustTrajectory::new();
-        trajectory.push(state.trust.clone());
-        let mut rounds = 0;
-        while state.remaining_count > 0 {
-            let mut selection = self.strategy.select(&state);
-            selection.retain(|&f| state.is_remaining(f));
-            selection.sort_unstable();
-            selection.dedup();
-            if selection.is_empty() {
-                selection = state.remaining_facts();
-            }
-            state.evaluate(&selection);
-            trajectory.push(state.trust.clone());
-            rounds += 1;
-        }
-        let trust = state.trust.clone();
-        CorroborationResult::new(state.probs, trust, Some(trajectory), rounds)
+        self.corroborate_observed(dataset, &NOOP)
     }
 }
 
@@ -462,7 +536,7 @@ impl SelectionStrategy for FixedSchedule {
         &self.name
     }
 
-    fn select(&self, _state: &IncState<'_>) -> Vec<FactId> {
+    fn select<O: Observer>(&self, _state: &IncState<'_, O>) -> Vec<FactId> {
         let i = self.cursor.get();
         self.cursor.set(i + 1);
         self.rounds.get(i).cloned().unwrap_or_default()

@@ -155,10 +155,11 @@ pub(super) fn select(state: &IncState<'_>, mode: DeltaHMode) -> Vec<FactId> {
 
 #[cfg(test)]
 mod tests {
-    use super::super::{heuristic, IncEstHeu, IncEstimateConfig, SelectionStrategy};
+    use super::super::{heuristic, IncEstHeu, IncEstimate, IncEstimateConfig, SelectionStrategy};
     use super::*;
     use corroborate_core::prelude::*;
     use corroborate_datagen::motivating::motivating_example;
+    use corroborate_obs::RecordingObserver;
     use proptest::prelude::*;
 
     const MODES: [DeltaHMode; 3] = [DeltaHMode::SelfTerm, DeltaHMode::Equation9, DeltaHMode::Full];
@@ -213,6 +214,30 @@ mod tests {
 
             let round = if fast_sel.is_empty() { state.remaining_facts() } else { fast_sel };
             state.evaluate(&round);
+        }
+    }
+
+    /// A recording observer must be computation-transparent: the observed
+    /// run's probabilities, trust, decisions, and round count are
+    /// bit-identical to the plain (noop-observer) run — selections included,
+    /// since any divergent selection changes the trust trajectory.
+    fn assert_observer_transparent(ds: &Dataset, mode: DeltaHMode) {
+        let alg = IncEstimate::new(IncEstHeu::with_mode(mode));
+        let plain = alg.corroborate(ds).unwrap();
+        let rec = RecordingObserver::new();
+        let observed = alg.corroborate_observed(ds, &rec).unwrap();
+        assert_eq!(plain.rounds(), observed.rounds(), "{mode:?}: round counts diverge");
+        for (a, b) in plain.probabilities().iter().zip(observed.probabilities()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{mode:?}: probabilities diverge");
+        }
+        for (a, b) in plain.trust().values().iter().zip(observed.trust().values()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{mode:?}: trust diverges");
+        }
+        assert_eq!(plain.decisions().labels(), observed.decisions().labels(), "{mode:?}");
+        if cfg!(feature = "obs") {
+            assert_eq!(rec.rounds().len(), plain.rounds(), "{mode:?}: one record per round");
+        } else {
+            assert_eq!(rec.rounds().len(), 0, "{mode:?}: emission compiled out");
         }
     }
 
@@ -276,6 +301,13 @@ mod tests {
         #[test]
         fn equivalence_full(ds in dataset_strategy()) {
             assert_equivalent_run(&ds, DeltaHMode::Full);
+        }
+
+        #[test]
+        fn observer_transparency(ds in dataset_strategy()) {
+            for mode in MODES {
+                assert_observer_transparent(&ds, mode);
+            }
         }
     }
 }

@@ -8,6 +8,7 @@
 //! is uncovered — its quality ends up close to TwoEstimate's.
 
 use corroborate_core::ids::FactId;
+use corroborate_obs::Observer;
 
 use super::{IncState, SelectionStrategy};
 
@@ -20,7 +21,7 @@ impl SelectionStrategy for IncEstPS {
         "IncEstPS"
     }
 
-    fn select(&self, state: &IncState<'_>) -> Vec<FactId> {
+    fn select<O: Observer>(&self, state: &IncState<'_, O>) -> Vec<FactId> {
         let groups = state.groups();
         let mut best: Option<(f64, usize)> = None;
         for (gi, g) in groups.iter().enumerate() {

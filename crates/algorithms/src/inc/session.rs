@@ -6,8 +6,9 @@
 //! turned into an input instead of an evaluation artefact).
 
 use corroborate_core::prelude::*;
+use corroborate_obs::{Counter, NoopObserver, Observer, RoundRecord, Span, NOOP};
 
-use super::{IncEstimateConfig, IncState, SelectionStrategy};
+use super::{timed, IncEstimateConfig, IncState, SelectionStrategy, OBS_EMIT};
 
 /// What one [`IncEstimateSession::step`] did.
 #[derive(Debug, Clone)]
@@ -25,15 +26,15 @@ pub struct StepReport {
 /// [`step`](Self::step) until it returns `None` or let
 /// [`finish`](Self::finish) drain the remaining rounds.
 #[derive(Debug)]
-pub struct IncEstimateSession<'a, S> {
-    state: IncState<'a>,
+pub struct IncEstimateSession<'a, S, O: Observer = NoopObserver> {
+    state: IncState<'a, O>,
     strategy: S,
     trajectory: TrustTrajectory,
     rounds: usize,
 }
 
 impl<'a, S: SelectionStrategy> IncEstimateSession<'a, S> {
-    /// Opens a session over `dataset`.
+    /// Opens a session over `dataset` with the no-op observer.
     ///
     /// # Errors
     /// Propagates configuration validation errors.
@@ -42,14 +43,32 @@ impl<'a, S: SelectionStrategy> IncEstimateSession<'a, S> {
         strategy: S,
         config: IncEstimateConfig,
     ) -> Result<Self, CoreError> {
-        let state = IncState::new(dataset, config)?;
+        Self::with_observer(dataset, strategy, config, &NOOP)
+    }
+}
+
+impl<'a, S: SelectionStrategy, O: Observer> IncEstimateSession<'a, S, O> {
+    /// Opens a session over `dataset` with telemetry streaming into `obs`:
+    /// per-round records, selection pruning-tier counters, cache telemetry,
+    /// and span timings. Selections and probabilities are bit-identical
+    /// whatever observer is attached.
+    ///
+    /// # Errors
+    /// Propagates configuration validation errors.
+    pub fn with_observer(
+        dataset: &'a Dataset,
+        strategy: S,
+        config: IncEstimateConfig,
+        obs: &'a O,
+    ) -> Result<Self, CoreError> {
+        let state = IncState::with_observer(dataset, config, obs)?;
         let mut trajectory = TrustTrajectory::new();
         trajectory.push(state.trust().clone());
         Ok(Self { state, strategy, trajectory, rounds: 0 })
     }
 
     /// Read access to the evolving state (trust, remaining facts, …).
-    pub fn state(&self) -> &IncState<'a> {
+    pub fn state(&self) -> &IncState<'a, O> {
         &self.state
     }
 
@@ -91,7 +110,10 @@ impl<'a, S: SelectionStrategy> IncEstimateSession<'a, S> {
         if self.state.remaining_count() == 0 {
             return None;
         }
-        let mut selection = self.strategy.select(&self.state);
+        let obs = self.state.observer();
+        let entropy_before =
+            if O::ENABLED && OBS_EMIT { self.state.remaining_entropy() } else { 0.0 };
+        let mut selection = timed(obs, Span::Select, || self.strategy.select(&self.state));
         selection.retain(|&f| self.state.is_remaining(f));
         selection.sort_unstable();
         selection.dedup();
@@ -101,6 +123,19 @@ impl<'a, S: SelectionStrategy> IncEstimateSession<'a, S> {
         self.state.evaluate(&selection);
         self.rounds += 1;
         self.trajectory.push(self.state.trust().clone());
+        if O::ENABLED && OBS_EMIT {
+            obs.add(Counter::Rounds, 1);
+            obs.round(&RoundRecord {
+                round: self.rounds - 1,
+                evaluated: selection.len(),
+                remaining: self.state.remaining_count(),
+                entropy_before,
+                entropy_after: self.state.remaining_entropy(),
+                // The observer pairs this with the strategy's pending
+                // SelectionRecord, if one was emitted during select.
+                selection: None,
+            });
+        }
         let evaluated = selection.into_iter().map(|f| (f, self.state.probability(f))).collect();
         Some(StepReport { round: self.rounds, evaluated, trust: self.state.trust().clone() })
     }

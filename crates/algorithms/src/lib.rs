@@ -66,6 +66,34 @@ pub mod inc;
 pub mod multi_answer;
 
 pub use corroborate_core::corroborator::{CorroborationResult, Corroborator};
+/// Re-export of the telemetry layer: attach a
+/// [`RecordingObserver`](obs::RecordingObserver) via the `*_observed`
+/// entry points ([`inc::IncEstimate::corroborate_observed`],
+/// [`inc::IncEstimateSession::with_observer`], and the galland
+/// `corroborate_observed` methods) to capture counters, span latencies, and
+/// per-round / per-iteration records. See `docs/OBSERVABILITY.md`.
+pub use corroborate_obs as obs;
+
+/// True when the `obs` feature compiled the telemetry emission sites in.
+/// Every site is guarded by `O::ENABLED && OBS_EMIT`, so with the feature
+/// off the hooks constant-fold away even for enabled observers — the
+/// `tracing` max-level pattern.
+pub(crate) const OBS_EMIT: bool = cfg!(feature = "obs");
+
+/// Times `f` under `span` when both the observer and the `obs` feature are
+/// enabled; otherwise calls it directly with zero overhead.
+#[inline]
+pub(crate) fn timed<O: obs::Observer, R>(
+    observer: &O,
+    span: obs::Span,
+    f: impl FnOnce() -> R,
+) -> R {
+    if O::ENABLED && OBS_EMIT {
+        observer.timed(span, f)
+    } else {
+        f()
+    }
+}
 
 /// The full roster of corroborators the benchmark harness compares, boxed
 /// behind the common trait. The `seed` parameterises the randomised

@@ -9,13 +9,14 @@
 
 use corroborate_algorithms::galland::{Normalization, TwoEstimates, TwoEstimatesConfig};
 use corroborate_algorithms::inc::{DeltaHMode, IncEstHeu, IncEstimate, IncEstimateConfig};
-use corroborate_bench::{f3, TextTable};
+use corroborate_bench::{f3, Reporter, TextTable};
 use corroborate_core::metrics::confusion_on_subset;
 use corroborate_core::prelude::*;
 use corroborate_datagen::restaurant::{generate as gen_restaurant, RestaurantConfig};
 use corroborate_datagen::synthetic::{generate as gen_synthetic, SyntheticConfig};
 
 fn main() {
+    let mut rep = Reporter::from_env("ablation");
     let synthetic = gen_synthetic(&SyntheticConfig::default()).expect("generation");
     let restaurant = gen_restaurant(&RestaurantConfig::default()).expect("generation");
     let golden_truth = restaurant.dataset.ground_truth().expect("labelled");
@@ -44,8 +45,7 @@ fn main() {
         let (s, r) = eval(&IncEstimate::new(IncEstHeu::with_mode(mode)));
         t.row(vec![label.to_string(), f3(s), f3(r)]);
     }
-    println!("Ablation 1 — IncEstHeu ΔH ranking mode (DESIGN.md §6a.1)");
-    println!("{}", t.render());
+    rep.table("delta_h_mode", "Ablation 1 — IncEstHeu ΔH ranking mode (DESIGN.md §6a.1)", &t);
 
     // --- trust smoothing ----------------------------------------------
     let mut t = TextTable::new(vec!["prior strength", "synthetic acc", "golden acc"]);
@@ -54,8 +54,11 @@ fn main() {
         let (s, r) = eval(&IncEstimate::with_config(IncEstHeu::default(), cfg));
         t.row(vec![format!("{k}"), f3(s), f3(r)]);
     }
-    println!("Ablation 2 — trust-update smoothing (DESIGN.md §6a.3; default 0.1)");
-    println!("{}", t.render());
+    rep.table(
+        "prior_strength",
+        "Ablation 2 — trust-update smoothing (DESIGN.md §6a.3; default 0.1)",
+        &t,
+    );
 
     // --- initial trust ------------------------------------------------
     let mut t = TextTable::new(vec!["initial trust", "synthetic acc", "golden acc"]);
@@ -64,8 +67,11 @@ fn main() {
         let (s, r) = eval(&IncEstimate::with_config(IncEstHeu::default(), cfg));
         t.row(vec![format!("{t0}"), f3(s), f3(r)]);
     }
-    println!("Ablation 3 — initial trust (§6.1.1: \"all default values above 0.5 generate the same corroboration result\")");
-    println!("{}", t.render());
+    rep.table(
+        "initial_trust",
+        "Ablation 3 — initial trust (§6.1.1: \"all default values above 0.5 generate the same corroboration result\")",
+        &t,
+    );
 
     // --- 2-Estimates normalisation -------------------------------------
     let mut t = TextTable::new(vec!["normalisation", "synthetic acc", "golden acc"]);
@@ -78,6 +84,6 @@ fn main() {
         let (s, r) = eval(&TwoEstimates::new(cfg));
         t.row(vec![label.to_string(), f3(s), f3(r)]);
     }
-    println!("Ablation 4 — 2-Estimates normalisation scheme (§2.1)");
-    println!("{}", t.render());
+    rep.table("normalization", "Ablation 4 — 2-Estimates normalisation scheme (§2.1)", &t);
+    rep.finish();
 }

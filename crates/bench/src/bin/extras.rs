@@ -12,7 +12,7 @@ use corroborate_algorithms::bayes::{BayesEstimate, BayesEstimateConfig};
 use corroborate_algorithms::extra::{AccuVote, Pasternack, PasternackVariant, TruthFinder};
 use corroborate_algorithms::galland::{Cosine, ThreeEstimates, TwoEstimates};
 use corroborate_algorithms::inc::{IncEstHeu, IncEstPS, IncEstimate};
-use corroborate_bench::{f3, TextTable};
+use corroborate_bench::{f3, Reporter, TextTable};
 use corroborate_core::metrics::{brier_score, confusion_on_subset};
 use corroborate_core::prelude::*;
 use corroborate_datagen::restaurant::{generate as gen_restaurant, RestaurantConfig};
@@ -38,6 +38,7 @@ fn full_roster() -> Vec<Box<dyn Corroborator>> {
 }
 
 fn main() {
+    let mut rep = Reporter::from_env("extras");
     let synthetic = gen_synthetic(&SyntheticConfig::default()).expect("generation");
     let restaurant = gen_restaurant(&RestaurantConfig::default()).expect("generation");
     let golden_truth = restaurant.dataset.ground_truth().expect("labelled");
@@ -72,13 +73,15 @@ fn main() {
             format!("{elapsed:.3}"),
         ]);
     }
-    println!(
-        "Full roster on the synthetic default world ({} facts) and the restaurant golden set",
-        synthetic.dataset.n_facts()
+    rep.table(
+        "extras",
+        &format!(
+            "Full roster on the synthetic default world ({} facts) and the restaurant golden set",
+            synthetic.dataset.n_facts()
+        ),
+        &table,
     );
-    println!("{}", table.render());
-    println!("(The single-trust-score methods cluster at the prevalence; only IncEstHeu,");
-    println!(
-        " and to a lesser degree Counting's precision trade, escape it — the paper's thesis.)"
-    );
+    rep.say("(The single-trust-score methods cluster at the prevalence; only IncEstHeu,");
+    rep.say(" and to a lesser degree Counting's precision trade, escape it — the paper's thesis.)");
+    rep.finish();
 }

@@ -12,7 +12,7 @@
 //! stay nearly flat around the (kept-set) true-fact prevalence; IncEstHeu
 //! degrades toward the pack as inaccurate sources take over in (b).
 
-use corroborate_bench::{corroboration_roster, f3, TextTable};
+use corroborate_bench::{corroboration_roster, f3, Reporter, TextTable};
 use corroborate_datagen::synthetic::{generate, SyntheticConfig};
 
 /// Accuracy of every roster method on one synthetic configuration.
@@ -28,7 +28,13 @@ fn sweep_point(cfg: &SyntheticConfig) -> Vec<(String, f64)> {
         .collect()
 }
 
-fn run_sweep(title: &str, x_label: &str, configs: Vec<(String, SyntheticConfig)>) {
+fn run_sweep(
+    rep: &mut Reporter,
+    key: &str,
+    title: &str,
+    x_label: &str,
+    configs: Vec<(String, SyntheticConfig)>,
+) {
     // One thread per sweep point.
     let results: Vec<(String, Vec<(String, f64)>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = configs
@@ -51,12 +57,21 @@ fn run_sweep(title: &str, x_label: &str, configs: Vec<(String, SyntheticConfig)>
         row.extend(accs.iter().map(|(_, a)| f3(*a)));
         table.row(row);
     }
-    println!("{title}");
-    println!("{}", table.render());
+    rep.table(key, title, &table);
 }
 
 fn main() {
-    let which: Vec<String> = std::env::args().skip(1).collect();
+    let mut rep = Reporter::from_env("fig3");
+    // Flags that are not panel names: skip `--report <path>` pairs.
+    let mut which: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--report" {
+            args.next();
+        } else if !arg.starts_with("--") {
+            which.push(arg);
+        }
+    }
     let all = which.is_empty();
     let has = |panel: &str| all || which.iter().any(|w| w == panel);
 
@@ -74,7 +89,13 @@ fn main() {
                 (total.to_string(), cfg)
             })
             .collect();
-        run_sweep("Figure 3(a) — accuracy vs number of sources (2 inaccurate)", "sources", configs);
+        run_sweep(
+            &mut rep,
+            "fig3a",
+            "Figure 3(a) — accuracy vs number of sources (2 inaccurate)",
+            "sources",
+            configs,
+        );
     }
 
     if has("b") {
@@ -92,6 +113,8 @@ fn main() {
             })
             .collect();
         run_sweep(
+            &mut rep,
+            "fig3b",
             "Figure 3(b) — accuracy vs number of inaccurate sources (10 total)",
             "inaccurate",
             configs,
@@ -114,9 +137,12 @@ fn main() {
             })
             .collect();
         run_sweep(
+            &mut rep,
+            "fig3c",
             "Figure 3(c) — accuracy vs fraction of F-voted facts (10 sources, 2 inaccurate)",
             "eta",
             configs,
         );
     }
+    rep.finish();
 }

@@ -1,8 +1,17 @@
 //! Scaling bench for the IncEstHeu entropy engine: times all three
 //! [`DeltaHMode`]s at 1k/4k/16k synthetic facts, plus a naive-vs-indexed
 //! comparison that reproduces the pre-index full-scan scorer through the
-//! public [`SelectionStrategy`] API. Results are written as JSON to
+//! public [`SelectionStrategy`] API, plus an observer-overhead check that
+//! pins the cost of the telemetry hooks. Results are written as JSON to
 //! `BENCH_incheu.json` at the repository root.
+//!
+//! Flags:
+//!
+//! - `--report <path>` — dump a `RunReport` (per-round ΔH trajectory,
+//!   pruning-tier counters, cache telemetry, latency histograms) captured
+//!   with a [`RecordingObserver`];
+//! - `--quick` — 1k facts only, skip the naive comparison and the overhead
+//!   check, and do *not* overwrite `BENCH_incheu.json` (the CI smoke mode).
 //!
 //! Run with `--release`; the JSON is the evidence artifact behind the
 //! complexity claims in `docs/PERFORMANCE.md`.
@@ -12,6 +21,8 @@ use std::time::Instant;
 use corroborate_algorithms::inc::{
     DeltaHMode, IncEstHeu, IncEstimate, IncState, SelectionStrategy,
 };
+use corroborate_algorithms::obs::{Json, Observer, RecordingObserver};
+use corroborate_bench::Reporter;
 use corroborate_core::entropy::binary_entropy;
 use corroborate_core::groups::FactGroup;
 use corroborate_core::ids::{FactId, SourceId};
@@ -21,6 +32,16 @@ use corroborate_datagen::synthetic::{generate, SyntheticConfig};
 
 const SIZES: [usize; 3] = [1_000, 4_000, 16_000];
 const MODES: [DeltaHMode; 3] = [DeltaHMode::SelfTerm, DeltaHMode::Equation9, DeltaHMode::Full];
+
+/// Pre-PR 4k-fact wall-clock baselines (seconds) measured on this image
+/// before the observer hooks landed — the reference for the noop-overhead
+/// assertion. Regenerate by checking out the commit before the telemetry
+/// layer and running this bin.
+const PRE_PR_4K_S: [(DeltaHMode, f64); 3] = [
+    (DeltaHMode::SelfTerm, 0.003912),
+    (DeltaHMode::Equation9, 0.057091),
+    (DeltaHMode::Full, 0.067012),
+];
 
 fn mode_name(mode: DeltaHMode) -> &'static str {
     match mode {
@@ -40,12 +61,12 @@ struct NaiveHeu {
     mode: DeltaHMode,
 }
 
-struct LinearOverlay<'a> {
-    state: &'a IncState<'a>,
+struct LinearOverlay<'a, O: Observer> {
+    state: &'a IncState<'a, O>,
     affected: Vec<(SourceId, f64)>,
 }
 
-impl LinearOverlay<'_> {
+impl<O: Observer> LinearOverlay<'_, O> {
     fn trust(&self, source: SourceId) -> f64 {
         self.affected
             .iter()
@@ -69,8 +90,8 @@ impl LinearOverlay<'_> {
     }
 }
 
-fn naive_spillover(
-    state: &IncState<'_>,
+fn naive_spillover<O: Observer>(
+    state: &IncState<'_, O>,
     groups: &[FactGroup],
     probs: &[f64],
     candidate_idx: usize,
@@ -112,7 +133,7 @@ impl SelectionStrategy for NaiveHeu {
         "NaiveHeu"
     }
 
-    fn select(&self, state: &IncState<'_>) -> Vec<FactId> {
+    fn select<O: Observer>(&self, state: &IncState<'_, O>) -> Vec<FactId> {
         let groups: Vec<FactGroup> = state.remaining_groups().cloned().collect();
         let probs: Vec<f64> =
             groups.iter().map(|g| state.signature_probability(&g.signature)).collect();
@@ -181,18 +202,45 @@ fn time_run<S: SelectionStrategy>(strategy: S, ds: &Dataset) -> (f64, usize, f64
     (elapsed, result.rounds(), accuracy)
 }
 
-fn json_escape_free(s: &str) -> &str {
-    // All strings we emit are static identifiers; just assert that.
-    assert!(!s.contains(['"', '\\']), "unexpected JSON-unsafe string: {s}");
-    s
+/// Best wall-clock of `reps` runs — the overhead check's noise reducer.
+fn best_of<S: SelectionStrategy + Copy>(strategy: S, ds: &Dataset, reps: usize) -> f64 {
+    (0..reps).map(|_| time_run(strategy, ds).0).fold(f64::INFINITY, f64::min)
+}
+
+/// One instrumented run: corroborate under a [`RecordingObserver`] and
+/// return (elapsed seconds, the observer's JSON snapshot).
+fn traced_run(mode: DeltaHMode, ds: &Dataset) -> (f64, Json) {
+    let recorder = RecordingObserver::new();
+    let start = Instant::now();
+    let result = IncEstimate::new(IncEstHeu::with_mode(mode))
+        .corroborate_observed(ds, &recorder)
+        .expect("corroboration succeeds");
+    let elapsed = start.elapsed().as_secs_f64();
+    std::hint::black_box(result.probabilities().len());
+    (elapsed, recorder.to_json())
 }
 
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
     let parallel = cfg!(feature = "rayon");
-    println!("IncEstHeu scaling bench (rayon feature: {parallel})\n");
+    let mut rep = Reporter::from_env("heu_scaling");
+    rep.say(format!(
+        "IncEstHeu scaling bench (rayon feature: {parallel}, obs feature: {}, quick: {quick})",
+        cfg!(feature = "obs")
+    ));
+    rep.blank();
 
-    let mut entries = Vec::new();
-    for &n in &SIZES {
+    let mut config = Json::object();
+    config.insert("n_accurate", 8i64);
+    config.insert("n_inaccurate", 2i64);
+    config.insert("eta", 0.02);
+    config.insert("seed", 42i64);
+    rep.raw("config", config.clone());
+
+    // --- scaling sweep ------------------------------------------------
+    let sizes: &[usize] = if quick { &SIZES[..1] } else { &SIZES };
+    let mut scaling = Vec::new();
+    for &n in sizes {
         let ds = world(n);
         let n_groups = corroborate_core::groups::group_by_signature(
             ds.votes(),
@@ -201,29 +249,55 @@ fn main() {
         .len();
         for mode in MODES {
             let (secs, rounds, accuracy) = time_run(IncEstHeu::with_mode(mode), &ds);
-            println!(
+            rep.say(format!(
                 "{:>9} n={n:<6} groups={n_groups:<5} {secs:>9.4}s  rounds={rounds:<5} A={accuracy:.3}",
                 mode_name(mode)
-            );
-            entries.push(format!(
-                concat!(
-                    "    {{\"mode\": \"{}\", \"n_facts\": {}, \"n_groups\": {}, ",
-                    "\"indexed_s\": {:.6}, \"rounds\": {}, \"accuracy\": {:.4}}}"
-                ),
-                json_escape_free(mode_name(mode)),
-                n,
-                n_groups,
-                secs,
-                rounds,
-                accuracy
             ));
+            let mut row = Json::object();
+            row.insert("mode", mode_name(mode));
+            row.insert("n_facts", n);
+            row.insert("n_groups", n_groups);
+            row.insert("indexed_s", secs);
+            row.insert("rounds", rounds);
+            row.insert("accuracy", accuracy);
+            scaling.push(row);
         }
     }
+    let scaling = Json::Arr(scaling);
+    rep.raw("scaling", scaling.clone());
 
-    // Naive-vs-indexed comparison at 4k facts — the pre-index scorer
-    // replicated above versus the shipped engine, identical selections.
-    println!("\nnaive full-scan comparison at 4k facts:");
-    let ds = world(4_000);
+    // --- instrumented traces ------------------------------------------
+    // One RecordingObserver run per mode at the trace size: the report's
+    // per-round ΔH trajectory, pruning-tier counters, cache telemetry, and
+    // span latency histograms.
+    let trace_n = if quick { 1_000 } else { 4_000 };
+    let ds = world(trace_n);
+    rep.blank();
+    rep.say(format!("instrumented traces at {trace_n} facts:"));
+    let mut recording_s = Vec::new();
+    for mode in MODES {
+        let (secs, trace) = traced_run(mode, &ds);
+        let rounds = trace.get("rounds").and_then(Json::as_array).map_or(0, <[Json]>::len);
+        rep.say(format!(
+            "{:>9}  {secs:>9.4}s  recorded rounds={rounds} (obs feature {})",
+            mode_name(mode),
+            if cfg!(feature = "obs") { "on" } else { "off — trace empty by design" }
+        ));
+        rep.raw(format!("trace_{}", mode_name(mode)).as_str(), trace);
+        recording_s.push((mode, secs));
+    }
+
+    if quick {
+        rep.say("--quick: skipping naive comparison, overhead check, and BENCH_incheu.json");
+        rep.finish();
+        return;
+    }
+
+    // --- naive-vs-indexed comparison at 4k facts ----------------------
+    // The pre-index scorer replicated above versus the shipped engine,
+    // identical selections.
+    rep.blank();
+    rep.say("naive full-scan comparison at 4k facts:");
     let mut comparisons = Vec::new();
     for &mode in &MODES {
         let (naive_s, naive_rounds, naive_a) = time_run(NaiveHeu { mode }, &ds);
@@ -231,30 +305,70 @@ fn main() {
         assert_eq!(naive_rounds, indexed_rounds, "{mode:?}: round counts diverge");
         assert!((naive_a - indexed_a).abs() < 1e-12, "{mode:?}: accuracy diverges");
         let speedup = naive_s / indexed_s;
-        println!(
+        rep.say(format!(
             "{:>9}  naive {naive_s:>9.4}s  indexed {indexed_s:>9.4}s  speedup {speedup:>7.1}x",
             mode_name(mode)
-        );
-        comparisons.push(format!(
-            concat!(
-                "    {{\"mode\": \"{}\", \"n_facts\": 4000, \"naive_s\": {:.6}, ",
-                "\"indexed_s\": {:.6}, \"speedup\": {:.2}}}"
-            ),
-            json_escape_free(mode_name(mode)),
-            naive_s,
-            indexed_s,
-            speedup
         ));
+        let mut row = Json::object();
+        row.insert("mode", mode_name(mode));
+        row.insert("n_facts", 4000i64);
+        row.insert("naive_s", naive_s);
+        row.insert("indexed_s", indexed_s);
+        row.insert("speedup", speedup);
+        comparisons.push(row);
     }
+    let comparisons = Json::Arr(comparisons);
+    rep.raw("naive_comparison_4k", comparisons.clone());
 
-    let json = format!(
-        "{{\n  \"bench\": \"heu_scaling\",\n  \"rayon_feature\": {parallel},\n  \
-         \"config\": {{\"n_accurate\": 8, \"n_inaccurate\": 2, \"eta\": 0.02, \"seed\": 42}},\n  \
-         \"scaling\": [\n{}\n  ],\n  \"naive_comparison_4k\": [\n{}\n  ]\n}}\n",
-        entries.join(",\n"),
-        comparisons.join(",\n")
-    );
+    // --- observer overhead at 4k facts --------------------------------
+    // The default corroborate path is instrumented-but-disabled (NoopObserver
+    // behind `O::ENABLED` guards); it must cost the same as the pre-PR
+    // uninstrumented engine. The bound is deliberately loose — 2.5x plus a
+    // 50ms absolute floor — so only a structural regression (hooks that
+    // survive constant folding) trips it, not scheduler noise.
+    rep.blank();
+    rep.say("noop-observer overhead vs pre-PR baselines at 4k facts (best of 3):");
+    let mut overhead_rows = Vec::new();
+    for (mode, pre_pr_s) in PRE_PR_4K_S {
+        let noop_s = best_of(IncEstHeu::with_mode(mode), &ds, 3);
+        let ratio = noop_s / pre_pr_s;
+        let rec_s = recording_s.iter().find(|(m, _)| *m == mode).map_or(f64::NAN, |(_, s)| *s);
+        rep.say(format!(
+            "{:>9}  pre-PR {pre_pr_s:>9.4}s  noop {noop_s:>9.4}s  ratio {ratio:>5.2}x  recording {rec_s:>9.4}s",
+            mode_name(mode)
+        ));
+        assert!(
+            noop_s <= pre_pr_s * 2.5 + 0.05,
+            "{mode:?}: disabled-observer run {noop_s:.4}s exceeds the {pre_pr_s:.4}s pre-PR \
+             baseline by more than the noise bound — telemetry hooks are leaking into the \
+             disabled path"
+        );
+        let mut row = Json::object();
+        row.insert("mode", mode_name(mode));
+        row.insert("pre_pr_s", pre_pr_s);
+        row.insert("noop_s", noop_s);
+        row.insert("noop_vs_pre_pr", ratio);
+        row.insert("recording_s", rec_s);
+        row.insert("recording_vs_noop", rec_s / noop_s);
+        overhead_rows.push(row);
+    }
+    let mut overhead = Json::object();
+    overhead.insert("n_facts", 4000i64);
+    overhead.insert("obs_feature", cfg!(feature = "obs"));
+    overhead.insert("modes", Json::Arr(overhead_rows));
+    rep.raw("observer_overhead", overhead.clone());
+
+    // --- BENCH_incheu.json --------------------------------------------
+    let mut bench = Json::object();
+    bench.insert("bench", "heu_scaling");
+    bench.insert("rayon_feature", parallel);
+    bench.insert("config", config);
+    bench.insert("scaling", scaling);
+    bench.insert("naive_comparison_4k", comparisons);
+    bench.insert("observer_overhead", overhead);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_incheu.json");
-    std::fs::write(path, &json).expect("write BENCH_incheu.json");
-    println!("\nwrote {path}");
+    std::fs::write(path, bench.to_json_pretty() + "\n").expect("write BENCH_incheu.json");
+    rep.blank();
+    rep.say(format!("wrote {path}"));
+    rep.finish();
 }

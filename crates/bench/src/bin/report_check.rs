@@ -1,0 +1,68 @@
+//! CI validator for `--report` artifacts: parses the JSON with the
+//! `corroborate-obs` parser (a stricter check than "a Python json.load
+//! somewhere would have worked") and asserts required keys are present and
+//! non-null. Exits nonzero with a message on any failure.
+//!
+//! ```sh
+//! report_check <report.json> [key.path ...]
+//! ```
+//!
+//! Key paths are dot-separated and may index arrays numerically, e.g.
+//! `trace_Equation9.counters.prescreen_killed` or `scaling.0.mode`. The
+//! `report` and `schema_version` header keys are always required.
+
+use std::process::ExitCode;
+
+use corroborate_obs::Json;
+
+fn lookup<'a>(root: &'a Json, path: &str) -> Option<&'a Json> {
+    let mut cur = root;
+    for seg in path.split('.') {
+        cur = match cur {
+            Json::Arr(items) => seg.parse::<usize>().ok().and_then(|i| items.get(i))?,
+            _ => cur.get(seg)?,
+        };
+    }
+    Some(cur)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: report_check <report.json> [key.path ...]");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("report_check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let root = match Json::parse(&text) {
+        Ok(root) => root,
+        Err(e) => {
+            eprintln!("report_check: {path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut required: Vec<String> = vec!["report".into(), "schema_version".into()];
+    required.extend(args);
+    let mut checked = 0usize;
+    for key in &required {
+        match lookup(&root, key) {
+            None => {
+                eprintln!("report_check: {path}: required key `{key}` is missing");
+                return ExitCode::FAILURE;
+            }
+            Some(Json::Null) => {
+                eprintln!("report_check: {path}: required key `{key}` is null");
+                return ExitCode::FAILURE;
+            }
+            Some(_) => checked += 1,
+        }
+    }
+    println!("{path}: OK ({checked} keys checked)");
+    ExitCode::SUCCESS
+}

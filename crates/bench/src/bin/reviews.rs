@@ -10,7 +10,7 @@
 //! ```
 
 use corroborate_algorithms::inc::{IncEstHeu, IncEstimate};
-use corroborate_bench::{f2, TextTable};
+use corroborate_bench::{f2, Reporter, TextTable};
 use corroborate_core::corroborator::Corroborator;
 use corroborate_core::metrics::{confusion_on_subset, ConfusionMatrix};
 use corroborate_datagen::restaurant::{generate, RestaurantConfig};
@@ -33,6 +33,7 @@ fn confusion(preds: &[f64], labels: &[f64]) -> ConfusionMatrix {
 }
 
 fn main() {
+    let mut rep = Reporter::from_env("reviews");
     let world = generate(&RestaurantConfig::default()).expect("generation");
     let ds = &world.dataset;
     let truth = ds.ground_truth().expect("labelled");
@@ -73,6 +74,10 @@ fn main() {
         "paper Table 4: 0.83".to_string(),
     ]);
 
-    println!("§6.2.1 pre-study — why the paper built corroboration instead of a classifier");
-    println!("{}", table.render());
+    rep.table(
+        "reviews",
+        "§6.2.1 pre-study — why the paper built corroboration instead of a classifier",
+        &table,
+    );
+    rep.finish();
 }

@@ -10,11 +10,12 @@
 //! ```
 
 use corroborate_algorithms::inc::{IncEstHeu, IncEstimateConfig, IncEstimateSession};
-use corroborate_bench::{f3, TextTable};
+use corroborate_bench::{f3, Reporter, TextTable};
 use corroborate_core::metrics::confusion_on_subset;
 use corroborate_datagen::restaurant::{generate, RestaurantConfig};
 
 fn main() {
+    let mut rep = Reporter::from_env("seeding");
     let world = generate(&RestaurantConfig::default()).expect("generation");
     let ds = &world.dataset;
     let truth = ds.ground_truth().expect("labelled");
@@ -40,12 +41,16 @@ fn main() {
             f3(m.f1()),
         ]);
     }
-    println!("Semi-supervised IncEstHeu: accuracy on the *unseeded* golden listings");
-    println!("{}", table.render());
-    println!("(0 seeds = the paper's unsupervised setting. Note the non-monotonicity:");
-    println!(" the golden sample is deliberately *biased* — popularity-weighted and");
-    println!(" enriched in F-voted listings, like the paper's 3-zip-code check — so");
-    println!(" seeding many of its labels skews the per-source trust counters away");
-    println!(" from the population and eventually hurts the held-out accuracy. Label");
-    println!(" *quality* is not enough; label *sampling* matters.)");
+    rep.table(
+        "seeding",
+        "Semi-supervised IncEstHeu: accuracy on the *unseeded* golden listings",
+        &table,
+    );
+    rep.say("(0 seeds = the paper's unsupervised setting. Note the non-monotonicity:");
+    rep.say(" the golden sample is deliberately *biased* — popularity-weighted and");
+    rep.say(" enriched in F-voted listings, like the paper's 3-zip-code check — so");
+    rep.say(" seeding many of its labels skews the per-source trust counters away");
+    rep.say(" from the population and eventually hurts the held-out accuracy. Label");
+    rep.say(" *quality* is not enough; label *sampling* matters.)");
+    rep.finish();
 }

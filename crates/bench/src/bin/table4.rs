@@ -4,7 +4,7 @@
 //! golden subset; the ML baselines run 10-fold CV over the golden set
 //! only, exactly as §6.1.1 describes.
 
-use corroborate_bench::{corroboration_roster, f2, TextTable};
+use corroborate_bench::{corroboration_roster, f2, Reporter, TextTable};
 use corroborate_core::metrics::{confusion_on_subset, ConfusionMatrix};
 use corroborate_core::prelude::*;
 use corroborate_core::stats::{bootstrap_accuracy_ci, bootstrap_accuracy_diff_ci, mcnemar};
@@ -13,6 +13,7 @@ use corroborate_ml::eval::evaluate_on_golden;
 use corroborate_ml::logistic::LogisticRegression;
 use corroborate_ml::naive_bayes::NaiveBayes;
 use corroborate_ml::svm::LinearSvm;
+use corroborate_obs::Json;
 
 const PAPER: &[(&str, &str)] = &[
     ("Voting", "0.65 / 1.00 / 0.66 / 0.79"),
@@ -30,6 +31,7 @@ fn paper_row(name: &str) -> &'static str {
 }
 
 fn main() {
+    let mut rep = Reporter::from_env("table4");
     let world = generate(&RestaurantConfig::default()).expect("generation succeeds");
     let ds = &world.dataset;
     let truth = ds.ground_truth().expect("simulated world is labelled");
@@ -106,8 +108,14 @@ fn main() {
         TruthAssignment::from_bools(&nb.predictions.iter().map(|&p| p > 0.0).collect::<Vec<_>>());
     push("ML-NaiveBayes (extra)", &nb.confusion, Some(&nb_pred));
 
-    println!("Table 4 — corroboration quality on the golden set ({} listings)", world.golden.len());
-    println!("{}", table.render());
+    rep.table(
+        "table4",
+        &format!(
+            "Table 4 — corroboration quality on the golden set ({} listings)",
+            world.golden.len()
+        ),
+        &table,
+    );
 
     // §6.2.2's significance claim: IncEstHeu vs the baselines, McNemar on
     // golden-set decisions.
@@ -120,12 +128,12 @@ fn main() {
         };
         let test = mcnemar(&project(&heu), &project(&voting), golden_ds.ground_truth().unwrap())
             .expect("same golden length");
-        println!(
+        rep.say(format!(
             "McNemar IncEstHeu vs Voting: χ² = {:.1}, p = {:.2e} (paper: significant, p < 0.001 → {})",
             test.chi_squared,
             test.p_value,
             if test.significant_at(0.001) { "reproduced" } else { "NOT reproduced" }
-        );
+        ));
         let diff = bootstrap_accuracy_diff_ci(
             &project(&heu),
             &project(&voting),
@@ -135,12 +143,20 @@ fn main() {
             42,
         )
         .expect("paired bootstrap");
-        println!(
+        rep.say(format!(
             "paired bootstrap, accuracy(IncEstHeu) − accuracy(Voting): {:.3} [{:.3}, {:.3}] (95% CI{})",
             diff.estimate,
             diff.lower,
             diff.upper,
             if diff.lower > 0.0 { ", excludes 0" } else { "" }
-        );
+        ));
+        let mut significance = Json::object();
+        significance.insert("mcnemar_chi_squared", test.chi_squared);
+        significance.insert("mcnemar_p_value", test.p_value);
+        significance.insert("accuracy_diff", diff.estimate);
+        significance.insert("accuracy_diff_ci_lower", diff.lower);
+        significance.insert("accuracy_diff_ci_upper", diff.upper);
+        rep.raw("significance", significance);
     }
+    rep.finish();
 }

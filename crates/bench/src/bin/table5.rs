@@ -5,7 +5,7 @@
 use corroborate_algorithms::bayes::{BayesEstimate, BayesEstimateConfig};
 use corroborate_algorithms::galland::TwoEstimates;
 use corroborate_algorithms::inc::{IncEstHeu, IncEstimate};
-use corroborate_bench::{f2, f3, TextTable};
+use corroborate_bench::{f2, f3, Reporter, TextTable};
 use corroborate_core::metrics::trust_mse;
 use corroborate_core::prelude::*;
 use corroborate_datagen::restaurant::{generate, RestaurantConfig, SOURCE_NAMES};
@@ -13,6 +13,7 @@ use corroborate_ml::eval::evaluate_on_golden;
 use corroborate_ml::logistic::LogisticRegression;
 
 fn main() {
+    let mut rep = Reporter::from_env("table5");
     let world = generate(&RestaurantConfig::default()).expect("generation succeeds");
     let ds = &world.dataset;
 
@@ -53,8 +54,12 @@ fn main() {
     let heu = IncEstimate::new(IncEstHeu::default()).corroborate(ds).unwrap();
     push("IncEstHeu", heu.trust().values(), "0.005");
 
-    println!("Table 5 — trust scores at the end of the run, MSE vs measured golden accuracy");
-    println!("(paper's trust rows: TwoEstimate ≈ all 1.0; BayesEstimate = all 1.0;");
-    println!(" ML-Logistic {{0.62, 0.85, 0.98, 0.92, 0.65, 0.95}}; IncEstHeu {{0.51, 0.70, 0.90, 0.93, 0.51, 0.89}})");
-    println!("{}", table.render());
+    rep.say("(paper's trust rows: TwoEstimate ≈ all 1.0; BayesEstimate = all 1.0;");
+    rep.say(" ML-Logistic {0.62, 0.85, 0.98, 0.92, 0.65, 0.95}; IncEstHeu {0.51, 0.70, 0.90, 0.93, 0.51, 0.89})");
+    rep.table(
+        "table5",
+        "Table 5 — trust scores at the end of the run, MSE vs measured golden accuracy",
+        &table,
+    );
+    rep.finish();
 }

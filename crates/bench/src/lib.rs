@@ -20,6 +20,8 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod report;
+
 use std::fmt::Write as _;
 
 use corroborate_algorithms::baseline::{Counting, Voting};
@@ -27,6 +29,9 @@ use corroborate_algorithms::bayes::{BayesEstimate, BayesEstimateConfig};
 use corroborate_algorithms::galland::TwoEstimates;
 use corroborate_algorithms::inc::{IncEstHeu, IncEstPS, IncEstimate};
 use corroborate_core::prelude::*;
+use corroborate_obs::Json;
+
+pub use report::Reporter;
 
 /// A fixed-width text table accumulated row by row, printed to stdout.
 #[derive(Debug, Default)]
@@ -78,6 +83,24 @@ impl TextTable {
             render_row(&mut out, row);
         }
         out
+    }
+
+    /// Converts the table to a JSON array of objects, one per row, keyed by
+    /// the column headers — the machine-readable form [`Reporter::table`]
+    /// stores in run reports.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(
+            self.rows
+                .iter()
+                .map(|row| {
+                    let mut obj = Json::object();
+                    for (h, cell) in self.header.iter().zip(row) {
+                        obj.insert(h.clone(), cell.as_str());
+                    }
+                    obj
+                })
+                .collect(),
+        )
     }
 
     /// Renders as comma-separated values (for plotting scripts).

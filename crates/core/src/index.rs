@@ -75,17 +75,23 @@ impl SourceGroupIndex {
     }
 
     /// Drops every posting whose group fails the `live` predicate,
-    /// preserving the per-source sort order.
+    /// preserving the per-source sort order, and returns the number of
+    /// postings removed.
     ///
     /// Groups drain monotonically over an IncEstimate run, so callers can
     /// compact after each evaluation round and keep posting walks
     /// proportional to the *live* degree instead of the build-time degree.
     /// Dead groups contribute nothing to spillover or dirty tracking, so
-    /// removal never changes results.
-    pub fn retain_groups(&mut self, mut live: impl FnMut(usize) -> bool) {
+    /// removal never changes results. The removal count feeds compaction
+    /// telemetry.
+    pub fn retain_groups(&mut self, mut live: impl FnMut(usize) -> bool) -> usize {
+        let mut removed = 0;
         for posts in &mut self.postings {
+            let before = posts.len();
             posts.retain(|p| live(p.group));
+            removed += before - posts.len();
         }
+        removed
     }
 
     /// Collects the distinct groups touched by any of `sources`, sorted
@@ -183,7 +189,8 @@ mod tests {
         let mut index = SourceGroupIndex::build(&groups, 3);
         // Drop the {s0 T, s1 T} group (first posting of both sources).
         let dead = index.groups_of(sid(0))[0].group;
-        index.retain_groups(|g| g != dead);
+        let removed = index.retain_groups(|g| g != dead);
+        assert_eq!(removed, 2);
         for s in 0..3 {
             let posts = index.groups_of(sid(s));
             assert!(posts.iter().all(|p| p.group != dead));

@@ -1,0 +1,154 @@
+//! Atomic counter registry.
+//!
+//! Counters are a closed enum rather than string keys: emission sites on the
+//! hot path index a fixed array of relaxed atomics, so incrementing a counter
+//! is one `fetch_add` with no hashing or locking, and the catalog documented
+//! in `docs/OBSERVABILITY.md` is enforced by the compiler.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::json::Json;
+
+/// Every counter the instrumented engines emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Counter {
+    /// Selection rounds executed (IncEstimate round loop / session steps).
+    Rounds,
+    /// Fixpoint iterations executed (2-Estimates / 3-Estimates / Cosine).
+    Iterations,
+    /// Facts whose probability was (re)evaluated after a selection.
+    FactsEvaluated,
+    /// ΔH candidates killed by the linear prescreen (tier 1).
+    PrescreenKilled,
+    /// ΔH candidates killed by the walk bound before exact scoring (tier 2).
+    WalkBoundKilled,
+    /// ΔH candidates abandoned mid-way through exact scoring (tier 3).
+    EarlyAbandonKilled,
+    /// ΔH candidates scored exactly to completion.
+    ExactScored,
+    /// Dirty-group cache refreshes performed by `refresh_trust_and_cache`.
+    CacheRefreshes,
+    /// Group entries recomputed during cache refreshes.
+    GroupsRecomputed,
+    /// Postings dropped from the source→group index by compaction.
+    PostingsCompacted,
+}
+
+impl Counter {
+    /// All counters, in report order.
+    pub const ALL: [Counter; 10] = [
+        Counter::Rounds,
+        Counter::Iterations,
+        Counter::FactsEvaluated,
+        Counter::PrescreenKilled,
+        Counter::WalkBoundKilled,
+        Counter::EarlyAbandonKilled,
+        Counter::ExactScored,
+        Counter::CacheRefreshes,
+        Counter::GroupsRecomputed,
+        Counter::PostingsCompacted,
+    ];
+
+    /// Stable snake_case key used in JSON reports.
+    pub fn key(self) -> &'static str {
+        match self {
+            Counter::Rounds => "rounds",
+            Counter::Iterations => "iterations",
+            Counter::FactsEvaluated => "facts_evaluated",
+            Counter::PrescreenKilled => "prescreen_killed",
+            Counter::WalkBoundKilled => "walk_bound_killed",
+            Counter::EarlyAbandonKilled => "early_abandon_killed",
+            Counter::ExactScored => "exact_scored",
+            Counter::CacheRefreshes => "cache_refreshes",
+            Counter::GroupsRecomputed => "groups_recomputed",
+            Counter::PostingsCompacted => "postings_compacted",
+        }
+    }
+}
+
+/// Fixed-size registry of relaxed atomic counters, indexed by [`Counter`].
+#[derive(Debug, Default)]
+pub struct CounterRegistry {
+    slots: [AtomicU64; Counter::ALL.len()],
+}
+
+impl CounterRegistry {
+    /// A registry with all counters at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to `counter`.
+    #[inline]
+    pub fn add(&self, counter: Counter, delta: u64) {
+        self.slots[counter as usize].fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value of `counter`.
+    pub fn get(&self, counter: Counter) -> u64 {
+        self.slots[counter as usize].load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of every counter, in [`Counter::ALL`] order.
+    pub fn snapshot(&self) -> Vec<(Counter, u64)> {
+        Counter::ALL.iter().map(|&c| (c, self.get(c))).collect()
+    }
+
+    /// JSON object `{key: value}` of every counter.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        for (counter, value) in self.snapshot() {
+            obj.insert(counter.key(), value);
+        }
+        obj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let reg = CounterRegistry::new();
+        reg.add(Counter::PrescreenKilled, 5);
+        reg.add(Counter::PrescreenKilled, 2);
+        reg.add(Counter::ExactScored, 1);
+        assert_eq!(reg.get(Counter::PrescreenKilled), 7);
+        assert_eq!(reg.get(Counter::ExactScored), 1);
+        assert_eq!(reg.get(Counter::WalkBoundKilled), 0);
+    }
+
+    #[test]
+    fn keys_are_unique_and_cover_all() {
+        let keys: std::collections::HashSet<_> = Counter::ALL.iter().map(|c| c.key()).collect();
+        assert_eq!(keys.len(), Counter::ALL.len());
+    }
+
+    #[test]
+    fn json_snapshot_has_every_key() {
+        let reg = CounterRegistry::new();
+        reg.add(Counter::Rounds, 3);
+        let json = reg.to_json();
+        for counter in Counter::ALL {
+            assert!(json.get(counter.key()).is_some(), "missing {}", counter.key());
+        }
+        assert_eq!(json.get("rounds").unwrap().as_i64(), Some(3));
+    }
+
+    #[test]
+    fn counters_are_thread_safe() {
+        let reg = CounterRegistry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        reg.add(Counter::FactsEvaluated, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.get(Counter::FactsEvaluated), 4000);
+    }
+}

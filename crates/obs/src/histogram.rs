@@ -1,0 +1,263 @@
+//! Monotonic log-bucketed latency histograms.
+//!
+//! Durations are recorded in nanoseconds into power-of-two buckets
+//! (bucket *i* holds values whose bit length is *i*, i.e. `[2^(i-1), 2^i)`),
+//! so recording is a `leading_zeros` plus one relaxed `fetch_add` — cheap
+//! enough to sit around hot spans. Sum/min/max are kept exactly; quantiles
+//! are reconstructed from the buckets with ≤ 2x relative error, which is
+//! plenty for "where did the time go" reports.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::json::Json;
+
+const BUCKETS: usize = 64;
+
+/// Concurrent log2-bucketed histogram of nanosecond durations.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index for a nanosecond value: its bit length, so 0→0,
+    /// 1→1, 2..4→2.., and every bucket spans a factor of two.
+    #[inline]
+    fn bucket_of(nanos: u64) -> usize {
+        (64 - nanos.leading_zeros()) as usize
+    }
+
+    /// Records one duration.
+    #[inline]
+    pub fn record(&self, nanos: u64) {
+        self.buckets[Self::bucket_of(nanos).min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(nanos, Ordering::Relaxed);
+        self.min.fetch_min(nanos, Ordering::Relaxed);
+        self.max.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Number of recorded durations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded durations, in nanoseconds.
+    pub fn sum_nanos(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Point summary of the current contents.
+    pub fn summary(&self) -> HistogramSummary {
+        let count = self.count();
+        let sum = self.sum_nanos();
+        let buckets: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        HistogramSummary {
+            count,
+            sum_nanos: sum,
+            min_nanos: if count == 0 { 0 } else { self.min.load(Ordering::Relaxed) },
+            max_nanos: self.max.load(Ordering::Relaxed),
+            mean_nanos: if count == 0 { 0.0 } else { sum as f64 / count as f64 },
+            p50_nanos: quantile(&buckets, count, 0.50),
+            p90_nanos: quantile(&buckets, count, 0.90),
+            p99_nanos: quantile(&buckets, count, 0.99),
+        }
+    }
+
+    /// Non-empty buckets as `(upper_bound_nanos, count)` pairs, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then(|| (upper_bound(i), n))
+            })
+            .collect()
+    }
+
+    /// JSON summary plus the sparse bucket table.
+    pub fn to_json(&self) -> Json {
+        let mut obj = self.summary().to_json();
+        let buckets: Vec<Json> = self
+            .nonzero_buckets()
+            .into_iter()
+            .map(|(le, n)| {
+                let mut b = Json::object();
+                b.insert("le_nanos", le);
+                b.insert("count", n);
+                b
+            })
+            .collect();
+        obj.insert("buckets", Json::Arr(buckets));
+        obj
+    }
+}
+
+/// Inclusive upper bound of bucket `i` in nanoseconds.
+fn upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// Reconstructs quantile `q` from bucket counts: the upper bound of the
+/// bucket containing the q-th ranked sample.
+fn quantile(buckets: &[u64], count: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((count as f64 * q).ceil() as u64).clamp(1, count);
+    let mut seen = 0u64;
+    for (i, &n) in buckets.iter().enumerate() {
+        seen += n;
+        if seen >= rank {
+            return upper_bound(i);
+        }
+    }
+    upper_bound(BUCKETS - 1)
+}
+
+/// Point-in-time summary of a [`LatencyHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of recorded durations.
+    pub count: u64,
+    /// Exact sum in nanoseconds.
+    pub sum_nanos: u64,
+    /// Exact minimum (0 when empty).
+    pub min_nanos: u64,
+    /// Exact maximum.
+    pub max_nanos: u64,
+    /// Exact mean.
+    pub mean_nanos: f64,
+    /// Median, to bucket resolution.
+    pub p50_nanos: u64,
+    /// 90th percentile, to bucket resolution.
+    pub p90_nanos: u64,
+    /// 99th percentile, to bucket resolution.
+    pub p99_nanos: u64,
+}
+
+impl HistogramSummary {
+    /// JSON object of the summary fields.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.insert("count", self.count);
+        obj.insert("sum_nanos", self.sum_nanos);
+        obj.insert("min_nanos", self.min_nanos);
+        obj.insert("max_nanos", self.max_nanos);
+        obj.insert("mean_nanos", self.mean_nanos);
+        obj.insert("p50_nanos", self.p50_nanos);
+        obj.insert("p90_nanos", self.p90_nanos);
+        obj.insert("p99_nanos", self.p99_nanos);
+        obj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let h = LatencyHistogram::new();
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min_nanos, 0);
+        assert_eq!(s.max_nanos, 0);
+        assert_eq!(s.mean_nanos, 0.0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn exact_stats_and_bucketing() {
+        let h = LatencyHistogram::new();
+        for nanos in [0, 1, 2, 3, 100, 1000] {
+            h.record(nanos);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum_nanos, 1106);
+        assert_eq!(s.min_nanos, 0);
+        assert_eq!(s.max_nanos, 1000);
+        // 0→bucket 0; 1→bucket 1; 2,3→bucket 2; 100→bucket 7; 1000→bucket 10.
+        assert_eq!(h.nonzero_buckets(), vec![(0, 1), (1, 1), (3, 2), (127, 1), (1023, 1)]);
+    }
+
+    #[test]
+    fn quantiles_have_bucket_resolution() {
+        let h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(10); // bucket upper bound 15
+        }
+        h.record(100_000); // bucket upper bound 131071
+        let s = h.summary();
+        assert_eq!(s.p50_nanos, 15);
+        assert_eq!(s.p90_nanos, 15);
+        assert_eq!(s.p99_nanos, 15);
+        assert_eq!(s.max_nanos, 100_000);
+        // Quantile never exceeds 2x the true value (within its bucket).
+        assert!(s.p50_nanos >= 10 && s.p50_nanos < 20);
+    }
+
+    #[test]
+    fn huge_values_saturate_last_bucket() {
+        let h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.summary().max_nanos, u64::MAX);
+        assert_eq!(h.nonzero_buckets().len(), 1);
+    }
+
+    #[test]
+    fn json_has_summary_and_buckets() {
+        let h = LatencyHistogram::new();
+        h.record(5);
+        h.record(7);
+        let j = h.to_json();
+        assert_eq!(j.get("count").unwrap().as_i64(), Some(2));
+        assert_eq!(j.get("sum_nanos").unwrap().as_i64(), Some(12));
+        assert_eq!(j.get("buckets").unwrap().as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let h = LatencyHistogram::new();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let h = &h;
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+    }
+}

@@ -1,0 +1,33 @@
+//! `corroborate-obs`: zero-dependency telemetry for the corroborate engines.
+//!
+//! The crate provides four pieces, all std-only:
+//!
+//! - [`Observer`] — the trait engines are generic over. The default
+//!   [`NoopObserver`] has `ENABLED = false` and empty inline methods, so an
+//!   uninstrumented run monomorphises to the exact pre-telemetry code.
+//! - [`CounterRegistry`] / [`Counter`] — a fixed catalog of relaxed atomic
+//!   counters (pruning tiers, cache refreshes, rounds, iterations).
+//! - [`LatencyHistogram`] — log2-bucketed concurrent histograms for span
+//!   timings ([`Span`]), with exact count/sum/min/max and bucket-resolution
+//!   quantiles.
+//! - [`RunReport`] and the record types ([`RoundRecord`],
+//!   [`SelectionRecord`], [`IterationRecord`]) — the JSON document bench
+//!   binaries emit behind `--report`, built on a hand-rolled [`Json`] tree
+//!   with both a writer and a strict parser (used by CI to validate emitted
+//!   reports).
+//!
+//! See `docs/OBSERVABILITY.md` for the event model and report schema.
+
+#![deny(missing_docs)]
+
+pub mod counters;
+pub mod histogram;
+pub mod json;
+pub mod observer;
+pub mod report;
+
+pub use counters::{Counter, CounterRegistry};
+pub use histogram::{HistogramSummary, LatencyHistogram};
+pub use json::{Json, ParseError};
+pub use observer::{NoopObserver, Observer, RecordingObserver, Span, TierTally, NOOP};
+pub use report::{IterationRecord, RoundRecord, RunReport, SelectionRecord};

@@ -1,0 +1,226 @@
+//! Structured event records and the serializable run report.
+//!
+//! Records are plain-old-data built by the instrumented engines only when the
+//! active observer is enabled; the observer decides whether to retain them.
+//! [`RunReport`] is the JSON document bench binaries dump behind `--report`.
+
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::json::Json;
+
+/// What one heuristic selection round chose, and what it cost to choose it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionRecord {
+    /// Group index picked on the positive (p > 0.5) side, if any.
+    pub positive_group: Option<usize>,
+    /// Group index picked on the negative (p < 0.5) side, if any.
+    pub negative_group: Option<usize>,
+    /// Projected ΔH score of the positive pick at selection time.
+    pub projected_dh_pos: Option<f64>,
+    /// Projected ΔH score of the negative pick at selection time.
+    pub projected_dh_neg: Option<f64>,
+    /// Candidate groups considered across both partitions.
+    pub candidates: u64,
+    /// Candidates killed by the linear prescreen (tier 1).
+    pub prescreen_killed: u64,
+    /// Candidates killed by the walk bound (tier 2).
+    pub walk_bound_killed: u64,
+    /// Candidates abandoned mid-exact-scoring (tier 3).
+    pub early_abandon_killed: u64,
+    /// Candidates scored exactly to completion.
+    pub exact_scored: u64,
+}
+
+impl SelectionRecord {
+    /// JSON object of the record.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.insert("positive_group", self.positive_group);
+        obj.insert("negative_group", self.negative_group);
+        obj.insert("projected_dh_pos", self.projected_dh_pos);
+        obj.insert("projected_dh_neg", self.projected_dh_neg);
+        obj.insert("candidates", self.candidates);
+        obj.insert("prescreen_killed", self.prescreen_killed);
+        obj.insert("walk_bound_killed", self.walk_bound_killed);
+        obj.insert("early_abandon_killed", self.early_abandon_killed);
+        obj.insert("exact_scored", self.exact_scored);
+        obj
+    }
+}
+
+/// One round of the IncEstimate loop: what was asked, what it did to the
+/// remaining-population entropy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundRecord {
+    /// Zero-based round index.
+    pub round: usize,
+    /// Facts asked about (and re-evaluated) this round.
+    pub evaluated: usize,
+    /// Facts still unresolved after the round.
+    pub remaining: usize,
+    /// Σ size·H(group) over live groups before the round.
+    pub entropy_before: f64,
+    /// The same quantity after evaluation — `entropy_before - entropy_after`
+    /// is the realized ΔH to compare against the projection.
+    pub entropy_after: f64,
+    /// The heuristic's selection detail, when the strategy reported one.
+    pub selection: Option<SelectionRecord>,
+}
+
+impl RoundRecord {
+    /// JSON object of the record.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.insert("round", self.round);
+        obj.insert("evaluated", self.evaluated);
+        obj.insert("remaining", self.remaining);
+        obj.insert("entropy_before", self.entropy_before);
+        obj.insert("entropy_after", self.entropy_after);
+        obj.insert("realized_dh", self.entropy_before - self.entropy_after);
+        obj.insert("selection", self.selection.as_ref().map(SelectionRecord::to_json));
+        obj
+    }
+}
+
+/// One fixpoint iteration of a convergence-loop corroborator
+/// (2-Estimates, 3-Estimates, Cosine).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationRecord {
+    /// Zero-based iteration index.
+    pub iteration: usize,
+    /// Max-abs trust delta against the previous iteration — the quantity the
+    /// convergence test thresholds.
+    pub residual: f64,
+}
+
+impl IterationRecord {
+    /// JSON object of the record.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.insert("iteration", self.iteration);
+        obj.insert("residual", self.residual);
+        obj
+    }
+}
+
+/// A serializable run report: named sections assembled by a bench binary
+/// (config, tables, observer telemetry) and dumped as pretty JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    root: Json,
+}
+
+impl RunReport {
+    /// A report with the standard header: `report` (the bin name) and
+    /// `schema_version`.
+    pub fn new(name: &str) -> Self {
+        let mut root = Json::object();
+        root.insert("report", name);
+        root.insert("schema_version", 1u64);
+        Self { root }
+    }
+
+    /// Inserts (or replaces) a top-level section.
+    pub fn insert(&mut self, key: impl Into<String>, value: impl Into<Json>) -> &mut Self {
+        self.root.insert(key, value);
+        self
+    }
+
+    /// Read access to a section.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.root.get(key)
+    }
+
+    /// The underlying JSON document.
+    pub fn as_json(&self) -> &Json {
+        &self.root
+    }
+
+    /// Pretty-printed JSON text.
+    pub fn render(&self) -> String {
+        self.root.to_json_pretty()
+    }
+
+    /// Writes the pretty JSON to `path`.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(self.render().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_selection() -> SelectionRecord {
+        SelectionRecord {
+            positive_group: Some(3),
+            negative_group: None,
+            projected_dh_pos: Some(1.25),
+            projected_dh_neg: None,
+            candidates: 10,
+            prescreen_killed: 4,
+            walk_bound_killed: 3,
+            early_abandon_killed: 1,
+            exact_scored: 2,
+        }
+    }
+
+    #[test]
+    fn selection_record_serialises_options() {
+        let j = sample_selection().to_json();
+        assert_eq!(j.get("positive_group").unwrap().as_i64(), Some(3));
+        assert_eq!(j.get("negative_group"), Some(&Json::Null));
+        assert_eq!(j.get("exact_scored").unwrap().as_i64(), Some(2));
+    }
+
+    #[test]
+    fn round_record_derives_realized_dh() {
+        let r = RoundRecord {
+            round: 7,
+            evaluated: 2,
+            remaining: 90,
+            entropy_before: 10.0,
+            entropy_after: 8.5,
+            selection: Some(sample_selection()),
+        };
+        let j = r.to_json();
+        assert_eq!(j.get("realized_dh").unwrap().as_f64(), Some(1.5));
+        assert!(j.get("selection").unwrap().get("candidates").is_some());
+    }
+
+    #[test]
+    fn report_round_trips_through_parser() {
+        let mut report = RunReport::new("heu_scaling");
+        report.insert(
+            "rounds",
+            Json::Arr(vec![RoundRecord {
+                round: 0,
+                evaluated: 1,
+                remaining: 5,
+                entropy_before: 2.0,
+                entropy_after: 1.0,
+                selection: None,
+            }
+            .to_json()]),
+        );
+        report.insert("note", "hello");
+        let text = report.render();
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(parsed.get("report").unwrap().as_str(), Some("heu_scaling"));
+        assert_eq!(parsed.get("schema_version").unwrap().as_i64(), Some(1));
+        assert_eq!(parsed.get("rounds").unwrap().as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn write_to_creates_parseable_file() {
+        let path = std::env::temp_dir().join("corroborate_obs_report_test.json");
+        let mut report = RunReport::new("test");
+        report.insert("ok", true);
+        report.write_to(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(Json::parse(&text).unwrap().get("ok"), Some(&Json::Bool(true)));
+    }
+}
