@@ -108,3 +108,24 @@ pub fn standard_roster(seed: u64) -> Vec<Box<dyn Corroborator>> {
         Box::new(inc::IncEstimate::new(inc::IncEstHeu::default())),
     ]
 }
+
+/// Every corroborator in the workspace behind the common trait: the
+/// [`standard_roster`] plus the remaining Galland estimators and the
+/// related-work [`extra`] methods. This is the roster the conformance
+/// testkit's differential oracle drives; engine names are unique.
+pub fn extended_roster(seed: u64) -> Vec<Box<dyn Corroborator>> {
+    let mut roster = standard_roster(seed);
+    roster.push(Box::new(galland::ThreeEstimates::default()));
+    roster.push(Box::new(galland::Cosine::default()));
+    roster.push(Box::new(extra::TruthFinder::default()));
+    roster.push(Box::new(extra::AccuVote::default()));
+    for variant in [
+        extra::PasternackVariant::Sums,
+        extra::PasternackVariant::AvgLog,
+        extra::PasternackVariant::Invest,
+        extra::PasternackVariant::PooledInvest,
+    ] {
+        roster.push(Box::new(extra::Pasternack::new(variant)));
+    }
+    roster
+}

@@ -24,10 +24,6 @@ pub mod report;
 
 use std::fmt::Write as _;
 
-use corroborate_algorithms::baseline::{Counting, Voting};
-use corroborate_algorithms::bayes::{BayesEstimate, BayesEstimateConfig};
-use corroborate_algorithms::galland::TwoEstimates;
-use corroborate_algorithms::inc::{IncEstHeu, IncEstPS, IncEstimate};
 use corroborate_core::prelude::*;
 use corroborate_obs::Json;
 
@@ -134,16 +130,11 @@ pub fn f3(x: f64) -> String {
 }
 
 /// The corroboration-method roster of Table 4/6 (the ML baselines are
-/// driven separately because they train on the golden set).
+/// driven separately because they train on the golden set). Delegates to
+/// [`corroborate_algorithms::standard_roster`] so the bench tables and the
+/// testkit's differential oracle drive the same engine configurations.
 pub fn corroboration_roster(seed: u64) -> Vec<Box<dyn Corroborator>> {
-    vec![
-        Box::new(Voting),
-        Box::new(Counting),
-        Box::new(BayesEstimate::new(BayesEstimateConfig::paper_priors(seed))),
-        Box::new(TwoEstimates::default()),
-        Box::new(IncEstimate::new(IncEstPS)),
-        Box::new(IncEstimate::new(IncEstHeu::default())),
-    ]
+    corroborate_algorithms::standard_roster(seed)
 }
 
 #[cfg(test)]

@@ -73,6 +73,31 @@ mod tests {
     fn out_of_range_inputs_are_clamped() {
         assert_eq!(binary_entropy(-0.1), 0.0);
         assert_eq!(binary_entropy(1.1), 0.0);
+        assert_eq!(binary_entropy(f64::NEG_INFINITY), 0.0);
+        assert_eq!(binary_entropy(f64::INFINITY), 0.0);
+    }
+
+    #[test]
+    fn nan_input_contributes_no_entropy() {
+        // clamp(NaN) stays NaN, but both branch guards are then false, so
+        // a NaN probability silently contributes zero rather than
+        // poisoning a collective sum.
+        assert_eq!(binary_entropy(f64::NAN), 0.0);
+        assert!(collective_entropy([0.5, f64::NAN]).is_finite());
+    }
+
+    #[test]
+    fn near_boundary_sweep_stays_finite_and_monotone() {
+        // H must approach 0 smoothly from either end — no NaN/−0 glitches
+        // from the p·log p limit.
+        let mut prev = 0.0;
+        for exp in (1..=300).rev() {
+            let p = 2.0f64.powi(-exp);
+            let h = binary_entropy(p);
+            assert!(h.is_finite() && h >= prev, "p = 2^-{exp}: H = {h}");
+            assert!(close(h, binary_entropy(1.0 - p)), "mirror broke at p = 2^-{exp}");
+            prev = h;
+        }
     }
 
     #[test]

@@ -25,6 +25,18 @@ pub fn std_dev(xs: &[f64]) -> Option<f64> {
     Some(var.sqrt())
 }
 
+/// How the p-value of a [`McNemar`] result was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum McNemarMethod {
+    /// Exact two-sided binomial test — used when the discordant count is
+    /// positive but below 25, where the χ² approximation is unreliable.
+    ExactBinomial,
+    /// Continuity-corrected χ²(1) approximation — used for 25 or more
+    /// discordant pairs (and, degenerately, for zero discordant pairs,
+    /// where the p-value is 1 either way).
+    ChiSquared,
+}
+
 /// Result of a McNemar test between two classifiers evaluated on the same
 /// ground truth.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,10 +46,13 @@ pub struct McNemar {
     /// Facts classifier B got right and A got wrong.
     pub a_only_wrong: usize,
     /// The continuity-corrected chi-squared statistic
-    /// `(|b − c| − 1)² / (b + c)`.
+    /// `(|b − c| − 1)² / (b + c)`; reported for every sample size even
+    /// when the p-value comes from the exact test.
     pub chi_squared: f64,
-    /// Upper-tail p-value of `chi_squared` under χ²(1).
+    /// Two-sided p-value, computed per [`McNemar::method`].
     pub p_value: f64,
+    /// Which test produced [`McNemar::p_value`].
+    pub method: McNemarMethod,
 }
 
 impl McNemar {
@@ -51,7 +66,11 @@ impl McNemar {
 /// disagree with ground truth at different rates?
 ///
 /// With no discordant pairs the statistic is 0 and the p-value 1 (the
-/// classifiers are indistinguishable on this data).
+/// classifiers are indistinguishable on this data). With fewer than 25
+/// discordant pairs the χ² approximation is known to be unreliable, so
+/// the p-value switches to the exact two-sided binomial test
+/// `p = min(1, 2·P(X ≤ min(b, c)))` with `X ~ Bin(b + c, ½)`; the χ²
+/// statistic is still reported for reference.
 ///
 /// # Errors
 /// [`CoreError::LengthMismatch`] if the three assignments differ in length.
@@ -79,15 +98,35 @@ pub fn mcnemar(
             _ => {}
         }
     }
-    let n = (b_only_wrong + a_only_wrong) as f64;
-    let chi_squared = if n == 0.0 {
+    let discordant = b_only_wrong + a_only_wrong;
+    let n = discordant as f64;
+    let chi_squared = if discordant == 0 {
         0.0
     } else {
         let d = (b_only_wrong as f64 - a_only_wrong as f64).abs() - 1.0;
         let d = d.max(0.0);
         d * d / n
     };
-    Ok(McNemar { b_only_wrong, a_only_wrong, chi_squared, p_value: chi2_1df_sf(chi_squared) })
+    let (p_value, method) = if discordant > 0 && discordant < 25 {
+        let p = exact_binomial_two_sided(b_only_wrong.min(a_only_wrong), discordant);
+        (p, McNemarMethod::ExactBinomial)
+    } else {
+        (chi2_1df_sf(chi_squared), McNemarMethod::ChiSquared)
+    };
+    Ok(McNemar { b_only_wrong, a_only_wrong, chi_squared, p_value, method })
+}
+
+/// Two-sided binomial tail at fairness: `min(1, 2·P(X ≤ k))` for
+/// `X ~ Bin(n, ½)`. Summed in log space via a running binomial
+/// coefficient, so it stays exact-to-f64 for the small `n` it serves.
+fn exact_binomial_two_sided(k: usize, n: usize) -> f64 {
+    let mut coeff = 1.0f64; // C(n, 0)
+    let mut tail = coeff;
+    for i in 0..k {
+        coeff *= (n - i) as f64 / (i + 1) as f64;
+        tail += coeff;
+    }
+    (2.0 * tail * 0.5f64.powi(n as i32)).min(1.0)
 }
 
 /// A percentile bootstrap confidence interval.
@@ -319,7 +358,65 @@ mod tests {
         let m = mcnemar(&a, &a, &truth).unwrap();
         assert_eq!(m.chi_squared, 0.0);
         assert_eq!(m.p_value, 1.0);
+        assert_eq!(m.method, McNemarMethod::ChiSquared);
         assert!(!m.significant_at(0.05));
+    }
+
+    #[test]
+    fn mcnemar_small_samples_use_the_exact_binomial() {
+        // b = 15, c = 2 discordant pairs: the χ² approximation is out of
+        // its depth at n = 17, the exact two-sided binomial is
+        // 2·(C(17,0) + C(17,1) + C(17,2))/2¹⁷ = 308/131072.
+        let n = 30;
+        let truth = TruthAssignment::from_bools(&vec![true; n]);
+        // a errs only on 15..17; b errs only on 0..15.
+        let a_bits: Vec<bool> = (0..n).map(|i| !(15..17).contains(&i)).collect();
+        let b_bits: Vec<bool> = (0..n).map(|i| i >= 15).collect();
+        let a = TruthAssignment::from_bools(&a_bits);
+        let b = TruthAssignment::from_bools(&b_bits);
+        let m = mcnemar(&a, &b, &truth).unwrap();
+        assert_eq!((m.b_only_wrong, m.a_only_wrong), (15, 2));
+        assert_eq!(m.method, McNemarMethod::ExactBinomial);
+        assert!((m.p_value - 308.0 / 131072.0).abs() < 1e-12, "p = {}", m.p_value);
+        // The χ² statistic is still reported: (|15−2|−1)²/17.
+        assert!((m.chi_squared - 144.0 / 17.0).abs() < 1e-12);
+        assert!(m.significant_at(0.01));
+    }
+
+    #[test]
+    fn mcnemar_balanced_small_sample_caps_at_one() {
+        // b = c = 3: the doubled tail exceeds 1 and must be clamped.
+        let n = 6;
+        let truth = TruthAssignment::from_bools(&vec![true; n]);
+        let a_bits: Vec<bool> = (0..n).map(|i| i >= 3).collect();
+        let b_bits: Vec<bool> = (0..n).map(|i| i < 3).collect();
+        let a = TruthAssignment::from_bools(&a_bits);
+        let b = TruthAssignment::from_bools(&b_bits);
+        let m = mcnemar(&a, &b, &truth).unwrap();
+        assert_eq!((m.b_only_wrong, m.a_only_wrong), (3, 3));
+        assert_eq!(m.method, McNemarMethod::ExactBinomial);
+        assert_eq!(m.p_value, 1.0);
+        assert!(m.p_value.is_finite());
+    }
+
+    #[test]
+    fn mcnemar_switches_back_to_chi_squared_at_25_discordant() {
+        let n = 25;
+        let truth = TruthAssignment::from_bools(&vec![true; n]);
+        let a = TruthAssignment::from_bools(&vec![true; n]);
+        let b = TruthAssignment::from_bools(&vec![false; n]);
+        let m = mcnemar(&a, &b, &truth).unwrap();
+        assert_eq!(m.b_only_wrong + m.a_only_wrong, 25);
+        assert_eq!(m.method, McNemarMethod::ChiSquared);
+        assert!(m.significant_at(0.001));
+    }
+
+    #[test]
+    fn exact_binomial_matches_hand_computed_tails() {
+        // n = 10, k = 2: 2·(1 + 10 + 45)/1024 = 112/1024.
+        assert!((exact_binomial_two_sided(2, 10) - 112.0 / 1024.0).abs() < 1e-15);
+        // k = 0: 2/2ⁿ.
+        assert!((exact_binomial_two_sided(0, 8) - 2.0 / 256.0).abs() < 1e-15);
     }
 
     #[test]

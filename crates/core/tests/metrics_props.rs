@@ -1,0 +1,87 @@
+//! Property tests over the evaluation metrics: algebraic identities that
+//! must hold for every prediction/truth pair, not just the hand-picked
+//! examples in the unit suite.
+
+use corroborate_core::metrics::{brier_score, ConfusionMatrix};
+use corroborate_core::truth::TruthAssignment;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// A prediction and a ground truth over the same 1–64 facts.
+fn arb_pair() -> impl Strategy<Value = (Vec<bool>, Vec<bool>)> {
+    (1usize..=64).prop_flat_map(|n| (vec(any::<bool>(), n..=n), vec(any::<bool>(), n..=n)))
+}
+
+fn matrix(pred: &[bool], truth: &[bool]) -> ConfusionMatrix {
+    ConfusionMatrix::from_assignments(
+        &TruthAssignment::from_bools(pred),
+        &TruthAssignment::from_bools(truth),
+    )
+    .expect("equal lengths")
+}
+
+proptest! {
+    #[test]
+    fn confusion_cells_partition_the_facts((pred, truth) in arb_pair()) {
+        let m = matrix(&pred, &truth);
+        prop_assert_eq!(m.tp + m.fp + m.tn + m.fn_, pred.len());
+        prop_assert_eq!(m.total(), pred.len());
+        prop_assert_eq!(m.errors(), m.fp + m.fn_);
+    }
+
+    #[test]
+    fn f1_is_the_harmonic_mean_of_precision_and_recall((pred, truth) in arb_pair()) {
+        let m = matrix(&pred, &truth);
+        let (p, r) = (m.precision(), m.recall());
+        let expected = if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) };
+        prop_assert!((m.f1() - expected).abs() < 1e-12);
+        // All four headline metrics live in [0, 1].
+        for x in [p, r, m.accuracy(), m.f1()] {
+            prop_assert!((0.0..=1.0).contains(&x), "metric {x} out of range");
+        }
+    }
+
+    #[test]
+    fn accuracy_survives_relabeling_the_facts(
+        (pred, truth) in arb_pair(),
+        seed in any::<u64>(),
+    ) {
+        // Shuffle prediction and truth with the same permutation: every
+        // (p, t) pair survives, so the whole matrix is unchanged.
+        let n = pred.len();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut state = seed;
+        for i in (1..n).rev() {
+            // SplitMix64 step — any deterministic scramble works here.
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            perm.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        let shuffled_pred: Vec<bool> = perm.iter().map(|&i| pred[i]).collect();
+        let shuffled_truth: Vec<bool> = perm.iter().map(|&i| truth[i]).collect();
+        prop_assert_eq!(matrix(&pred, &truth), matrix(&shuffled_pred, &shuffled_truth));
+    }
+
+    #[test]
+    fn polarity_flip_transposes_the_matrix((pred, truth) in arb_pair()) {
+        // Negating both prediction and truth swaps the positive class:
+        // tp↔tn and fp↔fn, so accuracy is invariant while precision and
+        // recall trade places with their negative-class counterparts.
+        let m = matrix(&pred, &truth);
+        let not = |bits: &[bool]| bits.iter().map(|b| !b).collect::<Vec<_>>();
+        let flipped = matrix(&not(&pred), &not(&truth));
+        prop_assert_eq!((m.tp, m.fp, m.tn, m.fn_), (flipped.tn, flipped.fn_, flipped.tp, flipped.fp));
+        prop_assert!((m.accuracy() - flipped.accuracy()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn brier_score_is_bounded_and_zero_only_when_perfect(truth_bits in vec(any::<bool>(), 1..=32)) {
+        let truth = TruthAssignment::from_bools(&truth_bits);
+        let perfect: Vec<f64> =
+            truth_bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+        prop_assert_eq!(brier_score(&perfect, &truth).unwrap(), 0.0);
+        let coin = vec![0.5; truth_bits.len()];
+        prop_assert!((brier_score(&coin, &truth).unwrap() - 0.25).abs() < 1e-12);
+        let inverted: Vec<f64> = perfect.iter().map(|p| 1.0 - p).collect();
+        prop_assert_eq!(brier_score(&inverted, &truth).unwrap(), 1.0);
+    }
+}

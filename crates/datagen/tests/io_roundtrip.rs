@@ -1,0 +1,80 @@
+//! The CSV interchange against real generator output: every datagen world
+//! must survive serialize→parse with its votes, names, and ground truth
+//! intact, and reparse to a byte-stable text form.
+
+use std::collections::BTreeSet;
+
+use corroborate_core::io::{dataset_from_csv, truth_to_csv, votes_to_csv};
+use corroborate_core::prelude::*;
+use corroborate_datagen::{motivating, restaurant, synthetic};
+
+fn triples(ds: &Dataset) -> BTreeSet<(String, String, char)> {
+    let mut out = BTreeSet::new();
+    for f in ds.facts() {
+        for sv in ds.votes().votes_on(f) {
+            out.insert((
+                ds.source_name(sv.source).to_string(),
+                ds.fact_name(f).to_string(),
+                sv.vote.symbol(),
+            ));
+        }
+    }
+    out
+}
+
+fn assert_roundtrip(ds: &Dataset) {
+    let votes = votes_to_csv(ds);
+    let truth = truth_to_csv(ds).expect("datagen worlds carry ground truth");
+    let back = dataset_from_csv(&votes, Some(&truth)).expect("reparse generator output");
+    assert_eq!(back.n_sources(), ds.n_sources());
+    assert_eq!(back.n_facts(), ds.n_facts());
+    assert_eq!(triples(ds), triples(&back), "vote triples changed");
+    let t = ds.ground_truth().unwrap();
+    let tb = back.ground_truth().unwrap();
+    for f in ds.facts() {
+        let name = ds.fact_name(f);
+        let fb = back.facts().find(|&g| back.fact_name(g) == name).unwrap();
+        assert_eq!(t.label(f), tb.label(fb), "label flipped for {name}");
+    }
+    // One parse normalises ids to first-appearance order; from there the
+    // text form is a fixpoint.
+    let normalised = votes_to_csv(&back);
+    let again = dataset_from_csv(&normalised, None).expect("reparse normalised output");
+    assert_eq!(votes_to_csv(&again), normalised);
+}
+
+#[test]
+fn motivating_example_round_trips() {
+    assert_roundtrip(&motivating::motivating_example());
+}
+
+#[test]
+fn synthetic_world_round_trips() {
+    let config = synthetic::SyntheticConfig {
+        n_accurate: 5,
+        n_inaccurate: 2,
+        n_facts: 300,
+        eta: 0.05,
+        seed: 9,
+    };
+    let world = synthetic::generate(&config).unwrap();
+    assert_roundtrip(&world.dataset);
+}
+
+#[test]
+fn restaurant_world_round_trips_including_sparse_listings() {
+    let config = restaurant::RestaurantConfig {
+        n_listings: 500,
+        golden_size: 60,
+        golden_true: 34,
+        calibration_iters: 2,
+        seed: 5,
+    };
+    let world = restaurant::generate(&config).unwrap();
+    // The crawl model leaves some listings thinly voted — make sure the
+    // round trip is tested against genuinely sparse rows.
+    let thin =
+        world.dataset.facts().filter(|&f| world.dataset.votes().votes_on(f).len() <= 1).count();
+    assert!(thin > 0, "expected some sparse listings in the restaurant world");
+    assert_roundtrip(&world.dataset);
+}

@@ -1,0 +1,144 @@
+//! Dedup-layer tests: similarity symmetry, union–find/cluster
+//! transitivity, and an end-to-end pipeline smoke test on the synthetic
+//! crawl.
+
+use std::collections::BTreeSet;
+
+use corroborate_dedup::cluster::{cluster_listings, UnionFind};
+use corroborate_dedup::crawlgen::{demo_universe, synthetic_crawl, CrawlConfig};
+use corroborate_dedup::listing::RawListing;
+use corroborate_dedup::pipeline::dedup_to_dataset;
+use corroborate_dedup::similarity::listing_similarity;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Short names over a restaurant-ish vocabulary, so random pairs actually
+/// share tokens often enough to exercise the similarity midrange.
+fn arb_name() -> impl Strategy<Value = String> {
+    vec(0usize..6, 1..=4).prop_map(|picks| {
+        let words = ["cafe", "grand", "palace", "sea", "bar", "m"];
+        picks.iter().map(|&p| words[p]).collect::<Vec<_>>().join(" ")
+    })
+}
+
+proptest! {
+    #[test]
+    fn similarity_is_symmetric_bounded_and_reflexive(a in arb_name(), b in arb_name()) {
+        let ab = listing_similarity(&a, &b);
+        let ba = listing_similarity(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-12, "sim({a:?},{b:?}) = {ab} but reversed = {ba}");
+        prop_assert!((-1e-12..=1.0 + 1e-12).contains(&ab), "similarity {ab} out of range");
+        prop_assert!((listing_similarity(&a, &a) - 1.0).abs() < 1e-12, "self-similarity of {a:?}");
+    }
+
+    #[test]
+    fn union_find_classes_are_transitively_closed(
+        pairs in vec((0usize..12, 0usize..12), 0..=20),
+    ) {
+        let n = 12;
+        let mut uf = UnionFind::new(n);
+        for &(a, b) in &pairs {
+            uf.union(a, b);
+        }
+        // Reference: naive closure over the same edges.
+        let mut class: Vec<usize> = (0..n).collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &(a, b) in &pairs {
+                let (ca, cb) = (class[a], class[b]);
+                if ca != cb {
+                    let lo = ca.min(cb);
+                    for c in class.iter_mut() {
+                        if *c == ca || *c == cb {
+                            *c = lo;
+                        }
+                    }
+                    changed = true;
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(
+                    uf.find(i) == uf.find(j),
+                    class[i] == class[j],
+                    "connectivity of ({}, {}) disagrees with the reference", i, j
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn clusters_partition_listings_and_respect_addresses() {
+    let listings = vec![
+        RawListing::new("Danny's Grand Sea Palace", "12 W 44th St", "YellowPages", false),
+        RawListing::new("Dannys Grand Sea Palace", "12 West 44th Street", "MenuPages", false),
+        RawListing::new("Danny's Grand Sea Palace NYC", "12 W. 44th St.", "Yelp", true),
+        RawListing::new("M Bar", "12 W 44th St", "Yelp", false),
+        RawListing::new("Totally Different Diner", "99 Elm Ave", "Yelp", false),
+    ];
+    let clusters = cluster_listings(&listings, 0.8);
+    // Partition: every listing in exactly one cluster.
+    let mut seen = BTreeSet::new();
+    for c in &clusters {
+        for &m in &c.members {
+            assert!(seen.insert(m), "listing {m} appears in two clusters");
+        }
+    }
+    assert_eq!(seen.len(), listings.len());
+    // Different addresses never merge.
+    let diner = clusters.iter().find(|c| c.members.contains(&4)).unwrap();
+    assert_eq!(diner.members, vec![4]);
+    // Same address, dissimilar names stay apart.
+    let m_bar = clusters.iter().find(|c| c.members.contains(&3)).unwrap();
+    assert_eq!(m_bar.members, vec![3]);
+    // The three Danny's variants collapse into one entity *transitively*:
+    // the two spelling extremes sit below the threshold against each other
+    // (≈0.73) but both clear it against the canonical spelling.
+    assert!(listing_similarity("dannys grand sea palace", "danny's grand sea palace nyc") < 0.8);
+    let dannys = clusters.iter().find(|c| c.members.contains(&0)).unwrap();
+    assert_eq!(dannys.members, vec![0, 1, 2]);
+}
+
+#[test]
+fn identical_listings_merge_across_address_spellings() {
+    let listings = vec![
+        RawListing::new("M Bar", "12 W 44th St", "Yelp", false),
+        RawListing::new("M Bar", "12 West 44th Street", "MenuPages", false),
+    ];
+    let clusters = cluster_listings(&listings, 0.95);
+    assert_eq!(clusters.len(), 1, "identical names at one normalised address must merge");
+}
+
+#[test]
+fn pipeline_smoke_synthetic_crawl_to_dataset() {
+    let config = CrawlConfig::default();
+    let crawl = synthetic_crawl(&demo_universe(), &config);
+    assert!(!crawl.is_empty());
+    let out = dedup_to_dataset(&crawl).expect("pipeline runs");
+    // One fact per cluster, clusters indexed in fact order.
+    assert_eq!(out.dataset.n_facts(), out.clusters.len());
+    assert!(out.dataset.n_facts() > 0);
+    assert!(out.dataset.n_sources() <= config.sources.len());
+    assert!(out.dataset.ground_truth().is_none(), "dedup output carries no ground truth");
+    // Votes follow the CLOSED rule: a source votes F on an entity iff one
+    // of its member listings is displayed CLOSED.
+    for (fi, cluster) in out.clusters.iter().enumerate() {
+        let fact = corroborate_core::ids::FactId::new(fi);
+        for sv in out.dataset.votes().votes_on(fact) {
+            let source_name = out.dataset.source_name(sv.source);
+            let any_closed =
+                cluster.members.iter().any(|&m| crawl[m].source == source_name && crawl[m].closed);
+            assert_eq!(
+                sv.vote.as_bool(),
+                !any_closed,
+                "vote of {source_name} on cluster {fi} contradicts the CLOSED rule"
+            );
+        }
+    }
+    // Determinism: the same crawl dedups to the same dataset.
+    let again = dedup_to_dataset(&crawl).unwrap();
+    assert_eq!(out.dataset.votes(), again.dataset.votes());
+}

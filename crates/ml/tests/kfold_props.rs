@@ -1,0 +1,74 @@
+//! Properties of the stratified k-fold splitter: the folds must be an
+//! exhaustive, disjoint partition of the instances, keep the class balance
+//! per fold, and be reproducible per seed.
+
+use corroborate_ml::kfold::{cross_validate, stratified_folds};
+use corroborate_ml::logistic::LogisticRegression;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn arb_split() -> impl Strategy<Value = (Vec<f64>, usize, u64)> {
+    (vec(any::<bool>(), 10..=60), 2usize..=5, any::<u64>()).prop_map(|(bits, k, seed)| {
+        let labels = bits.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
+        (labels, k, seed)
+    })
+}
+
+proptest! {
+    #[test]
+    fn folds_partition_the_instances((labels, k, seed) in arb_split()) {
+        let folds = stratified_folds(&labels, k, seed).unwrap();
+        prop_assert_eq!(folds.len(), k);
+        let mut seen = vec![false; labels.len()];
+        for fold in &folds {
+            for &i in fold {
+                prop_assert!(i < labels.len(), "index {i} out of range");
+                prop_assert!(!seen[i], "index {i} appears in two folds");
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "some instance is in no fold");
+    }
+
+    #[test]
+    fn folds_keep_the_class_balance((labels, k, seed) in arb_split()) {
+        // Round-robin stratification: each fold's count of either class is
+        // within one of every other fold's.
+        let folds = stratified_folds(&labels, k, seed).unwrap();
+        for positive in [true, false] {
+            let counts: Vec<usize> = folds
+                .iter()
+                .map(|fold| {
+                    fold.iter().filter(|&&i| (labels[i] > 0.0) == positive).count()
+                })
+                .collect();
+            let (min, max) =
+                (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+            prop_assert!(
+                max - min <= 1,
+                "class {positive}: fold counts {counts:?} differ by more than 1"
+            );
+        }
+    }
+
+    #[test]
+    fn folds_are_deterministic_per_seed((labels, k, seed) in arb_split()) {
+        let a = stratified_folds(&labels, k, seed).unwrap();
+        let b = stratified_folds(&labels, k, seed).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn splitter_rejects_degenerate_requests() {
+    let labels = vec![1.0, -1.0, 1.0];
+    assert!(stratified_folds(&labels, 1, 0).is_err(), "k < 2 must fail");
+    assert!(stratified_folds(&labels, 4, 0).is_err(), "k > n must fail");
+}
+
+#[test]
+fn cross_validate_rejects_mismatched_inputs() {
+    let x = vec![vec![1.0], vec![-1.0]];
+    let y = vec![1.0];
+    assert!(cross_validate::<LogisticRegression>(&x, &y, 2, 0).is_err());
+}

@@ -1,0 +1,75 @@
+//! The ML baselines against the testkit's planted worlds: on a linearly
+//! separable vote matrix (one perfect full-coverage witness) every
+//! classifier must recover the planted labels out-of-fold, and the trust
+//! readout must rank the witness first.
+
+use corroborate_core::ids::FactId;
+use corroborate_ml::eval::evaluate_on_golden;
+use corroborate_ml::kfold::Classifier;
+use corroborate_ml::logistic::LogisticRegression;
+use corroborate_ml::naive_bayes::NaiveBayes;
+use corroborate_ml::svm::LinearSvm;
+use corroborate_testkit::sim;
+
+const SEED: u64 = 42;
+
+fn separable_world() -> (corroborate_core::dataset::Dataset, Vec<FactId>) {
+    let world = sim::generate(&sim::linearly_separable(SEED));
+    let facts: Vec<FactId> = world.dataset.facts().collect();
+    (world.dataset, facts)
+}
+
+fn cv_accuracy<C: Classifier>(min_accuracy: f64) -> corroborate_ml::eval::MlEvaluation {
+    let (ds, facts) = separable_world();
+    let eval = evaluate_on_golden::<C>(&ds, &facts, 10, SEED).expect("cross-validation runs");
+    let acc = eval.confusion.accuracy();
+    assert!(
+        acc >= min_accuracy,
+        "out-of-fold accuracy {acc:.3} below {min_accuracy} on a linearly separable world"
+    );
+    // Out-of-fold predictions are hard ±1 decisions for every fact.
+    assert_eq!(eval.predictions.len(), facts.len());
+    assert!(eval.predictions.iter().all(|p| p.abs() == 1.0));
+    eval
+}
+
+#[test]
+fn logistic_recovers_the_planted_labels() {
+    cv_accuracy::<LogisticRegression>(0.95);
+}
+
+#[test]
+fn svm_recovers_the_planted_labels() {
+    cv_accuracy::<LinearSvm>(0.95);
+}
+
+#[test]
+fn naive_bayes_recovers_the_planted_labels() {
+    cv_accuracy::<NaiveBayes>(0.9);
+}
+
+#[test]
+fn trust_readout_ranks_the_perfect_witness_first() {
+    // Source 0 is the designed trust-1.0 full-coverage witness; its
+    // agreement with any accurate model must beat both noisy extras.
+    let eval = cv_accuracy::<LogisticRegression>(0.95);
+    let trust: Vec<f64> = eval.trust.iter().map(|t| t.expect("all sources vote")).collect();
+    assert_eq!(trust.len(), 3);
+    assert!(
+        trust[0] > trust[1] && trust[0] > trust[2],
+        "witness trust {:.3} should exceed noisy sources {:.3}/{:.3}",
+        trust[0],
+        trust[1],
+        trust[2]
+    );
+    assert!(trust[0] > 0.9, "witness agreement {:.3} should be near-perfect", trust[0]);
+}
+
+#[test]
+fn classifiers_are_deterministic_per_seed() {
+    let (ds, facts) = separable_world();
+    let a = evaluate_on_golden::<LogisticRegression>(&ds, &facts, 10, SEED).unwrap();
+    let b = evaluate_on_golden::<LogisticRegression>(&ds, &facts, 10, SEED).unwrap();
+    assert_eq!(a.predictions, b.predictions);
+    assert_eq!(a.confusion, b.confusion);
+}

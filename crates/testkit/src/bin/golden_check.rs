@@ -1,0 +1,126 @@
+//! CI gate for golden `--report` artifacts: diffs a freshly generated
+//! report against the committed golden under the per-metric rules declared
+//! in the golden manifest, and exits nonzero with a per-path diff on drift.
+//!
+//! ```sh
+//! golden_check <manifest.json> <name> <fresh.json>
+//! golden_check --golden <golden.json> --fresh <fresh.json> \
+//!     [--ignore <pattern>]... [--tolerance <pattern>=<eps>]...
+//! ```
+//!
+//! In manifest mode the entry's `golden` path is resolved relative to the
+//! manifest file, and its `rules` array supplies the ignore/tolerance
+//! patterns (see `docs/TESTING.md`). The second form is for ad-hoc diffs.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use corroborate_obs::Json;
+use corroborate_testkit::golden::{diff, rules_from_json, PathPattern, Rule};
+
+const USAGE: &str = "usage: golden_check <manifest.json> <name> <fresh.json>\n\
+       golden_check --golden <golden.json> --fresh <fresh.json> \
+[--ignore <pattern>]... [--tolerance <pattern>=<eps>]...";
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path} is not valid JSON: {e}"))
+}
+
+fn flag_mode(args: &[String]) -> Result<(String, String, Vec<Rule>), String> {
+    let (mut golden, mut fresh) = (None, None);
+    let mut rules = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value =
+            |what: &str| it.next().cloned().ok_or_else(|| format!("{what} needs a value"));
+        match arg.as_str() {
+            "--golden" => golden = Some(value("--golden")?),
+            "--fresh" => fresh = Some(value("--fresh")?),
+            "--ignore" => rules.push(Rule::Ignore(PathPattern::parse(&value("--ignore")?))),
+            "--tolerance" => {
+                let spec = value("--tolerance")?;
+                let (pat, eps) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--tolerance `{spec}` is not <pattern>=<eps>"))?;
+                let eps: f64 =
+                    eps.parse().map_err(|_| format!("--tolerance eps `{eps}` is not a number"))?;
+                rules.push(Rule::Tolerance(PathPattern::parse(pat), eps));
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    match (golden, fresh) {
+        (Some(g), Some(f)) => Ok((g, f, rules)),
+        _ => Err("both --golden and --fresh are required".into()),
+    }
+}
+
+fn manifest_mode(args: &[String]) -> Result<(String, String, Vec<Rule>), String> {
+    let [manifest_path, name, fresh] = args else {
+        return Err(USAGE.into());
+    };
+    let manifest = load(manifest_path)?;
+    let entries = manifest
+        .get("goldens")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{manifest_path} has no `goldens` array"))?;
+    let entry = entries
+        .iter()
+        .find(|e| e.get("name").and_then(Json::as_str) == Some(name))
+        .ok_or_else(|| {
+            let known: Vec<&str> =
+                entries.iter().filter_map(|e| e.get("name").and_then(Json::as_str)).collect();
+            format!("no golden named `{name}` in {manifest_path} (known: {known:?})")
+        })?;
+    let golden_rel = entry
+        .get("golden")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("golden `{name}` lacks a `golden` path"))?;
+    let base = Path::new(manifest_path).parent().unwrap_or_else(|| Path::new("."));
+    let golden_path = base.join(golden_rel).to_string_lossy().into_owned();
+    let rules = match entry.get("rules") {
+        Some(rules) => rules_from_json(rules).map_err(|e| format!("golden `{name}`: {e}"))?,
+        None => Vec::new(),
+    };
+    Ok((golden_path, fresh.clone(), rules))
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return Err(USAGE.into());
+    }
+    let (golden_path, fresh_path, rules) =
+        if args[0].starts_with("--") { flag_mode(&args)? } else { manifest_mode(&args)? };
+    let golden = load(&golden_path)?;
+    let fresh = load(&fresh_path)?;
+    let drifts = diff(&golden, &fresh, &rules);
+    if drifts.is_empty() {
+        println!(
+            "golden_check: {fresh_path} matches {golden_path} ({} rules applied)",
+            rules.len()
+        );
+        return Ok(true);
+    }
+    eprintln!("golden_check: {fresh_path} drifted from {golden_path} at {} path(s):", drifts.len());
+    for d in &drifts {
+        eprintln!("  {d}");
+    }
+    eprintln!(
+        "golden_check: if the change is intended, regenerate the golden \
+(see docs/TESTING.md) and commit it alongside the code change"
+    );
+    Ok(false)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("golden_check: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

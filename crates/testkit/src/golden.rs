@@ -1,0 +1,348 @@
+//! Golden-report diffing: compares a freshly generated `--report` JSON
+//! document against a committed golden artifact under per-path rules.
+//!
+//! Paths are dot-separated (`table4.3.accuracy`, array elements by index).
+//! Rules are matched against the full path with a small glob language:
+//! `*` matches exactly one segment, `**` matches any number (including
+//! zero). Timing keys (`*_s`, `*_nanos`, latency spans) are the intended
+//! targets of `ignore` rules; numeric drift within a declared tolerance is
+//! accepted, everything else must match exactly.
+
+use corroborate_obs::Json;
+
+/// One path pattern: dot-separated segments, `*` / `**` wildcards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathPattern(Vec<Seg>);
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Seg {
+    /// One segment; may itself contain `*` glob parts (`trace_*`).
+    Glob(Vec<String>),
+    DoubleStar,
+}
+
+/// Matches one path segment against glob `parts` (the segment pattern
+/// split on `*`): the first/last parts anchor as prefix/suffix, the rest
+/// must appear in order.
+fn seg_matches(parts: &[String], seg: &str) -> bool {
+    match parts {
+        [] => unreachable!("split always yields at least one part"),
+        [only] => only == seg,
+        [first, middle @ .., last] => {
+            let Some(rest) = seg.strip_prefix(first.as_str()) else { return false };
+            let Some(mut rest) = rest.strip_suffix(last.as_str()) else { return false };
+            // Guard against prefix/suffix overlapping in the original.
+            if seg.len() < first.len() + last.len() {
+                return false;
+            }
+            for part in middle {
+                match rest.find(part.as_str()) {
+                    Some(at) => rest = &rest[at + part.len()..],
+                    None => return false,
+                }
+            }
+            true
+        }
+    }
+}
+
+impl PathPattern {
+    /// Parses `a.*.trace_*.**` into a pattern.
+    pub fn parse(text: &str) -> Self {
+        Self(
+            text.split('.')
+                .map(|seg| match seg {
+                    "**" => Seg::DoubleStar,
+                    glob => Seg::Glob(glob.split('*').map(str::to_string).collect()),
+                })
+                .collect(),
+        )
+    }
+
+    /// Whether the pattern matches the full `path`.
+    pub fn matches(&self, path: &[String]) -> bool {
+        fn go(pat: &[Seg], path: &[String]) -> bool {
+            match (pat.first(), path.first()) {
+                (None, None) => true,
+                (Some(Seg::DoubleStar), _) => {
+                    go(&pat[1..], path) || (!path.is_empty() && go(pat, &path[1..]))
+                }
+                (Some(Seg::Glob(parts)), Some(seg)) => {
+                    seg_matches(parts, seg) && go(&pat[1..], &path[1..])
+                }
+                _ => false,
+            }
+        }
+        go(&self.0, path)
+    }
+}
+
+/// A per-path diff rule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Rule {
+    /// Skip matching paths entirely (timings, latency spans).
+    Ignore(PathPattern),
+    /// Accept numeric drift up to the absolute epsilon at matching paths.
+    Tolerance(PathPattern, f64),
+}
+
+/// One observed divergence between golden and fresh.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Drift {
+    /// Dot-path of the divergent node.
+    pub path: String,
+    /// Human-readable description (golden vs fresh).
+    pub detail: String,
+}
+
+impl std::fmt::Display for Drift {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.path, self.detail)
+    }
+}
+
+fn ignored(rules: &[Rule], path: &[String]) -> bool {
+    rules.iter().any(|r| matches!(r, Rule::Ignore(p) if p.matches(path)))
+}
+
+fn tolerance(rules: &[Rule], path: &[String]) -> f64 {
+    rules
+        .iter()
+        .filter_map(|r| match r {
+            Rule::Tolerance(p, eps) if p.matches(path) => Some(*eps),
+            _ => None,
+        })
+        .fold(0.0, f64::max)
+}
+
+fn as_number(j: &Json) -> Option<f64> {
+    j.as_f64().or_else(|| j.as_i64().map(|i| i as f64))
+}
+
+fn render_leaf(j: &Json) -> String {
+    match j {
+        Json::Obj(_) => "<object>".into(),
+        Json::Arr(_) => "<array>".into(),
+        other => other.to_json(),
+    }
+}
+
+fn path_string(path: &[String]) -> String {
+    if path.is_empty() {
+        "<root>".into()
+    } else {
+        path.join(".")
+    }
+}
+
+fn walk(golden: &Json, fresh: &Json, path: &mut Vec<String>, rules: &[Rule], out: &mut Vec<Drift>) {
+    if ignored(rules, path) {
+        return;
+    }
+    match (golden, fresh) {
+        (Json::Obj(g), Json::Obj(f)) => {
+            for (key, gv) in g {
+                path.push(key.clone());
+                match f.iter().find(|(k, _)| k == key).map(|(_, v)| v) {
+                    Some(fv) => walk(gv, fv, path, rules, out),
+                    None => {
+                        if !ignored(rules, path) {
+                            out.push(Drift {
+                                path: path_string(path),
+                                detail: format!(
+                                    "missing from fresh report (golden: {})",
+                                    render_leaf(gv)
+                                ),
+                            });
+                        }
+                    }
+                }
+                path.pop();
+            }
+            for (key, fv) in f {
+                if g.iter().all(|(k, _)| k != key) {
+                    path.push(key.clone());
+                    if !ignored(rules, path) {
+                        out.push(Drift {
+                            path: path_string(path),
+                            detail: format!("unexpected in fresh report ({})", render_leaf(fv)),
+                        });
+                    }
+                    path.pop();
+                }
+            }
+        }
+        (Json::Arr(g), Json::Arr(f)) => {
+            if g.len() != f.len() {
+                out.push(Drift {
+                    path: path_string(path),
+                    detail: format!("array length {} (golden) vs {} (fresh)", g.len(), f.len()),
+                });
+                return;
+            }
+            for (i, (gv, fv)) in g.iter().zip(f).enumerate() {
+                path.push(i.to_string());
+                walk(gv, fv, path, rules, out);
+                path.pop();
+            }
+        }
+        _ => {
+            if let (Some(gn), Some(fn_)) = (as_number(golden), as_number(fresh)) {
+                let eps = tolerance(rules, path);
+                let diff = (gn - fn_).abs();
+                // A NaN diff (either side NaN) must also count as drift.
+                if diff > eps || diff.is_nan() {
+                    out.push(Drift {
+                        path: path_string(path),
+                        detail: format!(
+                            "{gn} (golden) vs {fn_} (fresh), |Δ| = {diff:.3e} > tolerance {eps:.1e}"
+                        ),
+                    });
+                }
+            } else if golden != fresh {
+                out.push(Drift {
+                    path: path_string(path),
+                    detail: format!(
+                        "{} (golden) vs {} (fresh)",
+                        render_leaf(golden),
+                        render_leaf(fresh)
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Diffs `fresh` against `golden` under `rules`; an empty result means the
+/// fresh report is within tolerance everywhere.
+pub fn diff(golden: &Json, fresh: &Json, rules: &[Rule]) -> Vec<Drift> {
+    let mut out = Vec::new();
+    walk(golden, fresh, &mut Vec::new(), rules, &mut out);
+    out
+}
+
+/// Parses the `rules` array of a golden-manifest entry:
+/// `[{"ignore": "pat"}, {"tolerance": "pat", "eps": 1e-9}, ...]`.
+pub fn rules_from_json(rules: &Json) -> Result<Vec<Rule>, String> {
+    let Some(items) = rules.as_array() else {
+        return Err("rules must be an array".into());
+    };
+    items
+        .iter()
+        .map(|item| {
+            if let Some(pat) = item.get("ignore").and_then(Json::as_str) {
+                Ok(Rule::Ignore(PathPattern::parse(pat)))
+            } else if let Some(pat) = item.get("tolerance").and_then(Json::as_str) {
+                let eps = item
+                    .get("eps")
+                    .and_then(as_number)
+                    .ok_or_else(|| format!("tolerance rule for `{pat}` lacks a numeric `eps`"))?;
+                Ok(Rule::Tolerance(PathPattern::parse(pat), eps))
+            } else {
+                Err(format!("unrecognised rule: {}", item.to_json()))
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn j(text: &str) -> Json {
+        Json::parse(text).unwrap()
+    }
+
+    #[test]
+    fn identical_documents_have_no_drift() {
+        let doc = j(r#"{"a": 1, "b": {"c": [1.5, "x", null, true]}}"#);
+        assert!(diff(&doc, &doc.clone(), &[]).is_empty());
+    }
+
+    #[test]
+    fn value_changes_are_reported_with_paths() {
+        let golden = j(r#"{"a": {"b": [1, 2]}}"#);
+        let fresh = j(r#"{"a": {"b": [1, 3]}}"#);
+        let drifts = diff(&golden, &fresh, &[]);
+        assert_eq!(drifts.len(), 1);
+        assert_eq!(drifts[0].path, "a.b.1");
+    }
+
+    #[test]
+    fn missing_and_extra_keys_are_both_drift() {
+        let golden = j(r#"{"a": 1, "gone": 2}"#);
+        let fresh = j(r#"{"a": 1, "new": 3}"#);
+        let drifts = diff(&golden, &fresh, &[]);
+        let paths: Vec<&str> = drifts.iter().map(|d| d.path.as_str()).collect();
+        assert_eq!(paths, vec!["gone", "new"]);
+    }
+
+    #[test]
+    fn tolerance_accepts_small_numeric_drift() {
+        let golden = j(r#"{"m": {"acc": 0.83}}"#);
+        let fresh = j(r#"{"m": {"acc": 0.8301}}"#);
+        assert_eq!(diff(&golden, &fresh, &[]).len(), 1);
+        let rules = [Rule::Tolerance(PathPattern::parse("m.acc"), 1e-2)];
+        assert!(diff(&golden, &fresh, &rules).is_empty());
+        let rules = [Rule::Tolerance(PathPattern::parse("m.acc"), 1e-6)];
+        assert_eq!(diff(&golden, &fresh, &rules).len(), 1);
+    }
+
+    #[test]
+    fn int_and_float_compare_numerically() {
+        assert!(diff(&j(r#"{"n": 2}"#), &j(r#"{"n": 2.0}"#), &[]).is_empty());
+    }
+
+    #[test]
+    fn nan_tolerance_never_accepts() {
+        // `!(diff <= eps)` keeps NaN comparisons on the drift side.
+        let rules = [Rule::Tolerance(PathPattern::parse("n"), f64::NAN)];
+        assert_eq!(diff(&j(r#"{"n": 1}"#), &j(r#"{"n": 2}"#), &rules).len(), 1);
+    }
+
+    #[test]
+    fn ignore_rules_suppress_whole_subtrees() {
+        let golden = j(r#"{"scaling": [{"mode": "A", "indexed_s": 0.5}], "notes": ["t=1s"]}"#);
+        let fresh = j(r#"{"scaling": [{"mode": "A", "indexed_s": 0.9}], "notes": ["t=2s"]}"#);
+        let rules = [
+            Rule::Ignore(PathPattern::parse("scaling.*.indexed_s")),
+            Rule::Ignore(PathPattern::parse("notes.**")),
+        ];
+        assert!(diff(&golden, &fresh, &rules).is_empty());
+    }
+
+    #[test]
+    fn double_star_matches_depth() {
+        let p = PathPattern::parse("trace_*.spans.**");
+        let path = |s: &str| s.split('.').map(String::from).collect::<Vec<_>>();
+        assert!(p.matches(&path("trace_Equation9.spans.select.p99_nanos")));
+        assert!(p.matches(&path("trace_SelfTerm.spans")));
+        assert!(!p.matches(&path("trace_SelfTerm.counters.evals")));
+    }
+
+    #[test]
+    fn ignored_keys_may_appear_or_vanish() {
+        let golden = j(r#"{"a": 1}"#);
+        let fresh = j(r#"{"a": 1, "wall_s": 3.2}"#);
+        let rules = [Rule::Ignore(PathPattern::parse("wall_s"))];
+        assert!(diff(&golden, &fresh, &rules).is_empty());
+        assert!(diff(&fresh, &golden, &rules).is_empty());
+    }
+
+    #[test]
+    fn rules_parse_from_manifest_json() {
+        let rules =
+            rules_from_json(&j(r#"[{"ignore": "notes.**"}, {"tolerance": "sig.p", "eps": 1e-9}]"#))
+                .unwrap();
+        assert_eq!(rules.len(), 2);
+        assert!(rules_from_json(&j(r#"[{"tolerance": "x"}]"#)).is_err());
+        assert!(rules_from_json(&j(r#"[{"bogus": true}]"#)).is_err());
+    }
+
+    #[test]
+    fn array_length_mismatch_is_one_drift() {
+        let drifts = diff(&j(r#"{"a": [1, 2]}"#), &j(r#"{"a": [1]}"#), &[]);
+        assert_eq!(drifts.len(), 1);
+        assert!(drifts[0].detail.contains("length"), "{}", drifts[0].detail);
+    }
+}

@@ -1,0 +1,38 @@
+//! # corroborate-testkit
+//!
+//! The deterministic conformance layer of the `corroborate` workspace.
+//! Waguih & Berti-Équille's experimental evaluation of truth-discovery
+//! algorithms shows they are highly sensitive to dataset shape and
+//! implementation detail, so every engine here is held to the same four
+//! gates:
+//!
+//! - [`sim`] — a **planted-truth simulator**: datasets drawn from a declared
+//!   generative model (per-source trust, coverage, affirmative bias,
+//!   copycat/adversarial archetypes) so tests know the exact ground truth
+//!   and the designed recoverability;
+//! - [`registry`] — the **full engine roster**, every [`Corroborator`] in
+//!   the workspace behind one constructor;
+//! - [`oracle`] — **differential oracles** running the whole roster on the
+//!   same simulated datasets and checking per-engine invariants,
+//!   cross-engine orderings, and bit-identical seeded determinism;
+//! - [`metamorphic`] — dataset **transforms and proptest strategies**
+//!   (permutation, duplication, polarity flip) reusable from any crate's
+//!   property suite;
+//! - [`golden`] — the **golden-report diff engine** behind the
+//!   `golden_check` bin: tolerance/ignore rules over dot-paths applied to
+//!   the JSON run reports the bench binaries emit.
+//!
+//! See `docs/TESTING.md` for how the layers compose and how to regenerate
+//! the committed golden artifacts.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub mod golden;
+pub mod metamorphic;
+pub mod oracle;
+pub mod registry;
+pub mod sim;
+
+pub use corroborate_core::corroborator::{CorroborationResult, Corroborator};

@@ -1,0 +1,234 @@
+//! Metamorphic dataset transforms and the proptest strategies that drive
+//! them.
+//!
+//! A metamorphic test runs an engine on a dataset and on a transformed
+//! dataset whose answer is known *relative to* the first run: permuting
+//! sources or facts must not change what is believed, duplicating every
+//! source must leave vote *fractions* (hence Voting) untouched, and
+//! flipping every vote and label must mirror probabilities around 0.5 for
+//! polarity-symmetric engines.
+//!
+//! The transforms rebuild the dataset through [`DatasetBuilder`], carrying
+//! ground truth along. Question structure is not carried — planted worlds
+//! are single-answer.
+
+use corroborate_core::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng as _, RngCore as _, SeedableRng as _};
+
+use crate::sim::{self, PlantedConfig, PlantedWorld, SourceSpec};
+
+fn rebuild(
+    ds: &Dataset,
+    source_order: &[usize],
+    fact_order: &[usize],
+    extra_sources: &[usize],
+    negate: bool,
+) -> Dataset {
+    let mut b = DatasetBuilder::new();
+    let mut source_ids = vec![SourceId::new(0); ds.n_sources()];
+    for &old in source_order {
+        source_ids[old] = b.add_source(ds.source_name(SourceId::new(old)));
+    }
+    let dup_ids: Vec<(usize, SourceId)> = extra_sources
+        .iter()
+        .map(|&old| {
+            let name = format!("{}+dup", ds.source_name(SourceId::new(old)));
+            (old, b.add_source(name))
+        })
+        .collect();
+    let truth = ds.ground_truth();
+    let mut fact_ids = vec![FactId::new(0); ds.n_facts()];
+    for &old in fact_order {
+        let fact = FactId::new(old);
+        let name = ds.fact_name(fact);
+        fact_ids[old] = match truth {
+            Some(t) => {
+                let label = t.label(fact);
+                b.add_fact_with_truth(
+                    name,
+                    if negate { Label::from_bool(!label.as_bool()) } else { label },
+                )
+            }
+            None => b.add_fact(name),
+        };
+    }
+    for old_fact in ds.facts() {
+        for sv in ds.votes().votes_on(old_fact) {
+            let vote = if negate { sv.vote.negated() } else { sv.vote };
+            b.cast(source_ids[sv.source.index()], fact_ids[old_fact.index()], vote)
+                .expect("rebuild casts each vote once");
+        }
+    }
+    for &(old, dup) in &dup_ids {
+        for fv in ds.votes().votes_by(SourceId::new(old)) {
+            let vote = if negate { fv.vote.negated() } else { fv.vote };
+            b.cast(dup, fact_ids[fv.fact.index()], vote).expect("duplicate casts each vote once");
+        }
+    }
+    b.build().expect("transformed dataset is well-formed")
+}
+
+fn identity(n: usize) -> Vec<usize> {
+    (0..n).collect()
+}
+
+/// Reorders sources: new position `i` holds old source `perm[i]`.
+/// Panics if `perm` is not a permutation of `0..n_sources`.
+pub fn permute_sources(ds: &Dataset, perm: &[usize]) -> Dataset {
+    assert_permutation(perm, ds.n_sources(), "sources");
+    rebuild(ds, perm, &identity(ds.n_facts()), &[], false)
+}
+
+/// Reorders facts: new position `i` holds old fact `perm[i]`.
+/// Panics if `perm` is not a permutation of `0..n_facts`.
+pub fn permute_facts(ds: &Dataset, perm: &[usize]) -> Dataset {
+    assert_permutation(perm, ds.n_facts(), "facts");
+    rebuild(ds, &identity(ds.n_sources()), perm, &[], false)
+}
+
+/// Appends a clone of `source` (same votes, name suffixed `+dup`).
+pub fn duplicate_source(ds: &Dataset, source: SourceId) -> Dataset {
+    rebuild(ds, &identity(ds.n_sources()), &identity(ds.n_facts()), &[source.index()], false)
+}
+
+/// Appends a clone of *every* source — vote counts double everywhere but
+/// vote fractions are untouched.
+pub fn duplicate_all_sources(ds: &Dataset) -> Dataset {
+    let all = identity(ds.n_sources());
+    rebuild(ds, &all, &identity(ds.n_facts()), &all, false)
+}
+
+/// Negates every vote and every ground-truth label — the T/F polarity
+/// mirror.
+pub fn flip_polarity(ds: &Dataset) -> Dataset {
+    rebuild(ds, &identity(ds.n_sources()), &identity(ds.n_facts()), &[], true)
+}
+
+fn assert_permutation(perm: &[usize], n: usize, what: &str) {
+    assert_eq!(perm.len(), n, "{what} permutation has wrong length");
+    let mut seen = vec![false; n];
+    for &i in perm {
+        assert!(i < n && !seen[i], "{what} permutation is not a bijection: {perm:?}");
+        seen[i] = true;
+    }
+}
+
+/// A uniformly random permutation of `0..n`, Fisher–Yates over a seed —
+/// the deterministic kernel behind [`arb_permutation`], usable directly
+/// when the length is only known mid-property.
+pub fn permutation_from_seed(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut perm = identity(n);
+    for i in (1..n).rev() {
+        perm.swap(i, rng.gen_range(0..=i));
+    }
+    perm
+}
+
+/// Strategy for a uniformly random permutation of `0..n` (reproducible
+/// like every stand-in proptest strategy).
+pub fn arb_permutation(n: usize) -> impl Strategy<Value = Vec<usize>> {
+    any::<u64>().prop_map(move |seed| permutation_from_seed(n, seed))
+}
+
+/// Strategy for a small random planted world: 2–6 independent sources with
+/// random trust/coverage/affirmative-bias over 8–40 facts. Small enough to
+/// drive several engines per case inside a property.
+pub fn arb_planted_world() -> impl Strategy<Value = PlantedWorld> {
+    any::<u64>().prop_map(|seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_sources = rng.gen_range(2usize..=6);
+        let sources = (0..n_sources)
+            .map(|i| {
+                SourceSpec::affirmative(
+                    format!("s{i}"),
+                    rng.gen_range(0.05f64..=0.95),
+                    rng.gen_range(0.3f64..=1.0),
+                    if rng.gen_bool(0.5) { rng.gen_range(0.0f64..=1.0) } else { 0.0 },
+                )
+            })
+            .collect();
+        let config = PlantedConfig {
+            n_facts: rng.gen_range(8usize..=40),
+            true_fraction: rng.gen_range(0.2f64..=0.8),
+            sources,
+            keep_voteless: false,
+            seed: rng.next_u64(),
+        };
+        sim::generate(&config)
+    })
+}
+
+/// Max-abs difference between two probability vectors, `inf` on length
+/// mismatch — the comparison metric of the permutation-invariance checks.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    if a.len() != b.len() {
+        return f64::INFINITY;
+    }
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        let s0 = b.add_source("a");
+        let s1 = b.add_source("b");
+        let f0 = b.add_fact_with_truth("f0", Label::True);
+        let f1 = b.add_fact_with_truth("f1", Label::False);
+        b.cast(s0, f0, Vote::True).unwrap();
+        b.cast(s1, f0, Vote::False).unwrap();
+        b.cast(s0, f1, Vote::False).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn permute_sources_relabels_votes() {
+        let ds = tiny();
+        let out = permute_sources(&ds, &[1, 0]);
+        assert_eq!(out.source_name(SourceId::new(0)), "b");
+        assert_eq!(out.votes().vote(SourceId::new(1), FactId::new(0)), Some(Vote::True));
+        assert_eq!(out.votes().vote(SourceId::new(0), FactId::new(0)), Some(Vote::False));
+        assert_eq!(out.ground_truth(), ds.ground_truth());
+    }
+
+    #[test]
+    fn permute_facts_carries_truth_along() {
+        let ds = tiny();
+        let out = permute_facts(&ds, &[1, 0]);
+        assert_eq!(out.fact_name(FactId::new(0)), "f1");
+        assert_eq!(out.ground_truth().unwrap().label(FactId::new(0)), Label::False);
+        assert_eq!(out.votes().vote(SourceId::new(0), FactId::new(0)), Some(Vote::False));
+    }
+
+    #[test]
+    fn duplicate_all_doubles_votes() {
+        let ds = tiny();
+        let out = duplicate_all_sources(&ds);
+        assert_eq!(out.n_sources(), 4);
+        assert_eq!(out.votes().n_votes(), 2 * ds.votes().n_votes());
+        assert_eq!(out.source_name(SourceId::new(2)), "a+dup");
+    }
+
+    #[test]
+    fn flip_polarity_mirrors_votes_and_truth() {
+        let ds = tiny();
+        let out = flip_polarity(&ds);
+        assert_eq!(out.votes().vote(SourceId::new(0), FactId::new(0)), Some(Vote::False));
+        assert_eq!(out.ground_truth().unwrap().label(FactId::new(0)), Label::False);
+        // Involution: flipping twice restores the original.
+        let back = flip_polarity(&out);
+        assert_eq!(back.votes(), ds.votes());
+        assert_eq!(back.ground_truth(), ds.ground_truth());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a bijection")]
+    fn bad_permutation_is_rejected() {
+        permute_sources(&tiny(), &[0, 0]);
+    }
+}

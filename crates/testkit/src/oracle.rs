@@ -1,0 +1,217 @@
+//! Differential oracles: run every engine on the same planted dataset,
+//! check per-engine invariants, and summarise the sweep as a JSON report
+//! whose bytes are a deterministic function of the seed.
+
+use corroborate_core::metrics::{brier_score, ConfusionMatrix};
+use corroborate_core::prelude::*;
+use corroborate_obs::Json;
+
+use crate::registry;
+use crate::sim::{self, PlantedWorld};
+
+/// Everything one engine produced on one dataset, flattened for checking.
+#[derive(Debug, Clone)]
+pub struct EngineOutcome {
+    /// Engine name, as reported by [`Corroborator::name`].
+    pub name: String,
+    /// Per-fact truth probabilities.
+    pub probabilities: Vec<f64>,
+    /// Hard decisions under the paper's 0.5 rule.
+    pub decisions: Vec<bool>,
+    /// Final trust per source.
+    pub trust: Vec<f64>,
+    /// Rounds / iterations the engine reported.
+    pub rounds: usize,
+    /// Quality against the planted truth, when the dataset carries one.
+    pub confusion: Option<ConfusionMatrix>,
+    /// Brier score against the planted truth, when available.
+    pub brier: Option<f64>,
+}
+
+/// Runs one engine and flattens its result.
+///
+/// # Panics
+///
+/// Panics if the engine itself fails — in the oracle every engine must
+/// handle every planted dataset.
+pub fn run_engine(alg: &dyn Corroborator, dataset: &Dataset) -> EngineOutcome {
+    let result = alg
+        .corroborate(dataset)
+        .unwrap_or_else(|e| panic!("{} failed on planted dataset: {e}", alg.name()));
+    let confusion = dataset
+        .ground_truth()
+        .map(|_| result.confusion(dataset).expect("ground truth present and aligned"));
+    let brier = dataset
+        .ground_truth()
+        .map(|truth| brier_score(result.probabilities(), truth).expect("aligned lengths"));
+    EngineOutcome {
+        name: alg.name().to_string(),
+        probabilities: result.probabilities().to_vec(),
+        decisions: dataset.facts().map(|f| result.decisions().label(f).as_bool()).collect(),
+        trust: result.trust().values().to_vec(),
+        rounds: result.rounds(),
+        confusion,
+        brier,
+    }
+}
+
+/// Runs the whole roster on one dataset.
+pub fn run_all(roster: &[Box<dyn Corroborator>], dataset: &Dataset) -> Vec<EngineOutcome> {
+    roster.iter().map(|alg| run_engine(alg.as_ref(), dataset)).collect()
+}
+
+/// Finds an outcome by engine name.
+pub fn outcome<'a>(outcomes: &'a [EngineOutcome], name: &str) -> &'a EngineOutcome {
+    outcomes
+        .iter()
+        .find(|o| o.name == name)
+        .unwrap_or_else(|| panic!("engine {name} missing from outcomes"))
+}
+
+/// Per-engine structural invariants every corroborator must satisfy on
+/// every dataset: probabilities are finite and in `[0, 1]`, decisions
+/// follow the 0.5 rule, trust scores are probabilities, and the shapes
+/// match the dataset.
+pub fn check_engine_invariants(o: &EngineOutcome, dataset: &Dataset) -> Result<(), String> {
+    if o.probabilities.len() != dataset.n_facts() {
+        return Err(format!(
+            "{}: {} probabilities for {} facts",
+            o.name,
+            o.probabilities.len(),
+            dataset.n_facts()
+        ));
+    }
+    if o.trust.len() != dataset.n_sources() {
+        return Err(format!(
+            "{}: {} trust scores for {} sources",
+            o.name,
+            o.trust.len(),
+            dataset.n_sources()
+        ));
+    }
+    for (i, &p) in o.probabilities.iter().enumerate() {
+        if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+            return Err(format!("{}: probability[{i}] = {p} out of [0, 1]", o.name));
+        }
+        if o.decisions[i] != (p >= 0.5) {
+            return Err(format!(
+                "{}: decision[{i}] = {} contradicts p = {p} under the 0.5 rule",
+                o.name, o.decisions[i]
+            ));
+        }
+    }
+    for (s, &t) in o.trust.iter().enumerate() {
+        if !t.is_finite() || !(0.0..=1.0).contains(&t) {
+            return Err(format!("{}: trust[{s}] = {t} out of [0, 1]", o.name));
+        }
+    }
+    Ok(())
+}
+
+/// FNV-1a over the exact bit patterns of an outcome — two outcomes collide
+/// only if they are numerically identical, so equal fingerprints across
+/// runs certify bit-identical determinism.
+pub fn fingerprint(o: &EngineOutcome) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |byte: u8| hash = (hash ^ u64::from(byte)).wrapping_mul(0x100_0000_01b3);
+    for b in o.name.bytes() {
+        eat(b);
+    }
+    for &p in &o.probabilities {
+        for b in p.to_bits().to_le_bytes() {
+            eat(b);
+        }
+    }
+    for &t in &o.trust {
+        for b in t.to_bits().to_le_bytes() {
+            eat(b);
+        }
+    }
+    for b in (o.rounds as u64).to_le_bytes() {
+        eat(b);
+    }
+    hash
+}
+
+/// Accuracy of an outcome against the planted truth.
+///
+/// # Panics
+///
+/// Panics when the dataset carried no ground truth.
+pub fn accuracy(o: &EngineOutcome) -> f64 {
+    o.confusion.as_ref().expect("planted datasets carry ground truth").accuracy()
+}
+
+/// Runs the full roster over every standard archetype and summarises the
+/// sweep as a JSON report. The report bytes are a pure function of `seed`:
+/// rendering it twice from independent runs must give identical strings
+/// (the determinism gate asserts exactly that).
+pub fn oracle_report(seed: u64) -> Json {
+    let mut root = Json::object();
+    root.insert("report", "differential_oracle");
+    root.insert("schema_version", 1u64);
+    root.insert("seed", seed);
+    let roster = registry::full_roster(seed);
+    root.insert(
+        "engines",
+        Json::Arr(roster.iter().map(|a| Json::from(a.name())).collect::<Vec<_>>()),
+    );
+    let mut archetypes = Json::object();
+    for (name, config) in sim::standard_archetypes(seed) {
+        let world: PlantedWorld = sim::generate(&config);
+        let mut section = Json::object();
+        section.insert("n_sources", world.dataset.n_sources() as u64);
+        section.insert("n_facts", world.dataset.n_facts() as u64);
+        let mut engines = Json::object();
+        for o in run_all(&roster, &world.dataset) {
+            let mut entry = Json::object();
+            if let Some(m) = &o.confusion {
+                entry.insert("accuracy", m.accuracy());
+                entry.insert("f1", m.f1());
+            }
+            if let Some(b) = o.brier {
+                entry.insert("brier", b);
+            }
+            entry.insert("rounds", o.rounds as u64);
+            entry.insert("fingerprint", format!("{:016x}", fingerprint(&o)));
+            engines.insert(o.name.clone(), entry);
+        }
+        section.insert("engines", engines);
+        archetypes.insert(name, section);
+    }
+    root.insert("archetypes", archetypes);
+    root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_separates_distinct_outcomes() {
+        let base = EngineOutcome {
+            name: "X".into(),
+            probabilities: vec![0.25, 0.75],
+            decisions: vec![false, true],
+            trust: vec![0.5],
+            rounds: 1,
+            confusion: None,
+            brier: None,
+        };
+        let mut nudged = base.clone();
+        // One ulp of drift must change the fingerprint.
+        nudged.probabilities[0] = f64::from_bits(base.probabilities[0].to_bits() + 1);
+        assert_ne!(fingerprint(&base), fingerprint(&nudged));
+        assert_eq!(fingerprint(&base), fingerprint(&base.clone()));
+    }
+
+    #[test]
+    fn invariant_check_rejects_bad_shapes() {
+        let world = sim::generate(&sim::full_coverage(1));
+        let roster = registry::full_roster(1);
+        let mut o = run_engine(roster[0].as_ref(), &world.dataset);
+        assert!(check_engine_invariants(&o, &world.dataset).is_ok());
+        o.probabilities[0] = 1.5;
+        assert!(check_engine_invariants(&o, &world.dataset).is_err());
+    }
+}

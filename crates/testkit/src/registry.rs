@@ -1,0 +1,46 @@
+//! The engine roster the differential oracle drives.
+
+use corroborate_core::corroborator::Corroborator;
+
+/// The minimum engine count the conformance gate insists on; shrinking the
+/// roster below this is a test failure, not a configuration choice.
+pub const MIN_ENGINES: usize = 8;
+
+/// Every corroborator in the workspace, boxed behind the common trait:
+/// the paper's roster (Voting, Counting, BayesEstimate, 2-Estimates,
+/// IncEstPS, IncEstHeu) plus 3-Estimates, Cosine, TruthFinder, AccuVote,
+/// and the four Pasternack & Roth couplings. `seed` parameterises the
+/// randomised BayesEstimate sampler; every other engine is deterministic
+/// by construction.
+pub fn full_roster(seed: u64) -> Vec<Box<dyn Corroborator>> {
+    corroborate_algorithms::extended_roster(seed)
+}
+
+/// Engine names of [`full_roster`], in roster order.
+pub fn roster_names(seed: u64) -> Vec<String> {
+    full_roster(seed).iter().map(|alg| alg.name().to_string()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn roster_meets_the_floor_with_unique_names() {
+        let names = roster_names(42);
+        assert!(names.len() >= MIN_ENGINES, "roster shrank to {}", names.len());
+        let unique: BTreeSet<&String> = names.iter().collect();
+        assert_eq!(unique.len(), names.len(), "duplicate engine names: {names:?}");
+    }
+
+    #[test]
+    fn roster_contains_the_paper_lineup() {
+        let names = roster_names(42);
+        for required in
+            ["Voting", "Counting", "BayesEstimate", "TwoEstimate", "IncEstPS", "IncEstHeu"]
+        {
+            assert!(names.iter().any(|n| n == required), "missing {required} in {names:?}");
+        }
+    }
+}

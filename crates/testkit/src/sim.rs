@@ -1,0 +1,442 @@
+//! Planted-truth dataset simulator.
+//!
+//! Every dataset is drawn from a *declared* generative model: each source
+//! has a designed trust (probability its judgment matches the planted
+//! label), a coverage (probability it inspects a fact at all), and an
+//! affirmative bias (probability a negative judgment is withheld instead of
+//! cast as an `F` vote — the paper's affirmative-statement regime is the
+//! bias → 1 limit). Copycat sources replay another source's realized votes,
+//! modelling the duplicated-content providers of §6.1.
+//!
+//! Generation is fully determined by [`PlantedConfig::seed`]: the same
+//! config always yields the same [`PlantedWorld`], bit for bit.
+
+use corroborate_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng as _};
+
+/// How one simulated source behaves.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Behavior {
+    /// Draws independent judgments from the planted truth.
+    Independent {
+        /// Probability a judgment matches the planted label. Values below
+        /// 0.5 model adversarial (systematically wrong) sources.
+        trust: f64,
+        /// Probability the source inspects a given fact at all.
+        coverage: f64,
+        /// Probability a *negative* judgment is withheld (no vote) rather
+        /// than cast as `F`. 0 → classic conflicting-votes regime,
+        /// 1 → purely affirmative source.
+        affirmative_bias: f64,
+    },
+    /// Replays the realized votes of an earlier source (by index into
+    /// [`PlantedConfig::sources`]; must be smaller than this source's own
+    /// index).
+    Copycat {
+        /// Index of the imitated source.
+        of: usize,
+    },
+}
+
+/// One declared source of the generative model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceSpec {
+    /// Source name carried into the built [`Dataset`].
+    pub name: String,
+    /// Generative behavior.
+    pub behavior: Behavior,
+}
+
+impl SourceSpec {
+    /// An independent source casting both `T` and `F` votes.
+    pub fn honest(name: impl Into<String>, trust: f64, coverage: f64) -> Self {
+        Self {
+            name: name.into(),
+            behavior: Behavior::Independent { trust, coverage, affirmative_bias: 0.0 },
+        }
+    }
+
+    /// An independent source that withholds negative judgments with
+    /// probability `affirmative_bias`.
+    pub fn affirmative(
+        name: impl Into<String>,
+        trust: f64,
+        coverage: f64,
+        affirmative_bias: f64,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            behavior: Behavior::Independent { trust, coverage, affirmative_bias },
+        }
+    }
+
+    /// A systematically wrong source (`trust` should be below 0.5).
+    pub fn adversarial(name: impl Into<String>, trust: f64, coverage: f64) -> Self {
+        Self::honest(name, trust, coverage)
+    }
+
+    /// A source replaying the realized votes of source `of`.
+    pub fn copycat(name: impl Into<String>, of: usize) -> Self {
+        Self { name: name.into(), behavior: Behavior::Copycat { of } }
+    }
+}
+
+/// Declared generative model for one planted dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlantedConfig {
+    /// Facts drawn before voteless pruning.
+    pub n_facts: usize,
+    /// Probability a planted label is `True`.
+    pub true_fraction: f64,
+    /// The declared sources, in dataset order.
+    pub sources: Vec<SourceSpec>,
+    /// Keep facts that receive no votes (default: dropped, matching the
+    /// datagen generators; voteless facts are kept only to exercise prior
+    /// fallback paths).
+    pub keep_voteless: bool,
+    /// Seed of the whole generation.
+    pub seed: u64,
+}
+
+/// A generated dataset plus everything the generator knows about it.
+#[derive(Debug, Clone)]
+pub struct PlantedWorld {
+    /// The dataset, with the planted labels attached as ground truth.
+    pub dataset: Dataset,
+    /// The config that produced it.
+    pub config: PlantedConfig,
+    /// Designed trust per source (copycats inherit their parent's).
+    pub designed_trust: Vec<f64>,
+    /// Facts dropped because no source voted on them.
+    pub dropped_voteless: usize,
+}
+
+/// Generates the planted world declared by `config`.
+///
+/// # Panics
+///
+/// Panics if a copycat references itself or a later source, or if a
+/// probability parameter is outside `[0, 1]` (surfaced by the underlying
+/// RNG assertions) — both are test-authoring bugs, not data conditions.
+pub fn generate(config: &PlantedConfig) -> PlantedWorld {
+    let n_sources = config.sources.len();
+    for (i, spec) in config.sources.iter().enumerate() {
+        if let Behavior::Copycat { of } = spec.behavior {
+            assert!(of < i, "source {i} ({}) copies source {of}, which is not earlier", spec.name);
+        }
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let truth: Vec<bool> =
+        (0..config.n_facts).map(|_| rng.gen_bool(config.true_fraction)).collect();
+
+    // Realized votes, indexed [source][fact]. Facts iterate in the inner
+    // loop so adding a source never disturbs earlier sources' draws.
+    let mut votes: Vec<Vec<Option<Vote>>> = Vec::with_capacity(n_sources);
+    for spec in &config.sources {
+        let row: Vec<Option<Vote>> = match spec.behavior {
+            Behavior::Copycat { of } => votes[of].clone(),
+            Behavior::Independent { trust, coverage, affirmative_bias } => truth
+                .iter()
+                .map(|&label| {
+                    if !rng.gen_bool(coverage) {
+                        return None;
+                    }
+                    let judged_true = if rng.gen_bool(trust) { label } else { !label };
+                    if judged_true {
+                        Some(Vote::True)
+                    } else if affirmative_bias > 0.0 && rng.gen_bool(affirmative_bias) {
+                        None
+                    } else {
+                        Some(Vote::False)
+                    }
+                })
+                .collect(),
+        };
+        votes.push(row);
+    }
+
+    let voted: Vec<bool> =
+        (0..config.n_facts).map(|f| votes.iter().any(|row| row[f].is_some())).collect();
+    let dropped_voteless =
+        if config.keep_voteless { 0 } else { voted.iter().filter(|&&v| !v).count() };
+
+    let mut b = DatasetBuilder::new();
+    let source_ids: Vec<SourceId> =
+        config.sources.iter().map(|s| b.add_source(s.name.clone())).collect();
+    let mut fact_ids: Vec<Option<FactId>> = Vec::with_capacity(config.n_facts);
+    for (f, &label) in truth.iter().enumerate() {
+        if config.keep_voteless || voted[f] {
+            fact_ids
+                .push(Some(b.add_fact_with_truth(format!("fact-{f:04}"), Label::from_bool(label))));
+        } else {
+            fact_ids.push(None);
+        }
+    }
+    for (s, row) in votes.iter().enumerate() {
+        for (f, vote) in row.iter().enumerate() {
+            if let (Some(fact), Some(vote)) = (fact_ids[f], *vote) {
+                b.cast(source_ids[s], fact, vote).expect("fresh (source, fact) pair");
+            }
+        }
+    }
+    let dataset = b.build().expect("planted dataset is well-formed");
+
+    let designed_trust: Vec<f64> = config
+        .sources
+        .iter()
+        .map(|spec| {
+            let mut behavior = &spec.behavior;
+            while let Behavior::Copycat { of } = behavior {
+                behavior = &config.sources[*of].behavior;
+            }
+            match behavior {
+                Behavior::Independent { trust, .. } => *trust,
+                Behavior::Copycat { .. } => unreachable!("copycat chains end at an independent"),
+            }
+        })
+        .collect();
+
+    PlantedWorld { dataset, config: config.clone(), designed_trust, dropped_voteless }
+}
+
+/// Classic conflicting-votes regime: six independent sources of mixed
+/// trust, every negative judgment cast as an explicit `F`.
+pub fn mixed_evidence(seed: u64) -> PlantedConfig {
+    PlantedConfig {
+        n_facts: 120,
+        true_fraction: 0.5,
+        sources: vec![
+            SourceSpec::honest("oracle-a", 0.95, 0.9),
+            SourceSpec::honest("oracle-b", 0.9, 0.8),
+            SourceSpec::honest("steady-c", 0.8, 0.7),
+            SourceSpec::honest("steady-d", 0.75, 0.8),
+            SourceSpec::honest("noisy-e", 0.6, 0.6),
+            SourceSpec::honest("noisy-f", 0.55, 0.5),
+        ],
+        keep_voteless: false,
+        seed,
+    }
+}
+
+/// The paper's regime (§1): most sources withhold negative judgments, so
+/// almost every fact carries only affirmative votes; two high-precision
+/// curators still cast the occasional `F` for corroborators to learn from.
+pub fn affirmative_heavy(seed: u64) -> PlantedConfig {
+    PlantedConfig {
+        n_facts: 150,
+        true_fraction: 0.62,
+        sources: vec![
+            SourceSpec::affirmative("curator-a", 0.95, 0.85, 0.3),
+            SourceSpec::affirmative("curator-b", 0.9, 0.8, 0.4),
+            SourceSpec::affirmative("lister-c", 0.7, 0.8, 0.95),
+            SourceSpec::affirmative("lister-d", 0.65, 0.85, 1.0),
+            SourceSpec::affirmative("lister-e", 0.6, 0.75, 1.0),
+            SourceSpec::affirmative("lister-f", 0.55, 0.7, 0.95),
+            SourceSpec::affirmative("lister-g", 0.6, 0.6, 1.0),
+        ],
+        keep_voteless: false,
+        seed,
+    }
+}
+
+/// A trusted majority plus two systematically wrong sources — engines with
+/// trust estimation should learn to invert or ignore the adversaries.
+pub fn adversarial_minority(seed: u64) -> PlantedConfig {
+    PlantedConfig {
+        n_facts: 100,
+        true_fraction: 0.5,
+        sources: vec![
+            SourceSpec::honest("honest-a", 0.88, 0.8),
+            SourceSpec::honest("honest-b", 0.85, 0.8),
+            SourceSpec::honest("honest-c", 0.82, 0.7),
+            SourceSpec::honest("honest-d", 0.8, 0.7),
+            SourceSpec::honest("honest-e", 0.78, 0.6),
+            SourceSpec::adversarial("liar-x", 0.15, 0.8),
+            SourceSpec::adversarial("liar-y", 0.2, 0.7),
+        ],
+        keep_voteless: false,
+        seed,
+    }
+}
+
+/// Duplicated-content providers: three copycats replay one mid-trust
+/// feed, inflating its apparent support against two better curators.
+pub fn copycat_ring(seed: u64) -> PlantedConfig {
+    PlantedConfig {
+        n_facts: 100,
+        true_fraction: 0.55,
+        sources: vec![
+            SourceSpec::honest("feed", 0.7, 0.9),
+            SourceSpec::honest("curator-a", 0.92, 0.7),
+            SourceSpec::honest("curator-b", 0.9, 0.7),
+            SourceSpec::copycat("mirror-1", 0),
+            SourceSpec::copycat("mirror-2", 0),
+            SourceSpec::copycat("mirror-3", 0),
+        ],
+        keep_voteless: false,
+        seed,
+    }
+}
+
+/// Sparse-coverage stress: many facts see one vote or none, exercising
+/// prior/fallback paths (voteless facts are *kept*).
+pub fn sparse_coverage(seed: u64) -> PlantedConfig {
+    PlantedConfig {
+        n_facts: 200,
+        true_fraction: 0.5,
+        sources: vec![
+            SourceSpec::honest("thin-a", 0.9, 0.15),
+            SourceSpec::honest("thin-b", 0.85, 0.15),
+            SourceSpec::honest("thin-c", 0.8, 0.1),
+            SourceSpec::affirmative("thin-d", 0.75, 0.15, 0.8),
+        ],
+        keep_voteless: true,
+        seed,
+    }
+}
+
+/// Full-coverage world where every source votes on every fact — the regime
+/// in which Voting and Counting must agree exactly.
+pub fn full_coverage(seed: u64) -> PlantedConfig {
+    PlantedConfig {
+        n_facts: 80,
+        true_fraction: 0.5,
+        sources: vec![
+            SourceSpec::honest("dense-a", 0.9, 1.0),
+            SourceSpec::honest("dense-b", 0.8, 1.0),
+            SourceSpec::honest("dense-c", 0.7, 1.0),
+            SourceSpec::honest("dense-d", 0.65, 1.0),
+            SourceSpec::honest("dense-e", 0.6, 1.0),
+        ],
+        keep_voteless: false,
+        seed,
+    }
+}
+
+/// A world whose vote features are linearly separable: one perfect
+/// full-coverage witness plus noisy extras — the planted dataset the ML
+/// suites train on.
+pub fn linearly_separable(seed: u64) -> PlantedConfig {
+    PlantedConfig {
+        n_facts: 120,
+        true_fraction: 0.5,
+        sources: vec![
+            SourceSpec::honest("witness", 1.0, 1.0),
+            SourceSpec::honest("noisy-a", 0.7, 0.8),
+            SourceSpec::honest("noisy-b", 0.6, 0.7),
+        ],
+        keep_voteless: false,
+        seed,
+    }
+}
+
+/// The named archetypes the differential oracle sweeps — every entry has a
+/// distinct dataset shape (conflict-rich, affirmative-heavy, adversarial,
+/// duplicated, sparse).
+pub fn standard_archetypes(seed: u64) -> Vec<(&'static str, PlantedConfig)> {
+    vec![
+        ("mixed_evidence", mixed_evidence(seed)),
+        ("affirmative_heavy", affirmative_heavy(seed)),
+        ("adversarial_minority", adversarial_minority(seed)),
+        ("copycat_ring", copycat_ring(seed)),
+        ("sparse_coverage", sparse_coverage(seed)),
+        ("full_coverage", full_coverage(seed)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&affirmative_heavy(7));
+        let b = generate(&affirmative_heavy(7));
+        assert_eq!(a.dataset.votes(), b.dataset.votes());
+        assert_eq!(a.dataset.ground_truth(), b.dataset.ground_truth());
+        assert_eq!(a.designed_trust, b.designed_trust);
+    }
+
+    #[test]
+    fn seeds_change_the_world() {
+        let a = generate(&mixed_evidence(1));
+        let b = generate(&mixed_evidence(2));
+        assert_ne!(a.dataset.votes(), b.dataset.votes());
+    }
+
+    #[test]
+    fn copycats_replay_their_parent() {
+        let world = generate(&copycat_ring(11));
+        let ds = &world.dataset;
+        let feed = SourceId::new(0);
+        let mirror = SourceId::new(3);
+        assert_eq!(ds.votes().votes_by(feed).len(), ds.votes().votes_by(mirror).len());
+        for fv in ds.votes().votes_by(feed) {
+            assert_eq!(ds.votes().vote(mirror, fv.fact), Some(fv.vote));
+        }
+        assert_eq!(world.designed_trust[3], world.designed_trust[0]);
+    }
+
+    #[test]
+    fn affirmative_bias_suppresses_false_votes() {
+        let world = generate(&affirmative_heavy(3));
+        let ds = &world.dataset;
+        // The pure-affirmative listers never cast F.
+        for idx in [3usize, 4, 6] {
+            let s = SourceId::new(idx);
+            assert!(
+                ds.votes().votes_by(s).iter().all(|fv| fv.vote == Vote::True),
+                "source {idx} should be affirmative-only"
+            );
+        }
+        // The regime is affirmative-heavy overall.
+        let affirmative_only = ds.votes().affirmative_only_count();
+        assert!(
+            affirmative_only * 2 > ds.n_facts(),
+            "{affirmative_only}/{} facts affirmative-only",
+            ds.n_facts()
+        );
+    }
+
+    #[test]
+    fn full_coverage_has_every_vote() {
+        let world = generate(&full_coverage(5));
+        let ds = &world.dataset;
+        assert_eq!(ds.votes().n_votes(), ds.n_sources() * ds.n_facts());
+        assert_eq!(world.dropped_voteless, 0);
+    }
+
+    #[test]
+    fn sparse_coverage_keeps_voteless_facts() {
+        let world = generate(&sparse_coverage(5));
+        assert_eq!(world.dataset.n_facts(), 200);
+        assert_eq!(world.dropped_voteless, 0);
+        let voteless =
+            world.dataset.facts().filter(|&f| world.dataset.votes().votes_on(f).is_empty()).count();
+        assert!(voteless > 0, "sparse world should retain voteless facts");
+    }
+
+    #[test]
+    fn dropped_voteless_is_counted() {
+        let mut cfg = sparse_coverage(5);
+        cfg.keep_voteless = false;
+        let world = generate(&cfg);
+        assert!(world.dropped_voteless > 0);
+        assert_eq!(world.dataset.n_facts() + world.dropped_voteless, 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "not earlier")]
+    fn forward_copycat_is_rejected() {
+        let cfg = PlantedConfig {
+            n_facts: 4,
+            true_fraction: 0.5,
+            sources: vec![SourceSpec::copycat("m", 0), SourceSpec::honest("a", 0.9, 1.0)],
+            keep_voteless: false,
+            seed: 0,
+        };
+        generate(&cfg);
+    }
+}

@@ -1,0 +1,150 @@
+//! Metamorphic properties over random planted worlds: engines must not
+//! care how sources or facts are numbered, Voting must be blind to
+//! wholesale duplication, and polarity must mirror cleanly.
+//!
+//! Exclusions, all covered for determinism by the conformance suite:
+//! IncEstPS/IncEstHeu's evaluation *schedule* breaks ties by group index,
+//! so probabilities are only reproducible for a fixed ordering;
+//! ThreeEstimate and AccuVote iterate dynamics that amplify
+//! summation-order noise at their fixpoints (probed drift up to ~6e-2 at
+//! identical round counts); BayesEstimate's sampler draws per-fact, so it
+//! joins the source-permutation set only.
+
+use corroborate_core::corroborator::Corroborator;
+use corroborate_testkit::metamorphic::{
+    arb_planted_world, duplicate_all_sources, flip_polarity, max_abs_diff, permutation_from_seed,
+    permute_facts, permute_sources,
+};
+use corroborate_testkit::oracle::run_engine;
+use corroborate_testkit::registry::full_roster;
+use proptest::prelude::*;
+
+const TOL: f64 = 1e-9;
+
+/// The roster minus the engines whose outputs legitimately depend on
+/// ordering (see the module docs).
+fn order_free_roster() -> Vec<Box<dyn Corroborator>> {
+    full_roster(7)
+        .into_iter()
+        .filter(|alg| {
+            !alg.name().starts_with("IncEst")
+                && alg.name() != "ThreeEstimate"
+                && alg.name() != "AccuVote"
+        })
+        .collect()
+}
+
+proptest! {
+    // Honours PROPTEST_CASES (the CI nightly sweep raises it); the local
+    // default keeps the engine-heavy properties fast.
+    #![proptest_config(ProptestConfig::default())]
+
+    #[test]
+    fn source_permutation_leaves_beliefs_alone(
+        world in arb_planted_world(),
+        seed in proptest::arbitrary::any::<u64>(),
+    ) {
+        let ds = &world.dataset;
+        let perm = permutation_from_seed(ds.n_sources(), seed);
+        let permuted = permute_sources(ds, &perm);
+        for alg in order_free_roster() {
+            let a = run_engine(alg.as_ref(), ds);
+            let b = run_engine(alg.as_ref(), &permuted);
+            // Reordered summation can move a convergence residual by one
+            // ulp across the stopping threshold, legitimately adding one
+            // fixpoint round; at equal round counts the numbers must agree.
+            prop_assert!(
+                a.rounds.abs_diff(b.rounds) <= 1,
+                "{}: rounds {} vs {} under source permutation", a.name, a.rounds, b.rounds
+            );
+            if a.rounds != b.rounds {
+                continue;
+            }
+            prop_assert!(
+                max_abs_diff(&a.probabilities, &b.probabilities) <= TOL,
+                "{}: probabilities moved under source permutation", a.name
+            );
+            // Trust follows its source through the permutation.
+            let mut unpermuted = vec![0.0; b.trust.len()];
+            for (new, &old) in perm.iter().enumerate() {
+                unpermuted[old] = b.trust[new];
+            }
+            prop_assert!(
+                max_abs_diff(&a.trust, &unpermuted) <= TOL,
+                "{}: trust did not follow its source", a.name
+            );
+        }
+    }
+
+    #[test]
+    fn fact_permutation_relabels_beliefs(
+        world in arb_planted_world(),
+        seed in proptest::arbitrary::any::<u64>(),
+    ) {
+        let ds = &world.dataset;
+        let perm = permutation_from_seed(ds.n_facts(), seed);
+        let permuted = permute_facts(ds, &perm);
+        for alg in order_free_roster() {
+            if alg.name() == "BayesEstimate" {
+                continue; // sampler draws are indexed by fact position
+            }
+            let a = run_engine(alg.as_ref(), ds);
+            let b = run_engine(alg.as_ref(), &permuted);
+            prop_assert!(
+                a.rounds.abs_diff(b.rounds) <= 1,
+                "{}: rounds {} vs {} under fact permutation", a.name, a.rounds, b.rounds
+            );
+            if a.rounds != b.rounds {
+                continue;
+            }
+            let mut unpermuted = vec![0.0; b.probabilities.len()];
+            for (new, &old) in perm.iter().enumerate() {
+                unpermuted[old] = b.probabilities[new];
+            }
+            prop_assert!(
+                max_abs_diff(&a.probabilities, &unpermuted) <= TOL,
+                "{}: beliefs did not follow their fact", a.name
+            );
+        }
+    }
+
+    #[test]
+    fn voting_ignores_wholesale_duplication(world in arb_planted_world()) {
+        // Duplicating every source doubles all counts but no fraction —
+        // Voting's strict-majority probability is exactly unchanged.
+        let ds = &world.dataset;
+        let doubled = duplicate_all_sources(ds);
+        let voting = &full_roster(7)[0];
+        prop_assert_eq!(voting.name(), "Voting");
+        let a = run_engine(voting.as_ref(), ds);
+        let b = run_engine(voting.as_ref(), &doubled);
+        prop_assert!(max_abs_diff(&a.probabilities, &b.probabilities) <= 1e-12);
+        prop_assert_eq!(a.decisions, b.decisions);
+    }
+
+    #[test]
+    fn polarity_flip_mirrors_voting_probabilities(world in arb_planted_world()) {
+        let ds = &world.dataset;
+        let flipped = flip_polarity(ds);
+        let voting = &full_roster(7)[0];
+        let a = run_engine(voting.as_ref(), ds);
+        let b = run_engine(voting.as_ref(), &flipped);
+        for (i, (&p, &q)) in a.probabilities.iter().zip(&b.probabilities).enumerate() {
+            // Exact ties are nudged below 0.5 on both sides, so only
+            // assert the mirror away from the tie point.
+            prop_assume!((p - 0.5).abs() > 1e-6);
+            prop_assert!(
+                (p + q - 1.0).abs() <= 1e-6,
+                "fact {i}: p = {p}, flipped p = {q}, expected mirror around 0.5"
+            );
+        }
+    }
+
+    #[test]
+    fn flip_polarity_is_an_involution(world in arb_planted_world()) {
+        let ds = &world.dataset;
+        let back = flip_polarity(&flip_polarity(ds));
+        prop_assert_eq!(ds.votes(), back.votes());
+        prop_assert_eq!(ds.ground_truth(), back.ground_truth());
+    }
+}

@@ -274,8 +274,16 @@ pub mod test_runner {
     }
 
     impl Default for ProptestConfig {
+        /// 64 cases, overridable via the `PROPTEST_CASES` environment
+        /// variable (mirroring upstream) so CI can boost nightly runs
+        /// without touching the suites. Explicit `with_cases` wins.
         fn default() -> Self {
-            Self { cases: 64 }
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.trim().parse::<u32>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(64);
+            Self { cases }
         }
     }
 
@@ -433,6 +441,21 @@ mod tests {
         fn map_applies(s in (0usize..10).prop_map(|n| n * 2)) {
             prop_assert_eq!(s % 2, 0);
         }
+    }
+
+    #[test]
+    fn proptest_cases_env_overrides_default() {
+        // Serialised with a local lock would be overkill: this is the only
+        // test touching the variable, and cargo runs tests in one process.
+        std::env::set_var("PROPTEST_CASES", "7");
+        assert_eq!(ProptestConfig::default().cases, 7);
+        std::env::set_var("PROPTEST_CASES", "not a number");
+        assert_eq!(ProptestConfig::default().cases, 64);
+        std::env::set_var("PROPTEST_CASES", "0");
+        assert_eq!(ProptestConfig::default().cases, 64);
+        std::env::remove_var("PROPTEST_CASES");
+        assert_eq!(ProptestConfig::default().cases, 64);
+        assert_eq!(ProptestConfig::with_cases(5).cases, 5);
     }
 
     #[test]
