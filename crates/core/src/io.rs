@@ -22,6 +22,22 @@
 //!
 //! `fact,label` with `label ∈ {true, false}` (case-insensitive); facts not
 //! present in the votes file are added as voteless facts.
+//!
+//! ## Sources roster (sidecar)
+//!
+//! The votes file can only mention sources that cast at least one vote, so
+//! a dataset containing *voteless* sources (registered crawl feeds that
+//! contributed nothing yet — common in streaming ingestion) does not
+//! survive a votes-only round trip. The optional roster sidecar closes the
+//! gap: one source name per line (header line `source` optional), with the
+//! same quoting rules as the other files. Roster sources are registered
+//! first, in roster order, so a [`sources_to_csv`] → [`dataset_from_csv_full`]
+//! round trip preserves source ids exactly. Sources that appear in the
+//! votes file but not in the roster are appended in order of first
+//! appearance, as before.
+//!
+//! (Voteless *and* unlabelled facts remain unrepresentable — they carry no
+//! information any corroborator can use.)
 
 use std::collections::HashMap;
 
@@ -109,17 +125,83 @@ pub fn truth_to_csv(dataset: &Dataset) -> Result<String, CoreError> {
     Ok(out)
 }
 
+/// Serialises the full source roster (one name per line, with header) —
+/// the sidecar that lets voteless sources survive a round trip.
+pub fn sources_to_csv(dataset: &Dataset) -> String {
+    let mut out = String::from("source\n");
+    for s in dataset.sources() {
+        out.push_str(&escape(dataset.source_name(s)));
+        out.push('\n');
+    }
+    out
+}
+
 /// Parses a votes CSV (and optional truth CSV) into a dataset.
+///
+/// Equivalent to [`dataset_from_csv_full`] without a sources roster: only
+/// sources that cast at least one vote are registered.
 ///
 /// # Errors
 /// - [`CoreError::InvalidConfig`] on malformed lines, unknown vote
 ///   symbols, or labels in the truth file that are neither `true` nor
 ///   `false`.
 pub fn dataset_from_csv(votes_csv: &str, truth_csv: Option<&str>) -> Result<Dataset, CoreError> {
+    dataset_from_csv_full(votes_csv, truth_csv, None)
+}
+
+/// Parses a votes CSV, optional truth CSV, and optional sources-roster
+/// sidecar (see the module docs) into a dataset.
+///
+/// Roster sources are registered first, in roster order; duplicate roster
+/// entries are rejected. Sources appearing only in the votes file are
+/// appended in order of first appearance.
+///
+/// # Errors
+/// - [`CoreError::InvalidConfig`] on malformed lines, unknown vote
+///   symbols, bad truth labels, or duplicate roster entries.
+pub fn dataset_from_csv_full(
+    votes_csv: &str,
+    truth_csv: Option<&str>,
+    sources_csv: Option<&str>,
+) -> Result<Dataset, CoreError> {
     let mut b = DatasetBuilder::new();
     let mut sources: HashMap<String, SourceId> = HashMap::new();
     let mut facts: HashMap<String, FactId> = HashMap::new();
     let mut truth: HashMap<String, Label> = HashMap::new();
+
+    if let Some(sources_csv) = sources_csv {
+        for (line_no, line) in sources_csv.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields = split_line(line, line_no + 1)?;
+            if fields.len() != 1 {
+                return Err(CoreError::InvalidConfig {
+                    message: format!(
+                        "roster line {}: expected 1 field, got {}",
+                        line_no + 1,
+                        fields.len()
+                    ),
+                });
+            }
+            if fields[0] == "source" {
+                // Header row (wherever comments put it).
+                continue;
+            }
+            if sources.contains_key(&fields[0]) {
+                return Err(CoreError::InvalidConfig {
+                    message: format!(
+                        "roster line {}: duplicate source {:?}",
+                        line_no + 1,
+                        fields[0]
+                    ),
+                });
+            }
+            let s = b.add_source(&fields[0]);
+            sources.insert(fields[0].clone(), s);
+        }
+    }
 
     if let Some(truth_csv) = truth_csv {
         for (line_no, line) in truth_csv.lines().enumerate() {
@@ -289,6 +371,61 @@ mod tests {
         let ds = dataset_from_csv(csv, None).unwrap();
         assert_eq!(ds.source_name(SourceId::new(0)), "Source \"X\"");
         assert_eq!(ds.fact_name(FactId::new(0)), "fact, with comma");
+    }
+
+    #[test]
+    fn roster_round_trips_voteless_sources() {
+        let mut b = DatasetBuilder::new();
+        let active = b.add_source("active");
+        b.add_source("silent,comma"); // voteless, needs quoting
+        b.add_source("silent-b");
+        let f = b.add_fact_with_truth("f1", Label::True);
+        b.cast(active, f, Vote::True).unwrap();
+        let ds = b.build().unwrap();
+
+        // Votes-only parse drops the silent sources...
+        let narrow = dataset_from_csv(&votes_to_csv(&ds), None).unwrap();
+        assert_eq!(narrow.n_sources(), 1);
+
+        // ...the roster sidecar preserves them, ids and all.
+        let roster = sources_to_csv(&ds);
+        let back = dataset_from_csv_full(&votes_to_csv(&ds), None, Some(&roster)).unwrap();
+        assert_eq!(back.n_sources(), 3);
+        for s in ds.sources() {
+            assert_eq!(back.source_name(s), ds.source_name(s));
+        }
+        assert!(back.votes().votes_by(SourceId::new(1)).is_empty());
+        // The sidecar itself is a fixpoint.
+        assert_eq!(sources_to_csv(&back), roster);
+    }
+
+    #[test]
+    fn roster_header_and_comments_are_skipped() {
+        let roster = "# registered feeds\nsource\nA\n\nB\n";
+        let ds = dataset_from_csv_full("A,f1,T\n", None, Some(roster)).unwrap();
+        assert_eq!(ds.n_sources(), 2);
+        assert_eq!(ds.source_name(SourceId::new(0)), "A");
+        assert_eq!(ds.source_name(SourceId::new(1)), "B");
+    }
+
+    #[test]
+    fn votes_only_sources_append_after_the_roster() {
+        let ds = dataset_from_csv_full("C,f1,T\nA,f1,F\n", None, Some("source\nA\nB\n")).unwrap();
+        assert_eq!(ds.n_sources(), 3);
+        assert_eq!(ds.source_name(SourceId::new(0)), "A");
+        assert_eq!(ds.source_name(SourceId::new(1)), "B");
+        assert_eq!(ds.source_name(SourceId::new(2)), "C");
+        assert_eq!(ds.votes().tally(FactId::new(0)), (1, 1));
+    }
+
+    #[test]
+    fn malformed_rosters_are_rejected() {
+        let e = dataset_from_csv_full("", None, Some("A\nA\n")).unwrap_err();
+        assert!(e.to_string().contains("duplicate source"), "{e}");
+        let e = dataset_from_csv_full("", None, Some("A,B\n")).unwrap_err();
+        assert!(e.to_string().contains("expected 1 field"), "{e}");
+        let e = dataset_from_csv_full("", None, Some("\"A\n")).unwrap_err();
+        assert!(e.to_string().contains("unterminated"), "{e}");
     }
 
     #[test]

@@ -4,7 +4,9 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use corroborate_core::io::{dataset_from_csv, truth_to_csv, votes_to_csv};
+use corroborate_core::io::{
+    dataset_from_csv, dataset_from_csv_full, sources_to_csv, truth_to_csv, votes_to_csv,
+};
 use corroborate_core::prelude::*;
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -43,18 +45,24 @@ fn view(ds: &Dataset) -> SemanticView {
     }
 }
 
-/// serialize→parse→serialize; asserts the fixpoint and semantic equality,
+/// serialize→parse→serialize through all three files (votes, truth, and
+/// the sources roster); asserts the fixpoint and semantic equality,
 /// returning the reparsed dataset for further checks.
 fn roundtrip(ds: &Dataset) -> Dataset {
     let votes = votes_to_csv(ds);
     let truth = ds.ground_truth().map(|_| truth_to_csv(ds).unwrap());
-    let back = dataset_from_csv(&votes, truth.as_deref()).expect("reparse own output");
+    let roster = sources_to_csv(ds);
+    let back =
+        dataset_from_csv_full(&votes, truth.as_deref(), Some(&roster)).expect("reparse own output");
     assert_eq!(view(ds), view(&back), "semantic content changed across the round trip");
-    // A reparsed dataset serialises to byte-identical CSV: the text form
-    // is a fixpoint after one pass.
+    // With the roster, ids survive too: the roster fixes source numbering
+    // and facts reparse in first-appearance order.
+    assert_eq!(sources_to_csv(&back), roster, "source roster changed across the round trip");
+    // A reparsed dataset serialises to byte-identical CSV: with the roster
+    // pinning source numbering, the text form is a fixpoint immediately.
     assert_eq!(
         votes_to_csv(&back),
-        votes_to_csv(&dataset_from_csv(&votes_to_csv(&back), None).unwrap())
+        votes_to_csv(&dataset_from_csv_full(&votes_to_csv(&back), None, Some(&roster)).unwrap())
     );
     back
 }
@@ -176,16 +184,28 @@ proptest! {
                 b.cast(s, f, if v { Vote::True } else { Vote::False }).unwrap();
             }
         }
-        // A source with no votes never appears in the votes CSV, so it is
-        // (by design) not representable — give every source one vote.
-        for &s in &sources {
-            if !cast.iter().any(|&(cs, _)| cs == s) {
-                let &f = facts.iter().find(|&&f| !cast.contains(&(s, f))).unwrap();
-                cast.insert((s, f));
-                b.cast(s, f, Vote::True).unwrap();
-            }
-        }
+        // Sources left voteless by the draw stay voteless: the roster
+        // sidecar makes them representable (this used to require patching
+        // every silent source with a synthetic vote).
         let ds = b.build().unwrap();
         roundtrip(&ds);
     }
+}
+
+#[test]
+fn voteless_sources_survive_via_the_roster() {
+    let mut b = DatasetBuilder::new();
+    let active = b.add_source("active");
+    b.add_source("registered-but-silent");
+    b.add_source("another,quiet \"one\"");
+    let f = b.add_fact_with_truth("f0", Label::True);
+    b.cast(active, f, Vote::True).unwrap();
+    let ds = b.build().unwrap();
+    let back = roundtrip(&ds);
+    assert_eq!(back.n_sources(), 3);
+    let silent = back.sources().find(|&s| back.source_name(s) == "registered-but-silent").unwrap();
+    assert!(back.votes().votes_by(silent).is_empty());
+    // Without the roster the same dataset loses its silent sources.
+    let narrow = dataset_from_csv(&votes_to_csv(&ds), Some(&truth_to_csv(&ds).unwrap())).unwrap();
+    assert_eq!(narrow.n_sources(), 1);
 }

@@ -4,7 +4,9 @@
 
 use std::collections::BTreeSet;
 
-use corroborate_core::io::{dataset_from_csv, truth_to_csv, votes_to_csv};
+use corroborate_core::io::{
+    dataset_from_csv, dataset_from_csv_full, sources_to_csv, truth_to_csv, votes_to_csv,
+};
 use corroborate_core::prelude::*;
 use corroborate_datagen::{motivating, restaurant, synthetic};
 
@@ -59,6 +61,37 @@ fn synthetic_world_round_trips() {
     };
     let world = synthetic::generate(&config).unwrap();
     assert_roundtrip(&world.dataset);
+}
+
+#[test]
+fn projected_world_keeps_voteless_sources_via_the_roster() {
+    // Projecting to a golden subset keeps every source; some end up with
+    // zero votes on the subset. The roster sidecar must carry them across
+    // the round trip (PR 3 documented this as a representability gap).
+    let config = restaurant::RestaurantConfig {
+        n_listings: 400,
+        golden_size: 12,
+        golden_true: 7,
+        calibration_iters: 2,
+        seed: 11,
+    };
+    let world = restaurant::generate(&config).unwrap();
+    let sub = world.dataset.project_facts(&world.golden).unwrap();
+    let voteless = sub.sources().filter(|&s| sub.votes().votes_by(s).is_empty()).count();
+    assert!(voteless > 0, "tiny golden subset should leave some sources voteless");
+
+    let votes = votes_to_csv(&sub);
+    let truth = truth_to_csv(&sub).unwrap();
+    let roster = sources_to_csv(&sub);
+    let back = dataset_from_csv_full(&votes, Some(&truth), Some(&roster)).unwrap();
+    assert_eq!(back.n_sources(), sub.n_sources());
+    assert_eq!(back.n_facts(), sub.n_facts());
+    assert_eq!(triples(&sub), triples(&back));
+    assert_eq!(sources_to_csv(&back), roster);
+
+    // The votes-only parse demonstrably loses them.
+    let narrow = dataset_from_csv(&votes, Some(&truth)).unwrap();
+    assert_eq!(narrow.n_sources(), sub.n_sources() - voteless);
 }
 
 #[test]

@@ -33,11 +33,42 @@ pub enum Counter {
     GroupsRecomputed,
     /// Postings dropped from the source→group index by compaction.
     PostingsCompacted,
+    /// HTTP requests accepted by the corroboration service.
+    HttpRequests,
+    /// HTTP responses with a 2xx status.
+    HttpResponses2xx,
+    /// HTTP responses with a 4xx status.
+    HttpResponses4xx,
+    /// HTTP responses with a 5xx status.
+    HttpResponses5xx,
+    /// Ingest batches accepted into the bounded queue.
+    IngestBatches,
+    /// Individual mutations accepted into the bounded queue.
+    IngestMutations,
+    /// Ingest batches rejected because the queue was full (HTTP 429).
+    IngestRejected,
+    /// Re-evaluation epochs completed (full + incremental).
+    Epochs,
+    /// Epochs that ran a full recompute of the whole dataset.
+    EpochsFull,
+    /// Epochs that re-scored only invalidated groups incrementally.
+    EpochsIncremental,
+    /// Signature groups invalidated by ingested mutations, summed over
+    /// epochs.
+    GroupsInvalidated,
+    /// Facts re-scored by incremental epochs.
+    FactsRescored,
+    /// Records appended to the write-ahead log.
+    WalAppends,
+    /// Records replayed from the write-ahead log during recovery.
+    WalReplayed,
+    /// Snapshot compactions written by the write-ahead log.
+    SnapshotsWritten,
 }
 
 impl Counter {
     /// All counters, in report order.
-    pub const ALL: [Counter; 10] = [
+    pub const ALL: [Counter; 25] = [
         Counter::Rounds,
         Counter::Iterations,
         Counter::FactsEvaluated,
@@ -48,6 +79,21 @@ impl Counter {
         Counter::CacheRefreshes,
         Counter::GroupsRecomputed,
         Counter::PostingsCompacted,
+        Counter::HttpRequests,
+        Counter::HttpResponses2xx,
+        Counter::HttpResponses4xx,
+        Counter::HttpResponses5xx,
+        Counter::IngestBatches,
+        Counter::IngestMutations,
+        Counter::IngestRejected,
+        Counter::Epochs,
+        Counter::EpochsFull,
+        Counter::EpochsIncremental,
+        Counter::GroupsInvalidated,
+        Counter::FactsRescored,
+        Counter::WalAppends,
+        Counter::WalReplayed,
+        Counter::SnapshotsWritten,
     ];
 
     /// Stable snake_case key used in JSON reports.
@@ -63,7 +109,49 @@ impl Counter {
             Counter::CacheRefreshes => "cache_refreshes",
             Counter::GroupsRecomputed => "groups_recomputed",
             Counter::PostingsCompacted => "postings_compacted",
+            Counter::HttpRequests => "http_requests",
+            Counter::HttpResponses2xx => "http_responses_2xx",
+            Counter::HttpResponses4xx => "http_responses_4xx",
+            Counter::HttpResponses5xx => "http_responses_5xx",
+            Counter::IngestBatches => "ingest_batches",
+            Counter::IngestMutations => "ingest_mutations",
+            Counter::IngestRejected => "ingest_rejected",
+            Counter::Epochs => "epochs",
+            Counter::EpochsFull => "epochs_full",
+            Counter::EpochsIncremental => "epochs_incremental",
+            Counter::GroupsInvalidated => "groups_invalidated",
+            Counter::FactsRescored => "facts_rescored",
+            Counter::WalAppends => "wal_appends",
+            Counter::WalReplayed => "wal_replayed",
+            Counter::SnapshotsWritten => "snapshots_written",
         }
+    }
+}
+
+/// A monotone high-water-mark gauge: `observe` keeps the maximum of every
+/// reported value. Used by the serve layer for queue-depth and batch-size
+/// high-water marks, where a counter's sum is meaningless but the peak is
+/// the operational signal.
+#[derive(Debug, Default)]
+pub struct MaxGauge {
+    value: AtomicU64,
+}
+
+impl MaxGauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds `value` into the high-water mark.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        self.value.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// The largest value observed so far (0 when never observed).
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
     }
 }
 
@@ -135,6 +223,17 @@ mod tests {
             assert!(json.get(counter.key()).is_some(), "missing {}", counter.key());
         }
         assert_eq!(json.get("rounds").unwrap().as_i64(), Some(3));
+    }
+
+    #[test]
+    fn max_gauge_keeps_the_peak() {
+        let g = MaxGauge::new();
+        assert_eq!(g.get(), 0);
+        g.observe(5);
+        g.observe(3);
+        g.observe(9);
+        g.observe(7);
+        assert_eq!(g.get(), 9);
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod json;
 pub mod observer;
 pub mod report;
 
-pub use counters::{Counter, CounterRegistry};
+pub use counters::{Counter, CounterRegistry, MaxGauge};
 pub use histogram::{HistogramSummary, LatencyHistogram};
 pub use json::{Json, ParseError};
 pub use observer::{NoopObserver, Observer, RecordingObserver, Span, TierTally, NOOP};

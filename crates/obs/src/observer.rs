@@ -28,11 +28,25 @@ pub enum Span {
     CacheRefresh,
     /// One fixpoint iteration of a convergence-loop corroborator.
     Iteration,
+    /// One HTTP request handled end-to-end by the corroboration service.
+    Request,
+    /// One re-evaluation epoch (delta application through view publication).
+    Epoch,
+    /// One record appended (and optionally synced) to the write-ahead log.
+    WalAppend,
 }
 
 impl Span {
     /// All spans, in report order.
-    pub const ALL: [Span; 4] = [Span::Select, Span::Evaluate, Span::CacheRefresh, Span::Iteration];
+    pub const ALL: [Span; 7] = [
+        Span::Select,
+        Span::Evaluate,
+        Span::CacheRefresh,
+        Span::Iteration,
+        Span::Request,
+        Span::Epoch,
+        Span::WalAppend,
+    ];
 
     /// Stable snake_case key used in JSON reports.
     pub fn key(self) -> &'static str {
@@ -41,6 +55,9 @@ impl Span {
             Span::Evaluate => "evaluate",
             Span::CacheRefresh => "cache_refresh",
             Span::Iteration => "iteration",
+            Span::Request => "request",
+            Span::Epoch => "epoch",
+            Span::WalAppend => "wal_append",
         }
     }
 }

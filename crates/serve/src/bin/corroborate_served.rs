@@ -1,0 +1,95 @@
+//! `corroborate_served` — the standalone online corroboration server.
+//!
+//! ```sh
+//! corroborate_served --addr 127.0.0.1:7700 --data-dir ./state \
+//!     --workers 4 --queue-capacity 4096
+//! ```
+//!
+//! Runs until `POST /v1/admin/shutdown` flips the server into a graceful
+//! drain (there is no signal handling — the workspace builds without
+//! libc). See `docs/SERVICE.md` for the HTTP API.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use corroborate_serve::{start, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: corroborate_served [--addr HOST:PORT] [--data-dir DIR] [--workers N]\n\
+         \x20                        [--queue-capacity N] [--max-body-bytes N]\n\
+         \x20                        [--epoch-linger-ms N] [--full-recompute-threshold F]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_config() -> ServerConfig {
+    let mut config = ServerConfig { addr: "127.0.0.1:7700".into(), ..Default::default() };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => config.addr = value(),
+            "--data-dir" => config.data_dir = Some(value().into()),
+            "--workers" => config.workers = value().parse().unwrap_or_else(|_| usage()),
+            "--queue-capacity" => {
+                config.queue_capacity = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--max-body-bytes" => {
+                config.max_body_bytes = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--epoch-linger-ms" => {
+                config.epoch_linger =
+                    Duration::from_millis(value().parse().unwrap_or_else(|_| usage()));
+            }
+            "--full-recompute-threshold" => {
+                config.epoch.full_recompute_threshold = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("corroborate_served: unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    config
+}
+
+fn main() -> ExitCode {
+    let config = parse_config();
+    let durable = config.data_dir.clone();
+    let handle = match start(config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("corroborate_served: failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "corroborate_served: listening on http://{} ({}), POST /v1/admin/shutdown to stop",
+        handle.addr(),
+        match &durable {
+            Some(dir) => format!("durable, data dir {}", dir.display()),
+            None => "in-memory".to_string(),
+        }
+    );
+    // Wait for the admin endpoint to request the drain.
+    while !handle.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    match handle.shutdown() {
+        Ok(view) => {
+            eprintln!(
+                "corroborate_served: drained at epoch {} ({} facts, {} sources)",
+                view.epoch(),
+                view.dataset().n_facts(),
+                view.dataset().n_sources()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("corroborate_served: drain failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

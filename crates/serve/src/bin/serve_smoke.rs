@@ -1,0 +1,198 @@
+//! `serve_smoke` — the CI smoke test for the corroboration service.
+//!
+//! Boots a server on an ephemeral port, drives it over real TCP (ingest,
+//! verdict polling, saturation → 429, `/metrics`), requests a graceful
+//! drain through the admin endpoint, and verifies the drained view. The
+//! whole run is bounded by a watchdog; any failure (or hang) exits
+//! nonzero, so the CI job is a single invocation.
+//!
+//! ```sh
+//! serve_smoke [--report metrics.json]
+//! ```
+//!
+//! With `--report`, the final `/metrics` document is written to the given
+//! path for `report_check` to validate.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use corroborate_obs::Json;
+use corroborate_serve::{start, ServerConfig};
+
+const WATCHDOG: Duration = Duration::from_secs(60);
+
+fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> Result<(u16, String), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream.set_read_timeout(Some(Duration::from_secs(10))).map_err(|e| format!("timeout: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+    write!(
+        writer,
+        "{method} {path} HTTP/1.1\r\nHost: smoke\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .map_err(|e| format!("write: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).map_err(|e| format!("read status: {e}"))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).map_err(|e| format!("read header: {e}"))?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().map_err(|e| format!("content-length: {e}"))?;
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|e| format!("read body: {e}"))?;
+    Ok((status, String::from_utf8_lossy(&body).into_owned()))
+}
+
+fn check(condition: bool, what: &str) -> Result<(), String> {
+    if condition {
+        println!("serve_smoke: ok - {what}");
+        Ok(())
+    } else {
+        Err(format!("FAILED - {what}"))
+    }
+}
+
+fn run(report_path: Option<&str>) -> Result<(), String> {
+    let deadline = Instant::now() + WATCHDOG;
+    let config = ServerConfig {
+        workers: 2,
+        epoch_linger: Duration::from_millis(10),
+        read_timeout: Duration::from_millis(500),
+        ..Default::default()
+    };
+    let handle = start(config).map_err(|e| format!("start: {e}"))?;
+    let addr = handle.addr();
+    println!("serve_smoke: server on {addr}");
+
+    // 1. Health before any data.
+    let (status, body) = request(addr, "GET", "/healthz", "")?;
+    check(status == 200 && body.contains("\"ok\""), "/healthz answers ok")?;
+
+    // 2. Ingest a batch.
+    let (status, _) = request(
+        addr,
+        "POST",
+        "/v1/votes",
+        r#"{"sources":["quiet"],
+            "votes":[{"source":"alice","fact":"smoke","vote":"T"},
+                     {"source":"bob","fact":"smoke","vote":"T"},
+                     {"source":"eve","fact":"smoke","vote":"F"}]}"#,
+    )?;
+    check(status == 202, "ingest accepted with 202")?;
+
+    // 3. Poll until the epoch publishes the verdict.
+    let mut verdict = None;
+    while Instant::now() < deadline {
+        let (status, body) = request(addr, "GET", "/v1/facts/smoke", "")?;
+        if status == 200 {
+            verdict = Some(body);
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let verdict = verdict.ok_or("FAILED - verdict never published")?;
+    let parsed = Json::parse(&verdict).map_err(|e| format!("fact body not JSON: {e}"))?;
+    check(parsed.get("probability").is_some(), "fact verdict carries a probability")?;
+    check(
+        parsed.get("votes").and_then(Json::as_array).map(<[Json]>::len) == Some(3),
+        "fact verdict carries all three provenance votes",
+    )?;
+    let (status, body) = request(addr, "GET", "/v1/sources/alice/trust", "")?;
+    check(status == 200 && body.contains("\"trust\""), "source trust route answers")?;
+
+    // 4. Saturate a tiny queue on a second server → 429.
+    let tiny = start(ServerConfig {
+        workers: 2,
+        queue_capacity: 4,
+        epoch_linger: Duration::from_millis(400),
+        epoch_max_batch: 1,
+        read_timeout: Duration::from_millis(500),
+        ..Default::default()
+    })
+    .map_err(|e| format!("start tiny: {e}"))?;
+    let mut saw_429 = false;
+    for i in 0..64 {
+        let body = format!(r#"{{"votes":[{{"source":"s{i}","fact":"f","vote":"T"}}]}}"#);
+        let (status, _) = request(tiny.addr(), "POST", "/v1/votes", &body)?;
+        if status == 429 {
+            saw_429 = true;
+            break;
+        }
+        if status != 202 {
+            return Err(format!("FAILED - unexpected ingest status {status}"));
+        }
+    }
+    check(saw_429, "saturated queue answers 429")?;
+    tiny.shutdown().map_err(|e| format!("tiny shutdown: {e}"))?;
+
+    // 5. /metrics renders and validates.
+    let (status, metrics_text) = request(addr, "GET", "/metrics", "")?;
+    check(status == 200, "/metrics answers 200")?;
+    let metrics = Json::parse(&metrics_text).map_err(|e| format!("metrics not JSON: {e}"))?;
+    for key in ["report", "schema_version", "counters", "spans", "gauges"] {
+        check(metrics.get(key).is_some(), &format!("/metrics has `{key}`"))?;
+    }
+    let http_requests = metrics
+        .get("counters")
+        .and_then(|c| c.get("http_requests"))
+        .and_then(Json::as_i64)
+        .unwrap_or(0);
+    check(http_requests >= 4, "http_requests counter moved")?;
+    if let Some(path) = report_path {
+        std::fs::write(path, &metrics_text).map_err(|e| format!("write report: {e}"))?;
+        println!("serve_smoke: wrote {path}");
+    }
+
+    // 6. Graceful drain via the admin endpoint.
+    let (status, _) = request(addr, "POST", "/v1/admin/shutdown", "")?;
+    check(status == 202, "admin shutdown accepted")?;
+    let view = handle.shutdown().map_err(|e| format!("drain: {e}"))?;
+    check(view.is_full(), "drained view is a full recompute")?;
+    check(view.fact_by_name("smoke").is_some(), "drained view kept the ingested fact")?;
+    check(Instant::now() < deadline, "finished inside the watchdog window")?;
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut report_path = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--report" => report_path = args.next(),
+            other => {
+                eprintln!("serve_smoke: unknown flag {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match run(report_path.as_deref()) {
+        Ok(()) => {
+            println!("serve_smoke: PASS");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("serve_smoke: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,567 @@
+//! Epoch-based re-evaluation over a mutation stream.
+//!
+//! The service never re-runs the full IncEstimate engine per vote.
+//! Instead the [`EpochEngine`] batches accepted mutations into *epochs*
+//! and, at each epoch boundary, picks one of two evaluation modes:
+//!
+//! - **Incremental** — re-score only the *invalidated* facts (those whose
+//!   vote signature changed since the last epoch) with the Corrob rule
+//!   under the trust snapshot cached from the last full recompute.
+//!   O(invalidated votes); the verdicts are exact Corrob scores but the
+//!   trust snapshot is *stale* — it has not absorbed the new evidence.
+//!   Facts scored this way are flagged [`VerdictView::is_stale`].
+//! - **Full** — materialise the accumulated [`DeltaDataset`] and re-run
+//!   the complete multi-round IncEstimate evaluation (IncEstHeu
+//!   strategy). Exact but O(dataset); refreshes the cached trust snapshot
+//!   and clears every staleness flag.
+//!
+//! [`EpochMode::Auto`] picks full when the invalidated-fact fraction
+//! crosses [`EpochConfig::full_recompute_threshold`] (trust staleness
+//! grows with the fraction of the dataset that changed), incremental
+//! otherwise. The first epoch after boot or WAL recovery is always full —
+//! there is no trusted snapshot to lean on yet.
+//!
+//! Each epoch publishes an immutable [`VerdictView`] through
+//! [`Published`]: readers grab an `Arc` under a read lock held only for
+//! the pointer clone, so queries never wait on evaluation. A drained
+//! engine (final full epoch, empty queue) produces a view bit-identical
+//! to a one-shot batch run over the same data — the property the
+//! differential test suite certifies via [`VerdictView::fingerprint`].
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use corroborate_algorithms::inc::{IncEstHeu, IncEstimateConfig, IncEstimateSession};
+use corroborate_core::prelude::*;
+use corroborate_core::scoring::corrob_probability_or;
+use corroborate_core::vote::SourceVote;
+
+use crate::delta::{ApplyOutcome, DeltaDataset, Mutation};
+use crate::ServeError;
+
+/// Epoch scheduling configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochConfig {
+    /// IncEstimate engine configuration used by full recomputes (its
+    /// `voteless_prior` also prices unvoted facts in incremental epochs).
+    pub engine: IncEstimateConfig,
+    /// [`EpochMode::Auto`] switches to a full recompute when
+    /// `invalidated facts / total facts` reaches this fraction.
+    /// `0.0` makes every epoch full; `> 1.0` never escalates.
+    pub full_recompute_threshold: f64,
+}
+
+impl Default for EpochConfig {
+    fn default() -> Self {
+        Self { engine: IncEstimateConfig::default(), full_recompute_threshold: 0.25 }
+    }
+}
+
+/// How one epoch evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochMode {
+    /// Incremental unless the invalidated fraction crosses the threshold.
+    Auto,
+    /// Force group re-scoring under the cached trust snapshot.
+    Incremental,
+    /// Force a complete IncEstimate re-run.
+    Full,
+}
+
+/// What one epoch did, for telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochStats {
+    /// The epoch number just published.
+    pub epoch: u64,
+    /// Whether it was a full recompute.
+    pub full: bool,
+    /// Facts re-scored this epoch.
+    pub facts_rescored: usize,
+    /// Distinct invalidated signature groups entering the epoch.
+    pub groups_invalidated: usize,
+    /// IncEstimate rounds run (0 for incremental epochs).
+    pub rounds: usize,
+}
+
+/// An immutable, atomically-published verdict snapshot.
+#[derive(Debug)]
+pub struct VerdictView {
+    epoch: u64,
+    full: bool,
+    dataset: Arc<Dataset>,
+    probabilities: Vec<f64>,
+    /// Per-fact: scored incrementally since the last full recompute.
+    stale: Vec<bool>,
+    trust: TrustSnapshot,
+    rounds: usize,
+    fact_index: HashMap<String, usize>,
+    source_index: HashMap<String, usize>,
+}
+
+impl VerdictView {
+    fn index(dataset: &Dataset) -> (HashMap<String, usize>, HashMap<String, usize>) {
+        let facts =
+            dataset.facts().map(|f| (dataset.fact_name(f).to_string(), f.index())).collect();
+        let sources =
+            dataset.sources().map(|s| (dataset.source_name(s).to_string(), s.index())).collect();
+        (facts, sources)
+    }
+
+    /// An empty view (epoch 0, before any data).
+    pub fn empty(config: &EpochConfig) -> Result<Self, ServeError> {
+        let dataset = DeltaDataset::new().materialize()?;
+        Ok(Self {
+            epoch: 0,
+            full: true,
+            dataset: Arc::new(dataset),
+            probabilities: Vec::new(),
+            stale: Vec::new(),
+            trust: TrustSnapshot::uniform(0, config.engine.initial_trust)
+                .map_err(ServeError::Core)?,
+            rounds: 0,
+            fact_index: HashMap::new(),
+            source_index: HashMap::new(),
+        })
+    }
+
+    /// The epoch that published this view.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether the publishing epoch was a full recompute.
+    pub fn is_full(&self) -> bool {
+        self.full
+    }
+
+    /// The dataset snapshot the verdicts were computed over.
+    pub fn dataset(&self) -> &Arc<Dataset> {
+        &self.dataset
+    }
+
+    /// IncEstimate rounds of the last full recompute.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Per-fact probabilities, indexed by fact id.
+    pub fn probabilities(&self) -> &[f64] {
+        &self.probabilities
+    }
+
+    /// Probability of `fact`.
+    pub fn probability(&self, fact: FactId) -> f64 {
+        self.probabilities[fact.index()]
+    }
+
+    /// Whether `fact` was scored under a stale trust snapshot (an
+    /// incremental epoch since the last full recompute).
+    pub fn is_stale(&self, fact: FactId) -> bool {
+        self.stale[fact.index()]
+    }
+
+    /// Facts currently carrying the stale flag.
+    pub fn stale_count(&self) -> usize {
+        self.stale.iter().filter(|&&s| s).count()
+    }
+
+    /// The trust snapshot verdicts were priced under.
+    pub fn trust(&self) -> &TrustSnapshot {
+        &self.trust
+    }
+
+    /// Looks a fact up by name.
+    pub fn fact_by_name(&self, name: &str) -> Option<FactId> {
+        self.fact_index.get(name).map(|&i| FactId::new(i))
+    }
+
+    /// Looks a source up by name.
+    pub fn source_by_name(&self, name: &str) -> Option<SourceId> {
+        self.source_index.get(name).map(|&i| SourceId::new(i))
+    }
+
+    /// FNV-1a digest of the evaluated state: source names and trust bits,
+    /// fact names and probability bits, and the round count. Excludes the
+    /// epoch counter and staleness flags, so a drained stream and a
+    /// one-shot batch over the same data — however the mutations were
+    /// chunked — digest identically. The streamed-vs-batch differential
+    /// gate is an equality test on this value.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                hash = (hash ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        eat(&(self.dataset.n_sources() as u64).to_le_bytes());
+        for s in self.dataset.sources() {
+            eat(self.dataset.source_name(s).as_bytes());
+            eat(&[0]);
+            eat(&self.trust.trust(s).to_bits().to_le_bytes());
+        }
+        eat(&(self.dataset.n_facts() as u64).to_le_bytes());
+        for f in self.dataset.facts() {
+            eat(self.dataset.fact_name(f).as_bytes());
+            eat(&[0]);
+            eat(&self.probabilities[f.index()].to_bits().to_le_bytes());
+        }
+        eat(&(self.rounds as u64).to_le_bytes());
+        hash
+    }
+}
+
+/// Swap-published shared state: writers replace the `Arc`, readers clone
+/// it — the lock is held only for the pointer operation, never during
+/// evaluation or rendering.
+#[derive(Debug)]
+pub struct Published<T> {
+    slot: RwLock<Arc<T>>,
+}
+
+impl<T> Published<T> {
+    /// Publishes an initial value.
+    pub fn new(value: T) -> Self {
+        Self { slot: RwLock::new(Arc::new(value)) }
+    }
+
+    /// The current value (cheap: one read-lock + `Arc` clone).
+    pub fn get(&self) -> Arc<T> {
+        Arc::clone(&self.slot.read().unwrap())
+    }
+
+    /// Atomically replaces the value.
+    pub fn publish(&self, value: Arc<T>) {
+        *self.slot.write().unwrap() = value;
+    }
+}
+
+/// The single-writer evaluation engine behind the service.
+#[derive(Debug)]
+pub struct EpochEngine {
+    delta: DeltaDataset,
+    config: EpochConfig,
+    epoch: u64,
+    /// Trust snapshot cached from the last full recompute; prices
+    /// incremental epochs. Sources registered since extend at
+    /// `initial_trust`.
+    trust: TrustSnapshot,
+    /// Per-fact probabilities carried across epochs (ids are append-only).
+    probs: Vec<f64>,
+    stale: Vec<bool>,
+    rounds: usize,
+    /// Set until the first full recompute (boot, or WAL recovery — cached
+    /// trust is not persisted, so nothing incremental can be trusted yet).
+    needs_full: bool,
+}
+
+impl EpochEngine {
+    /// An engine over an empty stream.
+    pub fn new(config: EpochConfig) -> Result<Self, ServeError> {
+        Self::from_recovered(DeltaDataset::new(), config)
+    }
+
+    /// An engine over a recovered stream (e.g. WAL replay). The first
+    /// epoch is forced full: the trust snapshot is not persisted.
+    pub fn from_recovered(delta: DeltaDataset, config: EpochConfig) -> Result<Self, ServeError> {
+        let n_sources = delta.n_sources();
+        let n_facts = delta.n_facts();
+        let trust = TrustSnapshot::uniform(n_sources, config.engine.initial_trust)
+            .map_err(ServeError::Core)?;
+        Ok(Self {
+            delta,
+            config,
+            epoch: 0,
+            trust,
+            probs: vec![config.engine.voteless_prior; n_facts],
+            stale: vec![true; n_facts],
+            rounds: 0,
+            needs_full: true,
+        })
+    }
+
+    /// The accumulated stream state.
+    pub fn delta(&self) -> &DeltaDataset {
+        &self.delta
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EpochConfig {
+        &self.config
+    }
+
+    /// Epochs published so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Facts invalidated since the last epoch.
+    pub fn pending(&self) -> usize {
+        self.delta.dirty_count()
+    }
+
+    /// Applies one mutation to the stream state (callers WAL-append
+    /// first — the log is *write-ahead*).
+    ///
+    /// # Errors
+    /// [`ServeError::InvalidMutation`] from the delta layer.
+    pub fn apply(&mut self, mutation: &Mutation) -> Result<ApplyOutcome, ServeError> {
+        self.delta.apply(mutation)
+    }
+
+    /// Runs one epoch and returns the freshly published view. Call with
+    /// [`EpochMode::Auto`] from the scheduler; [`EpochMode::Full`] is the
+    /// drain / escape hatch.
+    ///
+    /// # Errors
+    /// Materialisation or engine-configuration failures.
+    pub fn run_epoch(
+        &mut self,
+        mode: EpochMode,
+    ) -> Result<(Arc<VerdictView>, EpochStats), ServeError> {
+        let groups_invalidated = self.delta.dirty_group_count();
+        let n_facts = self.delta.n_facts();
+        let invalidated_fraction =
+            if n_facts == 0 { 0.0 } else { self.delta.dirty_count() as f64 / n_facts as f64 };
+        let full = match mode {
+            EpochMode::Full => true,
+            EpochMode::Incremental => false,
+            EpochMode::Auto => {
+                self.needs_full || invalidated_fraction >= self.config.full_recompute_threshold
+            }
+        };
+
+        let dirty = self.delta.take_dirty();
+        // Grow the carried vectors for facts registered this epoch.
+        self.probs.resize(n_facts, self.config.engine.voteless_prior);
+        self.stale.resize(n_facts, true);
+        if self.delta.n_sources() > self.trust.n_sources() {
+            let mut grown =
+                TrustSnapshot::uniform(self.delta.n_sources(), self.config.engine.initial_trust)
+                    .map_err(ServeError::Core)?;
+            for i in 0..self.trust.n_sources() {
+                grown.set(SourceId::new(i), self.trust.trust(SourceId::new(i)));
+            }
+            self.trust = grown;
+        }
+
+        let dataset = Arc::new(self.delta.materialize()?);
+        let facts_rescored;
+        if full {
+            let result =
+                IncEstimateSession::new(&dataset, IncEstHeu::default(), self.config.engine)
+                    .map_err(ServeError::Core)?
+                    .finish()
+                    .map_err(ServeError::Core)?;
+            facts_rescored = dataset.n_facts();
+            self.probs.copy_from_slice(result.probabilities());
+            self.trust = result.trust().clone();
+            self.rounds = result.rounds();
+            self.stale.fill(false);
+            self.needs_full = false;
+        } else {
+            // Exact Corrob scores under the cached (stale) trust snapshot.
+            facts_rescored = dirty.len();
+            for &f in &dirty {
+                let signature: Vec<SourceVote> = self
+                    .delta
+                    .signature(f)
+                    .iter()
+                    .map(|&(s, vote)| SourceVote { source: SourceId::new(s), vote })
+                    .collect();
+                self.probs[f.index()] = corrob_probability_or(
+                    &signature,
+                    &self.trust,
+                    self.config.engine.voteless_prior,
+                );
+                self.stale[f.index()] = true;
+            }
+        }
+
+        self.epoch += 1;
+        let (fact_index, source_index) = VerdictView::index(&dataset);
+        let view = Arc::new(VerdictView {
+            epoch: self.epoch,
+            full,
+            dataset,
+            probabilities: self.probs.clone(),
+            stale: self.stale.clone(),
+            trust: self.trust.clone(),
+            rounds: self.rounds,
+            fact_index,
+            source_index,
+        });
+        let stats = EpochStats {
+            epoch: self.epoch,
+            full,
+            facts_rescored,
+            groups_invalidated,
+            rounds: if full { self.rounds } else { 0 },
+        };
+        Ok((view, stats))
+    }
+
+    /// The drain epoch: a forced full recompute, restoring exact batch
+    /// equivalence regardless of how the stream was chunked.
+    ///
+    /// # Errors
+    /// Same as [`Self::run_epoch`].
+    pub fn drain(&mut self) -> Result<(Arc<VerdictView>, EpochStats), ServeError> {
+        self.run_epoch(EpochMode::Full)
+    }
+}
+
+/// One-shot batch evaluation of a [`Dataset`], producing the view a
+/// drained stream over the same data must match bit-for-bit.
+///
+/// # Errors
+/// Engine-configuration failures.
+pub fn evaluate_batch(dataset: Dataset, config: &EpochConfig) -> Result<VerdictView, ServeError> {
+    let dataset = Arc::new(dataset);
+    let result = IncEstimateSession::new(&dataset, IncEstHeu::default(), config.engine)
+        .map_err(ServeError::Core)?
+        .finish()
+        .map_err(ServeError::Core)?;
+    let (fact_index, source_index) = VerdictView::index(&dataset);
+    Ok(VerdictView {
+        epoch: 1,
+        full: true,
+        stale: vec![false; dataset.n_facts()],
+        probabilities: result.probabilities().to_vec(),
+        trust: result.trust().clone(),
+        rounds: result.rounds(),
+        dataset,
+        fact_index,
+        source_index,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cast(source: &str, fact: &str, vote: Vote) -> Mutation {
+        Mutation::Cast { source: source.into(), fact: fact.into(), vote }
+    }
+
+    fn seed_mutations() -> Vec<Mutation> {
+        vec![
+            cast("s1", "f1", Vote::True),
+            cast("s2", "f1", Vote::True),
+            cast("s3", "f1", Vote::False),
+            cast("s1", "f2", Vote::True),
+            cast("s2", "f2", Vote::False),
+            cast("s3", "f3", Vote::True),
+        ]
+    }
+
+    #[test]
+    fn first_epoch_is_always_full() {
+        let mut e = EpochEngine::new(EpochConfig::default()).unwrap();
+        for m in seed_mutations() {
+            e.apply(&m).unwrap();
+        }
+        let (view, stats) = e.run_epoch(EpochMode::Auto).unwrap();
+        assert!(stats.full);
+        assert_eq!(view.epoch(), 1);
+        assert!(view.is_full());
+        assert_eq!(view.stale_count(), 0);
+        assert!(view.rounds() >= 1);
+    }
+
+    #[test]
+    fn small_deltas_stay_incremental_and_flag_staleness() {
+        let config = EpochConfig { full_recompute_threshold: 0.5, ..Default::default() };
+        let mut e = EpochEngine::new(config).unwrap();
+        for m in seed_mutations() {
+            e.apply(&m).unwrap();
+        }
+        e.run_epoch(EpochMode::Auto).unwrap();
+        // One new vote on one of three facts: fraction 1/3 < 0.5.
+        e.apply(&cast("s4", "f3", Vote::False)).unwrap();
+        let (view, stats) = e.run_epoch(EpochMode::Auto).unwrap();
+        assert!(!stats.full);
+        assert_eq!(stats.facts_rescored, 1);
+        assert_eq!(stats.rounds, 0);
+        let f3 = view.fact_by_name("f3").unwrap();
+        assert!(view.is_stale(f3));
+        assert_eq!(view.stale_count(), 1);
+        // The untouched facts keep their full-recompute verdicts.
+        let f1 = view.fact_by_name("f1").unwrap();
+        assert!(!view.is_stale(f1));
+        // The new source is visible at the default trust.
+        let s4 = view.source_by_name("s4").unwrap();
+        assert_eq!(view.trust().trust(s4), config.engine.initial_trust);
+    }
+
+    #[test]
+    fn threshold_escalates_to_full() {
+        let config = EpochConfig { full_recompute_threshold: 0.5, ..Default::default() };
+        let mut e = EpochEngine::new(config).unwrap();
+        for m in seed_mutations() {
+            e.apply(&m).unwrap();
+        }
+        e.run_epoch(EpochMode::Auto).unwrap();
+        // Touch two of three facts: fraction 2/3 >= 0.5 → full.
+        e.apply(&cast("s4", "f1", Vote::False)).unwrap();
+        e.apply(&cast("s4", "f2", Vote::False)).unwrap();
+        let (view, stats) = e.run_epoch(EpochMode::Auto).unwrap();
+        assert!(stats.full);
+        assert_eq!(view.stale_count(), 0);
+    }
+
+    #[test]
+    fn drained_stream_matches_one_shot_batch() {
+        let config = EpochConfig::default();
+        let mutations = seed_mutations();
+
+        let mut streamed = EpochEngine::new(config).unwrap();
+        for chunk in mutations.chunks(2) {
+            for m in chunk {
+                streamed.apply(m).unwrap();
+            }
+            streamed.run_epoch(EpochMode::Auto).unwrap();
+        }
+        let (view, _) = streamed.drain().unwrap();
+
+        let mut batch_delta = DeltaDataset::new();
+        batch_delta.apply_all(&mutations).unwrap();
+        let batch = evaluate_batch(batch_delta.materialize().unwrap(), &config).unwrap();
+
+        assert_eq!(view.fingerprint(), batch.fingerprint());
+        assert_eq!(view.probabilities(), batch.probabilities());
+        assert_eq!(view.trust().values(), batch.trust().values());
+    }
+
+    #[test]
+    fn recovery_forces_a_full_first_epoch_even_when_clean() {
+        let mut delta = DeltaDataset::new();
+        for m in seed_mutations() {
+            delta.apply(&m).unwrap();
+        }
+        delta.take_dirty(); // snapshot recovery leaves nothing dirty
+        let mut e = EpochEngine::from_recovered(delta, EpochConfig::default()).unwrap();
+        assert_eq!(e.pending(), 0);
+        let (view, stats) = e.run_epoch(EpochMode::Auto).unwrap();
+        assert!(stats.full, "recovered state must not trust a missing snapshot");
+        assert_eq!(view.probabilities().len(), 3);
+    }
+
+    #[test]
+    fn published_swaps_atomically() {
+        let p = Published::new(41u64);
+        assert_eq!(*p.get(), 41);
+        let held = p.get();
+        p.publish(Arc::new(42));
+        assert_eq!(*p.get(), 42);
+        // Readers holding the old Arc keep a consistent snapshot.
+        assert_eq!(*held, 41);
+    }
+
+    #[test]
+    fn empty_view_serves_zero_state() {
+        let view = VerdictView::empty(&EpochConfig::default()).unwrap();
+        assert_eq!(view.epoch(), 0);
+        assert!(view.fact_by_name("nope").is_none());
+        assert_eq!(view.probabilities().len(), 0);
+    }
+}

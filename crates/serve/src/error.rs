@@ -1,0 +1,70 @@
+//! Service-layer errors.
+
+use std::fmt;
+
+use corroborate_core::error::CoreError;
+
+/// Everything that can go wrong inside the corroboration service.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A mutation that the name-keyed model cannot accept.
+    InvalidMutation {
+        /// Human-readable reason.
+        message: String,
+    },
+    /// The bounded ingest queue is full — callers should back off (the
+    /// HTTP layer translates this to 429).
+    QueueFull {
+        /// Configured capacity that was exceeded.
+        capacity: usize,
+    },
+    /// The ingest queue was closed by shutdown.
+    QueueClosed,
+    /// A write-ahead-log or snapshot record that cannot be decoded at a
+    /// non-tail position (tail corruption is tolerated as a torn write).
+    WalCorrupt {
+        /// Human-readable reason including the record position.
+        message: String,
+    },
+    /// Propagated core error (dataset assembly, configuration).
+    Core(CoreError),
+    /// Propagated filesystem error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::InvalidMutation { message } => write!(f, "invalid mutation: {message}"),
+            ServeError::QueueFull { capacity } => {
+                write!(f, "ingest queue full (capacity {capacity})")
+            }
+            ServeError::QueueClosed => write!(f, "ingest queue closed by shutdown"),
+            ServeError::WalCorrupt { message } => write!(f, "write-ahead log corrupt: {message}"),
+            ServeError::Core(e) => write!(f, "core error: {e}"),
+            ServeError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Core(e) => Some(e),
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}

@@ -1,0 +1,288 @@
+//! A minimal HTTP/1.1 layer over `std::io` streams.
+//!
+//! The workspace builds with no external crates, so this module hand-rolls
+//! exactly the subset the service needs: request-line + header parsing,
+//! `Content-Length` bodies with a hard size cap, percent-decoded paths,
+//! keep-alive, and a response writer. It is deliberately strict — anything
+//! outside the subset (chunked transfer, HTTP/2 preface, absolute-form
+//! targets) is rejected with a 4xx rather than guessed at.
+
+use std::io::{BufRead, Write};
+
+/// Upper bound on the request head (request line + headers), independent of
+/// the body cap — a defense against unbounded header streams.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// Percent-decoded path, query string stripped.
+    pub path: String,
+    /// Raw body bytes (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed the connection before sending a request line —
+    /// the normal end of a keep-alive session.
+    Closed,
+    /// Malformed request; the connection should answer `400` and close.
+    BadRequest(String),
+    /// Body exceeded the configured cap; answer `413` and close.
+    PayloadTooLarge {
+        /// The configured cap in bytes.
+        limit: usize,
+    },
+    /// Socket-level failure (including read timeouts).
+    Io(std::io::Error),
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Decodes `%XX` escapes (and nothing else — `+` stays literal, as in path
+/// components). Invalid escapes pass through unchanged.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            if let Some(hex) = bytes.get(i + 1..i + 3).and_then(|h| std::str::from_utf8(h).ok()) {
+                if let Ok(v) = u8::from_str_radix(hex, 16) {
+                    out.push(v);
+                    i += 3;
+                    continue;
+                }
+            }
+        }
+        out.push(bytes[i]);
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<String, HttpError> {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line)?;
+    if n == 0 {
+        return Err(HttpError::Closed);
+    }
+    *budget = budget.checked_sub(n).ok_or_else(|| {
+        HttpError::BadRequest(format!("request head exceeds {MAX_HEAD_BYTES} bytes"))
+    })?;
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// Reads one request from `reader`.
+///
+/// # Errors
+/// [`HttpError::Closed`] on clean EOF before the request line, otherwise
+/// parse or I/O failures as described on [`HttpError`].
+pub fn read_request(reader: &mut impl BufRead, max_body: usize) -> Result<Request, HttpError> {
+    let mut budget = MAX_HEAD_BYTES;
+    let request_line = read_line(reader, &mut budget)?;
+    let mut parts = request_line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m.to_string(), t, v),
+        _ => {
+            return Err(HttpError::BadRequest(format!("malformed request line: {request_line:?}")))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::BadRequest(format!("unsupported version {version:?}")));
+    }
+    if !target.starts_with('/') {
+        return Err(HttpError::BadRequest(format!("unsupported request target {target:?}")));
+    }
+
+    let mut content_length = 0usize;
+    // HTTP/1.1 defaults to keep-alive; 1.0 defaults to close.
+    let mut keep_alive = version == "HTTP/1.1";
+    loop {
+        let line = match read_line(reader, &mut budget) {
+            Ok(line) => line,
+            // EOF mid-headers is malformed, not a clean close.
+            Err(HttpError::Closed) => {
+                return Err(HttpError::BadRequest("connection closed mid-headers".into()))
+            }
+            Err(e) => return Err(e),
+        };
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadRequest(format!("malformed header line: {line:?}")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                content_length = value
+                    .parse()
+                    .map_err(|_| HttpError::BadRequest(format!("bad content-length: {value:?}")))?;
+            }
+            "transfer-encoding" => {
+                return Err(HttpError::BadRequest(
+                    "chunked transfer encoding is not supported".into(),
+                ));
+            }
+            "connection" => {
+                let v = value.to_ascii_lowercase();
+                if v.contains("close") {
+                    keep_alive = false;
+                } else if v.contains("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    if content_length > max_body {
+        return Err(HttpError::PayloadTooLarge { limit: max_body });
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            HttpError::BadRequest("body shorter than content-length".into())
+        } else {
+            HttpError::Io(e)
+        }
+    })?;
+
+    let path = target.split('?').next().unwrap_or(target);
+    Ok(Request { method, path: percent_decode(path), body, keep_alive })
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one `application/json` response.
+///
+/// # Errors
+/// Socket-level failures.
+pub fn write_response(
+    writer: &mut impl Write,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    write!(
+        writer,
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
+        reason(status),
+        body.len(),
+    )?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::io::BufReader;
+
+    use super::*;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()), 1024)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let r =
+            parse("POST /v1/votes HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello").unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path, "/v1/votes");
+        assert_eq!(r.body, b"hello");
+        assert!(r.keep_alive);
+    }
+
+    #[test]
+    fn strips_query_and_percent_decodes_the_path() {
+        let r = parse("GET /v1/facts/Joe%27s%20Caf%C3%A9?verbose=1 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.path, "/v1/facts/Joe's Café");
+    }
+
+    #[test]
+    fn connection_close_and_http10_disable_keep_alive() {
+        let r = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!r.keep_alive);
+        let r = parse("GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!r.keep_alive);
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_with_the_limit() {
+        let e = parse("POST / HTTP/1.1\r\nContent-Length: 4096\r\n\r\n").unwrap_err();
+        assert!(matches!(e, HttpError::PayloadTooLarge { limit: 1024 }));
+    }
+
+    #[test]
+    fn clean_eof_is_closed_but_mid_request_eof_is_bad() {
+        assert!(matches!(parse(""), Err(HttpError::Closed)));
+        assert!(matches!(parse("GET / HTTP/1.1\r\nHost: x\r\n"), Err(HttpError::BadRequest(_))));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\nhi"),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn junk_is_rejected() {
+        assert!(matches!(parse("NOT A REQUEST\r\n\r\n"), Err(HttpError::BadRequest(_))));
+        assert!(matches!(parse("GET / HTTP/2\r\n\r\n"), Err(HttpError::BadRequest(_))));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse("GET http://evil/ HTTP/1.1\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn percent_decode_leaves_invalid_escapes_alone() {
+        assert_eq!(percent_decode("a%2Fb"), "a/b");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+        assert_eq!(percent_decode("plus+stays"), "plus+stays");
+    }
+
+    #[test]
+    fn response_writer_emits_valid_http() {
+        let mut buf = Vec::new();
+        write_response(&mut buf, 202, "{\"ok\":true}", true).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 202 Accepted\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+}

@@ -1,0 +1,49 @@
+//! **corroborate-serve** — the online corroboration service.
+//!
+//! Turns the batch IncEstimate engine into a long-running service:
+//!
+//! - [`delta`] — [`DeltaDataset`], a streaming, name-keyed accumulator of
+//!   vote/source/fact mutations with incremental signature maintenance and
+//!   dirty tracking; materialises batch-identical [`Dataset`] snapshots.
+//! - [`wal`] — append-only write-ahead log with crash-recovery replay
+//!   (torn-tail tolerant) and periodic snapshot compaction.
+//! - [`epoch`] — the [`EpochEngine`]: batches deltas into epochs,
+//!   re-scores only invalidated signature groups under the cached trust
+//!   snapshot, escalates to a full IncEstimate recompute past a
+//!   configurable invalidated-fraction threshold, and atomically publishes
+//!   immutable [`VerdictView`]s.
+//! - [`queue`] — the bounded ingest queue backing HTTP 429 backpressure.
+//! - [`http`] / [`server`] — a zero-dependency HTTP/1.1 server over
+//!   `std::net` with a fixed worker pool, `/v1` API routes, `/healthz`,
+//!   `/metrics`, and graceful drain shutdown.
+//! - [`metrics`] — serve-layer counters/spans/gauges in the shared
+//!   `corroborate-obs` registry.
+//!
+//! See `docs/SERVICE.md` for the API, the WAL format, and epoch/staleness
+//! semantics.
+//!
+//! [`Dataset`]: corroborate_core::dataset::Dataset
+//! [`DeltaDataset`]: delta::DeltaDataset
+//! [`EpochEngine`]: epoch::EpochEngine
+//! [`VerdictView`]: epoch::VerdictView
+
+#![warn(missing_docs)]
+
+pub mod delta;
+pub mod epoch;
+mod error;
+pub mod http;
+pub mod metrics;
+pub mod queue;
+pub mod server;
+pub mod wal;
+
+pub use delta::{ApplyOutcome, DeltaDataset, Mutation};
+pub use epoch::{
+    evaluate_batch, EpochConfig, EpochEngine, EpochMode, EpochStats, Published, VerdictView,
+};
+pub use error::ServeError;
+pub use metrics::ServeMetrics;
+pub use queue::IngestQueue;
+pub use server::{start, ServerConfig, ServerHandle};
+pub use wal::{Recovery, Wal, WalConfig};

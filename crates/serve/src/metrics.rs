@@ -1,0 +1,105 @@
+//! Service telemetry: the obs registry plus serve-specific gauges, and the
+//! `/metrics` JSON document.
+//!
+//! Everything funnels through one shared [`RecordingObserver`] — the same
+//! counter/span catalog the batch engines use (see `docs/OBSERVABILITY.md`),
+//! extended with the serve-layer counters (`http_*`, `ingest_*`, `epoch*`,
+//! `wal_*`) and two [`MaxGauge`] high-water marks. The rendered document
+//! carries the `report` / `schema_version` header keys so the existing
+//! `report_check` validator can gate it in CI.
+
+use corroborate_obs::{Json, MaxGauge, RecordingObserver, Span};
+
+/// Shared telemetry state for one server instance.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    observer: RecordingObserver,
+    /// Peak pending mutations observed in the ingest queue.
+    queue_peak: MaxGauge,
+    /// Largest single accepted ingest batch.
+    batch_peak: MaxGauge,
+}
+
+impl ServeMetrics {
+    /// Zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The underlying observer (counters + span histograms).
+    pub fn observer(&self) -> &RecordingObserver {
+        &self.observer
+    }
+
+    /// Records the current queue depth.
+    pub fn observe_queue_depth(&self, depth: usize) {
+        self.queue_peak.observe(depth as u64);
+    }
+
+    /// Records an accepted batch size.
+    pub fn observe_batch(&self, size: usize) {
+        self.batch_peak.observe(size as u64);
+    }
+
+    /// Peak queue depth seen so far.
+    pub fn queue_peak(&self) -> u64 {
+        self.queue_peak.get()
+    }
+
+    /// Renders the `/metrics` document.
+    ///
+    /// `epoch` and `queue_depth` are point-in-time readings supplied by the
+    /// server; everything else comes from the registry.
+    pub fn to_json(&self, epoch: u64, queue_depth: usize) -> Json {
+        let mut root = Json::object();
+        root.insert("report", "corroborate_serve_metrics");
+        root.insert("schema_version", 1u64);
+        root.insert("epoch", epoch);
+        root.insert("counters", self.observer.counters().to_json());
+        let mut spans = Json::object();
+        for span in Span::ALL {
+            let h = self.observer.span_histogram(span);
+            if h.count() > 0 {
+                spans.insert(span.key(), h.to_json());
+            }
+        }
+        root.insert("spans", spans);
+        let mut gauges = Json::object();
+        gauges.insert("ingest_queue_depth", queue_depth);
+        gauges.insert("ingest_queue_peak", self.queue_peak.get());
+        gauges.insert("ingest_batch_peak", self.batch_peak.get());
+        root.insert("gauges", gauges);
+        root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use corroborate_obs::{Counter, Observer};
+
+    use super::*;
+
+    #[test]
+    fn metrics_document_passes_report_check_rules() {
+        let m = ServeMetrics::new();
+        m.observer().add(Counter::HttpRequests, 3);
+        m.observer().span(Span::Request, 1_000);
+        m.observe_queue_depth(7);
+        m.observe_queue_depth(2);
+        m.observe_batch(4);
+        let doc = m.to_json(5, 2);
+        // The header keys report_check always requires.
+        assert!(doc.get("report").is_some());
+        assert!(doc.get("schema_version").is_some());
+        assert_eq!(doc.get("epoch").unwrap().as_i64(), Some(5));
+        let counters = doc.get("counters").unwrap();
+        assert_eq!(counters.get("http_requests").unwrap().as_i64(), Some(3));
+        assert!(doc.get("spans").unwrap().get("request").is_some());
+        let gauges = doc.get("gauges").unwrap();
+        assert_eq!(gauges.get("ingest_queue_peak").unwrap().as_i64(), Some(7));
+        assert_eq!(gauges.get("ingest_queue_depth").unwrap().as_i64(), Some(2));
+        // The rendered text survives the strict parser.
+        let text = doc.to_json();
+        assert!(Json::parse(&text).is_ok());
+    }
+}

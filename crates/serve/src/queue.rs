@@ -1,0 +1,202 @@
+//! Bounded MPSC ingest queue.
+//!
+//! Producers (HTTP worker threads) push mutation batches with
+//! [`IngestQueue::try_push`], which *never blocks*: a full queue returns
+//! [`ServeError::QueueFull`] so the HTTP layer can answer 429 and shed
+//! load instead of buffering unboundedly. The single consumer (the epoch
+//! thread) drains with [`IngestQueue::drain_batch`], which parks on a
+//! condvar until work arrives, the linger expires, or the queue closes.
+//!
+//! Capacity is measured in *mutations*, not batches, so one giant POST
+//! cannot sneak past the bound.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::delta::Mutation;
+use crate::ServeError;
+
+#[derive(Debug)]
+struct QueueState {
+    items: VecDeque<Mutation>,
+    closed: bool,
+    /// Peak occupancy, for the `ingest_queue_peak` gauge.
+    high_water: usize,
+}
+
+/// A bounded multi-producer single-consumer mutation queue.
+#[derive(Debug)]
+pub struct IngestQueue {
+    state: Mutex<QueueState>,
+    /// Signalled when items arrive or the queue closes.
+    available: Condvar,
+    capacity: usize,
+}
+
+impl IngestQueue {
+    /// A queue admitting at most `capacity` pending mutations.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState { items: VecDeque::new(), closed: false, high_water: 0 }),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Configured capacity in mutations.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueues a batch atomically (all or nothing), without blocking.
+    ///
+    /// # Errors
+    /// [`ServeError::QueueFull`] when the batch does not fit,
+    /// [`ServeError::QueueClosed`] after [`Self::close`].
+    pub fn try_push(&self, batch: Vec<Mutation>) -> Result<(), ServeError> {
+        let mut state = self.state.lock().unwrap();
+        if state.closed {
+            return Err(ServeError::QueueClosed);
+        }
+        if state.items.len() + batch.len() > self.capacity {
+            return Err(ServeError::QueueFull { capacity: self.capacity });
+        }
+        state.items.extend(batch);
+        state.high_water = state.high_water.max(state.items.len());
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Pending mutation count right now.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Peak occupancy since creation.
+    pub fn high_water(&self) -> usize {
+        self.state.lock().unwrap().high_water
+    }
+
+    /// Blocks until at least one mutation is available (or `linger`
+    /// expires, or the queue closes), then keeps the *batch window* open
+    /// for one further `linger` so concurrent producers coalesce into a
+    /// single epoch, and finally drains up to `max` mutations.
+    ///
+    /// Returns `None` once the queue is closed *and* empty — the consumer's
+    /// signal to run its final epoch and exit. An empty `Some` means the
+    /// linger expired with nothing pending (a heartbeat tick). The batch
+    /// window is what makes backpressure real: the queue keeps filling (and
+    /// rejecting past capacity) while the consumer lingers.
+    pub fn drain_batch(&self, max: usize, linger: Duration) -> Option<Vec<Mutation>> {
+        let mut state = self.state.lock().unwrap();
+        // Phase 1: wait for work, with `linger` as the heartbeat timeout.
+        let heartbeat = Instant::now() + linger;
+        while state.items.is_empty() {
+            if state.closed {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= heartbeat {
+                return Some(Vec::new());
+            }
+            let (next, _) = self.available.wait_timeout(state, heartbeat - now).unwrap();
+            state = next;
+        }
+        // Phase 2: the batch window — let more mutations accumulate.
+        // Closing cuts the window short; reaching `max` does not (a full
+        // batch now would just shift the overflow to the next drain).
+        if !state.closed {
+            let window_end = Instant::now() + linger;
+            loop {
+                let now = Instant::now();
+                if now >= window_end || state.closed {
+                    break;
+                }
+                let (next, _) = self.available.wait_timeout(state, window_end - now).unwrap();
+                state = next;
+            }
+        }
+        let take = state.items.len().min(max);
+        Some(state.items.drain(..take).collect())
+    }
+
+    /// Closes the queue: producers start failing, the consumer drains what
+    /// remains and then sees `None`.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use corroborate_core::vote::Vote;
+
+    use super::*;
+
+    fn cast(i: usize) -> Mutation {
+        Mutation::Cast { source: format!("s{i}"), fact: "f".into(), vote: Vote::True }
+    }
+
+    #[test]
+    fn full_queue_rejects_without_blocking() {
+        let q = IngestQueue::new(3);
+        q.try_push(vec![cast(0), cast(1)]).unwrap();
+        let err = q.try_push(vec![cast(2), cast(3)]).unwrap_err();
+        assert!(matches!(err, ServeError::QueueFull { capacity: 3 }));
+        // The rejected batch left no partial residue.
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.high_water(), 2);
+    }
+
+    #[test]
+    fn drain_respects_max_and_preserves_order() {
+        let q = IngestQueue::new(10);
+        q.try_push((0..5).map(cast).collect()).unwrap();
+        let first = q.drain_batch(3, Duration::from_millis(1)).unwrap();
+        assert_eq!(first.len(), 3);
+        assert!(matches!(&first[0], Mutation::Cast { source, .. } if source == "s0"));
+        assert_eq!(q.drain_batch(10, Duration::from_millis(1)).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_signals_none() {
+        let q = IngestQueue::new(10);
+        q.try_push(vec![cast(0)]).unwrap();
+        q.close();
+        assert!(q.try_push(vec![cast(1)]).is_err());
+        assert_eq!(q.drain_batch(10, Duration::from_millis(1)).unwrap().len(), 1);
+        assert!(q.drain_batch(10, Duration::from_millis(1)).is_none());
+    }
+
+    #[test]
+    fn consumer_wakes_on_cross_thread_push() {
+        let q = Arc::new(IngestQueue::new(10));
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                q.try_push(vec![cast(7)]).unwrap();
+            })
+        };
+        let got = q.drain_batch(10, Duration::from_millis(500)).unwrap();
+        assert_eq!(got.len(), 1);
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn empty_linger_expiry_is_a_heartbeat() {
+        let q = IngestQueue::new(4);
+        let got = q.drain_batch(10, Duration::from_millis(5)).unwrap();
+        assert!(got.is_empty());
+    }
+}

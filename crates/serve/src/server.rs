@@ -1,0 +1,583 @@
+//! The online corroboration server.
+//!
+//! Thread layout:
+//!
+//! ```text
+//! acceptor ──conn──▶ worker pool (N threads, keep-alive HTTP)
+//!                        │ POST /v1/votes → IngestQueue::try_push (429 when full)
+//!                        ▼
+//!                    epoch thread: drain → WAL append → apply → run_epoch
+//!                        │
+//!                        ▼
+//!                    Published<VerdictView>  ◀── GET routes read lock-free-ish
+//! ```
+//!
+//! Reads never touch the engine: every GET resolves against the immutable
+//! [`VerdictView`] published by the last epoch (an `Arc` swap). Writes are
+//! accepted into a bounded queue and journalled to the WAL *before* they
+//! mutate engine state, so a crash between accept and epoch is recoverable.
+//!
+//! Graceful shutdown (admin endpoint or [`ServerHandle::shutdown`]): the
+//! acceptor stops, in-flight connections finish their current request, the
+//! queue closes, and the epoch thread runs one final **full** drain epoch
+//! before exiting — the published view then equals a one-shot batch run
+//! over everything ever accepted.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use corroborate_core::truth::Label;
+use corroborate_core::vote::Vote;
+use corroborate_obs::{Counter, Json, Observer, Span};
+
+use crate::delta::Mutation;
+use crate::epoch::{EpochConfig, EpochEngine, EpochMode, Published, VerdictView};
+use crate::http::{read_request, write_response, HttpError, Request};
+use crate::metrics::ServeMetrics;
+use crate::queue::IngestQueue;
+use crate::wal::{Wal, WalConfig};
+use crate::ServeError;
+
+/// Server tuning.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 to let the OS pick (tests).
+    pub addr: String,
+    /// HTTP worker threads.
+    pub workers: usize,
+    /// Ingest queue capacity in mutations (backpressure bound).
+    pub queue_capacity: usize,
+    /// Hard cap on request bodies, bytes.
+    pub max_body_bytes: usize,
+    /// Per-connection socket read timeout.
+    pub read_timeout: Duration,
+    /// How long the epoch thread waits for more mutations before ticking.
+    pub epoch_linger: Duration,
+    /// Most mutations folded into one epoch.
+    pub epoch_max_batch: usize,
+    /// Evaluation configuration.
+    pub epoch: EpochConfig,
+    /// Durability directory; `None` runs in-memory only.
+    pub data_dir: Option<PathBuf>,
+    /// WAL tuning (ignored without `data_dir`).
+    pub wal: WalConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_capacity: 4096,
+            max_body_bytes: 1 << 20,
+            read_timeout: Duration::from_secs(5),
+            epoch_linger: Duration::from_millis(20),
+            epoch_max_batch: 4096,
+            epoch: EpochConfig::default(),
+            data_dir: None,
+            wal: WalConfig::default(),
+        }
+    }
+}
+
+struct Shared {
+    queue: IngestQueue,
+    view: Published<VerdictView>,
+    metrics: ServeMetrics,
+    epoch_counter: AtomicU64,
+    shutdown: AtomicBool,
+    max_body_bytes: usize,
+}
+
+/// A running server; dropping the handle without calling
+/// [`shutdown`](Self::shutdown) aborts the threads unclean.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    epoch_thread: Option<JoinHandle<Result<(), ServeError>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The currently published verdict view.
+    pub fn view(&self) -> Arc<VerdictView> {
+        self.shared.view.get()
+    }
+
+    /// The telemetry document `/metrics` serves.
+    pub fn metrics_json(&self) -> Json {
+        self.shared
+            .metrics
+            .to_json(self.shared.epoch_counter.load(Ordering::Acquire), self.shared.queue.len())
+    }
+
+    /// Whether shutdown has been requested (e.g. via the admin endpoint).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Requests and completes a graceful drain: stop accepting, finish
+    /// in-flight requests, close the queue, run the final full epoch.
+    ///
+    /// # Errors
+    /// Propagates an epoch-thread failure (the drain itself).
+    pub fn shutdown(mut self) -> Result<Arc<VerdictView>, ServeError> {
+        self.shared.shutdown.store(true, Ordering::Release);
+        if let Some(t) = self.acceptor.take() {
+            let _ = t.join();
+        }
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+        // Workers are done: no more producers. Close and drain.
+        self.shared.queue.close();
+        if let Some(t) = self.epoch_thread.take() {
+            match t.join() {
+                Ok(result) => result?,
+                Err(_) => {
+                    return Err(ServeError::InvalidMutation {
+                        message: "epoch thread panicked".into(),
+                    })
+                }
+            }
+        }
+        Ok(self.shared.view.get())
+    }
+}
+
+/// Boots the server: recovers WAL state (when configured), runs the first
+/// epoch synchronously so the initial view reflects recovered data, then
+/// starts the acceptor, workers, and epoch thread.
+///
+/// # Errors
+/// Bind failures, WAL recovery failures, engine-configuration failures.
+pub fn start(config: ServerConfig) -> Result<ServerHandle, ServeError> {
+    let metrics = ServeMetrics::new();
+
+    let (mut engine, wal) = match &config.data_dir {
+        Some(dir) => {
+            let (wal, recovery) = Wal::open(dir, config.wal)?;
+            metrics.observer().add(Counter::WalReplayed, recovery.replayed);
+            (EpochEngine::from_recovered(recovery.dataset, config.epoch)?, Some(wal))
+        }
+        None => (EpochEngine::new(config.epoch)?, None),
+    };
+
+    // Publish a meaningful initial view: recovered data gets its full
+    // epoch before the first request can observe anything.
+    let initial = if engine.delta().n_facts() > 0 {
+        let (view, stats) = engine.run_epoch(EpochMode::Full)?;
+        record_epoch_counters(&metrics, stats.full, stats.facts_rescored, stats.groups_invalidated);
+        view
+    } else {
+        Arc::new(VerdictView::empty(&config.epoch)?)
+    };
+
+    let shared = Arc::new(Shared {
+        queue: IngestQueue::new(config.queue_capacity),
+        view: Published::new(VerdictView::empty(&config.epoch)?),
+        metrics,
+        epoch_counter: AtomicU64::new(initial.epoch()),
+        shutdown: AtomicBool::new(false),
+        max_body_bytes: config.max_body_bytes,
+    });
+    shared.view.publish(initial);
+
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let (conn_tx, conn_rx) = std::sync::mpsc::channel::<TcpStream>();
+    let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        let read_timeout = config.read_timeout;
+        std::thread::Builder::new()
+            .name("serve-acceptor".into())
+            .spawn(move || accept_loop(&listener, &conn_tx, &shared, read_timeout))
+            .map_err(ServeError::Io)?
+    };
+
+    let workers = (0..config.workers.max(1))
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            let rx = Arc::clone(&conn_rx);
+            std::thread::Builder::new()
+                .name(format!("serve-worker-{i}"))
+                .spawn(move || worker_loop(&rx, &shared))
+                .map_err(ServeError::Io)
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let epoch_thread = {
+        let shared = Arc::clone(&shared);
+        let linger = config.epoch_linger;
+        let max_batch = config.epoch_max_batch;
+        std::thread::Builder::new()
+            .name("serve-epoch".into())
+            .spawn(move || epoch_loop(engine, wal, &shared, linger, max_batch))
+            .map_err(ServeError::Io)?
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        acceptor: Some(acceptor),
+        workers,
+        epoch_thread: Some(epoch_thread),
+    })
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    conn_tx: &Sender<TcpStream>,
+    shared: &Shared,
+    read_timeout: Duration,
+) {
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Hand the stream to a worker in blocking mode with timeouts.
+                if stream.set_nonblocking(false).is_err()
+                    || stream.set_read_timeout(Some(read_timeout)).is_err()
+                    || stream.set_write_timeout(Some(read_timeout)).is_err()
+                {
+                    continue;
+                }
+                // Responses are single buffered writes; Nagle only adds
+                // delayed-ACK stalls to keep-alive request/response turns.
+                let _ = stream.set_nodelay(true);
+                if conn_tx.send(stream).is_err() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    // Dropping conn_tx disconnects the worker channel.
+}
+
+fn worker_loop(rx: &Arc<Mutex<Receiver<TcpStream>>>, shared: &Shared) {
+    loop {
+        let stream = {
+            let guard = rx.lock().unwrap();
+            match guard.recv() {
+                Ok(s) => s,
+                Err(_) => return, // acceptor gone and channel drained
+            }
+        };
+        handle_connection(stream, shared);
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let request = match read_request(&mut reader, shared.max_body_bytes) {
+            Ok(r) => r,
+            Err(HttpError::Closed) => return,
+            Err(HttpError::BadRequest(message)) => {
+                respond(shared, &mut writer, 400, &error_body(&message), false);
+                return;
+            }
+            Err(HttpError::PayloadTooLarge { limit }) => {
+                respond(
+                    shared,
+                    &mut writer,
+                    413,
+                    &error_body(&format!("body exceeds {limit} bytes")),
+                    false,
+                );
+                return;
+            }
+            // Timeouts surface as WouldBlock/TimedOut; either way the
+            // keep-alive session is over.
+            Err(HttpError::Io(_)) => return,
+        };
+        let keep_alive = request.keep_alive && !shared.shutdown.load(Ordering::Acquire);
+        shared.metrics.observer().add(Counter::HttpRequests, 1);
+        let (status, body) =
+            shared.metrics.observer().timed(Span::Request, || route(shared, &request));
+        respond(shared, &mut writer, status, &body, keep_alive);
+        if !keep_alive {
+            return;
+        }
+    }
+}
+
+fn respond(
+    shared: &Shared,
+    writer: &mut impl std::io::Write,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) {
+    let class = match status {
+        200..=299 => Some(Counter::HttpResponses2xx),
+        400..=499 => Some(Counter::HttpResponses4xx),
+        500..=599 => Some(Counter::HttpResponses5xx),
+        _ => None,
+    };
+    if let Some(c) = class {
+        shared.metrics.observer().add(c, 1);
+    }
+    let _ = write_response(writer, status, body, keep_alive);
+}
+
+fn error_body(message: &str) -> String {
+    let mut obj = Json::object();
+    obj.insert("error", message);
+    obj.to_json()
+}
+
+fn route(shared: &Shared, request: &Request) -> (u16, String) {
+    let path = request.path.as_str();
+    match (request.method.as_str(), path) {
+        ("POST", "/v1/votes") => post_votes(shared, &request.body),
+        ("GET", "/healthz") => healthz(shared),
+        ("GET", "/metrics") => {
+            let doc = shared
+                .metrics
+                .to_json(shared.epoch_counter.load(Ordering::Acquire), shared.queue.len());
+            (200, doc.to_json())
+        }
+        ("POST", "/v1/admin/shutdown") => {
+            shared.shutdown.store(true, Ordering::Release);
+            let mut obj = Json::object();
+            obj.insert("draining", true);
+            (202, obj.to_json())
+        }
+        ("GET", _) if path.starts_with("/v1/facts/") => {
+            get_fact(shared, &path["/v1/facts/".len()..])
+        }
+        ("GET", _) if path.starts_with("/v1/sources/") && path.ends_with("/trust") => {
+            let name = &path["/v1/sources/".len()..path.len() - "/trust".len()];
+            get_source_trust(shared, name)
+        }
+        ("GET" | "POST", _) => (404, error_body(&format!("no route for {path}"))),
+        (method, _) => (405, error_body(&format!("method {method} not allowed"))),
+    }
+}
+
+/// Parses the ingest body:
+/// `{"sources": ["s", ...], "facts": [{"name": "f", "label": true|false|null}, ...],
+///   "votes": [{"source": "s", "fact": "f", "vote": "T"|"F"}, ...]}`.
+/// All three sections are optional; order of application is sources,
+/// facts, votes.
+fn parse_ingest(body: &[u8]) -> Result<Vec<Mutation>, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let root = Json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let mut mutations = Vec::new();
+    if let Some(sources) = root.get("sources") {
+        let sources = sources.as_array().ok_or("\"sources\" must be an array")?;
+        for s in sources {
+            let name = s.as_str().ok_or("\"sources\" entries must be strings")?;
+            if name.is_empty() {
+                return Err("empty source name".into());
+            }
+            mutations.push(Mutation::AddSource { name: name.to_string() });
+        }
+    }
+    if let Some(facts) = root.get("facts") {
+        let facts = facts.as_array().ok_or("\"facts\" must be an array")?;
+        for f in facts {
+            let name = f
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("\"facts\" entries need a \"name\" string")?;
+            if name.is_empty() {
+                return Err("empty fact name".into());
+            }
+            let label = match f.get("label") {
+                None | Some(Json::Null) => None,
+                Some(Json::Bool(b)) => Some(Label::from_bool(*b)),
+                Some(_) => return Err("fact \"label\" must be true, false, or null".into()),
+            };
+            mutations.push(Mutation::AddFact { name: name.to_string(), label });
+        }
+    }
+    if let Some(votes) = root.get("votes") {
+        let votes = votes.as_array().ok_or("\"votes\" must be an array")?;
+        for v in votes {
+            let source = v
+                .get("source")
+                .and_then(Json::as_str)
+                .ok_or("\"votes\" entries need a \"source\" string")?;
+            let fact = v
+                .get("fact")
+                .and_then(Json::as_str)
+                .ok_or("\"votes\" entries need a \"fact\" string")?;
+            if source.is_empty() || fact.is_empty() {
+                return Err("empty source or fact name in vote".into());
+            }
+            let vote = match v.get("vote").and_then(Json::as_str) {
+                Some("T") => Vote::True,
+                Some("F") => Vote::False,
+                _ => return Err("vote must be \"T\" or \"F\"".into()),
+            };
+            mutations.push(Mutation::Cast {
+                source: source.to_string(),
+                fact: fact.to_string(),
+                vote,
+            });
+        }
+    }
+    Ok(mutations)
+}
+
+fn post_votes(shared: &Shared, body: &[u8]) -> (u16, String) {
+    let mutations = match parse_ingest(body) {
+        Ok(m) => m,
+        Err(message) => return (400, error_body(&message)),
+    };
+    if mutations.is_empty() {
+        return (400, error_body("no mutations in request"));
+    }
+    let n = mutations.len();
+    match shared.queue.try_push(mutations) {
+        Ok(()) => {
+            let obs = shared.metrics.observer();
+            obs.add(Counter::IngestBatches, 1);
+            obs.add(Counter::IngestMutations, n as u64);
+            shared.metrics.observe_batch(n);
+            shared.metrics.observe_queue_depth(shared.queue.len());
+            let mut obj = Json::object();
+            obj.insert("accepted", n);
+            obj.insert("epoch", shared.epoch_counter.load(Ordering::Acquire));
+            (202, obj.to_json())
+        }
+        Err(ServeError::QueueFull { capacity }) => {
+            shared.metrics.observer().add(Counter::IngestRejected, 1);
+            (429, error_body(&format!("ingest queue full (capacity {capacity}), retry later")))
+        }
+        Err(_) => (503, error_body("service is draining")),
+    }
+}
+
+fn healthz(shared: &Shared) -> (u16, String) {
+    let mut obj = Json::object();
+    obj.insert("status", if shared.shutdown.load(Ordering::Acquire) { "draining" } else { "ok" });
+    obj.insert("epoch", shared.epoch_counter.load(Ordering::Acquire));
+    obj.insert("queue_depth", shared.queue.len());
+    (200, obj.to_json())
+}
+
+fn get_fact(shared: &Shared, name: &str) -> (u16, String) {
+    let view = shared.view.get();
+    let Some(fact) = view.fact_by_name(name) else {
+        return (404, error_body(&format!("unknown fact {name:?}")));
+    };
+    let p = view.probability(fact);
+    let mut obj = Json::object();
+    obj.insert("fact", name);
+    obj.insert("probability", p);
+    obj.insert("verdict", Label::from_probability(p).as_bool());
+    obj.insert("epoch", view.epoch());
+    obj.insert("stale", view.is_stale(fact));
+    let dataset = view.dataset();
+    let votes: Vec<Json> = dataset
+        .votes()
+        .votes_on(fact)
+        .iter()
+        .map(|sv| {
+            let mut v = Json::object();
+            v.insert("source", dataset.source_name(sv.source));
+            v.insert("vote", sv.vote.symbol().to_string());
+            v.insert("trust", view.trust().trust(sv.source));
+            v
+        })
+        .collect();
+    obj.insert("votes", Json::Arr(votes));
+    (200, obj.to_json())
+}
+
+fn get_source_trust(shared: &Shared, name: &str) -> (u16, String) {
+    let view = shared.view.get();
+    let Some(source) = view.source_by_name(name) else {
+        return (404, error_body(&format!("unknown source {name:?}")));
+    };
+    let mut obj = Json::object();
+    obj.insert("source", name);
+    obj.insert("trust", view.trust().trust(source));
+    obj.insert("epoch", view.epoch());
+    obj.insert("stale_facts", view.stale_count());
+    (200, obj.to_json())
+}
+
+fn record_epoch_counters(metrics: &ServeMetrics, full: bool, rescored: usize, groups: usize) {
+    let obs = metrics.observer();
+    obs.add(Counter::Epochs, 1);
+    obs.add(if full { Counter::EpochsFull } else { Counter::EpochsIncremental }, 1);
+    obs.add(Counter::GroupsInvalidated, groups as u64);
+    obs.add(Counter::FactsRescored, rescored as u64);
+}
+
+fn epoch_loop(
+    mut engine: EpochEngine,
+    mut wal: Option<Wal>,
+    shared: &Shared,
+    linger: Duration,
+    max_batch: usize,
+) -> Result<(), ServeError> {
+    loop {
+        let batch = shared.queue.drain_batch(max_batch, linger);
+        let closed = batch.is_none();
+        let batch = batch.unwrap_or_default();
+        for mutation in &batch {
+            if let Some(wal) = wal.as_mut() {
+                let obs = shared.metrics.observer();
+                obs.timed(Span::WalAppend, || wal.append(mutation))?;
+                obs.add(Counter::WalAppends, 1);
+            }
+            // An invalid mutation is a client bug that slipped validation;
+            // drop it rather than poisoning the stream.
+            let _ = engine.apply(mutation);
+        }
+        if engine.pending() > 0 || closed {
+            let mode = if closed { EpochMode::Full } else { EpochMode::Auto };
+            let (view, stats) =
+                shared.metrics.observer().timed(Span::Epoch, || engine.run_epoch(mode))?;
+            record_epoch_counters(
+                &shared.metrics,
+                stats.full,
+                stats.facts_rescored,
+                stats.groups_invalidated,
+            );
+            shared.epoch_counter.store(view.epoch(), Ordering::Release);
+            shared.view.publish(view);
+            if let Some(wal) = wal.as_mut() {
+                if wal.maybe_compact(engine.delta())? {
+                    shared.metrics.observer().add(Counter::SnapshotsWritten, 1);
+                }
+            }
+        }
+        if closed {
+            // Final durability point: fold everything into the snapshot.
+            if let Some(wal) = wal.as_mut() {
+                wal.compact(engine.delta())?;
+                shared.metrics.observer().add(Counter::SnapshotsWritten, 1);
+            }
+            return Ok(());
+        }
+    }
+}

@@ -1,0 +1,523 @@
+//! Durability: an append-only write-ahead log with snapshot compaction.
+//!
+//! Every accepted [`Mutation`] is journalled *before* it is applied to the
+//! in-memory [`DeltaDataset`], one JSON record per line:
+//!
+//! ```text
+//! {"seq":17,"crc":"9f31c4b2","rec":{"op":"cast","source":"a","fact":"f","vote":"T"}}
+//! ```
+//!
+//! `crc` is an FNV-1a digest of the canonical `rec` JSON, so a torn tail
+//! write (partial line, or a line whose digest mismatches) is detected and
+//! dropped during replay. Corruption *before* the tail is a hard error —
+//! that is data loss, not a crash artefact.
+//!
+//! When the log grows past [`WalConfig::compact_after_records`], the whole
+//! dataset state is written to `snapshot.json` (via a temp-file rename, so
+//! a crash mid-snapshot leaves the previous snapshot intact) and the log is
+//! truncated. Recovery loads the snapshot, then replays any log records
+//! with `seq` greater than the snapshot's — records already folded into
+//! the snapshot are skipped by sequence number, which makes
+//! replay-then-snapshot idempotent.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+use corroborate_core::truth::Label;
+use corroborate_core::vote::Vote;
+use corroborate_obs::Json;
+
+use crate::delta::{DeltaDataset, Mutation};
+use crate::ServeError;
+
+/// Tuning for the write-ahead log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalConfig {
+    /// Snapshot-compact once this many records accumulate in the log.
+    pub compact_after_records: u64,
+    /// `sync_data` the log file after every append (durable but slow;
+    /// benches and tests leave it off).
+    pub fsync: bool,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        Self { compact_after_records: 10_000, fsync: false }
+    }
+}
+
+/// An open write-ahead log rooted at a directory.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    writer: BufWriter<File>,
+    next_seq: u64,
+    records_since_snapshot: u64,
+    config: WalConfig,
+}
+
+const WAL_FILE: &str = "wal.log";
+const SNAPSHOT_FILE: &str = "snapshot.json";
+const SNAPSHOT_TMP: &str = "snapshot.json.tmp";
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash = (hash ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+fn mutation_to_json(m: &Mutation) -> Json {
+    let mut rec = Json::object();
+    match m {
+        Mutation::AddSource { name } => {
+            rec.insert("op", "source");
+            rec.insert("name", name.clone());
+        }
+        Mutation::AddFact { name, label } => {
+            rec.insert("op", "fact");
+            rec.insert("name", name.clone());
+            match label {
+                Some(l) => rec.insert("label", l.as_bool()),
+                None => rec.insert("label", Json::Null),
+            };
+        }
+        Mutation::Cast { source, fact, vote } => {
+            rec.insert("op", "cast");
+            rec.insert("source", source.clone());
+            rec.insert("fact", fact.clone());
+            rec.insert("vote", vote.symbol().to_string());
+        }
+    }
+    rec
+}
+
+fn mutation_from_json(rec: &Json, at: &str) -> Result<Mutation, ServeError> {
+    let corrupt = |message: String| ServeError::WalCorrupt { message };
+    let op = rec
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| corrupt(format!("{at}: record without op")))?;
+    let field = |key: &str| -> Result<String, ServeError> {
+        rec.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| corrupt(format!("{at}: {op} record missing {key}")))
+    };
+    match op {
+        "source" => Ok(Mutation::AddSource { name: field("name")? }),
+        "fact" => {
+            let label = match rec.get("label") {
+                None | Some(Json::Null) => None,
+                Some(Json::Bool(b)) => Some(Label::from_bool(*b)),
+                Some(other) => return Err(corrupt(format!("{at}: bad label {}", other.to_json()))),
+            };
+            Ok(Mutation::AddFact { name: field("name")?, label })
+        }
+        "cast" => {
+            let vote = match field("vote")?.as_str() {
+                "T" => Vote::True,
+                "F" => Vote::False,
+                other => return Err(corrupt(format!("{at}: unknown vote {other:?}"))),
+            };
+            Ok(Mutation::Cast { source: field("source")?, fact: field("fact")?, vote })
+        }
+        other => Err(corrupt(format!("{at}: unknown op {other:?}"))),
+    }
+}
+
+/// Recovered state: the rebuilt dataset and the log position to resume at.
+#[derive(Debug)]
+pub struct Recovery {
+    /// The rebuilt stream state.
+    pub dataset: DeltaDataset,
+    /// Sequence number the next appended record will take.
+    pub next_seq: u64,
+    /// Records replayed from the log (not counting the snapshot).
+    pub replayed: u64,
+    /// Whether a torn tail record was detected and dropped.
+    pub dropped_torn_tail: bool,
+}
+
+impl Wal {
+    /// Opens (creating if needed) the log in `dir` and recovers the state:
+    /// snapshot first, then surviving log records.
+    ///
+    /// # Errors
+    /// I/O failures, snapshot corruption, or non-tail log corruption.
+    pub fn open(dir: &Path, config: WalConfig) -> Result<(Self, Recovery), ServeError> {
+        std::fs::create_dir_all(dir)?;
+        let mut dataset = DeltaDataset::new();
+        let mut next_seq = 1u64;
+
+        let snapshot_path = dir.join(SNAPSHOT_FILE);
+        if snapshot_path.exists() {
+            let text = std::fs::read_to_string(&snapshot_path)?;
+            let root = Json::parse(&text)
+                .map_err(|e| ServeError::WalCorrupt { message: format!("snapshot: {e}") })?;
+            next_seq = load_snapshot(&root, &mut dataset)? + 1;
+        }
+        let snapshot_seq = next_seq - 1;
+
+        let wal_path = dir.join(WAL_FILE);
+        let mut replayed = 0u64;
+        let mut dropped_torn_tail = false;
+        if wal_path.exists() {
+            let mut text = String::new();
+            File::open(&wal_path)?.read_to_string(&mut text)?;
+            let lines: Vec<&str> = text.split('\n').collect();
+            // Byte length of the valid prefix; the file is truncated back to
+            // this if a torn tail is found, so later appends start on a
+            // clean line instead of concatenating onto the partial record.
+            let mut valid_len = 0u64;
+            for (i, line) in lines.iter().enumerate() {
+                if line.is_empty() {
+                    continue;
+                }
+                let at = format!("record {}", i + 1);
+                // A record is "tail" when every later line is empty.
+                let is_tail = lines[i + 1..].iter().all(|l| l.is_empty());
+                match decode_line(line, &at) {
+                    Ok((seq, mutation)) => {
+                        if seq > snapshot_seq {
+                            // Not yet folded into the snapshot: replay it.
+                            if seq != next_seq {
+                                return Err(ServeError::WalCorrupt {
+                                    message: format!("{at}: sequence gap ({seq} != {next_seq})"),
+                                });
+                            }
+                            dataset.apply(&mutation)?;
+                            next_seq = seq + 1;
+                            replayed += 1;
+                        }
+                        valid_len += line.len() as u64 + 1;
+                    }
+                    Err(e) if is_tail => {
+                        // Torn tail write from a crash: drop it.
+                        let _ = e;
+                        dropped_torn_tail = true;
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            if dropped_torn_tail {
+                OpenOptions::new().write(true).open(&wal_path)?.set_len(valid_len)?;
+            }
+        }
+
+        let writer = BufWriter::new(OpenOptions::new().append(true).create(true).open(&wal_path)?);
+        let wal = Self {
+            dir: dir.to_path_buf(),
+            writer,
+            next_seq,
+            records_since_snapshot: replayed,
+            config,
+        };
+        let recovery = Recovery { dataset, next_seq, replayed, dropped_torn_tail };
+        Ok((wal, recovery))
+    }
+
+    /// Appends one mutation, returning its sequence number. The caller is
+    /// responsible for compaction via [`Self::maybe_compact`].
+    ///
+    /// # Errors
+    /// I/O failures.
+    pub fn append(&mut self, mutation: &Mutation) -> Result<u64, ServeError> {
+        let seq = self.next_seq;
+        let rec = mutation_to_json(mutation);
+        let rec_text = rec.to_json();
+        let mut line = Json::object();
+        line.insert("seq", seq);
+        line.insert("crc", format!("{:016x}", fnv1a(rec_text.as_bytes())));
+        line.insert("rec", rec);
+        let mut text = line.to_json();
+        text.push('\n');
+        self.writer.write_all(text.as_bytes())?;
+        self.writer.flush()?;
+        if self.config.fsync {
+            self.writer.get_ref().sync_data()?;
+        }
+        self.next_seq += 1;
+        self.records_since_snapshot += 1;
+        Ok(seq)
+    }
+
+    /// Number of records appended or replayed since the last snapshot.
+    pub fn records_since_snapshot(&self) -> u64 {
+        self.records_since_snapshot
+    }
+
+    /// Compacts when the record count crossed the configured threshold.
+    /// Returns whether a snapshot was written.
+    ///
+    /// # Errors
+    /// I/O failures while writing the snapshot.
+    pub fn maybe_compact(&mut self, dataset: &DeltaDataset) -> Result<bool, ServeError> {
+        if self.records_since_snapshot < self.config.compact_after_records {
+            return Ok(false);
+        }
+        self.compact(dataset)?;
+        Ok(true)
+    }
+
+    /// Writes a snapshot of `dataset` (which must reflect every appended
+    /// record) and truncates the log.
+    ///
+    /// # Errors
+    /// I/O failures. On error the previous snapshot (if any) is preserved.
+    pub fn compact(&mut self, dataset: &DeltaDataset) -> Result<(), ServeError> {
+        let snapshot = snapshot_json(dataset, self.next_seq - 1);
+        let tmp = self.dir.join(SNAPSHOT_TMP);
+        let mut f = File::create(&tmp)?;
+        f.write_all(snapshot.to_json().as_bytes())?;
+        if self.config.fsync {
+            f.sync_data()?;
+        }
+        drop(f);
+        std::fs::rename(&tmp, self.dir.join(SNAPSHOT_FILE))?;
+        // The log can now restart from empty.
+        self.writer = BufWriter::new(File::create(self.dir.join(WAL_FILE))?);
+        self.records_since_snapshot = 0;
+        Ok(())
+    }
+}
+
+fn decode_line(line: &str, at: &str) -> Result<(u64, Mutation), ServeError> {
+    let corrupt = |message: String| ServeError::WalCorrupt { message };
+    let root = Json::parse(line).map_err(|e| corrupt(format!("{at}: unparseable line ({e})")))?;
+    let seq = root
+        .get("seq")
+        .and_then(Json::as_i64)
+        .and_then(|v| u64::try_from(v).ok())
+        .ok_or_else(|| corrupt(format!("{at}: missing seq")))?;
+    let crc = root
+        .get("crc")
+        .and_then(Json::as_str)
+        .ok_or_else(|| corrupt(format!("{at}: missing crc")))?;
+    let rec = root.get("rec").ok_or_else(|| corrupt(format!("{at}: missing rec")))?;
+    let expected = format!("{:016x}", fnv1a(rec.to_json().as_bytes()));
+    if crc != expected {
+        return Err(corrupt(format!("{at}: crc mismatch")));
+    }
+    Ok((seq, mutation_from_json(rec, at)?))
+}
+
+fn snapshot_json(dataset: &DeltaDataset, seq: u64) -> Json {
+    let mut root = Json::object();
+    root.insert("report", "corroborate_snapshot");
+    root.insert("schema_version", 1u64);
+    root.insert("seq", seq);
+    // Re-encode the state as its canonical mutation stream: sources,
+    // facts, then votes. Replaying it into an empty DeltaDataset rebuilds
+    // the exact state (ids are registration-ordered).
+    let mutations = {
+        let ds_mutations: Vec<Json> =
+            snapshot_mutations(dataset).iter().map(mutation_to_json).collect();
+        Json::Arr(ds_mutations)
+    };
+    root.insert("mutations", mutations);
+    root
+}
+
+/// The canonical mutation stream of a [`DeltaDataset`]'s current state.
+fn snapshot_mutations(dataset: &DeltaDataset) -> Vec<Mutation> {
+    let mut out = Vec::new();
+    for i in 0..dataset.n_sources() {
+        out.push(Mutation::AddSource {
+            name: dataset.source_name(corroborate_core::ids::SourceId::new(i)).to_string(),
+        });
+    }
+    for i in 0..dataset.n_facts() {
+        let f = corroborate_core::ids::FactId::new(i);
+        out.push(Mutation::AddFact {
+            name: dataset.fact_name(f).to_string(),
+            label: dataset.label(f),
+        });
+    }
+    for i in 0..dataset.n_facts() {
+        let f = corroborate_core::ids::FactId::new(i);
+        for &(s, vote) in dataset.signature(f) {
+            out.push(Mutation::Cast {
+                source: dataset.source_name(corroborate_core::ids::SourceId::new(s)).to_string(),
+                fact: dataset.fact_name(f).to_string(),
+                vote,
+            });
+        }
+    }
+    out
+}
+
+fn load_snapshot(root: &Json, dataset: &mut DeltaDataset) -> Result<u64, ServeError> {
+    let corrupt = |message: String| ServeError::WalCorrupt { message };
+    let seq = root
+        .get("seq")
+        .and_then(Json::as_i64)
+        .and_then(|v| u64::try_from(v).ok())
+        .ok_or_else(|| corrupt("snapshot: missing seq".into()))?;
+    let mutations = root
+        .get("mutations")
+        .and_then(Json::as_array)
+        .ok_or_else(|| corrupt("snapshot: missing mutations".into()))?;
+    for (i, rec) in mutations.iter().enumerate() {
+        let m = mutation_from_json(rec, &format!("snapshot mutation {i}"))?;
+        dataset.apply(&m)?;
+    }
+    // Snapshot state is the epoch baseline, not pending work.
+    dataset.take_dirty();
+    Ok(seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cast(source: &str, fact: &str, vote: Vote) -> Mutation {
+        Mutation::Cast { source: source.into(), fact: fact.into(), vote }
+    }
+
+    fn tempdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("corroborate-wal-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn append_replay_rebuilds_the_state() {
+        let dir = tempdir("replay");
+        let stream = vec![
+            Mutation::AddSource { name: "silent".into() },
+            cast("a", "f1", Vote::True),
+            cast("b", "f1", Vote::False),
+            Mutation::AddFact { name: "f2".into(), label: Some(Label::True) },
+            cast("a", "f2", Vote::True),
+        ];
+        let mut live = DeltaDataset::new();
+        {
+            let (mut wal, rec) = Wal::open(&dir, WalConfig::default()).unwrap();
+            assert_eq!(rec.next_seq, 1);
+            for m in &stream {
+                wal.append(m).unwrap();
+                live.apply(m).unwrap();
+            }
+        }
+        let (_, rec) = Wal::open(&dir, WalConfig::default()).unwrap();
+        assert_eq!(rec.replayed, 5);
+        assert!(!rec.dropped_torn_tail);
+        assert_eq!(rec.dataset.materialize().unwrap().votes(), live.materialize().unwrap().votes());
+        assert_eq!(rec.next_seq, 6);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_replay_resumes() {
+        let dir = tempdir("torn");
+        {
+            let (mut wal, _) = Wal::open(&dir, WalConfig::default()).unwrap();
+            wal.append(&cast("a", "f1", Vote::True)).unwrap();
+            wal.append(&cast("b", "f1", Vote::False)).unwrap();
+        }
+        // Simulate a crash mid-write: truncate the last record in half.
+        let path = dir.join(WAL_FILE);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let keep = text.len() - 17;
+        std::fs::write(&path, &text[..keep]).unwrap();
+
+        let (mut wal, rec) = Wal::open(&dir, WalConfig::default()).unwrap();
+        assert!(rec.dropped_torn_tail);
+        assert_eq!(rec.replayed, 1);
+        assert_eq!(rec.dataset.n_votes(), 1);
+        // The torn record's sequence number is reused by the next append.
+        assert_eq!(wal.append(&cast("c", "f1", Vote::True)).unwrap(), 2);
+        drop(wal);
+        let (_, rec) = Wal::open(&dir, WalConfig::default()).unwrap();
+        assert_eq!(rec.replayed, 2);
+    }
+
+    #[test]
+    fn mid_log_corruption_is_a_hard_error() {
+        let dir = tempdir("midcorrupt");
+        {
+            let (mut wal, _) = Wal::open(&dir, WalConfig::default()).unwrap();
+            wal.append(&cast("a", "f1", Vote::True)).unwrap();
+            wal.append(&cast("b", "f1", Vote::False)).unwrap();
+        }
+        let path = dir.join(WAL_FILE);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        lines[0] = lines[0].replace("\"vote\":\"T\"", "\"vote\":\"F\""); // crc now wrong
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+        let err = Wal::open(&dir, WalConfig::default()).unwrap_err();
+        assert!(matches!(err, ServeError::WalCorrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn compaction_then_replay_is_equivalent() {
+        let dir = tempdir("compact");
+        let config = WalConfig { compact_after_records: 3, fsync: false };
+        let mut live = DeltaDataset::new();
+        {
+            let (mut wal, _) = Wal::open(&dir, config).unwrap();
+            for (i, m) in [
+                cast("a", "f1", Vote::True),
+                cast("b", "f1", Vote::False),
+                cast("a", "f2", Vote::True),
+                cast("c", "f3", Vote::True),
+                cast("b", "f3", Vote::True),
+            ]
+            .iter()
+            .enumerate()
+            {
+                wal.append(m).unwrap();
+                live.apply(m).unwrap();
+                let compacted = wal.maybe_compact(&live).unwrap();
+                assert_eq!(compacted, i + 1 == 3, "compaction at the threshold only");
+            }
+        }
+        assert!(dir.join(SNAPSHOT_FILE).exists());
+        let (_, rec) = Wal::open(&dir, config).unwrap();
+        // 2 records live in the log; 3 are folded into the snapshot.
+        assert_eq!(rec.replayed, 2);
+        assert_eq!(rec.next_seq, 6);
+        assert_eq!(rec.dataset.materialize().unwrap().votes(), live.materialize().unwrap().votes());
+    }
+
+    #[test]
+    fn snapshot_with_stale_log_records_skips_by_seq() {
+        // Crash window: snapshot written but log not yet truncated —
+        // records with seq <= snapshot seq must be skipped on replay.
+        let dir = tempdir("staleskip");
+        let mut live = DeltaDataset::new();
+        {
+            let (mut wal, _) = Wal::open(&dir, WalConfig::default()).unwrap();
+            for m in [cast("a", "f1", Vote::True), cast("b", "f1", Vote::False)] {
+                wal.append(&m).unwrap();
+                live.apply(&m).unwrap();
+            }
+            // Snapshot manually, then re-append the log as if truncation
+            // never happened.
+            let snapshot = super::snapshot_json(&live, 2);
+            std::fs::write(dir.join(SNAPSHOT_FILE), snapshot.to_json()).unwrap();
+        }
+        let (_, rec) = Wal::open(&dir, WalConfig::default()).unwrap();
+        assert_eq!(rec.replayed, 0, "stale records skipped");
+        assert_eq!(rec.dataset.n_votes(), 2);
+        assert_eq!(rec.next_seq, 3);
+    }
+
+    #[test]
+    fn gnarly_names_survive_the_json_encoding() {
+        let dir = tempdir("names");
+        let m = cast("Menu,\"Pages\"\n", "ünïcødé 寿司 \\ fact", Vote::True);
+        {
+            let (mut wal, _) = Wal::open(&dir, WalConfig::default()).unwrap();
+            wal.append(&m).unwrap();
+        }
+        let (_, rec) = Wal::open(&dir, WalConfig::default()).unwrap();
+        assert!(rec.dataset.source_id("Menu,\"Pages\"\n").is_some());
+        assert!(rec.dataset.fact_id("ünïcødé 寿司 \\ fact").is_some());
+    }
+}

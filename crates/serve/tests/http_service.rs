@@ -1,0 +1,298 @@
+//! End-to-end HTTP service tests: boot on an ephemeral port, ingest over
+//! the wire, poll verdicts, saturate the queue to see 429s, validate
+//! `/metrics`, drain gracefully, and recover across a restart.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use corroborate_obs::Json;
+use corroborate_serve::{start, EpochConfig, ServerConfig, WalConfig};
+
+/// A minimal blocking HTTP/1.1 client for one request.
+fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, Json) {
+    let stream = TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    write!(
+        writer,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    writer.flush().unwrap();
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).unwrap();
+    let status: u16 = status_line.split_whitespace().nth(1).unwrap().parse().unwrap();
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().unwrap();
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).unwrap();
+    (status, Json::parse(std::str::from_utf8(&body).unwrap()).unwrap())
+}
+
+fn poll_until(deadline: Duration, mut check: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if check() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    false
+}
+
+fn tempdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("corroborate-http-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        read_timeout: Duration::from_millis(500),
+        epoch_linger: Duration::from_millis(5),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn ingest_then_query_roundtrip() {
+    let handle = start(test_config()).unwrap();
+    let addr = handle.addr();
+
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/v1/votes",
+        r#"{"votes":[{"source":"alice","fact":"sky is blue","vote":"T"},
+                    {"source":"bob","fact":"sky is blue","vote":"T"},
+                    {"source":"mallory","fact":"sky is blue","vote":"F"}]}"#,
+    );
+    assert_eq!(status, 202, "{}", body.to_json());
+    assert_eq!(body.get("accepted").unwrap().as_i64(), Some(3));
+
+    // The epoch thread publishes asynchronously; poll for the verdict.
+    assert!(poll_until(Duration::from_secs(10), || {
+        let (s, _) = request(addr, "GET", "/v1/facts/sky%20is%20blue", "");
+        s == 200
+    }));
+    let (_, fact) = request(addr, "GET", "/v1/facts/sky%20is%20blue", "");
+    assert_eq!(fact.get("fact").unwrap().as_str(), Some("sky is blue"));
+    assert!(fact.get("probability").is_some());
+    assert_eq!(fact.get("votes").unwrap().as_array().unwrap().len(), 3);
+
+    let (status, trust) = request(addr, "GET", "/v1/sources/alice/trust", "");
+    assert_eq!(status, 200);
+    assert!(trust.get("trust").is_some());
+
+    let (status, _) = request(addr, "GET", "/v1/facts/never-heard-of-it", "");
+    assert_eq!(status, 404);
+    let (status, _) = request(addr, "GET", "/v1/sources/nobody/trust", "");
+    assert_eq!(status, 404);
+
+    let (status, health) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert_eq!(health.get("status").unwrap().as_str(), Some("ok"));
+
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn malformed_requests_get_4xx() {
+    let handle = start(test_config()).unwrap();
+    let addr = handle.addr();
+
+    let (status, _) = request(addr, "POST", "/v1/votes", "this is not json");
+    assert_eq!(status, 400);
+    let (status, _) = request(addr, "POST", "/v1/votes", r#"{"votes":[{"source":"a"}]}"#);
+    assert_eq!(status, 400);
+    let (status, _) =
+        request(addr, "POST", "/v1/votes", r#"{"votes":[{"source":"a","fact":"f","vote":"X"}]}"#);
+    assert_eq!(status, 400);
+    let (status, _) = request(addr, "POST", "/v1/votes", "{}");
+    assert_eq!(status, 400);
+    let (status, _) = request(addr, "GET", "/v1/nope", "");
+    assert_eq!(status, 404);
+    let (status, _) = request(addr, "DELETE", "/v1/votes", "");
+    assert_eq!(status, 405);
+
+    // Oversized body → 413.
+    let config = ServerConfig { max_body_bytes: 64, ..test_config() };
+    let small = start(config).unwrap();
+    let big = format!(r#"{{"votes":[{{"source":"{}","fact":"f","vote":"T"}}]}}"#, "s".repeat(200));
+    let (status, _) = request(small.addr(), "POST", "/v1/votes", &big);
+    assert_eq!(status, 413);
+
+    small.shutdown().unwrap();
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn saturated_queue_answers_429_and_recovers() {
+    // A tiny queue and a slow epoch cadence guarantee overflow.
+    let config = ServerConfig {
+        queue_capacity: 8,
+        epoch_linger: Duration::from_millis(300),
+        epoch_max_batch: 2,
+        ..test_config()
+    };
+    let handle = start(config).unwrap();
+    let addr = handle.addr();
+
+    let mut saw_429 = false;
+    for i in 0..40 {
+        let body = format!(
+            r#"{{"votes":[{{"source":"s{i}","fact":"f{}","vote":"T"}},
+                          {{"source":"t{i}","fact":"f{}","vote":"F"}}]}}"#,
+            i % 5,
+            i % 5
+        );
+        let (status, _) = request(addr, "POST", "/v1/votes", &body);
+        assert!(status == 202 || status == 429, "unexpected status {status}");
+        if status == 429 {
+            saw_429 = true;
+            break;
+        }
+    }
+    assert!(saw_429, "queue never saturated");
+
+    // Backpressure is transient: once the epoch thread drains, ingest
+    // succeeds again.
+    assert!(poll_until(Duration::from_secs(10), || {
+        let (status, _) = request(
+            addr,
+            "POST",
+            "/v1/votes",
+            r#"{"votes":[{"source":"late","fact":"f0","vote":"T"}]}"#,
+        );
+        status == 202
+    }));
+
+    let metrics = handle.metrics_json();
+    let rejected =
+        metrics.get("counters").unwrap().get("ingest_rejected").unwrap().as_i64().unwrap();
+    assert!(rejected >= 1);
+
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn metrics_document_is_valid_and_complete() {
+    let handle = start(test_config()).unwrap();
+    let addr = handle.addr();
+    request(
+        addr,
+        "POST",
+        "/v1/votes",
+        r#"{"sources":["quiet"],"votes":[{"source":"a","fact":"f","vote":"T"}]}"#,
+    );
+    poll_until(Duration::from_secs(10), || {
+        let (s, _) = request(addr, "GET", "/v1/facts/f", "");
+        s == 200
+    });
+
+    let (status, doc) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    // The report_check contract: header keys present and non-null.
+    assert!(doc.get("report").is_some());
+    assert!(doc.get("schema_version").is_some());
+    let counters = doc.get("counters").unwrap();
+    for key in ["http_requests", "http_responses_2xx", "ingest_batches", "epochs", "epochs_full"] {
+        let v = counters.get(key).unwrap_or_else(|| panic!("missing counter {key}"));
+        assert!(v.as_i64().unwrap() >= 1, "counter {key} never moved");
+    }
+    assert!(doc.get("gauges").unwrap().get("ingest_queue_peak").is_some());
+    assert!(doc.get("spans").unwrap().get("request").is_some());
+
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn graceful_shutdown_drains_and_wal_survives_restart() {
+    let dir = tempdir("restart");
+    let config = ServerConfig { data_dir: Some(dir.clone()), ..test_config() };
+    let handle = start(config).unwrap();
+    let addr = handle.addr();
+
+    let (status, _) = request(
+        addr,
+        "POST",
+        "/v1/votes",
+        r#"{"votes":[{"source":"a","fact":"persistent","vote":"T"},
+                     {"source":"b","fact":"persistent","vote":"T"}]}"#,
+    );
+    assert_eq!(status, 202);
+
+    // The admin endpoint flips the server into draining.
+    let (status, body) = request(addr, "POST", "/v1/admin/shutdown", "");
+    assert_eq!(status, 202);
+    assert_eq!(body.get("draining"), Some(&Json::Bool(true)));
+    assert!(handle.shutdown_requested());
+
+    // shutdown() completes the drain; the final view is a full recompute
+    // including the accepted votes.
+    let view = handle.shutdown().unwrap();
+    assert!(view.is_full());
+    let fact = view.fact_by_name("persistent").expect("drained view includes the ingested fact");
+    assert!(view.probability(fact) > 0.5);
+
+    // Restart from the same data dir: the fact is immediately queryable.
+    let config = ServerConfig {
+        data_dir: Some(dir),
+        wal: WalConfig::default(),
+        epoch: EpochConfig::default(),
+        ..test_config()
+    };
+    let restarted = start(config).unwrap();
+    let (status, fact) = request(restarted.addr(), "GET", "/v1/facts/persistent", "");
+    assert_eq!(status, 200, "recovered fact must be served before any new ingest");
+    assert_eq!(fact.get("stale"), Some(&Json::Bool(false)));
+    assert_eq!(fact.get("votes").unwrap().as_array().unwrap().len(), 2);
+    restarted.shutdown().unwrap();
+}
+
+#[test]
+fn keep_alive_serves_multiple_requests_per_connection() {
+    let handle = start(test_config()).unwrap();
+    let stream = TcpStream::connect(handle.addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    for _ in 0..3 {
+        write!(writer, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        writer.flush().unwrap();
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).unwrap();
+        assert!(status_line.starts_with("HTTP/1.1 200"), "{status_line:?}");
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            if line.trim_end().is_empty() {
+                break;
+            }
+            if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v.trim().parse().unwrap();
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).unwrap();
+    }
+    handle.shutdown().unwrap();
+}
