@@ -1,0 +1,16 @@
+//! Fixture rosters: `Voting` is registered, `Orphan` (in orphan.rs) is
+//! the seeded C004 violation.
+
+pub trait Corroborator {}
+
+pub struct Voting;
+
+impl Corroborator for Voting {}
+
+pub fn standard_roster() -> Vec<Box<dyn Corroborator>> {
+    vec![Box::new(Voting)]
+}
+
+pub fn extended_roster() -> Vec<Box<dyn Corroborator>> {
+    standard_roster()
+}

@@ -1,0 +1,8 @@
+//! Seeded C004: `Orphan` implements `Corroborator` but neither roster
+//! constructs it.
+
+use crate::Corroborator;
+
+pub struct Orphan;
+
+impl Corroborator for Orphan {}

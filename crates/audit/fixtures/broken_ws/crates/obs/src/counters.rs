@@ -1,0 +1,18 @@
+//! Seeded C001 (Ghost is missing from ALL and never emitted) and C002
+//! (`rounds` / `ghost` are not documented in docs/OBSERVABILITY.md).
+
+pub enum Counter {
+    Rounds,
+    Ghost,
+}
+
+impl Counter {
+    pub const ALL: [Counter; 1] = [Counter::Rounds];
+
+    pub fn key(self) -> &'static str {
+        match self {
+            Counter::Rounds => "rounds",
+            Counter::Ghost => "ghost",
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Seeded determinism violations: D001 (HashMap), D002 (Instant), and
+//! D003 (available_parallelism) all sit in the deterministic report path.
+//! The `Counter::Rounds` emission keeps Rounds itself C001-clean so the
+//! only C001 findings are Ghost's.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn render(counts: &HashMap<String, u64>) -> u64 {
+    let started = Instant::now();
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    emit(Counter::Rounds);
+    counts.len() as u64 + threads as u64 + started.elapsed().as_nanos() as u64
+}
+
+fn emit(_c: Counter) {}

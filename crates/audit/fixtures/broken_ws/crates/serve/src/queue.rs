@@ -1,0 +1,5 @@
+//! Seeded C003: the `turbo` feature is not declared in this crate's
+//! Cargo.toml.
+
+#[cfg(feature = "turbo")]
+pub fn turbo_path() {}

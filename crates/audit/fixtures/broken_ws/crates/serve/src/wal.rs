@@ -1,0 +1,10 @@
+//! Seeded F001 (`unwrap` in a serve hot path) and F002 (bare `+` in WAL
+//! framing) violations.
+
+pub fn bump(seq: u64) -> u64 {
+    seq + 1
+}
+
+pub fn read_seq(text: &str) -> u64 {
+    text.trim().parse().unwrap()
+}

@@ -1,0 +1,143 @@
+//! CI gate for the workspace's compiler-invisible invariants: lexes the
+//! sources, runs the determinism / forbidden-API / consistency rules, and
+//! applies the committed allowlist manifest.
+//!
+//! ```sh
+//! corroborate_audit [--root <dir>] [--manifest <file>] [--strict] [--json]
+//! corroborate_audit --list-rules
+//! ```
+//!
+//! Defaults: `--root .`, `--manifest <root>/audit_manifest.json` when that
+//! file exists (no manifest otherwise). Exit contract, mirroring
+//! `golden_check`: 0 clean, 1 violations, 2 usage or configuration error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use corroborate_audit::manifest::Manifest;
+use corroborate_audit::rules::CATALOG;
+use corroborate_audit::workspace::load_workspace;
+use corroborate_audit::{audit, AuditReport};
+
+const USAGE: &str = "usage: corroborate_audit [--root <dir>] [--manifest <file>] \
+[--strict] [--json]\n       corroborate_audit --list-rules";
+
+struct Options {
+    root: PathBuf,
+    manifest: Option<PathBuf>,
+    strict: bool,
+    json: bool,
+    list_rules: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        manifest: None,
+        strict: false,
+        json: false,
+        list_rules: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value =
+            |what: &str| it.next().cloned().ok_or_else(|| format!("{what} needs a value"));
+        match arg.as_str() {
+            "--root" => opts.root = PathBuf::from(value("--root")?),
+            "--manifest" => opts.manifest = Some(PathBuf::from(value("--manifest")?)),
+            "--strict" => opts.strict = true,
+            "--json" => opts.json = true,
+            "--list-rules" => opts.list_rules = true,
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn list_rules() {
+    for rule in CATALOG {
+        let severity = match rule.default_severity {
+            corroborate_audit::rules::Severity::Error => "error",
+            corroborate_audit::rules::Severity::Warn => "warn",
+            corroborate_audit::rules::Severity::Off => "off",
+        };
+        println!("{} {} [{severity}]", rule.id, rule.name);
+        println!("    {}", rule.summary.split_whitespace().collect::<Vec<_>>().join(" "));
+    }
+}
+
+fn render_text(report: &AuditReport, strict: bool) {
+    for d in &report.errors {
+        println!("error[{}] {}:{}: {}", d.rule, d.path, d.line, d.message);
+    }
+    for d in &report.warnings {
+        println!("warn[{}] {}:{}: {}", d.rule, d.path, d.line, d.message);
+    }
+    let verdict = if report.passes(strict) { "PASS" } else { "FAIL" };
+    println!(
+        "audit: {verdict} — {} error(s), {} warning(s), {} allowed, {} silenced{}",
+        report.errors.len(),
+        report.warnings.len(),
+        report.allowed,
+        report.silenced,
+        if strict { " [strict]" } else { "" },
+    );
+}
+
+fn run(opts: &Options) -> Result<bool, String> {
+    let manifest = match &opts.manifest {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            Manifest::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?
+        }
+        None => {
+            let default = opts.root.join("audit_manifest.json");
+            if default.is_file() {
+                let text = std::fs::read_to_string(&default)
+                    .map_err(|e| format!("cannot read {}: {e}", default.display()))?;
+                Manifest::parse(&text).map_err(|e| format!("{}: {e}", default.display()))?
+            } else {
+                Manifest::default()
+            }
+        }
+    };
+    let ws = load_workspace(&opts.root)
+        .map_err(|e| format!("cannot load workspace at {}: {e}", opts.root.display()))?;
+    if ws.sources.is_empty() {
+        return Err(format!(
+            "no Rust sources under {} — is --root pointing at a workspace?",
+            opts.root.display()
+        ));
+    }
+    let report = audit(&ws, &manifest);
+    if opts.json {
+        println!("{}", report.to_json().to_json_pretty());
+    } else {
+        render_text(&report, opts.strict);
+    }
+    Ok(report.passes(opts.strict))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(err) => {
+            eprintln!("corroborate_audit: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.list_rules {
+        list_rules();
+        return ExitCode::SUCCESS;
+    }
+    match run(&opts) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(err) => {
+            eprintln!("corroborate_audit: {err}");
+            ExitCode::from(2)
+        }
+    }
+}

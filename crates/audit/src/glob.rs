@@ -1,0 +1,99 @@
+//! Slash-separated path globs for manifest allow-entries and rule scopes.
+//!
+//! `*` matches within one path segment, `**` matches any number of whole
+//! segments (including zero) — the same dialect `testkit::golden` uses for
+//! dot-paths, re-derived here for `/`-separated repo paths so the audit
+//! crate stays dependency-light.
+
+/// A parsed path pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathGlob(Vec<Seg>);
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Seg {
+    /// One segment, split on `*`: first/last anchor as prefix/suffix, the
+    /// middle parts must appear in order.
+    Parts(Vec<String>),
+    DoubleStar,
+}
+
+fn seg_matches(parts: &[String], seg: &str) -> bool {
+    match parts {
+        [] => seg.is_empty(),
+        [only] => only == seg,
+        [first, middle @ .., last] => {
+            let Some(rest) = seg.strip_prefix(first.as_str()) else { return false };
+            let Some(mut rest) = rest.strip_suffix(last.as_str()) else { return false };
+            if seg.len() < first.len() + last.len() {
+                return false;
+            }
+            for part in middle {
+                match rest.find(part.as_str()) {
+                    Some(at) => rest = &rest[at + part.len()..],
+                    None => return false,
+                }
+            }
+            true
+        }
+    }
+}
+
+impl PathGlob {
+    /// Parses `crates/*/src/**` into a pattern.
+    pub fn parse(text: &str) -> Self {
+        Self(
+            text.split('/')
+                .map(|seg| match seg {
+                    "**" => Seg::DoubleStar,
+                    s => Seg::Parts(s.split('*').map(str::to_string).collect()),
+                })
+                .collect(),
+        )
+    }
+
+    /// Whether the pattern matches the whole `/`-separated `path`.
+    pub fn matches(&self, path: &str) -> bool {
+        let segs: Vec<&str> = path.split('/').collect();
+        fn go(pat: &[Seg], path: &[&str]) -> bool {
+            match (pat.first(), path.first()) {
+                (None, None) => true,
+                (Some(Seg::DoubleStar), _) => {
+                    go(&pat[1..], path) || (!path.is_empty() && go(pat, &path[1..]))
+                }
+                (Some(Seg::Parts(parts)), Some(seg)) => {
+                    seg_matches(parts, seg) && go(&pat[1..], &path[1..])
+                }
+                _ => false,
+            }
+        }
+        go(&self.0, &segs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_and_star_segments() {
+        assert!(PathGlob::parse("crates/serve/src/wal.rs").matches("crates/serve/src/wal.rs"));
+        assert!(PathGlob::parse("crates/*/src/lib.rs").matches("crates/obs/src/lib.rs"));
+        assert!(!PathGlob::parse("crates/*/src/lib.rs").matches("crates/obs/src/json.rs"));
+        assert!(PathGlob::parse("crates/serve/src/*.rs").matches("crates/serve/src/wal.rs"));
+    }
+
+    #[test]
+    fn double_star_spans_depth() {
+        let g = PathGlob::parse("crates/serve/src/**");
+        assert!(g.matches("crates/serve/src/wal.rs"));
+        assert!(g.matches("crates/serve/src/bin/serve_smoke.rs"));
+        assert!(!g.matches("crates/obs/src/lib.rs"));
+        assert!(PathGlob::parse("**").matches("anything/at/all.rs"));
+    }
+
+    #[test]
+    fn star_does_not_cross_separators() {
+        assert!(!PathGlob::parse("crates/*.rs").matches("crates/serve/src/wal.rs"));
+        assert!(PathGlob::parse("docs/*.md").matches("docs/ANALYSIS.md"));
+    }
+}

@@ -1,0 +1,423 @@
+//! A lightweight Rust token scanner.
+//!
+//! The audit rules are lexical: they need identifier/punctuation streams
+//! with comments and string contents stripped out (so `"HashMap"` inside a
+//! string literal or a doc comment never trips a rule), plus line numbers
+//! for diagnostics and enough structure to find `#[cfg(test)]` regions.
+//! This is deliberately *not* a parser — no precedence, no AST — just the
+//! token shapes the rules match on.
+
+/// What kind of token a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `fn`, `unwrap`).
+    Ident,
+    /// A numeric literal (`42`, `0xcbf2`, `1.5e-3` up to the exponent sign).
+    Number,
+    /// A string or byte-string literal, including raw strings; `text` holds
+    /// the *contents* (without quotes), so rules can inspect literal keys.
+    Str,
+    /// A character literal (`'a'`, `'\n'`).
+    Char,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Punctuation; multi-character operators (`::`, `->`, `+=`) are one
+    /// token.
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Token text (contents only, for string literals).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// Whether this is punctuation with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == text
+    }
+}
+
+/// Multi-character operators, longest first so maximal munch works.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "^=", "|=", "&=", "<<", ">>", "..",
+];
+
+/// Lexes Rust source into a token stream, dropping comments entirely.
+pub fn lex(text: &str) -> Vec<Token> {
+    let bytes = text.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    let count_lines = |slice: &[u8]| slice.iter().filter(|&&b| b == b'\n').count() as u32;
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                i += 2;
+                let mut depth = 1usize;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                line += count_lines(&bytes[start..i]);
+            }
+            b'"' => {
+                let (contents, end) = scan_string(bytes, i);
+                tokens.push(Token { kind: TokenKind::Str, text: contents, line });
+                line += count_lines(&bytes[i..end]);
+                i = end;
+            }
+            b'r' | b'b' if raw_or_byte_string_start(bytes, i).is_some() => {
+                let end = raw_or_byte_string_start(bytes, i).unwrap_or(i + 1);
+                tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text: String::from_utf8_lossy(&bytes[i..end]).into_owned(),
+                    line,
+                });
+                line += count_lines(&bytes[i..end]);
+                i = end;
+            }
+            b'\'' => {
+                // Lifetime (`'a` not closed by a quote) vs char literal.
+                let mut j = i + 1;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+                if j > i + 1 && bytes.get(j) != Some(&b'\'') {
+                    tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: String::from_utf8_lossy(&bytes[i..j]).into_owned(),
+                        line,
+                    });
+                    i = j;
+                } else {
+                    let mut j = i + 1;
+                    while j < bytes.len() {
+                        match bytes[j] {
+                            b'\\' => j += 2,
+                            b'\'' => {
+                                j += 1;
+                                break;
+                            }
+                            _ => j += 1,
+                        }
+                    }
+                    tokens.push(Token {
+                        kind: TokenKind::Char,
+                        text: String::from_utf8_lossy(&bytes[i..j]).into_owned(),
+                        line,
+                    });
+                    i = j;
+                }
+            }
+            b'0'..=b'9' => {
+                let mut j = i + 1;
+                while j < bytes.len() {
+                    let c = bytes[j];
+                    if c == b'.' && bytes.get(j + 1) == Some(&b'.') {
+                        break; // a range like `0..n`, not a float
+                    }
+                    if c.is_ascii_alphanumeric() || c == b'_' || c == b'.' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Number,
+                    text: String::from_utf8_lossy(&bytes[i..j]).into_owned(),
+                    line,
+                });
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' || c >= 0x80 => {
+                let mut j = i + 1;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_' || bytes[j] >= 0x80)
+                {
+                    j += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: String::from_utf8_lossy(&bytes[i..j]).into_owned(),
+                    line,
+                });
+                i = j;
+            }
+            _ => {
+                let rest = &text[i..];
+                let op = MULTI_PUNCT.iter().find(|op| rest.starts_with(**op));
+                match op {
+                    Some(op) => {
+                        tokens.push(Token {
+                            kind: TokenKind::Punct,
+                            text: (*op).to_string(),
+                            line,
+                        });
+                        i += op.len();
+                    }
+                    None => {
+                        tokens.push(Token {
+                            kind: TokenKind::Punct,
+                            text: (b as char).to_string(),
+                            line,
+                        });
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+    tokens
+}
+
+/// Scans a `"..."` string starting at `start`; returns (contents, end index
+/// one past the closing quote).
+fn scan_string(bytes: &[u8], start: usize) -> (String, usize) {
+    let mut j = start + 1;
+    let from = j;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'"' => {
+                return (String::from_utf8_lossy(&bytes[from..j]).into_owned(), j + 1);
+            }
+            _ => j += 1,
+        }
+    }
+    (String::from_utf8_lossy(&bytes[from..j.min(bytes.len())]).into_owned(), bytes.len())
+}
+
+/// When position `i` starts a raw / byte / raw-byte string (`r"`, `r#"`,
+/// `b"`, `br#"` …), returns the index one past its end. `r#ident` (a raw
+/// identifier) and a plain `r` ident return `None`.
+fn raw_or_byte_string_start(bytes: &[u8], i: usize) -> Option<usize> {
+    let mut j = i;
+    // Optional `b`, then optional `r`.
+    if bytes.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    let raw = bytes.get(j) == Some(&b'r');
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while raw && bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'"') {
+        return None; // `r#ident` raw identifier, or a plain `r`/`b` ident
+    }
+    j += 1;
+    if !raw {
+        // Plain byte string: same escape rules as a normal string.
+        let (_, end) = scan_string(bytes, j - 1);
+        return Some(end);
+    }
+    // Raw string: ends at `"` followed by `hashes` hash marks.
+    let closer: Vec<u8> = std::iter::once(b'"').chain(std::iter::repeat_n(b'#', hashes)).collect();
+    let mut k = j;
+    while k < bytes.len() {
+        if bytes[k] == b'"' && bytes[k..].starts_with(&closer) {
+            return Some(k + closer.len());
+        }
+        k += 1;
+    }
+    Some(bytes.len())
+}
+
+/// Token-index ranges (half-open) that live inside test-only code: a
+/// `#[cfg(test)]` / `#[test]` attribute and the item (usually a `mod` or
+/// `fn`) it gates, through the matching closing brace.
+pub fn test_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !(tokens[i].is_punct("#") && tokens.get(i + 1).is_some_and(|t| t.is_punct("["))) {
+            i += 1;
+            continue;
+        }
+        // Find the attribute's closing `]` and check it mentions `test`.
+        let attr_start = i;
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        let mut mentions_test = false;
+        while j < tokens.len() {
+            if tokens[j].is_punct("[") {
+                depth += 1;
+            } else if tokens[j].is_punct("]") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if tokens[j].is_ident("test") {
+                mentions_test = true;
+            }
+            j += 1;
+        }
+        if !mentions_test || j >= tokens.len() {
+            i = j.max(i + 1);
+            continue;
+        }
+        // Skip any further attributes between this one and the item.
+        let mut k = j + 1;
+        while k < tokens.len()
+            && tokens[k].is_punct("#")
+            && tokens.get(k + 1).is_some_and(|t| t.is_punct("["))
+        {
+            let mut d = 0usize;
+            while k < tokens.len() {
+                if tokens[k].is_punct("[") {
+                    d += 1;
+                } else if tokens[k].is_punct("]") {
+                    d -= 1;
+                    if d == 0 {
+                        k += 1;
+                        break;
+                    }
+                }
+                k += 1;
+            }
+        }
+        // The gated item runs to its matching `}` (or a `;` for `mod x;`).
+        let mut brace = 0usize;
+        let mut end = k;
+        let mut entered = false;
+        while end < tokens.len() {
+            if tokens[end].is_punct("{") {
+                brace += 1;
+                entered = true;
+            } else if tokens[end].is_punct("}") {
+                brace = brace.saturating_sub(1);
+                if entered && brace == 0 {
+                    end += 1;
+                    break;
+                }
+            } else if !entered && tokens[end].is_punct(";") {
+                end += 1;
+                break;
+            }
+            end += 1;
+        }
+        ranges.push((attr_start, end));
+        i = end;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(text: &str) -> Vec<String> {
+        lex(text).into_iter().filter(|t| t.kind == TokenKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            // HashMap in a comment
+            /* Instant::now() in /* a nested */ block */
+            let x = "HashMap::new()";
+            let y = r#"unwrap() inside raw "quoted" text"#;
+            let z = b"panic!";
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.iter().any(|t| t == "HashMap" || t == "Instant" || t == "unwrap"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> =
+            toks.iter().filter(|t| t.kind == TokenKind::Lifetime).map(|t| &t.text).collect();
+        assert_eq!(lifetimes, ["'a", "'a"]);
+        let chars = toks.iter().filter(|t| t.kind == TokenKind::Char).count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn multi_char_operators_are_single_tokens() {
+        let toks = lex("a -> b::c += d .. e");
+        let puncts: Vec<_> =
+            toks.iter().filter(|t| t.kind == TokenKind::Punct).map(|t| t.text.as_str()).collect();
+        assert_eq!(puncts, ["->", "::", "+=", ".."]);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "let a = \"x\ny\";\nlet b = 1;";
+        let toks = lex(src);
+        let b = toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn ranges_do_not_eat_float_syntax() {
+        let toks = lex("for i in 0..n { x = 1.5; }");
+        assert!(toks.iter().any(|t| t.is_punct("..")));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Number && t.text == "1.5"));
+    }
+
+    #[test]
+    fn cfg_test_region_covers_the_module() {
+        let src = r#"
+            fn hot() { value.unwrap(); }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn check() { other.unwrap(); }
+            }
+        "#;
+        let toks = lex(src);
+        let ranges = test_ranges(&toks);
+        assert_eq!(ranges.len(), 1);
+        let (s, e) = ranges[0];
+        let covered: Vec<_> = toks[s..e].iter().filter(|t| t.is_ident("unwrap")).collect();
+        assert_eq!(covered.len(), 1, "only the test-module unwrap is covered");
+        let first_unwrap = toks.iter().position(|t| t.is_ident("unwrap")).unwrap();
+        assert!(first_unwrap < s, "the hot-path unwrap stays outside");
+    }
+
+    #[test]
+    fn cfg_all_test_counts_as_test_region() {
+        let src = "#[cfg(all(test, feature = \"x\"))] mod m { fn f() {} }";
+        assert_eq!(test_ranges(&lex(src)).len(), 1);
+    }
+}

@@ -1,0 +1,156 @@
+//! corroborate-audit — in-repo static analysis for the corroborate
+//! workspace.
+//!
+//! The workspace's core guarantees (bit-identical fingerprints, panic-free
+//! serve hot paths, a telemetry catalog that matches its docs) are
+//! invariants the Rust compiler cannot express. This crate checks them the
+//! same way the rest of the workspace builds its tooling: from scratch, on
+//! `std` alone — a hand-rolled Rust lexer, `/`-glob matcher, and rule
+//! engine, with every accepted exception recorded in a committed manifest
+//! (`audit_manifest.json`) rather than hardcoded.
+//!
+//! Pipeline: [`workspace::load_workspace`] lexes the sources and reads the
+//! manifests/docs → [`rules::run_all`] produces raw diagnostics →
+//! [`audit`] applies the [`manifest::Manifest`] (severity overrides +
+//! allowlist) → the `corroborate_audit` bin renders the report and maps it
+//! to the `golden_check`-style exit contract (0 clean / 1 violations /
+//! 2 usage-or-config error).
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+#![warn(rust_2018_idioms)]
+
+pub mod glob;
+pub mod lexer;
+pub mod manifest;
+pub mod rules;
+pub mod workspace;
+
+use corroborate_obs::Json;
+
+use manifest::Manifest;
+use rules::{Diagnostic, Severity};
+use workspace::Workspace;
+
+/// The outcome of one audit run, after manifest filtering.
+#[derive(Debug, Default)]
+pub struct AuditReport {
+    /// Error-severity violations (always fail the run).
+    pub errors: Vec<Diagnostic>,
+    /// Warn-severity violations (fail the run under `--strict`).
+    pub warnings: Vec<Diagnostic>,
+    /// Diagnostics accepted by manifest allow entries.
+    pub allowed: usize,
+    /// Diagnostics dropped by `"off"` severity overrides.
+    pub silenced: usize,
+}
+
+impl AuditReport {
+    /// Whether the run passes: no errors, and no warnings when `strict`.
+    pub fn passes(&self, strict: bool) -> bool {
+        self.errors.is_empty() && (!strict || self.warnings.is_empty())
+    }
+
+    /// JSON rendering (stable field order) for `--json`.
+    pub fn to_json(&self) -> Json {
+        fn diags(list: &[Diagnostic]) -> Json {
+            Json::Arr(
+                list.iter()
+                    .map(|d| {
+                        let mut o = Json::object();
+                        o.insert("rule", d.rule);
+                        o.insert("path", d.path.as_str());
+                        o.insert("line", d.line);
+                        o.insert("message", d.message.as_str());
+                        o.insert("in_test", d.in_test);
+                        o
+                    })
+                    .collect(),
+            )
+        }
+        let mut root = Json::object();
+        root.insert("report", "corroborate_audit");
+        root.insert("schema_version", 1u64);
+        root.insert("errors", diags(&self.errors));
+        root.insert("warnings", diags(&self.warnings));
+        root.insert("allowed", self.allowed);
+        root.insert("silenced", self.silenced);
+        root
+    }
+}
+
+/// Runs every rule over `ws` and applies the manifest: `off` rules are
+/// silenced, allow-entry matches are accepted, and the rest land in the
+/// report at their effective severity.
+pub fn audit(ws: &Workspace, manifest: &Manifest) -> AuditReport {
+    let mut report = AuditReport::default();
+    for diag in rules::run_all(ws) {
+        match manifest.severity_for(diag.rule) {
+            Severity::Off => report.silenced += 1,
+            severity => {
+                if manifest.allows(&diag).is_some() {
+                    report.allowed += 1;
+                } else if severity == Severity::Error {
+                    report.errors.push(diag);
+                } else {
+                    report.warnings.push(diag);
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workspace::SourceFile;
+
+    fn ws_with_violation() -> Workspace {
+        Workspace {
+            sources: vec![SourceFile::from_text(
+                "crates/serve/src/queue.rs",
+                "fn f(q: &Q) { q.lock().unwrap(); }",
+            )],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn severities_and_allowlist_shape_the_report() {
+        let ws = ws_with_violation();
+        let empty = Manifest::parse("{}").unwrap();
+        let report = audit(&ws, &empty);
+        assert_eq!(report.errors.len(), 1);
+        assert!(!report.passes(false));
+
+        let warn = Manifest::parse(r#"{ "severity": { "F001": "warn" } }"#).unwrap();
+        let report = audit(&ws, &warn);
+        assert!(report.errors.is_empty() && report.warnings.len() == 1);
+        assert!(report.passes(false) && !report.passes(true));
+
+        let off = Manifest::parse(r#"{ "severity": { "F001": "off" } }"#).unwrap();
+        let report = audit(&ws, &off);
+        assert_eq!(report.silenced, 1);
+        assert!(report.passes(true));
+
+        let allow = Manifest::parse(
+            r#"{ "allow": [ { "rule": "F001", "path": "crates/serve/src/queue.rs",
+                             "reason": "pending poison-recovery rewrite" } ] }"#,
+        )
+        .unwrap();
+        let report = audit(&ws, &allow);
+        assert_eq!(report.allowed, 1);
+        assert!(report.passes(true));
+    }
+
+    #[test]
+    fn json_report_has_stable_shape() {
+        let report = audit(&ws_with_violation(), &Manifest::parse("{}").unwrap());
+        let json = report.to_json();
+        assert_eq!(json.get("report").and_then(Json::as_str), Some("corroborate_audit"));
+        let errors = json.get("errors").and_then(Json::as_array).unwrap();
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].get("rule").and_then(Json::as_str), Some("F001"));
+    }
+}

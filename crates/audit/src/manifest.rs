@@ -1,0 +1,247 @@
+//! The allowlist manifest: the in-repo record of every accepted exception
+//! and severity override, mirroring how `testkit::golden` keeps its gating
+//! rules in a committed manifest instead of hardcoding them.
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "severity": { "C002": "warn" },
+//!   "allow": [
+//!     { "rule": "*", "where": "test-code",
+//!       "reason": "test code may panic and use wall clocks" },
+//!     { "rule": "F001", "path": "crates/serve/src/bin/**",
+//!       "reason": "bins exit on startup errors by design" }
+//!   ]
+//! }
+//! ```
+//!
+//! Every `allow` entry must carry a `reason` — an exception nobody can
+//! justify is a violation, not an exception. Matching is AND across the
+//! present fields: `rule` (id or `*`), `path` (glob), `contains`
+//! (message substring), `where: "test-code"` (diagnostic sits in test-only
+//! code).
+
+use corroborate_obs::Json;
+
+use crate::glob::PathGlob;
+use crate::rules::{rule_info, Diagnostic, Severity};
+
+/// One accepted exception.
+#[derive(Debug)]
+pub struct AllowEntry {
+    /// Rule id this entry applies to, or `"*"` for all rules.
+    pub rule: String,
+    /// Path glob the diagnostic's file must match, when present.
+    pub path: Option<PathGlob>,
+    /// Substring the diagnostic's message must contain, when present.
+    pub contains: Option<String>,
+    /// When true, only diagnostics in test-only code match.
+    pub test_code_only: bool,
+    /// Why the exception is acceptable (required).
+    pub reason: String,
+}
+
+impl AllowEntry {
+    /// Whether this entry accepts `d`.
+    pub fn matches(&self, d: &Diagnostic) -> bool {
+        (self.rule == "*" || self.rule == d.rule)
+            && self.path.as_ref().is_none_or(|g| g.matches(&d.path))
+            && self.contains.as_ref().is_none_or(|s| d.message.contains(s.as_str()))
+            && (!self.test_code_only || d.in_test)
+    }
+}
+
+/// A parsed, validated manifest.
+#[derive(Debug, Default)]
+pub struct Manifest {
+    /// Per-rule severity overrides.
+    pub severities: Vec<(String, Severity)>,
+    /// Accepted exceptions, in file order (first match wins for reporting).
+    pub allow: Vec<AllowEntry>,
+}
+
+fn obj(json: &Json) -> Option<&[(String, Json)]> {
+    match json {
+        Json::Obj(fields) => Some(fields),
+        _ => None,
+    }
+}
+
+impl Manifest {
+    /// Parses and validates manifest JSON.
+    ///
+    /// # Errors
+    /// Malformed JSON, unknown rule ids or severities, allow entries
+    /// missing a `reason`, or unknown keys (so typos fail loudly instead
+    /// of silently allowing nothing).
+    pub fn parse(text: &str) -> Result<Manifest, String> {
+        let json = Json::parse(text).map_err(|e| format!("manifest is not valid JSON: {e}"))?;
+        let fields = obj(&json).ok_or("manifest root must be a JSON object")?;
+        let mut manifest = Manifest::default();
+        for (key, value) in fields {
+            match key.as_str() {
+                "schema_version" => {
+                    if value.as_i64() != Some(1) {
+                        return Err(format!("unsupported schema_version {}", value.to_json()));
+                    }
+                }
+                "severity" => {
+                    let sev = obj(value).ok_or("`severity` must be an object")?;
+                    for (rule, level) in sev {
+                        if rule_info(rule).is_none() {
+                            return Err(format!("severity override for unknown rule `{rule}`"));
+                        }
+                        let level = match level.as_str() {
+                            Some("error") => Severity::Error,
+                            Some("warn") => Severity::Warn,
+                            Some("off") => Severity::Off,
+                            _ => {
+                                return Err(format!(
+                                    "severity for `{rule}` must be \"error\", \"warn\", or \
+                                     \"off\", got {}",
+                                    level.to_json()
+                                ))
+                            }
+                        };
+                        manifest.severities.push((rule.clone(), level));
+                    }
+                }
+                "allow" => {
+                    let entries = match value {
+                        Json::Arr(entries) => entries,
+                        _ => return Err("`allow` must be an array".to_string()),
+                    };
+                    for (i, entry) in entries.iter().enumerate() {
+                        manifest.allow.push(parse_allow(entry, i)?);
+                    }
+                }
+                other => return Err(format!("unknown manifest key `{other}`")),
+            }
+        }
+        Ok(manifest)
+    }
+
+    /// Effective severity for `rule`: the manifest override when present,
+    /// the catalogue default otherwise.
+    pub fn severity_for(&self, rule: &str) -> Severity {
+        self.severities
+            .iter()
+            .find(|(r, _)| r == rule)
+            .map(|(_, s)| *s)
+            .or_else(|| rule_info(rule).map(|r| r.default_severity))
+            .unwrap_or(Severity::Error)
+    }
+
+    /// The first allow entry accepting `d`, if any.
+    pub fn allows(&self, d: &Diagnostic) -> Option<&AllowEntry> {
+        self.allow.iter().find(|e| e.matches(d))
+    }
+}
+
+fn parse_allow(entry: &Json, index: usize) -> Result<AllowEntry, String> {
+    let fields = obj(entry).ok_or_else(|| format!("allow[{index}] must be an object"))?;
+    let mut rule = None;
+    let mut path = None;
+    let mut contains = None;
+    let mut test_code_only = false;
+    let mut reason = None;
+    for (key, value) in fields {
+        let as_str = || {
+            value
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("allow[{index}].{key} must be a string"))
+        };
+        match key.as_str() {
+            "rule" => {
+                let r = as_str()?;
+                if r != "*" && rule_info(&r).is_none() {
+                    return Err(format!("allow[{index}] names unknown rule `{r}`"));
+                }
+                rule = Some(r);
+            }
+            "path" => path = Some(PathGlob::parse(&as_str()?)),
+            "contains" => contains = Some(as_str()?),
+            "where" => {
+                let w = as_str()?;
+                if w != "test-code" {
+                    return Err(format!("allow[{index}].where must be \"test-code\", got `{w}`"));
+                }
+                test_code_only = true;
+            }
+            "reason" => reason = Some(as_str()?),
+            other => return Err(format!("allow[{index}] has unknown key `{other}`")),
+        }
+    }
+    let reason = reason
+        .filter(|r| !r.trim().is_empty())
+        .ok_or_else(|| format!("allow[{index}] is missing a non-empty `reason`"))?;
+    Ok(AllowEntry {
+        rule: rule.ok_or_else(|| format!("allow[{index}] is missing `rule`"))?,
+        path,
+        contains,
+        test_code_only,
+        reason,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &'static str, path: &str, in_test: bool) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: path.to_string(),
+            line: 1,
+            message: "uses `.unwrap(` here".to_string(),
+            in_test,
+        }
+    }
+
+    #[test]
+    fn parses_overrides_and_allow_entries() {
+        let m = Manifest::parse(
+            r#"{
+                "schema_version": 1,
+                "severity": { "C002": "warn", "D003": "off" },
+                "allow": [
+                    { "rule": "*", "where": "test-code", "reason": "tests may panic" },
+                    { "rule": "F001", "path": "crates/serve/src/bin/**",
+                      "contains": "unwrap", "reason": "bins exit on startup errors" }
+                ]
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(m.severity_for("C002"), Severity::Warn);
+        assert_eq!(m.severity_for("D003"), Severity::Off);
+        assert_eq!(m.severity_for("D001"), Severity::Error);
+
+        assert!(m.allows(&diag("D002", "crates/obs/src/report.rs", true)).is_some());
+        assert!(m.allows(&diag("D002", "crates/obs/src/report.rs", false)).is_none());
+        let bin = diag("F001", "crates/serve/src/bin/corroborate_serve.rs", false);
+        assert_eq!(m.allows(&bin).unwrap().reason, "bins exit on startup errors");
+        assert!(m.allows(&diag("F001", "crates/serve/src/wal.rs", false)).is_none());
+    }
+
+    #[test]
+    fn rejects_unknown_rules_keys_and_missing_reasons() {
+        assert!(Manifest::parse(r#"{ "severity": { "Z999": "warn" } }"#).is_err());
+        assert!(Manifest::parse(r#"{ "allow": [ { "rule": "F001" } ] }"#).is_err());
+        assert!(Manifest::parse(r#"{ "allow": [ { "rule": "F001", "reason": " " } ] }"#).is_err());
+        assert!(Manifest::parse(r#"{ "typo": 1 }"#).is_err());
+        assert!(Manifest::parse(r#"{ "schema_version": 2 }"#).is_err());
+        assert!(Manifest::parse(
+            r#"{ "allow": [ { "rule": "F001", "where": "prod", "reason": "x" } ] }"#
+        )
+        .is_err());
+        assert!(Manifest::parse("not json").is_err());
+    }
+
+    #[test]
+    fn empty_manifest_uses_catalog_defaults() {
+        let m = Manifest::parse("{}").unwrap();
+        assert_eq!(m.severity_for("D001"), Severity::Error);
+        assert!(m.allows(&diag("D001", "x.rs", false)).is_none());
+    }
+}

@@ -1,0 +1,561 @@
+//! Cross-file consistency rules (C001–C005).
+//!
+//! These are the facts the workspace keeps in two places at once — an enum
+//! and its `ALL` array, a telemetry key and its docs entry, a feature gate
+//! and its `Cargo.toml`, an engine impl and the roster the conformance
+//! oracle drives, a markdown link and the file it names. The compiler
+//! checks none of them, so they drift silently; each rule re-derives both
+//! sides from source and diffs them.
+
+use crate::lexer::{Token, TokenKind};
+use crate::rules::Diagnostic;
+use crate::workspace::{SourceFile, Workspace};
+
+/// Where the `Counter` enum lives.
+pub const COUNTERS_PATH: &str = "crates/obs/src/counters.rs";
+/// Where the `Span` enum lives.
+pub const OBSERVER_PATH: &str = "crates/obs/src/observer.rs";
+/// Where serve-layer gauges are registered into reports.
+pub const METRICS_PATH: &str = "crates/serve/src/metrics.rs";
+/// The telemetry catalog document.
+pub const OBS_DOC_PATH: &str = "docs/OBSERVABILITY.md";
+/// Where the engine rosters live.
+pub const ROSTER_PATH: &str = "crates/algorithms/src/lib.rs";
+
+pub(crate) fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    check_registry_drift(ws, out);
+    check_docs_drift(ws, out);
+    check_features(ws, out);
+    check_engine_roster(ws, out);
+    check_doc_links(ws, out);
+}
+
+/// Index one past the brace matching `toks[open]` (which must be `{` or
+/// `[`), or `toks.len()` when unbalanced.
+fn matching_close(toks: &[Token], open: usize) -> usize {
+    let (open_t, close_t) = match toks[open].text.as_str() {
+        "[" => ("[", "]"),
+        _ => ("{", "}"),
+    };
+    let mut depth = 0usize;
+    for (i, tok) in toks.iter().enumerate().skip(open) {
+        if tok.is_punct(open_t) {
+            depth += 1;
+        } else if tok.is_punct(close_t) {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+    }
+    toks.len()
+}
+
+/// The variants of `enum name { … }`: idents at depth 1 that are followed
+/// by `,` or the closing `}` (the workspace's telemetry enums are all
+/// field-less).
+fn enum_variants(file: &SourceFile, name: &str) -> Vec<(String, u32)> {
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !(toks[i].is_ident("enum")
+            && toks.get(i + 1).is_some_and(|t| t.is_ident(name))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct("{")))
+        {
+            continue;
+        }
+        let end = matching_close(toks, i + 2);
+        for j in (i + 3)..end.saturating_sub(1) {
+            if toks[j].kind == TokenKind::Ident
+                && toks.get(j + 1).is_some_and(|t| t.is_punct(",") || t.is_punct("}"))
+            {
+                out.push((toks[j].text.clone(), toks[j].line));
+            }
+        }
+        break;
+    }
+    out
+}
+
+/// Entries of `const ALL: … = [Name::Variant, …];` inside `file`.
+fn all_array_entries(file: &SourceFile, enum_name: &str) -> Vec<String> {
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !(toks[i].is_ident("const") && toks.get(i + 1).is_some_and(|t| t.is_ident("ALL"))) {
+            continue;
+        }
+        // Skip past the `=`: the `[Name; N]` type annotation also brackets.
+        let Some(eq) = (i..toks.len()).find(|&j| toks[j].is_punct("=")) else { break };
+        let Some(open) = (eq..toks.len()).find(|&j| toks[j].is_punct("[")) else { break };
+        let end = matching_close(toks, open);
+        for j in open..end {
+            if toks[j].is_ident(enum_name)
+                && toks.get(j + 1).is_some_and(|t| t.is_punct("::"))
+                && toks.get(j + 2).is_some_and(|t| t.kind == TokenKind::Ident)
+            {
+                out.push(toks[j + 2].text.clone());
+            }
+        }
+        break;
+    }
+    out
+}
+
+/// String literals inside the body of `fn name` — the right-hand sides of
+/// the `key()` match arms.
+fn fn_body_strings(file: &SourceFile, name: &str) -> Vec<(String, u32)> {
+    fn_body(file, name)
+        .map(|(start, end)| {
+            file.tokens[start..end]
+                .iter()
+                .filter(|t| t.kind == TokenKind::Str)
+                .map(|t| (t.text.clone(), t.line))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Token range of the body of the first `fn name` in `file`.
+fn fn_body(file: &SourceFile, name: &str) -> Option<(usize, usize)> {
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if toks[i].is_ident("fn") && toks.get(i + 1).is_some_and(|t| t.is_ident(name)) {
+            let open = (i..toks.len()).find(|&j| toks[j].is_punct("{"))?;
+            return Some((open + 1, matching_close(toks, open).saturating_sub(1)));
+        }
+    }
+    None
+}
+
+/// C001 — every `Counter`/`Span` variant is listed in its `ALL` array and
+/// emitted as `Enum::Variant` from non-test code outside the declaring
+/// file. `ALL` is hand-maintained (the compiler cannot enforce coverage),
+/// and an unemitted variant is a catalog entry that silently reports zero.
+fn check_registry_drift(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for (decl_path, enum_name) in [(COUNTERS_PATH, "Counter"), (OBSERVER_PATH, "Span")] {
+        let Some(decl) = ws.source(decl_path) else { continue };
+        let variants = enum_variants(decl, enum_name);
+        if variants.is_empty() {
+            continue;
+        }
+        let all = all_array_entries(decl, enum_name);
+        for (variant, line) in &variants {
+            if !all.iter().any(|v| v == variant) {
+                out.push(Diagnostic {
+                    rule: "C001",
+                    path: decl_path.to_string(),
+                    line: *line,
+                    message: format!(
+                        "`{enum_name}::{variant}` is missing from `{enum_name}::ALL` — \
+                         reports iterate ALL, so this variant never renders"
+                    ),
+                    in_test: false,
+                });
+            }
+        }
+        let mut emitted: Vec<bool> = vec![false; variants.len()];
+        for file in ws.sources.iter().filter(|f| f.rel_path != decl_path) {
+            let toks = &file.tokens;
+            for i in 0..toks.len() {
+                if file.in_test[i]
+                    || !toks[i].is_ident(enum_name)
+                    || !toks.get(i + 1).is_some_and(|t| t.is_punct("::"))
+                {
+                    continue;
+                }
+                if let Some(next) = toks.get(i + 2) {
+                    if let Some(k) = variants.iter().position(|(v, _)| *v == next.text) {
+                        emitted[k] = true;
+                    }
+                }
+            }
+        }
+        for (k, (variant, line)) in variants.iter().enumerate() {
+            if !emitted[k] {
+                out.push(Diagnostic {
+                    rule: "C001",
+                    path: decl_path.to_string(),
+                    line: *line,
+                    message: format!(
+                        "`{enum_name}::{variant}` is never emitted from non-test code — \
+                         a dead catalog entry that always reports zero"
+                    ),
+                    in_test: false,
+                });
+            }
+        }
+    }
+}
+
+/// C002 — every counter/span key and every serve gauge key appears
+/// backticked in `docs/OBSERVABILITY.md`, so the operational catalog and
+/// the code that emits it stay in lockstep.
+fn check_docs_drift(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    let Some(doc) = ws.docs.iter().find(|d| d.rel_path == OBS_DOC_PATH) else { return };
+    let mut keys: Vec<(String, u32, &str, &str)> = Vec::new();
+    for (path, kind) in [(COUNTERS_PATH, "counter"), (OBSERVER_PATH, "span")] {
+        if let Some(file) = ws.source(path) {
+            for (key, line) in fn_body_strings(file, "key") {
+                keys.push((key, line, path, kind));
+            }
+        }
+    }
+    if let Some(file) = ws.source(METRICS_PATH) {
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if toks[i].is_ident("gauges")
+                && toks.get(i + 1).is_some_and(|t| t.is_punct("."))
+                && toks.get(i + 2).is_some_and(|t| t.is_ident("insert"))
+                && toks.get(i + 3).is_some_and(|t| t.is_punct("("))
+                && toks.get(i + 4).is_some_and(|t| t.kind == TokenKind::Str)
+            {
+                keys.push((toks[i + 4].text.clone(), toks[i + 4].line, METRICS_PATH, "gauge"));
+            }
+        }
+    }
+    for (key, line, path, kind) in keys {
+        if !doc.text.contains(&format!("`{key}`")) {
+            out.push(Diagnostic {
+                rule: "C002",
+                path: path.to_string(),
+                line,
+                message: format!(
+                    "{kind} key `{key}` is not documented in {OBS_DOC_PATH} — \
+                     add it to the catalog (backticked) or remove the emission"
+                ),
+                in_test: false,
+            });
+        }
+    }
+}
+
+/// C003 — every `feature = "x"` in a cfg refers to a feature the owning
+/// crate's `Cargo.toml` declares. An undeclared feature never compiles in,
+/// so the gated code is dead without any compiler diagnostic.
+fn check_features(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for file in &ws.sources {
+        let crate_dir = file.crate_dir();
+        let Some(manifest) = ws.manifests.iter().find(|m| m.crate_dir == crate_dir) else {
+            continue;
+        };
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if toks[i].is_ident("feature")
+                && toks.get(i + 1).is_some_and(|t| t.is_punct("="))
+                && toks.get(i + 2).is_some_and(|t| t.kind == TokenKind::Str)
+            {
+                let name = &toks[i + 2].text;
+                if !manifest.features.iter().any(|f| f == name) {
+                    out.push(Diagnostic {
+                        rule: "C003",
+                        path: file.rel_path.clone(),
+                        line: toks[i + 2].line,
+                        message: format!(
+                            "feature `{name}` is not declared in {} — the gated code \
+                             can never compile in",
+                            manifest.rel_path
+                        ),
+                        in_test: file.in_test[i],
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// C004 — every non-test `impl … Corroborator for Type` in the algorithms
+/// crate is constructed in `standard_roster` / `extended_roster`, so the
+/// conformance oracle and planted-truth gates actually exercise it.
+fn check_engine_roster(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    let Some(lib) = ws.source(ROSTER_PATH) else { return };
+    let mut roster: Vec<String> = Vec::new();
+    for fn_name in ["standard_roster", "extended_roster"] {
+        if let Some((start, end)) = fn_body(lib, fn_name) {
+            roster.extend(
+                lib.tokens[start..end]
+                    .iter()
+                    .filter(|t| t.kind == TokenKind::Ident)
+                    .map(|t| t.text.clone()),
+            );
+        }
+    }
+    if roster.is_empty() {
+        return;
+    }
+    for file in ws.sources.iter().filter(|f| f.rel_path.starts_with("crates/algorithms/src/")) {
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if toks[i].is_ident("Corroborator")
+                && toks.get(i + 1).is_some_and(|t| t.is_ident("for"))
+                && toks.get(i + 2).is_some_and(|t| t.kind == TokenKind::Ident)
+            {
+                let ty = &toks[i + 2].text;
+                if !roster.iter().any(|r| r == ty) {
+                    out.push(Diagnostic {
+                        rule: "C004",
+                        path: file.rel_path.clone(),
+                        line: toks[i + 2].line,
+                        message: format!(
+                            "`{ty}` implements Corroborator but is not constructed in \
+                             standard_roster/extended_roster — the conformance oracle \
+                             never exercises it"
+                        ),
+                        in_test: file.in_test[i],
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Normalizes a `/`-separated relative path, resolving `.` and `..`.
+/// Returns `None` when `..` escapes the repository root.
+fn normalize(path: &str) -> Option<String> {
+    let mut segs: Vec<&str> = Vec::new();
+    for seg in path.split('/') {
+        match seg {
+            "" | "." => {}
+            ".." => {
+                segs.pop()?;
+            }
+            s => segs.push(s),
+        }
+    }
+    Some(segs.join("/"))
+}
+
+/// C005 — every relative markdown link in the loaded docs resolves to a
+/// real file. Targets are checked against the loaded workspace first and
+/// the filesystem second (goldens, configs, and directories are linked
+/// from the docs but not lexed).
+fn check_doc_links(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    let known: Vec<&str> = ws
+        .sources
+        .iter()
+        .map(|s| s.rel_path.as_str())
+        .chain(ws.docs.iter().map(|d| d.rel_path.as_str()))
+        .chain(ws.manifests.iter().map(|m| m.rel_path.as_str()))
+        .collect();
+    for doc in &ws.docs {
+        let base = match doc.rel_path.rsplit_once('/') {
+            Some((dir, _)) => dir,
+            None => "",
+        };
+        for (target, line) in markdown_links(&doc.text) {
+            let bare = target.split('#').next().unwrap_or("");
+            if bare.is_empty()
+                || bare.contains("://")
+                || bare.starts_with("mailto:")
+                || target.starts_with('<')
+            {
+                continue;
+            }
+            let joined = if base.is_empty() { bare.to_string() } else { format!("{base}/{bare}") };
+            let resolved = normalize(&joined);
+            let exists = match &resolved {
+                None => false,
+                Some(p) => {
+                    known.contains(&p.as_str())
+                        || ws.root.as_deref().is_some_and(|root| root.join(p).exists())
+                }
+            };
+            if !exists {
+                out.push(Diagnostic {
+                    rule: "C005",
+                    path: doc.rel_path.clone(),
+                    line,
+                    message: format!(
+                        "link target `{target}` does not resolve to a file in the \
+                         repository"
+                    ),
+                    in_test: false,
+                });
+            }
+        }
+    }
+}
+
+/// `(target, 1-based line)` for every inline markdown link `[text](target)`.
+fn markdown_links(text: &str) -> Vec<(String, u32)> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut line: u32 = 1;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\n' => line += 1,
+            b']' if i + 1 < bytes.len() && bytes[i + 1] == b'(' => {
+                let start = i + 2;
+                if let Some(len) = text[start..].find([')', '\n']) {
+                    if text.as_bytes()[start + len] == b')' {
+                        out.push((text[start..start + len].to_string(), line));
+                        i = start + len;
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::{CrateManifest, DocFile, SourceFile};
+
+    fn run(ws: &Workspace) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        check(ws, &mut out);
+        out
+    }
+
+    fn counters_decl(variants: &str, all: &str) -> SourceFile {
+        let src = format!(
+            "pub enum Counter {{ {variants} }}\n\
+             impl Counter {{ pub const ALL: [Counter; 2] = [{all}]; \n\
+             pub fn key(self) -> &'static str {{ match self {{ _ => \"rounds\" }} }} }}"
+        );
+        SourceFile::from_text(COUNTERS_PATH, &src)
+    }
+
+    #[test]
+    fn c001_flags_missing_all_entry_and_unemitted_variant() {
+        let ws = Workspace {
+            sources: vec![
+                counters_decl("Rounds, Iterations, Ghost", "Counter::Rounds, Counter::Iterations"),
+                SourceFile::from_text(
+                    "crates/algorithms/src/inc/mod.rs",
+                    "fn f(o: &Obs) { o.incr(Counter::Rounds); o.incr(Counter::Iterations); }",
+                ),
+            ],
+            ..Default::default()
+        };
+        let d = run(&ws);
+        let c001: Vec<_> = d.iter().filter(|d| d.rule == "C001").collect();
+        assert_eq!(c001.len(), 2, "{c001:?}");
+        assert!(c001[0].message.contains("Ghost") && c001[0].message.contains("ALL"));
+        assert!(c001[1].message.contains("Ghost") && c001[1].message.contains("never emitted"));
+    }
+
+    #[test]
+    fn c001_emission_in_test_code_does_not_count() {
+        let ws = Workspace {
+            sources: vec![
+                counters_decl("Rounds", "Counter::Rounds"),
+                SourceFile::from_text(
+                    "crates/obs/tests/smoke.rs",
+                    "fn f(o: &Obs) { o.incr(Counter::Rounds); }",
+                ),
+            ],
+            ..Default::default()
+        };
+        assert_eq!(run(&ws).iter().filter(|d| d.rule == "C001").count(), 1);
+    }
+
+    #[test]
+    fn c002_flags_undocumented_keys() {
+        let decl = counters_decl("Rounds", "Counter::Rounds");
+        let emit = SourceFile::from_text(
+            "crates/algorithms/src/x.rs",
+            "fn f(o: &Obs) { o.incr(Counter::Rounds); }",
+        );
+        let gauges = SourceFile::from_text(
+            METRICS_PATH,
+            "fn f(gauges: &mut Json) { gauges.insert(\"queue_depth\", 1u64); }",
+        );
+        let doc_ok = DocFile {
+            rel_path: OBS_DOC_PATH.to_string(),
+            text: "| `rounds` | `queue_depth` |".to_string(),
+        };
+        let mut ws = Workspace {
+            sources: vec![decl, emit, gauges],
+            docs: vec![doc_ok],
+            ..Default::default()
+        };
+        assert!(run(&ws).iter().all(|d| d.rule != "C002"));
+        ws.docs[0].text = "nothing documented".to_string();
+        let d = run(&ws);
+        assert_eq!(d.iter().filter(|d| d.rule == "C002").count(), 2);
+    }
+
+    #[test]
+    fn c003_flags_undeclared_feature() {
+        let ws = Workspace {
+            sources: vec![SourceFile::from_text(
+                "crates/obs/src/lib.rs",
+                "#[cfg(feature = \"rayon\")]\nfn par() {}\n#[cfg(feature = \"declared\")]\nfn d() {}",
+            )],
+            manifests: vec![CrateManifest {
+                rel_path: "crates/obs/Cargo.toml".to_string(),
+                crate_dir: "crates/obs".to_string(),
+                features: vec!["declared".to_string()],
+            }],
+            ..Default::default()
+        };
+        let d = run(&ws);
+        let c003: Vec<_> = d.iter().filter(|d| d.rule == "C003").collect();
+        assert_eq!(c003.len(), 1);
+        assert!(c003[0].message.contains("rayon"));
+        assert_eq!(c003[0].line, 1);
+    }
+
+    #[test]
+    fn c004_flags_engine_missing_from_roster() {
+        let lib = SourceFile::from_text(
+            ROSTER_PATH,
+            "pub fn standard_roster(seed: u64) -> Vec<Box<dyn Corroborator>> {\n\
+             vec![Box::new(Voting::new())] }\n\
+             pub fn extended_roster(seed: u64) -> Vec<Box<dyn Corroborator>> {\n\
+             vec![Box::new(Cosine::new(seed))] }",
+        );
+        let impls = SourceFile::from_text(
+            "crates/algorithms/src/novel.rs",
+            "impl Corroborator for Voting {}\nimpl Corroborator for Orphan {}\n\
+             #[cfg(test)]\nmod t { struct Mock; impl Corroborator for Mock {} }",
+        );
+        let ws = Workspace { sources: vec![lib, impls], ..Default::default() };
+        let d = run(&ws);
+        let c004: Vec<_> = d.iter().filter(|d| d.rule == "C004").collect();
+        assert_eq!(c004.len(), 2, "{c004:?}");
+        assert!(c004[0].message.contains("Orphan") && !c004[0].in_test);
+        assert!(c004[1].message.contains("Mock") && c004[1].in_test);
+    }
+
+    #[test]
+    fn c005_resolves_links_against_loaded_files() {
+        let ws = Workspace {
+            docs: vec![
+                DocFile {
+                    rel_path: "docs/TESTING.md".to_string(),
+                    text: "See [analysis](ANALYSIS.md), [readme](../README.md), \
+                           [web](https://example.com), [anchor](#local),\n\
+                           and [missing](GONE.md)."
+                        .to_string(),
+                },
+                DocFile { rel_path: "README.md".to_string(), text: String::new() },
+                DocFile { rel_path: "docs/ANALYSIS.md".to_string(), text: String::new() },
+            ],
+            ..Default::default()
+        };
+        let d = run(&ws);
+        let c005: Vec<_> = d.iter().filter(|d| d.rule == "C005").collect();
+        assert_eq!(c005.len(), 1, "{c005:?}");
+        assert!(c005[0].message.contains("GONE.md"));
+        assert_eq!(c005[0].line, 2);
+    }
+
+    #[test]
+    fn c005_escaping_root_is_broken() {
+        let ws = Workspace {
+            docs: vec![DocFile {
+                rel_path: "README.md".to_string(),
+                text: "[oops](../outside.md)".to_string(),
+            }],
+            ..Default::default()
+        };
+        assert_eq!(run(&ws).iter().filter(|d| d.rule == "C005").count(), 1);
+    }
+}

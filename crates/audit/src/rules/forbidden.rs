@@ -1,0 +1,178 @@
+//! Forbidden-API rules (F001–F002) over the serve hot paths.
+//!
+//! The request/epoch/WAL paths run under live traffic: a panic tears down
+//! a worker or poisons a lock that every other thread then trips over, and
+//! an unchecked add on a sequence number read from a (possibly corrupt)
+//! log file is silent wraparound. F001 bans the panicking APIs outright —
+//! lock poisoning is handled with `unwrap_or_else(|e| e.into_inner())`
+//! recovery, everything else returns `ServeError`. F002 requires WAL
+//! framing arithmetic to spell out its overflow policy with the
+//! `checked_*` / `saturating_*` / `wrapping_*` families.
+
+use crate::lexer::TokenKind;
+use crate::rules::Diagnostic;
+use crate::workspace::{SourceFile, Workspace};
+
+/// The serve hot-path scope: everything under `crates/serve/src/`,
+/// including the bins (intentional bin exceptions are recorded in the
+/// allowlist manifest, not hardcoded here).
+pub const HOT_SCOPE: &str = "crates/serve/src/";
+
+/// WAL framing scope for the arithmetic rule.
+pub const WAL_SCOPE: &str = "crates/serve/src/wal.rs";
+
+/// Idents that panic when called as `.name(...)`.
+const PANICKING_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// Macros that unconditionally panic.
+const PANICKING_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+pub(crate) fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for file in ws.sources.iter() {
+        if file.rel_path.starts_with(HOT_SCOPE) {
+            check_panic_api(file, out);
+        }
+        if file.rel_path == WAL_SCOPE {
+            check_arithmetic(file, out);
+        }
+    }
+}
+
+fn check_panic_api(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let toks = &file.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let name = tok.text.as_str();
+        let flagged = if PANICKING_METHODS.contains(&name) {
+            // `.unwrap(` — a method call, not `unwrap_or_else` (distinct
+            // ident) and not a definition like `fn unwrap`.
+            i > 0 && toks[i - 1].is_punct(".") && toks.get(i + 1).is_some_and(|t| t.is_punct("("))
+        } else if PANICKING_MACROS.contains(&name) {
+            toks.get(i + 1).is_some_and(|t| t.is_punct("!"))
+        } else {
+            false
+        };
+        if flagged {
+            out.push(Diagnostic {
+                rule: "F001",
+                path: file.rel_path.clone(),
+                line: tok.line,
+                message: format!(
+                    "`{name}` in a serve hot path: a panic here kills a worker or poisons \
+                     a shared lock under live traffic — recover or return ServeError"
+                ),
+                in_test: file.in_test[i],
+            });
+        }
+    }
+}
+
+/// Token kinds that can end an arithmetic operand.
+fn ends_operand(tok: &crate::lexer::Token) -> bool {
+    matches!(tok.kind, TokenKind::Ident | TokenKind::Number)
+        || tok.is_punct(")")
+        || tok.is_punct("]")
+}
+
+/// Token kinds that can begin an arithmetic operand.
+fn starts_operand(tok: &crate::lexer::Token) -> bool {
+    matches!(tok.kind, TokenKind::Ident | TokenKind::Number)
+        || tok.is_punct("(")
+        || tok.is_punct("&")
+        || tok.is_punct("*")
+}
+
+fn check_arithmetic(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let toks = &file.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.kind != TokenKind::Punct {
+            continue;
+        }
+        let op = tok.text.as_str();
+        let flagged = match op {
+            "+=" | "-=" | "*=" => true,
+            "+" | "-" | "*" => {
+                // Binary only: `-1` as a literal, `*deref`, and `&ref`
+                // follow an operator or opening bracket, not an operand.
+                i > 0 && ends_operand(&toks[i - 1]) && toks.get(i + 1).is_some_and(starts_operand)
+            }
+            _ => false,
+        };
+        if flagged {
+            out.push(Diagnostic {
+                rule: "F002",
+                path: file.rel_path.clone(),
+                line: tok.line,
+                message: format!(
+                    "bare `{op}` in WAL framing: sequence numbers and byte offsets come \
+                     from files on disk — use checked_/saturating_/wrapping_ arithmetic \
+                     and decide the overflow policy explicitly"
+                ),
+                in_test: file.in_test[i],
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::SourceFile;
+
+    fn diags_for(path: &str, src: &str) -> Vec<Diagnostic> {
+        let ws =
+            Workspace { sources: vec![SourceFile::from_text(path, src)], ..Default::default() };
+        let mut out = Vec::new();
+        check(&ws, &mut out);
+        out
+    }
+
+    #[test]
+    fn unwrap_and_panic_flagged_in_hot_paths_only() {
+        let src = "fn f() { q.lock().unwrap(); panic!(\"boom\"); }";
+        let d = diags_for("crates/serve/src/server.rs", src);
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().all(|d| d.rule == "F001" && !d.in_test));
+        assert!(diags_for("crates/core/src/stats.rs", src).is_empty());
+    }
+
+    #[test]
+    fn recovery_and_adjacent_idents_pass() {
+        let src = "fn f() { q.lock().unwrap_or_else(|e| e.into_inner()); x.expect_fine(); }";
+        assert!(diags_for("crates/serve/src/server.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_marked_but_still_reported() {
+        let src = "#[cfg(test)]\nmod tests { fn f() { x.unwrap(); } }";
+        let d = diags_for("crates/serve/src/queue.rs", src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].in_test, "manifest decides whether test code may panic");
+    }
+
+    #[test]
+    fn wal_arithmetic_requires_explicit_families() {
+        let src = "fn f(a: u64) -> u64 { let b = a + 1; b }";
+        let d = diags_for("crates/serve/src/wal.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "F002");
+        let ok = "fn f(a: u64) -> u64 { a.saturating_add(1) }";
+        assert!(diags_for("crates/serve/src/wal.rs", ok).is_empty());
+        // Same tokens outside wal.rs: not this rule's business.
+        assert!(diags_for("crates/serve/src/epoch.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unary_and_structural_tokens_are_not_arithmetic() {
+        let src = "fn f(x: &u64) -> i64 { let a = -1; let b = *x; (a, b.wrapping_mul(3)); a }";
+        assert!(diags_for("crates/serve/src/wal.rs", src).is_empty());
+    }
+
+    #[test]
+    fn compound_assignment_is_always_flagged() {
+        let d = diags_for("crates/serve/src/wal.rs", "fn f(mut a: u64) { a += 1; }");
+        assert_eq!(d.len(), 1);
+    }
+}

@@ -1,0 +1,269 @@
+//! Workspace discovery: the Rust sources, crate manifests, and markdown
+//! documents an audit run inspects, all addressed by `/`-separated paths
+//! relative to the workspace root.
+
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, test_ranges, Token};
+
+/// One lexed Rust source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// `/`-separated path relative to the workspace root.
+    pub rel_path: String,
+    /// Token stream (comments and string contents stripped by the lexer).
+    pub tokens: Vec<Token>,
+    /// Per-token flag: inside a `#[cfg(test)]` / `#[test]` region, or the
+    /// whole file when it lives under a `tests/` or `benches/` directory.
+    pub in_test: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Lexes `text` into a source file at `rel_path`.
+    pub fn from_text(rel_path: &str, text: &str) -> Self {
+        let tokens = lex(text);
+        let whole_file_test = rel_path.split('/').any(|seg| seg == "tests" || seg == "benches");
+        let mut in_test = vec![whole_file_test; tokens.len()];
+        if !whole_file_test {
+            for (start, end) in test_ranges(&tokens) {
+                for flag in &mut in_test[start..end.min(tokens.len())] {
+                    *flag = true;
+                }
+            }
+        }
+        Self { rel_path: rel_path.to_string(), tokens, in_test }
+    }
+
+    /// The crate directory prefix (`crates/serve`) or `""` for the root
+    /// package's own `src/` / `tests/` / `examples/` files.
+    pub fn crate_dir(&self) -> &str {
+        let mut parts = self.rel_path.split('/');
+        if parts.next() == Some("crates") {
+            if let Some(name) = parts.next() {
+                return &self.rel_path[..("crates/".len() + name.len())];
+            }
+        }
+        ""
+    }
+}
+
+/// The feature-relevant slice of one `Cargo.toml`.
+#[derive(Debug)]
+pub struct CrateManifest {
+    /// `/`-separated manifest path relative to the workspace root.
+    pub rel_path: String,
+    /// The crate directory prefix (`crates/serve`), `""` for the root.
+    pub crate_dir: String,
+    /// Keys of the `[features]` table plus optional-dependency names (both
+    /// are legal `#[cfg(feature = ...)]` targets).
+    pub features: Vec<String>,
+}
+
+/// One markdown document.
+#[derive(Debug)]
+pub struct DocFile {
+    /// `/`-separated path relative to the workspace root.
+    pub rel_path: String,
+    /// Raw markdown text.
+    pub text: String,
+}
+
+/// Everything one audit run looks at.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// On-disk root, when loaded from disk; link-resolution rules need it
+    /// to check targets that are not themselves loaded (goldens, configs).
+    pub root: Option<PathBuf>,
+    /// Lexed Rust sources.
+    pub sources: Vec<SourceFile>,
+    /// Crate manifests (root package first when present).
+    pub manifests: Vec<CrateManifest>,
+    /// Markdown documents (workspace root and `docs/`).
+    pub docs: Vec<DocFile>,
+}
+
+impl Workspace {
+    /// The lexed source at exactly `rel_path`, if loaded.
+    pub fn source(&self, rel_path: &str) -> Option<&SourceFile> {
+        self.sources.iter().find(|s| s.rel_path == rel_path)
+    }
+}
+
+/// Extracts the declared feature names from Cargo.toml text: the keys of
+/// the `[features]` table plus any dependency marked `optional = true`.
+/// Line-oriented — the workspace's manifests are hand-written and flat,
+/// which is exactly the shape this handles.
+pub fn features_from_toml(text: &str) -> Vec<String> {
+    let mut features = Vec::new();
+    let mut section = String::new();
+    let mut current_dep = String::new();
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            section = line.trim_matches(['[', ']']).to_string();
+            // `[dependencies.foo]` style table headers name the dependency.
+            current_dep = section
+                .strip_prefix("dependencies.")
+                .or_else(|| section.strip_prefix("dev-dependencies."))
+                .unwrap_or("")
+                .to_string();
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else { continue };
+        let key = key.trim().trim_matches('"').to_string();
+        let value = value.trim();
+        if section == "features" {
+            features.push(key);
+        } else if section.ends_with("dependencies") && value.contains("optional") {
+            // `foo = { version = "1", optional = true }`
+            if value.contains("optional = true") {
+                features.push(key);
+            }
+        } else if key == "optional" && value == "true" && !current_dep.is_empty() {
+            features.push(current_dep.clone());
+        }
+    }
+    features
+}
+
+/// Directory names the walker never descends into. `fixtures` keeps the
+/// audit's own seeded-violation corpus from tripping the rules it feeds.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "fixtures", "node_modules"];
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        std::fs::read_dir(dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name) {
+                walk_rs(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Loads a workspace from disk: `src/`, `tests/`, `examples/`, and every
+/// `crates/*/` member's sources; all `Cargo.toml` manifests; markdown at
+/// the root and under `docs/`.
+///
+/// # Errors
+/// I/O failures reading directories or files.
+pub fn load_workspace(root: &Path) -> std::io::Result<Workspace> {
+    let mut ws = Workspace { root: Some(root.to_path_buf()), ..Default::default() };
+
+    let mut rs_files = Vec::new();
+    for top in ["src", "tests", "examples", "crates"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk_rs(&dir, &mut rs_files)?;
+        }
+    }
+    for path in rs_files {
+        let text = std::fs::read_to_string(&path)?;
+        ws.sources.push(SourceFile::from_text(&rel(root, &path), &text));
+    }
+
+    let mut manifest_paths = vec![root.join("Cargo.toml")];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> =
+            std::fs::read_dir(&crates_dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        members.sort();
+        for member in members {
+            let manifest = member.join("Cargo.toml");
+            if manifest.is_file() {
+                manifest_paths.push(manifest);
+            }
+        }
+    }
+    for path in manifest_paths {
+        if !path.is_file() {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path)?;
+        let rel_path = rel(root, &path);
+        let crate_dir = rel_path.strip_suffix("/Cargo.toml").unwrap_or("").to_string();
+        ws.manifests.push(CrateManifest {
+            rel_path,
+            crate_dir,
+            features: features_from_toml(&text),
+        });
+    }
+
+    let mut doc_paths = Vec::new();
+    let mut root_entries: Vec<PathBuf> =
+        std::fs::read_dir(root)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    let docs_dir = root.join("docs");
+    if docs_dir.is_dir() {
+        root_entries.extend(std::fs::read_dir(&docs_dir)?.filter_map(|e| e.ok().map(|e| e.path())));
+    }
+    root_entries.sort();
+    for path in root_entries {
+        if path.is_file() && path.extension().is_some_and(|e| e == "md") {
+            doc_paths.push(path);
+        }
+    }
+    for path in doc_paths {
+        let text = std::fs::read_to_string(&path)?;
+        ws.docs.push(DocFile { rel_path: rel(root, &path), text });
+    }
+
+    Ok(ws)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn features_parse_from_flat_toml() {
+        let toml = r#"
+            [package]
+            name = "x"
+
+            [features]
+            default = ["obs"]
+            obs = []
+            rayon = ["dep:rayon"]
+
+            [dependencies]
+            serde = { version = "1", optional = true }
+            plain = "1"
+        "#;
+        let f = features_from_toml(toml);
+        assert_eq!(f, ["default", "obs", "rayon", "serde"]);
+    }
+
+    #[test]
+    fn crate_dir_is_derived_from_the_path() {
+        let f = SourceFile::from_text("crates/serve/src/wal.rs", "fn x() {}");
+        assert_eq!(f.crate_dir(), "crates/serve");
+        let root = SourceFile::from_text("src/lib.rs", "fn x() {}");
+        assert_eq!(root.crate_dir(), "");
+    }
+
+    #[test]
+    fn tests_directories_are_whole_file_test_context() {
+        let f = SourceFile::from_text("crates/serve/tests/wal_recovery.rs", "fn x() {}");
+        assert!(f.in_test.iter().all(|&b| b));
+        let f = SourceFile::from_text("crates/serve/src/wal.rs", "fn x() {}");
+        assert!(f.in_test.iter().all(|&b| !b));
+    }
+}

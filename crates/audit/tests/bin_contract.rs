@@ -1,0 +1,91 @@
+//! Exit-code contract of the `corroborate_audit` bin, mirrored from
+//! `golden_check`: 0 clean, 1 violations, 2 usage/config error. Runs the
+//! real binary against the committed workspace and against the
+//! seeded-violation fixture in `fixtures/broken_ws`.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use corroborate_obs::Json;
+
+const BIN: &str = env!("CARGO_BIN_EXE_corroborate_audit");
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap()
+}
+
+fn broken_ws() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/broken_ws")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(BIN).args(args).output().unwrap()
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("audit bin must exit, not die on a signal")
+}
+
+#[test]
+fn clean_workspace_exits_zero_even_strict() {
+    let root = repo_root();
+    let out = run(&["--root", root.to_str().unwrap(), "--strict"]);
+    assert_eq!(code(&out), 0, "stdout: {}", String::from_utf8_lossy(&out.stdout));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("PASS"));
+}
+
+#[test]
+fn seeded_fixture_trips_every_rule_and_exits_one() {
+    let ws = broken_ws();
+    let out = run(&["--root", ws.to_str().unwrap(), "--json"]);
+    assert_eq!(code(&out), 1, "stdout: {}", String::from_utf8_lossy(&out.stdout));
+    let report = Json::parse(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    let errors = report.get("errors").and_then(Json::as_array).unwrap();
+    let fired: Vec<&str> =
+        errors.iter().filter_map(|e| e.get("rule").and_then(Json::as_str)).collect();
+    for rule in ["D001", "D002", "D003", "F001", "F002", "C001", "C002", "C003", "C004", "C005"] {
+        assert!(fired.contains(&rule), "seeded violation for {rule} did not fire: {fired:?}");
+    }
+}
+
+#[test]
+fn fixture_violations_can_be_allowed_by_an_explicit_manifest() {
+    // The manifest is honoured end-to-end: allowing everything the fixture
+    // seeds turns exit 1 into exit 0.
+    let ws = broken_ws();
+    let manifest = ws.join("allow_all.json");
+    std::fs::write(
+        &manifest,
+        r#"{ "schema_version": 1,
+             "allow": [ { "rule": "*", "path": "**", "reason": "fixture: accept all" } ] }"#,
+    )
+    .unwrap();
+    let out = run(&["--root", ws.to_str().unwrap(), "--manifest", manifest.to_str().unwrap()]);
+    std::fs::remove_file(&manifest).unwrap();
+    assert_eq!(code(&out), 0, "stdout: {}", String::from_utf8_lossy(&out.stdout));
+}
+
+#[test]
+fn usage_and_config_errors_exit_two() {
+    assert_eq!(code(&run(&["--no-such-flag"])), 2);
+    assert_eq!(code(&run(&["--root"])), 2, "flag missing its value");
+    assert_eq!(code(&run(&["--root", "/no/such/dir/anywhere"])), 2);
+
+    let root = repo_root();
+    let bad = std::env::temp_dir().join("corroborate_audit_bad_manifest.json");
+    std::fs::write(&bad, r#"{ "severity": { "Z999": "error" } }"#).unwrap();
+    let out = run(&["--root", root.to_str().unwrap(), "--manifest", bad.to_str().unwrap()]);
+    std::fs::remove_file(&bad).unwrap();
+    assert_eq!(code(&out), 2);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("Z999"));
+}
+
+#[test]
+fn list_rules_names_the_whole_catalog() {
+    let out = run(&["--list-rules"]);
+    assert_eq!(code(&out), 0);
+    let text = String::from_utf8_lossy(&out.stdout);
+    for id in ["D001", "D002", "D003", "F001", "F002", "C001", "C002", "C003", "C004", "C005"] {
+        assert!(text.contains(id), "--list-rules is missing {id}");
+    }
+}

@@ -1,0 +1,65 @@
+//! The audit's own gate: the real workspace, audited under the committed
+//! `audit_manifest.json`, must pass strict — every finding is either fixed
+//! or has a recorded, reasoned exception. This is the same check CI runs
+//! via the `corroborate_audit` bin.
+
+use std::path::{Path, PathBuf};
+
+use corroborate_audit::manifest::Manifest;
+use corroborate_audit::workspace::load_workspace;
+use corroborate_audit::{audit, rules};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap()
+}
+
+fn committed_manifest(root: &Path) -> Manifest {
+    let text = std::fs::read_to_string(root.join("audit_manifest.json")).unwrap();
+    Manifest::parse(&text).unwrap()
+}
+
+#[test]
+fn workspace_passes_strict_under_committed_manifest() {
+    let root = repo_root();
+    let ws = load_workspace(&root).unwrap();
+    assert!(ws.sources.len() > 40, "workspace walk found only {} sources", ws.sources.len());
+    let report = audit(&ws, &committed_manifest(&root));
+    assert!(
+        report.passes(true),
+        "audit must pass strict; fix the finding or record a reasoned exception in \
+         audit_manifest.json:\n{:#?}\n{:#?}",
+        report.errors,
+        report.warnings,
+    );
+    assert!(report.allowed > 0, "the blanket test-code exception should always match something");
+}
+
+#[test]
+fn without_the_manifest_the_workspace_does_not_pass() {
+    // Guards against the audit silently matching nothing: the raw rule
+    // output over the real tree must contain findings (all of which the
+    // committed manifest then accounts for).
+    let ws = load_workspace(&repo_root()).unwrap();
+    let raw = rules::run_all(&ws);
+    assert!(!raw.is_empty(), "raw audit found nothing — rules or walker broke");
+    assert!(raw.iter().any(|d| d.in_test), "test-region detection found no test-code findings");
+}
+
+#[test]
+fn committed_manifest_entries_all_match_something() {
+    // An allow entry that matches no diagnostic is stale — either the
+    // finding was fixed (delete the entry) or the entry has a typo and is
+    // silently allowing nothing.
+    let root = repo_root();
+    let ws = load_workspace(&root).unwrap();
+    let manifest = committed_manifest(&root);
+    let raw = rules::run_all(&ws);
+    for entry in &manifest.allow {
+        assert!(
+            raw.iter().any(|d| entry.matches(d)),
+            "stale allow entry (matches nothing): rule={} reason={:?}",
+            entry.rule,
+            entry.reason,
+        );
+    }
+}

@@ -18,6 +18,7 @@
 //! ones. Criterion micro/macro benches live under `benches/`.
 
 #![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
 #![deny(unsafe_code)]
 
 pub mod report;

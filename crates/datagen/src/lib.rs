@@ -4,6 +4,7 @@
 //! extended as modules land).
 
 #![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
 #![deny(unsafe_code)]
 
 pub mod hubdub;

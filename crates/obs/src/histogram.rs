@@ -49,18 +49,29 @@ impl LatencyHistogram {
     }
 
     /// Records one duration.
+    ///
+    /// Ordering protocol: every field is written *before* `count`, and
+    /// `count` is bumped with `Release` while readers load it with
+    /// `Acquire` first. A reader that observes `count >= n` therefore also
+    /// observes the bucket/sum/min/max effects of those `n` records — in
+    /// particular `count > 0` implies `min`/`max` hold real samples, never
+    /// the `u64::MAX`/`0` sentinels. (Fields recorded concurrently with a
+    /// read may still be newer than the count — that skew is inherent to a
+    /// lock-free histogram and harmless for telemetry.)
     #[inline]
     pub fn record(&self, nanos: u64) {
         self.buckets[Self::bucket_of(nanos).min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(nanos, Ordering::Relaxed);
         self.min.fetch_min(nanos, Ordering::Relaxed);
         self.max.fetch_max(nanos, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Release);
     }
 
-    /// Number of recorded durations.
+    /// Number of recorded durations. The `Acquire` load pairs with the
+    /// `Release` bump in [`Self::record`]: call this first and every field
+    /// write from the counted records is visible.
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.count.load(Ordering::Acquire)
     }
 
     /// Sum of recorded durations, in nanoseconds.
@@ -70,6 +81,8 @@ impl LatencyHistogram {
 
     /// Point summary of the current contents.
     pub fn summary(&self) -> HistogramSummary {
+        // Acquire-load the count first (see `record` for the protocol);
+        // the Relaxed field loads below then see at least `count` records.
         let count = self.count();
         let sum = self.sum_nanos();
         let buckets: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
@@ -243,6 +256,41 @@ mod tests {
         assert_eq!(j.get("count").unwrap().as_i64(), Some(2));
         assert_eq!(j.get("sum_nanos").unwrap().as_i64(), Some(12));
         assert_eq!(j.get("buckets").unwrap().as_array().unwrap().len(), 1);
+    }
+
+    /// Regression for a torn snapshot: with `count` bumped *before* the
+    /// other fields (all Relaxed), a reader could observe `count == 1`
+    /// while `min` still held the `u64::MAX` sentinel. The Release/Acquire
+    /// protocol on `count` forbids that; this hammers summaries while
+    /// recording to give TSan/Miri and plain schedulers a chance to catch
+    /// any regression.
+    #[test]
+    fn concurrent_summaries_are_never_torn() {
+        let h = LatencyHistogram::new();
+        std::thread::scope(|scope| {
+            let writer = scope.spawn(|| {
+                for i in 1..=2000u64 {
+                    h.record(i.clamp(10, 1000));
+                }
+            });
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    while h.count() < 2000 {
+                        let s = h.summary();
+                        if s.count > 0 {
+                            assert_ne!(s.min_nanos, u64::MAX, "sentinel min leaked");
+                            assert!(s.min_nanos >= 10);
+                            assert!(s.max_nanos >= s.min_nanos);
+                            assert!(s.sum_nanos >= s.count.saturating_mul(10) / 2);
+                        } else {
+                            assert_eq!(s.min_nanos, 0);
+                        }
+                        std::hint::spin_loop();
+                    }
+                });
+            }
+            writer.join().unwrap();
+        });
     }
 
     #[test]

@@ -19,6 +19,8 @@
 //! See `docs/OBSERVABILITY.md` for the event model and report schema.
 
 #![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
 
 pub mod counters;
 pub mod histogram;

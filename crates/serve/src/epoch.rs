@@ -225,13 +225,17 @@ impl<T> Published<T> {
     }
 
     /// The current value (cheap: one read-lock + `Arc` clone).
+    ///
+    /// Recovers from lock poisoning: the slot only ever holds a fully
+    /// constructed `Arc<T>` (swapped in one assignment), so a panicked
+    /// writer cannot leave a torn value behind.
     pub fn get(&self) -> Arc<T> {
-        Arc::clone(&self.slot.read().unwrap())
+        Arc::clone(&self.slot.read().unwrap_or_else(std::sync::PoisonError::into_inner))
     }
 
     /// Atomically replaces the value.
     pub fn publish(&self, value: Arc<T>) {
-        *self.slot.write().unwrap() = value;
+        *self.slot.write().unwrap_or_else(std::sync::PoisonError::into_inner) = value;
     }
 }
 

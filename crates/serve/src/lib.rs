@@ -28,6 +28,8 @@
 //! [`VerdictView`]: epoch::VerdictView
 
 #![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
 
 pub mod delta;
 pub mod epoch;

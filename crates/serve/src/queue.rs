@@ -11,11 +11,19 @@
 //! cannot sneak past the bound.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use crate::delta::Mutation;
 use crate::ServeError;
+
+/// Locks `state`, recovering from poisoning. A producer that panicked
+/// mid-push can leave at most a partially-extended `items` deque — every
+/// other producer and the consumer must keep running, so we take the inner
+/// guard rather than propagating the panic across threads.
+fn lock_state<'a>(state: &'a Mutex<QueueState>) -> MutexGuard<'a, QueueState> {
+    state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 #[derive(Debug)]
 struct QueueState {
@@ -55,7 +63,7 @@ impl IngestQueue {
     /// [`ServeError::QueueFull`] when the batch does not fit,
     /// [`ServeError::QueueClosed`] after [`Self::close`].
     pub fn try_push(&self, batch: Vec<Mutation>) -> Result<(), ServeError> {
-        let mut state = self.state.lock().unwrap();
+        let mut state = lock_state(&self.state);
         if state.closed {
             return Err(ServeError::QueueClosed);
         }
@@ -71,7 +79,7 @@ impl IngestQueue {
 
     /// Pending mutation count right now.
     pub fn len(&self) -> usize {
-        self.state.lock().unwrap().items.len()
+        lock_state(&self.state).items.len()
     }
 
     /// Whether the queue is currently empty.
@@ -81,7 +89,7 @@ impl IngestQueue {
 
     /// Peak occupancy since creation.
     pub fn high_water(&self) -> usize {
-        self.state.lock().unwrap().high_water
+        lock_state(&self.state).high_water
     }
 
     /// Blocks until at least one mutation is available (or `linger`
@@ -95,7 +103,7 @@ impl IngestQueue {
     /// window is what makes backpressure real: the queue keeps filling (and
     /// rejecting past capacity) while the consumer lingers.
     pub fn drain_batch(&self, max: usize, linger: Duration) -> Option<Vec<Mutation>> {
-        let mut state = self.state.lock().unwrap();
+        let mut state = lock_state(&self.state);
         // Phase 1: wait for work, with `linger` as the heartbeat timeout.
         let heartbeat = Instant::now() + linger;
         while state.items.is_empty() {
@@ -106,7 +114,10 @@ impl IngestQueue {
             if now >= heartbeat {
                 return Some(Vec::new());
             }
-            let (next, _) = self.available.wait_timeout(state, heartbeat - now).unwrap();
+            let (next, _) = self
+                .available
+                .wait_timeout(state, heartbeat - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             state = next;
         }
         // Phase 2: the batch window — let more mutations accumulate.
@@ -119,7 +130,10 @@ impl IngestQueue {
                 if now >= window_end || state.closed {
                     break;
                 }
-                let (next, _) = self.available.wait_timeout(state, window_end - now).unwrap();
+                let (next, _) = self
+                    .available
+                    .wait_timeout(state, window_end - now)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
                 state = next;
             }
         }
@@ -130,7 +144,7 @@ impl IngestQueue {
     /// Closes the queue: producers start failing, the consumer drains what
     /// remains and then sees `None`.
     pub fn close(&self) {
-        self.state.lock().unwrap().closed = true;
+        lock_state(&self.state).closed = true;
         self.available.notify_all();
     }
 }

@@ -276,7 +276,10 @@ fn accept_loop(
 fn worker_loop(rx: &Arc<Mutex<Receiver<TcpStream>>>, shared: &Shared) {
     loop {
         let stream = {
-            let guard = rx.lock().unwrap();
+            // A worker that panicked while holding the lock poisons it for
+            // every sibling; the receiver itself is still sound, so keep
+            // serving instead of cascading the panic across the pool.
+            let guard = rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             match guard.recv() {
                 Ok(s) => s,
                 Err(_) => return, // acceptor gone and channel drained

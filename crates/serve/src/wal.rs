@@ -157,9 +157,13 @@ impl Wal {
             let text = std::fs::read_to_string(&snapshot_path)?;
             let root = Json::parse(&text)
                 .map_err(|e| ServeError::WalCorrupt { message: format!("snapshot: {e}") })?;
-            next_seq = load_snapshot(&root, &mut dataset)? + 1;
+            // The snapshot's seq comes straight off disk: a corrupt
+            // u64::MAX must surface as corruption, not wrap to 0.
+            next_seq = load_snapshot(&root, &mut dataset)?.checked_add(1).ok_or_else(|| {
+                ServeError::WalCorrupt { message: "snapshot: seq out of range".into() }
+            })?;
         }
-        let snapshot_seq = next_seq - 1;
+        let snapshot_seq = next_seq.saturating_sub(1);
 
         let wal_path = dir.join(WAL_FILE);
         let mut replayed = 0u64;
@@ -176,9 +180,9 @@ impl Wal {
                 if line.is_empty() {
                     continue;
                 }
-                let at = format!("record {}", i + 1);
+                let at = format!("record {}", i.saturating_add(1));
                 // A record is "tail" when every later line is empty.
-                let is_tail = lines[i + 1..].iter().all(|l| l.is_empty());
+                let is_tail = lines.iter().skip(i.saturating_add(1)).all(|l| l.is_empty());
                 match decode_line(line, &at) {
                     Ok((seq, mutation)) => {
                         if seq > snapshot_seq {
@@ -189,10 +193,15 @@ impl Wal {
                                 });
                             }
                             dataset.apply(&mutation)?;
-                            next_seq = seq + 1;
-                            replayed += 1;
+                            // `seq` was read from the log file; reject
+                            // instead of wrapping on a corrupt u64::MAX.
+                            next_seq =
+                                seq.checked_add(1).ok_or_else(|| ServeError::WalCorrupt {
+                                    message: format!("{at}: seq out of range"),
+                                })?;
+                            replayed = replayed.saturating_add(1);
                         }
-                        valid_len += line.len() as u64 + 1;
+                        valid_len = valid_len.saturating_add(line.len() as u64).saturating_add(1);
                     }
                     Err(e) if is_tail => {
                         // Torn tail write from a crash: drop it.
@@ -240,8 +249,10 @@ impl Wal {
         if self.config.fsync {
             self.writer.get_ref().sync_data()?;
         }
-        self.next_seq += 1;
-        self.records_since_snapshot += 1;
+        // Monotone in-memory counters: saturation is unreachable in
+        // practice and strictly better than wraparound if it ever isn't.
+        self.next_seq = self.next_seq.saturating_add(1);
+        self.records_since_snapshot = self.records_since_snapshot.saturating_add(1);
         Ok(seq)
     }
 
@@ -269,7 +280,7 @@ impl Wal {
     /// # Errors
     /// I/O failures. On error the previous snapshot (if any) is preserved.
     pub fn compact(&mut self, dataset: &DeltaDataset) -> Result<(), ServeError> {
-        let snapshot = snapshot_json(dataset, self.next_seq - 1);
+        let snapshot = snapshot_json(dataset, self.next_seq.saturating_sub(1));
         let tmp = self.dir.join(SNAPSHOT_TMP);
         let mut f = File::create(&tmp)?;
         f.write_all(snapshot.to_json().as_bytes())?;

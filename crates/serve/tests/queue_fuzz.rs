@@ -1,0 +1,189 @@
+//! Seeded schedule-fuzzing for the bounded ingest queue.
+//!
+//! `loom` is not available in this tree, so this is the poor-man's model
+//! checker: many short runs, each seeded, with every thread jittering its
+//! schedule (spin / yield / micro-sleep) from its own deterministic LCG so
+//! different interleavings are explored while failures stay reproducible
+//! by seed. Invariants checked per run:
+//!
+//! - nothing is lost or duplicated: the multiset drained equals the
+//!   multiset successfully pushed (rejected batches leave no residue);
+//! - per-producer FIFO order survives batching and the linger window;
+//! - the capacity bound and the `high_water` gauge are never exceeded;
+//! - after `close`, the consumer drains the remainder and sees `None`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use corroborate_core::vote::Vote;
+use corroborate_serve::delta::Mutation;
+use corroborate_serve::queue::IngestQueue;
+use corroborate_serve::ServeError;
+
+/// Deterministic schedule jitter: a per-thread LCG (numerical recipes
+/// constants) deciding between spinning, yielding, and micro-sleeps.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn jitter(&mut self) {
+        match self.next() % 4 {
+            0 => {}
+            1 => std::hint::spin_loop(),
+            2 => std::thread::yield_now(),
+            _ => std::thread::sleep(Duration::from_micros(self.next() % 50)),
+        }
+    }
+}
+
+fn cast(producer: usize, index: usize) -> Mutation {
+    Mutation::Cast {
+        source: format!("p{producer}m{index}"),
+        fact: "f".to_string(),
+        vote: Vote::True,
+    }
+}
+
+fn source_of(m: &Mutation) -> &str {
+    match m {
+        Mutation::Cast { source, .. } => source,
+        _ => unreachable!("fuzz pushes only Cast mutations"),
+    }
+}
+
+/// One seeded run: `producers` threads each push `per_producer` mutations
+/// in jittered batches (retrying on QueueFull), one consumer drains with a
+/// tiny linger until close. Returns nothing — panics on invariant breach.
+fn run_schedule(seed: u64, producers: usize, per_producer: usize, capacity: usize) {
+    let queue = Arc::new(IngestQueue::new(capacity));
+    let consumer = {
+        let queue = Arc::clone(&queue);
+        std::thread::spawn(move || {
+            let mut rng = Lcg(seed ^ 0xC0FFEE);
+            let mut drained: Vec<Mutation> = Vec::new();
+            loop {
+                let max = 1 + (rng.next() as usize % 7);
+                match queue.drain_batch(max, Duration::from_micros(rng.next() % 300)) {
+                    Some(batch) => {
+                        assert!(batch.len() <= max, "drain_batch returned more than max");
+                        drained.extend(batch);
+                    }
+                    None => return drained,
+                }
+                rng.jitter();
+            }
+        })
+    };
+
+    let handles: Vec<_> = (0..producers)
+        .map(|p| {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || {
+                let mut rng = Lcg(seed.wrapping_add(p as u64 * 7919));
+                let mut sent = 0usize;
+                while sent < per_producer {
+                    let want = 1 + (rng.next() as usize % 3);
+                    let take = want.min(per_producer - sent);
+                    let batch: Vec<Mutation> = (sent..sent + take).map(|i| cast(p, i)).collect();
+                    match queue.try_push(batch) {
+                        Ok(()) => sent += take,
+                        Err(ServeError::QueueFull { capacity: c }) => {
+                            assert_eq!(c, capacity);
+                            std::thread::yield_now();
+                        }
+                        Err(e) => panic!("unexpected push error: {e:?}"),
+                    }
+                    rng.jitter();
+                }
+            })
+        })
+        .collect();
+
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert!(queue.high_water() <= capacity, "high_water exceeded capacity");
+    queue.close();
+    assert!(queue.try_push(vec![cast(99, 0)]).is_err(), "closed queue accepted a push");
+    let drained = consumer.join().unwrap();
+
+    // Lossless and duplicate-free: every pushed mutation appears exactly
+    // once, and each producer's stream arrives in FIFO order.
+    assert_eq!(drained.len(), producers * per_producer);
+    let mut next_index = vec![0usize; producers];
+    for m in &drained {
+        let source = source_of(m);
+        let (p, i) = source[1..].split_once('m').unwrap();
+        let (p, i): (usize, usize) = (p.parse().unwrap(), i.parse().unwrap());
+        assert_eq!(
+            i, next_index[p],
+            "seed {seed}: producer {p} order broken (got m{i}, expected m{})",
+            next_index[p]
+        );
+        next_index[p] = i + 1;
+    }
+    assert!(next_index.iter().all(|&n| n == per_producer));
+}
+
+#[test]
+fn seeded_schedules_preserve_queue_invariants() {
+    // Tight capacity forces heavy QueueFull backpressure; roomy capacity
+    // exercises the linger/batch window instead.
+    for seed in 0..12u64 {
+        run_schedule(seed, 3, 40, 8);
+    }
+    for seed in 100..106u64 {
+        run_schedule(seed, 4, 25, 64);
+    }
+}
+
+#[test]
+fn close_during_traffic_never_strands_accepted_mutations() {
+    // Producers race close(): pushes may fail with QueueClosed, but every
+    // *accepted* mutation must still come out exactly once.
+    for seed in 0..10u64 {
+        let queue = Arc::new(IngestQueue::new(16));
+        let consumer = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || {
+                let mut drained = Vec::new();
+                while let Some(batch) = queue.drain_batch(5, Duration::from_micros(100)) {
+                    drained.extend(batch);
+                }
+                drained
+            })
+        };
+        let accepted: Vec<_> = (0..3)
+            .map(|p| {
+                let queue = Arc::clone(&queue);
+                std::thread::spawn(move || {
+                    let mut rng = Lcg(seed.wrapping_add(p as u64 * 31));
+                    let mut ok = Vec::new();
+                    for i in 0..30 {
+                        match queue.try_push(vec![cast(p, i)]) {
+                            Ok(()) => ok.push(format!("p{p}m{i}")),
+                            Err(ServeError::QueueClosed) => break,
+                            Err(ServeError::QueueFull { .. }) => std::thread::yield_now(),
+                            Err(e) => panic!("unexpected push error: {e:?}"),
+                        }
+                        rng.jitter();
+                    }
+                    ok
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_micros(seed * 137));
+        queue.close();
+        let mut expected: Vec<String> =
+            accepted.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut got: Vec<String> =
+            consumer.join().unwrap().iter().map(|m| source_of(m).to_string()).collect();
+        expected.sort();
+        got.sort();
+        assert_eq!(got, expected, "seed {seed}: accepted and drained sets differ");
+    }
+}
