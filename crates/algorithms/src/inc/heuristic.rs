@@ -62,8 +62,9 @@ use corroborate_core::entropy::binary_entropy;
 use corroborate_core::groups::FactGroup;
 use corroborate_core::ids::{FactId, SourceId};
 use corroborate_core::vote::Vote;
-use corroborate_obs::{Observer, SelectionRecord, TierTally};
+use corroborate_obs::{Observer, SelectionRecord, Span, TierTally};
 
+use super::shard::{lex_better, merge_pick, GroupPick};
 use super::{par, IncState, SelectionStrategy, OBS_EMIT};
 
 /// Which terms of the collective-entropy objective rank the fact groups.
@@ -587,9 +588,9 @@ fn linear_prescreen<O: Observer>(
 /// quickly — each block's best exact score becomes the next block's cut,
 /// and when the linear ranking misorders a part the bar still converges
 /// within a few blocks — at the cost of [`par::map_scores`] batches below
-/// its parallel threshold (small blocks run sequentially even under
-/// `--features rayon`; the walk tiers inside a block are where the time
-/// goes, and pruning more than pays for the lost fan-out).
+/// its parallel threshold (small blocks run sequentially whatever the
+/// thread count; the walk tiers inside a block are where the time goes,
+/// and pruning more than pays for the lost fan-out).
 const PRUNE_BLOCK: usize = 8;
 
 /// Scores one part under a spillover-bearing mode with adaptive-bar bound
@@ -652,7 +653,7 @@ fn scores_pruned<O: Observer>(
     let mut scores = vec![f64::NAN; part.len()];
     scores[m] = bar;
     for block in order[1..].chunks(PRUNE_BLOCK) {
-        let block_scores = par::map_scores(block, |k| {
+        let block_scores = par::map_scores(block, state.threads(), |k| {
             if lins[k] < cut {
                 if O::ENABLED && OBS_EMIT {
                     tally.prescreen.fetch_add(1, Ordering::Relaxed);
@@ -676,33 +677,42 @@ fn scores_pruned<O: Observer>(
 
 /// Argmax over one part with the documented tie-breaks; `scores[k]` is the
 /// exact ΔH score of `part[k]`, or NaN for candidates [`scores_pruned`]
-/// proved unable to win or tie. Returns the winning group index and its
-/// exact (projected ΔH) score.
-fn best_of(groups: &[FactGroup], part: &[usize], scores: &[f64]) -> (usize, f64) {
-    let mut best_i = part[0];
-    let mut best_score = f64::NEG_INFINITY;
+/// proved unable to win or tie. Returns the winning pick (group index plus
+/// its exact projected ΔH score).
+///
+/// Exact score ties are systematic at t_0 (every source has the same
+/// default trust, so e.g. every T-only signature scores identically).
+/// [`lex_better`] breaks them by signature length — more votes on a fact
+/// means stronger corroboration, so its projected label is the safest to
+/// commit and the per-source credit is spread over co-voting sources
+/// instead of anointing one arbitrary source — then larger groups, then
+/// canonical order (ascending scan, strict comparison: first seen wins
+/// full ties). The sharded self-term path reproduces exactly this order
+/// via the per-shard scan + fixed-order merge.
+fn best_of(groups: &[FactGroup], part: &[usize], scores: &[f64]) -> GroupPick {
+    let mut best: Option<GroupPick> = None;
     for (&i, &s) in part.iter().zip(scores) {
         if s.is_nan() {
             continue;
         }
-        // Exact score ties are systematic at t_0 (every source has the
-        // same default trust, so e.g. every T-only signature scores
-        // identically). Break them by signature length — more votes on a
-        // fact means stronger corroboration, so its projected label is
-        // the safest to commit and the per-source credit is spread over
-        // co-voting sources instead of anointing one arbitrary source.
-        // Then larger groups, then canonical order.
-        let better = s > best_score
-            || (s == best_score
-                && (groups[i].signature.len() > groups[best_i].signature.len()
-                    || (groups[i].signature.len() == groups[best_i].signature.len()
-                        && groups[i].facts.len() > groups[best_i].facts.len())));
-        if better {
-            best_score = s;
-            best_i = i;
+        let cand = GroupPick {
+            gi: i,
+            score: s,
+            sig_len: groups[i].signature.len(),
+            size: groups[i].facts.len(),
+        };
+        if best.is_none_or(|b| lex_better(&cand, &b)) {
+            best = Some(cand);
         }
     }
-    (best_i, best_score)
+    // All-NaN cannot happen (`scores_pruned` always seeds one exact
+    // score), but degrade to the part's first group rather than panic.
+    best.unwrap_or(GroupPick {
+        gi: part[0],
+        score: f64::NEG_INFINITY,
+        sig_len: groups[part[0]].signature.len(),
+        size: groups[part[0]].facts.len(),
+    })
 }
 
 impl SelectionStrategy for IncEstHeu {
@@ -716,69 +726,87 @@ impl SelectionStrategy for IncEstHeu {
 
     fn select<O: Observer>(&self, state: &IncState<'_, O>) -> Vec<FactId> {
         let groups = state.groups();
+        let mode = self.mode;
+        let tally = TierTally::new();
 
-        // Strict partition (§5.1) of the live groups: positive above 0.5,
-        // negative below. Probabilities come from the per-group cache —
-        // nothing is recomputed here.
-        let mut positive = Vec::new();
-        let mut negative = Vec::new();
-        for (gi, g) in groups.iter().enumerate() {
-            if g.facts.is_empty() {
-                continue;
+        let (best_pos, best_neg, candidates) = if mode == DeltaHMode::SelfTerm {
+            // Sharded scan: each shard walks its own (ascending) member
+            // list, partitions strictly (§5.1: positive above 0.5,
+            // negative below — boundary groups wait) and keeps its local
+            // lex-best group per polarity; self-term scores `−H(p)` per
+            // fact are O(1) cache reads. The merge then folds the shard
+            // winners in fixed shard order with positional tie-breaks, so
+            // the global argmax is bit-identical to one sequential scan of
+            // the whole canonical group list.
+            let scans = state.shard_scans();
+            state.observer().timed(Span::ShardMerge, || {
+                let mut pos = None;
+                let mut neg = None;
+                let mut candidates = 0u64;
+                for scan in &scans {
+                    merge_pick(&mut pos, scan.pos);
+                    merge_pick(&mut neg, scan.neg);
+                    candidates += scan.candidates;
+                }
+                (pos, neg, candidates)
+            })
+        } else {
+            // Spillover-bearing modes: strict §5.1 partition of the live
+            // groups (probabilities come from the per-group cache —
+            // nothing is recomputed here), then the bound-pruned scorer
+            // over each part. `par::map_scores` fills score vectors
+            // positionally, so the argmax sees the same scores in the same
+            // order whatever the thread count.
+            let mut positive = Vec::new();
+            let mut negative = Vec::new();
+            for (gi, g) in groups.iter().enumerate() {
+                if g.facts.is_empty() {
+                    continue;
+                }
+                let p = state.group_probability(gi);
+                if p > 0.5 {
+                    positive.push(gi);
+                } else if p < 0.5 {
+                    negative.push(gi);
+                }
             }
-            let p = state.group_probability(gi);
-            if p > 0.5 {
-                positive.push(gi);
-            } else if p < 0.5 {
-                negative.push(gi);
+            if positive.is_empty() || negative.is_empty() {
+                (None, None, 0)
+            } else {
+                let tables = bound_tables(state);
+                let pos_scores = scores_pruned(state, &positive, mode, &tables, &tally);
+                let neg_scores = scores_pruned(state, &negative, mode, &tables, &tally);
+                (
+                    Some(best_of(groups, &positive, &pos_scores)),
+                    Some(best_of(groups, &negative, &neg_scores)),
+                    (positive.len() + negative.len()) as u64,
+                )
             }
-        }
+        };
 
-        if positive.is_empty() || negative.is_empty() {
+        let (Some(pos), Some(neg)) = (best_pos, best_neg) else {
             // §5.1 terminal case: all remaining facts share one polarity —
             // evaluate them all (empty selection = engine evaluates rest).
             return Vec::new();
-        }
-
-        // Score both parts. `par::map_scores` fills score vectors
-        // positionally (parallel under `--features rayon`, plain map
-        // otherwise), so the sequential argmax sees the same scores in the
-        // same order either way. Self-term scores are O(1) cache reads;
-        // spillover-bearing modes go through the bound-pruned scorer.
-        let mode = self.mode;
-        let tally = TierTally::new();
-        let (pos_scores, neg_scores) = if mode == DeltaHMode::SelfTerm {
-            // Self-term scores are exact O(1) cache reads: every candidate
-            // counts as exact-scored, no pruning tiers exist.
-            if O::ENABLED && OBS_EMIT {
-                tally.exact.fetch_add((positive.len() + negative.len()) as u64, Ordering::Relaxed);
-            }
-            (
-                par::map_scores(&positive, |gi| -state.group_entropy(gi)),
-                par::map_scores(&negative, |gi| -state.group_entropy(gi)),
-            )
-        } else {
-            let tables = bound_tables(state);
-            (
-                scores_pruned(state, &positive, mode, &tables, &tally),
-                scores_pruned(state, &negative, mode, &tables, &tally),
-            )
         };
-        let (best_pos, pos_score) = best_of(groups, &positive, &pos_scores);
-        let (best_neg, neg_score) = best_of(groups, &negative, &neg_scores);
-        let fg_pos = &groups[best_pos];
-        let fg_neg = &groups[best_neg];
+        let fg_pos = &groups[pos.gi];
+        let fg_neg = &groups[neg.gi];
 
         if O::ENABLED && OBS_EMIT {
+            if mode == DeltaHMode::SelfTerm {
+                // Self-term scores are exact O(1) cache reads: every
+                // candidate counts as exact-scored, no pruning tiers exist.
+                tally.exact.fetch_add(candidates, Ordering::Relaxed);
+            }
             let obs = state.observer();
             tally.flush_to(obs);
             let (prescreen, walk_bound, early_abandon, exact) = tally.snapshot();
             obs.selection(&SelectionRecord {
-                positive_group: Some(best_pos),
-                negative_group: Some(best_neg),
-                projected_dh_pos: Some(pos_score),
-                projected_dh_neg: Some(neg_score),
-                candidates: (positive.len() + negative.len()) as u64,
+                positive_group: Some(pos.gi),
+                negative_group: Some(neg.gi),
+                projected_dh_pos: Some(pos.score),
+                projected_dh_neg: Some(neg.score),
+                candidates,
                 prescreen_killed: prescreen,
                 walk_bound_killed: walk_bound,
                 early_abandon_killed: early_abandon,

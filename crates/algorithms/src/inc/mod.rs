@@ -25,15 +25,17 @@
 mod heuristic;
 #[cfg(test)]
 mod naive_ref;
-pub(crate) mod par;
+mod par;
 mod prob_select;
 mod session;
+mod shard;
 
 pub use heuristic::{DeltaHMode, IncEstHeu};
+pub use par::{map_indexed, resolve_threads};
 pub use prob_select::IncEstPS;
 pub use session::{IncEstimateSession, StepReport};
+pub use shard::{ShardConfig, DEFAULT_SHARDS};
 
-use corroborate_core::entropy::binary_entropy;
 use corroborate_core::groups::{group_by_signature, FactGroup};
 use corroborate_core::index::SourceGroupIndex;
 use corroborate_core::prelude::*;
@@ -65,11 +67,21 @@ pub struct IncEstimateConfig {
     /// Figure 2(b) shows. Set to 0 for the raw §2.3-walkthrough
     /// arithmetic.
     pub prior_strength: f64,
+    /// Shard/thread layout of the engine core. The default is the
+    /// parallel configuration (auto shards, auto threads); every setting
+    /// produces bit-identical results — the shard partition and merge are
+    /// deterministic and seed-independent — so this only tunes wall-clock.
+    pub shard: ShardConfig,
 }
 
 impl Default for IncEstimateConfig {
     fn default() -> Self {
-        Self { initial_trust: 0.9, voteless_prior: 0.9, prior_strength: 0.1 }
+        Self {
+            initial_trust: 0.9,
+            voteless_prior: 0.9,
+            prior_strength: 0.1,
+            shard: ShardConfig::default(),
+        }
     }
 }
 
@@ -124,18 +136,15 @@ pub struct IncState<'a, O: Observer = NoopObserver> {
     group_of: Vec<usize>,
     /// Source→group inverted index over `groups`; postings never change.
     index: SourceGroupIndex,
-    /// Cached Corrob probability per group under the current trust
-    /// snapshot, refreshed via dirty tracking: a round only recomputes the
-    /// groups voted on by sources whose trust value actually moved —
-    /// O(votes of changed sources) instead of O(total votes).
-    group_probs: Vec<f64>,
-    /// Cached `binary_entropy(group_probs[g])`, refreshed in the same dirty
-    /// pass — ΔH scoring reads each group's current entropy thousands of
-    /// times per round and must never recompute it per candidate.
-    group_entropies: Vec<f64>,
-    /// Scratch dirty flags for the cache refresh (always all-false between
-    /// rounds).
-    dirty: Vec<bool>,
+    /// Sharded per-group caches (Corrob probability, entropy, dirty
+    /// tracking), partitioned by signature hash: a round only recomputes
+    /// the groups voted on by sources whose trust value actually moved —
+    /// O(votes of changed sources) instead of O(total votes) — and the
+    /// recomputation fans out over shards on scoped worker threads.
+    caches: shard::ShardCaches,
+    /// Resolved worker-thread count for shard fan-out (never affects
+    /// results, only wall-clock).
+    threads: usize,
 }
 
 impl<'a> IncState<'a> {
@@ -166,12 +175,17 @@ impl<'a, O: Observer> IncState<'a, O> {
         }
         let index = SourceGroupIndex::build(&groups, dataset.n_sources());
         let trust = TrustSnapshot::uniform(dataset.n_sources(), config.initial_trust)?;
-        let group_probs: Vec<f64> = groups
-            .iter()
-            .map(|g| corrob_probability_or(&g.signature, &trust, config.voteless_prior))
-            .collect();
-        let group_entropies = group_probs.iter().map(|&p| binary_entropy(p)).collect();
-        let dirty = vec![false; groups.len()];
+        let caches = shard::ShardCaches::build(
+            &groups,
+            &trust,
+            config.voteless_prior,
+            config.shard.resolved_shards(),
+        );
+        let threads = config.shard.resolved_threads();
+        if O::ENABLED && OBS_EMIT {
+            obs.add(Counter::Shards, caches.n_shards() as u64);
+            obs.add(Counter::ShardImbalance, caches.plan().imbalance() as u64);
+        }
         Ok(Self {
             obs,
             dataset,
@@ -185,9 +199,8 @@ impl<'a, O: Observer> IncState<'a, O> {
             groups,
             group_of,
             index,
-            group_probs,
-            group_entropies,
-            dirty,
+            caches,
+            threads,
         })
     }
 
@@ -197,6 +210,12 @@ impl<'a, O: Observer> IncState<'a, O> {
         if let Ok(pos) = group.facts.binary_search(&fact) {
             group.facts.remove(pos);
         }
+    }
+
+    /// Total signature-group count including drained groups — see
+    /// [`groups`](Self::groups).
+    pub fn n_groups(&self) -> usize {
+        self.groups.len()
     }
 
     /// The dataset under corroboration.
@@ -220,7 +239,7 @@ impl<'a, O: Observer> IncState<'a, O> {
             .iter()
             .enumerate()
             .filter(|(_, g)| !g.facts.is_empty())
-            .map(|(gi, g)| g.facts.len() as f64 * self.group_entropies[gi])
+            .map(|(gi, g)| g.facts.len() as f64 * self.caches.entropy(gi))
             .sum()
     }
 
@@ -281,7 +300,7 @@ impl<'a, O: Observer> IncState<'a, O> {
     /// to empty are compacted out of the index and may retain a stale
     /// value.
     pub fn group_probability(&self, group: usize) -> f64 {
-        self.group_probs[group]
+        self.caches.probability(group)
     }
 
     /// Cached binary entropy of [`group_probability`](Self::group_probability)
@@ -289,7 +308,25 @@ impl<'a, O: Observer> IncState<'a, O> {
     /// [`binary_entropy`](corroborate_core::entropy::binary_entropy) on it,
     /// refreshed in the same dirty pass as the probability cache.
     pub fn group_entropy(&self, group: usize) -> f64 {
-        self.group_entropies[group]
+        self.caches.entropy(group)
+    }
+
+    /// Effective shard count of the partitioned engine caches (after
+    /// auto-resolution and group-count clamping).
+    pub fn n_shards(&self) -> usize {
+        self.caches.n_shards()
+    }
+
+    /// Resolved worker-thread count for shard fan-out.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Per-shard polarity winners for the self-term ΔH argmax, in shard
+    /// order (parallel scan; see [`shard`]). Private to `inc`, used by the
+    /// heuristic strategy.
+    fn shard_scans(&self) -> Vec<shard::ShardScan> {
+        self.caches.polarity_scans(&self.groups, self.threads)
     }
 
     /// The source→group inverted index over [`groups`](Self::groups).
@@ -372,33 +409,31 @@ impl<'a, O: Observer> IncState<'a, O> {
         timed(obs, Span::CacheRefresh, || {
             let groups = &self.groups;
             let compacted = self.index.retain_groups(|gi| !groups[gi].facts.is_empty());
-            let mut dirty_groups: Vec<usize> = Vec::new();
             for s in self.dataset.sources() {
                 let updated = self.projected_trust(s, 0, 0);
                 if updated.to_bits() != self.trust.trust(s).to_bits() {
                     for posting in self.index.groups_of(s) {
-                        if !self.dirty[posting.group] {
-                            self.dirty[posting.group] = true;
-                            dirty_groups.push(posting.group);
-                        }
+                        self.caches.mark_dirty(posting.group);
                     }
                 }
                 self.trust.set(s, updated);
             }
-            for &gi in &dirty_groups {
-                self.dirty[gi] = false;
-                self.group_probs[gi] = corrob_probability_or(
-                    &self.groups[gi].signature,
-                    &self.trust,
-                    self.config.voteless_prior,
-                );
-                self.group_entropies[gi] = binary_entropy(self.group_probs[gi]);
-            }
+            // Shard-parallel recompute of the dirty entries: each slab is
+            // refreshed by exactly one worker, and entries are independent,
+            // so the refreshed caches are bit-identical for any thread
+            // count (including 1).
+            let stats = self.caches.refresh(
+                &self.groups,
+                &self.trust,
+                self.config.voteless_prior,
+                self.threads,
+            );
             if O::ENABLED && OBS_EMIT {
                 obs.add(Counter::PostingsCompacted, compacted as u64);
-                if !dirty_groups.is_empty() {
+                if stats.groups_recomputed > 0 {
                     obs.add(Counter::CacheRefreshes, 1);
-                    obs.add(Counter::GroupsRecomputed, dirty_groups.len() as u64);
+                    obs.add(Counter::GroupsRecomputed, stats.groups_recomputed as u64);
+                    obs.add(Counter::ShardTasks, stats.shard_tasks as u64);
                 }
             }
         });
@@ -410,16 +445,18 @@ impl<'a, O: Observer> IncState<'a, O> {
     pub(crate) fn evaluate(&mut self, facts: &[FactId]) {
         let obs = self.obs;
         timed(obs, Span::Evaluate, || {
+            let mut detach: Vec<(usize, FactId)> = Vec::with_capacity(facts.len());
             for &f in facts {
                 debug_assert!(self.remaining_mask[f.index()], "fact evaluated twice: {f}");
                 // The cached group probability is valid throughout the loop:
                 // evaluation fixes probabilities under σ_i, and the snapshot
                 // only advances in refresh_trust_and_cache below.
-                let p = self.group_probs[self.group_of[f.index()]];
+                let gi = self.group_of[f.index()];
+                let p = self.caches.probability(gi);
                 self.probs[f.index()] = p;
                 self.remaining_mask[f.index()] = false;
                 self.remaining_count -= 1;
-                self.remove_from_group(f);
+                detach.push((gi, f));
                 let outcome = Label::from_probability(p);
                 for sv in self.dataset.votes().votes_on(f) {
                     self.totals[sv.source.index()] += 1;
@@ -428,12 +465,39 @@ impl<'a, O: Observer> IncState<'a, O> {
                     }
                 }
             }
+            // Batched detach: one retain pass per touched group instead of
+            // one O(|FG|) Vec::remove per fact — the final mass round over
+            // a large group would otherwise drain it quadratically.
+            detach.sort_unstable();
+            let mut k = 0;
+            while k < detach.len() {
+                let gi = detach[k].0;
+                let mut end = k + 1;
+                while end < detach.len() && detach[end].0 == gi {
+                    end += 1;
+                }
+                remove_batch_from_group(&mut self.groups[gi].facts, &detach[k..end]);
+                k = end;
+            }
             self.refresh_trust_and_cache();
         });
         if O::ENABLED && OBS_EMIT {
             obs.add(Counter::FactsEvaluated, facts.len() as u64);
         }
     }
+}
+
+/// Removes every fact of `dead` (sorted `(group, fact)` runs for a single
+/// group) from the sorted member list in one merge pass — O(|FG| + batch)
+/// instead of O(|FG| · batch).
+fn remove_batch_from_group(members: &mut Vec<FactId>, dead: &[(usize, FactId)]) {
+    let mut di = 0;
+    members.retain(|&f| {
+        while di < dead.len() && dead[di].1 < f {
+            di += 1;
+        }
+        !(di < dead.len() && dead[di].1 == f)
+    });
 }
 
 /// A fact-selection strategy for IncEstimate (the paper's

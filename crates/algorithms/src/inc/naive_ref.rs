@@ -155,7 +155,9 @@ pub(super) fn select(state: &IncState<'_>, mode: DeltaHMode) -> Vec<FactId> {
 
 #[cfg(test)]
 mod tests {
-    use super::super::{heuristic, IncEstHeu, IncEstimate, IncEstimateConfig, SelectionStrategy};
+    use super::super::{
+        heuristic, IncEstHeu, IncEstimate, IncEstimateConfig, SelectionStrategy, ShardConfig,
+    };
     use super::*;
     use corroborate_core::prelude::*;
     use corroborate_datagen::motivating::motivating_example;
@@ -267,6 +269,43 @@ mod tests {
         })
     }
 
+    /// Shard counts the invariance property sweeps: degenerate (1), even
+    /// (2, 64 — more shards than most sampled datasets have groups, so the
+    /// clamp path is exercised too), and prime (7, for uneven partitions).
+    fn shard_count_strategy() -> impl Strategy<Value = usize> {
+        (0usize..4).prop_map(|i| [1usize, 2, 7, 64][i])
+    }
+
+    /// Full runs must be bit-identical whatever the shard/thread
+    /// configuration: the partition only re-orders independent per-shard
+    /// work and the fixed-order merge reproduces the sequential argmax.
+    fn assert_shard_invariant(ds: &Dataset, mode: DeltaHMode, shards: usize, threads: usize) {
+        let sequential = IncEstimate::with_config(
+            IncEstHeu::with_mode(mode),
+            IncEstimateConfig { shard: ShardConfig::sequential(), ..Default::default() },
+        )
+        .corroborate(ds)
+        .unwrap();
+        let sharded = IncEstimate::with_config(
+            IncEstHeu::with_mode(mode),
+            IncEstimateConfig { shard: ShardConfig { shards, threads }, ..Default::default() },
+        )
+        .corroborate(ds)
+        .unwrap();
+        assert_eq!(sequential.rounds(), sharded.rounds(), "{mode:?}/{shards}: rounds diverge");
+        for (a, b) in sequential.probabilities().iter().zip(sharded.probabilities()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{mode:?}/{shards}: probabilities diverge");
+        }
+        for (a, b) in sequential.trust().values().iter().zip(sharded.trust().values()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{mode:?}/{shards}: trust diverges");
+        }
+        assert_eq!(
+            sequential.decisions().labels(),
+            sharded.decisions().labels(),
+            "{mode:?}/{shards}: decisions diverge"
+        );
+    }
+
     #[test]
     fn motivating_example_scores_are_bit_identical() {
         let ds = motivating_example();
@@ -307,6 +346,17 @@ mod tests {
         fn observer_transparency(ds in dataset_strategy()) {
             for mode in MODES {
                 assert_observer_transparent(&ds, mode);
+            }
+        }
+
+        #[test]
+        fn shard_count_invariance(
+            ds in dataset_strategy(),
+            shards in shard_count_strategy(),
+            threads in 1usize..5,
+        ) {
+            for mode in MODES {
+                assert_shard_invariant(&ds, mode, shards, threads);
             }
         }
     }

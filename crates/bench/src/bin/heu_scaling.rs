@@ -19,7 +19,8 @@
 use std::time::Instant;
 
 use corroborate_algorithms::inc::{
-    DeltaHMode, IncEstHeu, IncEstimate, IncState, SelectionStrategy,
+    resolve_threads, DeltaHMode, IncEstHeu, IncEstimate, IncState, SelectionStrategy,
+    DEFAULT_SHARDS,
 };
 use corroborate_algorithms::obs::{Json, Observer, RecordingObserver};
 use corroborate_bench::Reporter;
@@ -222,10 +223,11 @@ fn traced_run(mode: DeltaHMode, ds: &Dataset) -> (f64, Json) {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let parallel = cfg!(feature = "rayon");
+    let threads = resolve_threads(0);
     let mut rep = Reporter::from_env("heu_scaling");
     rep.say(format!(
-        "IncEstHeu scaling bench (rayon feature: {parallel}, obs feature: {}, quick: {quick})",
+        "IncEstHeu scaling bench (threads: {threads}, shards: {DEFAULT_SHARDS}, obs feature: {}, \
+         quick: {quick})",
         cfg!(feature = "obs")
     ));
     rep.blank();
@@ -235,6 +237,10 @@ fn main() {
     config.insert("n_inaccurate", 2i64);
     config.insert("eta", 0.02);
     config.insert("seed", 42i64);
+    config.insert("shards", DEFAULT_SHARDS as i64);
+    // Machine-dependent (scheduling only — results are shard-count and
+    // thread-count invariant); the golden manifest ignores `config.threads`.
+    config.insert("threads", threads as i64);
     rep.raw("config", config.clone());
 
     // --- scaling sweep ------------------------------------------------
@@ -361,7 +367,6 @@ fn main() {
     // --- BENCH_incheu.json --------------------------------------------
     let mut bench = Json::object();
     bench.insert("bench", "heu_scaling");
-    bench.insert("rayon_feature", parallel);
     bench.insert("config", config);
     bench.insert("scaling", scaling);
     bench.insert("naive_comparison_4k", comparisons);

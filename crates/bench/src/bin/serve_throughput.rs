@@ -33,6 +33,7 @@ use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
+use corroborate_algorithms::inc::{resolve_threads, DEFAULT_SHARDS};
 use corroborate_bench::Reporter;
 use corroborate_core::ids::{FactId, SourceId};
 use corroborate_core::vote::Vote;
@@ -320,10 +321,11 @@ fn bench_http(rep: &mut Reporter, clients: usize, posts_per_client: usize) -> (J
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let parallel = cfg!(feature = "rayon");
+    let threads = resolve_threads(0);
     let mut rep = Reporter::from_env("serve_throughput");
     rep.say(format!(
-        "corroborate-serve throughput bench (rayon feature: {parallel}, quick: {quick})"
+        "corroborate-serve throughput bench (threads: {threads}, shards: {DEFAULT_SHARDS}, \
+         quick: {quick})"
     ));
     rep.blank();
 
@@ -333,6 +335,8 @@ fn main() {
     config.insert("n_inaccurate", 2i64);
     config.insert("eta", 0.02);
     config.insert("seed", 42i64);
+    config.insert("shards", DEFAULT_SHARDS as i64);
+    config.insert("threads", threads as i64);
     rep.raw("config", config.clone());
 
     // --- streaming ingest + WAL ---------------------------------------
@@ -365,7 +369,6 @@ fn main() {
     // --- BENCH_serve.json ----------------------------------------------
     let mut bench = Json::object();
     bench.insert("bench", "serve_throughput");
-    bench.insert("rayon_feature", parallel);
     bench.insert("config", config);
     bench.insert("ingest", Json::Arr(ingest));
     bench.insert("epoch_latency", latency);

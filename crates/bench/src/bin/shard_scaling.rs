@@ -1,0 +1,178 @@
+//! Shard scaling bench for the partitioned IncEstimate engine core: sweeps
+//! thread counts over large planted worlds with the default signature-hash
+//! shard partition, certifies that shard count never changes a result bit
+//! (testkit fingerprints at 1/2/4/8 shards against the strictly sequential
+//! engine), and writes the evidence to `BENCH_shard.json` at the repository
+//! root.
+//!
+//! Flags:
+//!
+//! - `--quick` — one small world, a trimmed thread sweep, and no
+//!   `BENCH_shard.json` overwrite (the CI smoke mode);
+//! - `--threads <n>` — restrict the sweep to a single thread count
+//!   (repeatable; the CI smoke job pins 2 and 4);
+//! - `--report <path>` — dump the run as a `RunReport`.
+//!
+//! Run with `--release`. Wall-clock speedups are hardware-dependent — the
+//! `config.threads_available` field records how many CPUs the sweep
+//! actually had, and the determinism columns are meaningful regardless.
+
+use std::time::Instant;
+
+use corroborate_algorithms::inc::{
+    resolve_threads, IncEstHeu, IncEstimate, IncEstimateConfig, ShardConfig, DEFAULT_SHARDS,
+};
+use corroborate_bench::Reporter;
+use corroborate_core::prelude::*;
+use corroborate_datagen::synthetic::{generate, SyntheticConfig};
+use corroborate_obs::Json;
+use corroborate_testkit::oracle::{fingerprint, run_engine};
+
+/// Fact counts of the full sweep (the paper-scale scale-out target).
+const SIZES: [usize; 3] = [100_000, 400_000, 1_000_000];
+/// Fact count of the `--quick` smoke sweep.
+const QUICK_SIZE: usize = 20_000;
+/// Thread counts swept (plus the machine's own parallelism, deduplicated).
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+/// Shard counts the fingerprint gate compares against the sequential engine.
+const FINGERPRINT_SHARDS: [usize; 4] = [1, 2, 4, 8];
+
+fn world(n_facts: usize) -> Dataset {
+    let cfg = SyntheticConfig { n_accurate: 8, n_inaccurate: 2, n_facts, eta: 0.02, seed: 42 };
+    generate(&cfg).expect("synthetic generation succeeds").dataset
+}
+
+fn engine(shards: usize, threads: usize) -> IncEstimate<IncEstHeu> {
+    IncEstimate::with_config(
+        IncEstHeu::default(),
+        IncEstimateConfig { shard: ShardConfig { shards, threads }, ..Default::default() },
+    )
+}
+
+fn time_run(ds: &Dataset, shards: usize, threads: usize) -> (f64, usize) {
+    let start = Instant::now();
+    let result = engine(shards, threads).corroborate(ds).expect("corroboration succeeds");
+    let elapsed = start.elapsed().as_secs_f64();
+    std::hint::black_box(result.probabilities().len());
+    (elapsed, result.rounds())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let pinned: Vec<usize> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--threads")
+        .map(|(i, _)| {
+            args.get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("--threads requires a positive integer"))
+        })
+        .collect();
+
+    let threads_available = resolve_threads(0);
+    let mut sweep: Vec<usize> = if pinned.is_empty() {
+        let mut t = THREADS.to_vec();
+        t.push(threads_available);
+        t
+    } else {
+        pinned
+    };
+    sweep.sort_unstable();
+    sweep.dedup();
+
+    let mut rep = Reporter::from_env("shard_scaling");
+    rep.say(format!(
+        "sharded engine scaling bench (shards: {DEFAULT_SHARDS}, \
+         threads available: {threads_available}, quick: {quick})"
+    ));
+    rep.blank();
+
+    let sizes: Vec<usize> = if quick { vec![QUICK_SIZE] } else { SIZES.to_vec() };
+    let mut config = Json::object();
+    config.insert("sizes", Json::Arr(sizes.iter().map(|&n| Json::Int(n as i64)).collect()));
+    config.insert("n_accurate", 8i64);
+    config.insert("n_inaccurate", 2i64);
+    config.insert("eta", 0.02);
+    config.insert("seed", 42i64);
+    config.insert("shards", DEFAULT_SHARDS as i64);
+    config.insert("threads", Json::Arr(sweep.iter().map(|&t| Json::Int(t as i64)).collect()));
+    config.insert("threads_available", threads_available as i64);
+    rep.raw("config", config.clone());
+
+    // --- thread sweep -------------------------------------------------
+    let mut scaling = Vec::new();
+    for &n in &sizes {
+        let ds = world(n);
+        let n_groups = corroborate_core::groups::group_by_signature(
+            ds.votes(),
+            &ds.facts().collect::<Vec<_>>(),
+        )
+        .len();
+        let mut base_s = f64::NAN;
+        for &threads in &sweep {
+            let (secs, rounds) = time_run(&ds, DEFAULT_SHARDS, threads);
+            if threads == sweep[0] {
+                base_s = secs;
+            }
+            let speedup = base_s / secs;
+            rep.say(format!(
+                "n={n:<8} groups={n_groups:<6} threads={threads:<3} {secs:>9.4}s  \
+                 rounds={rounds:<6} speedup={speedup:.2}x"
+            ));
+            let mut row = Json::object();
+            row.insert("n_facts", n);
+            row.insert("n_groups", n_groups);
+            row.insert("threads", threads);
+            row.insert("seconds", secs);
+            row.insert("rounds", rounds);
+            row.insert("speedup_vs_min_threads", speedup);
+            scaling.push(row);
+        }
+        rep.blank();
+    }
+    let scaling = Json::Arr(scaling);
+    rep.raw("scaling", scaling.clone());
+
+    // --- shard-count determinism gate ---------------------------------
+    // Fingerprints (testkit oracle FNV over probability/trust bits and
+    // round count) must be identical at every shard count; the sweep runs
+    // on the smallest configured world so the gate stays cheap.
+    let gate_n = sizes[0];
+    let ds = world(gate_n);
+    let sequential = run_engine(&engine(1, 1), &ds);
+    let expected = fingerprint(&sequential);
+    let mut prints = Vec::new();
+    for &shards in &FINGERPRINT_SHARDS {
+        let sharded = run_engine(&engine(shards, 2), &ds);
+        let fp = fingerprint(&sharded);
+        assert_eq!(
+            expected, fp,
+            "{shards} shards diverged from the sequential engine on n={gate_n}"
+        );
+        rep.say(format!("n={gate_n:<8} shards={shards:<3} fingerprint={fp:016x}  sequential ok"));
+        let mut row = Json::object();
+        row.insert("n_facts", gate_n);
+        row.insert("shards", shards);
+        row.insert("fingerprint", format!("{fp:016x}"));
+        row.insert("matches_sequential", true);
+        prints.push(row);
+    }
+    let prints = Json::Arr(prints);
+    rep.raw("fingerprints", prints.clone());
+
+    // --- BENCH_shard.json ---------------------------------------------
+    if !quick {
+        let mut bench = Json::object();
+        bench.insert("bench", "shard_scaling");
+        bench.insert("config", config);
+        bench.insert("scaling", scaling);
+        bench.insert("fingerprints", prints);
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shard.json");
+        std::fs::write(path, bench.to_json_pretty() + "\n").expect("write BENCH_shard.json");
+        rep.blank();
+        rep.say(format!("wrote {path}"));
+    }
+    rep.finish();
+}

@@ -1,0 +1,229 @@
+//! Signature-hash shard partition over fact groups.
+//!
+//! The fact group (§5.1) is the independent unit of IncEstimate selection:
+//! facts in a group share one vote signature, and every per-round cache
+//! (Corrob probability, entropy, dirty flag) is keyed by group. A
+//! [`ShardPlan`] partitions the canonical group list into `S` shards by a
+//! stable FNV-1a hash of each group's canonical signature, so per-shard
+//! engine state can be refreshed and scanned by independent workers and
+//! merged back in fixed shard order.
+//!
+//! Two properties matter for determinism:
+//!
+//! - **Seed independence** — the shard of a group depends only on its
+//!   canonical signature bytes and the shard count, never on dataset
+//!   iteration order, RNG state, thread count, or pointer identity. The
+//!   same dataset partitions identically on every machine and every run.
+//! - **Merge neutrality** — shard membership never influences results:
+//!   per-shard winners carry their canonical group index, and the merge
+//!   reduction (fixed shard order, positional tie-breaks on the canonical
+//!   index) reproduces the sequential scan's argmax bit for bit. The plan
+//!   is therefore free to choose any `S ≥ 1`.
+
+use crate::groups::FactGroup;
+use crate::vote::{SourceVote, Vote};
+
+/// Location of a group inside a [`ShardPlan`]: which shard owns it and at
+/// which slot of that shard's member list it sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardLoc {
+    /// Owning shard, `< ShardPlan::n_shards()`.
+    pub shard: u32,
+    /// Position in the owning shard's member list (ascending group order).
+    pub slot: u32,
+}
+
+/// Stable shard assignment for one canonical signature: FNV-1a over the
+/// `(source, vote)` entries, reduced modulo `n_shards`.
+///
+/// The hash eats each source index as 8 little-endian bytes followed by one
+/// polarity byte, so it is a pure function of the canonical signature —
+/// independent of seeds, machines, and shard-plan construction order. The
+/// empty signature (voteless facts) hashes to the FNV offset basis.
+pub fn signature_shard(signature: &[SourceVote], n_shards: usize) -> usize {
+    debug_assert!(n_shards > 0, "shard count must be at least 1");
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |byte: u8| {
+        hash = (hash ^ u64::from(byte)).wrapping_mul(0x100_0000_01b3);
+    };
+    for sv in signature {
+        for byte in (sv.source.index() as u64).to_le_bytes() {
+            eat(byte);
+        }
+        eat(match sv.vote {
+            Vote::True => 1,
+            Vote::False => 2,
+        });
+    }
+    (hash % n_shards as u64) as usize
+}
+
+/// A deterministic partition of the canonical group list into shards.
+///
+/// Built once per run; group indices are stable for the lifetime of the
+/// plan (groups drain to empty rather than being removed), so the
+/// group→shard mapping never needs maintenance.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    /// Per group: owning shard and slot.
+    loc: Vec<ShardLoc>,
+    /// Per shard: owned group indices, ascending (construction visits
+    /// groups in canonical order).
+    members: Vec<Vec<usize>>,
+}
+
+impl ShardPlan {
+    /// Partitions `groups` into `n_shards` shards by signature hash.
+    ///
+    /// `n_shards` is clamped to `[1, max(1, groups.len())]`: more shards
+    /// than groups would only allocate empty shards without adding any
+    /// exploitable parallelism, and results are shard-count independent by
+    /// construction.
+    pub fn build(groups: &[FactGroup], n_shards: usize) -> Self {
+        let n_shards = n_shards.clamp(1, groups.len().max(1));
+        let mut members = vec![Vec::new(); n_shards];
+        let mut loc = Vec::with_capacity(groups.len());
+        for (gi, group) in groups.iter().enumerate() {
+            let shard = signature_shard(&group.signature, n_shards);
+            loc.push(ShardLoc { shard: shard as u32, slot: members[shard].len() as u32 });
+            members[shard].push(gi);
+        }
+        Self { loc, members }
+    }
+
+    /// Number of shards (effective count after clamping, always ≥ 1).
+    pub fn n_shards(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Number of groups covered by the plan.
+    pub fn n_groups(&self) -> usize {
+        self.loc.len()
+    }
+
+    /// Location of group `gi`.
+    #[inline]
+    pub fn loc(&self, gi: usize) -> ShardLoc {
+        self.loc[gi]
+    }
+
+    /// The group indices owned by `shard`, ascending.
+    #[inline]
+    pub fn members(&self, shard: usize) -> &[usize] {
+        &self.members[shard]
+    }
+
+    /// Number of groups owned by `shard`.
+    pub fn load(&self, shard: usize) -> usize {
+        self.members[shard].len()
+    }
+
+    /// Groups owned by the fullest shard.
+    pub fn max_load(&self) -> usize {
+        self.members.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Groups owned by the emptiest shard.
+    pub fn min_load(&self) -> usize {
+        self.members.iter().map(Vec::len).min().unwrap_or(0)
+    }
+
+    /// Load spread `max_load − min_load` — 0 means a perfectly balanced
+    /// partition. Deterministic for a given dataset and shard count, so it
+    /// is safe to emit as a counter in golden-gated reports.
+    pub fn imbalance(&self) -> usize {
+        self.max_load() - self.min_load()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::groups::group_by_signature;
+    use crate::ids::{FactId, SourceId};
+    use crate::vote::VoteMatrixBuilder;
+
+    fn sample_groups(n_facts: usize) -> Vec<FactGroup> {
+        let n_sources = 5;
+        let mut b = VoteMatrixBuilder::new(n_sources, n_facts);
+        for f in 0..n_facts {
+            for s in 0..n_sources {
+                // Deterministic varied signatures without RNG.
+                match (f * 7 + s * 3) % 5 {
+                    0 => b.cast(SourceId::new(s), FactId::new(f), Vote::True).unwrap(),
+                    1 => b.cast(SourceId::new(s), FactId::new(f), Vote::False).unwrap(),
+                    _ => {}
+                }
+            }
+        }
+        let m = b.build();
+        let facts: Vec<FactId> = m.facts().collect();
+        group_by_signature(&m, &facts)
+    }
+
+    #[test]
+    fn every_group_lands_in_exactly_one_shard() {
+        let groups = sample_groups(64);
+        for shards in [1, 2, 7, 64] {
+            let plan = ShardPlan::build(&groups, shards);
+            let mut seen = vec![false; groups.len()];
+            for s in 0..plan.n_shards() {
+                for (slot, &gi) in plan.members(s).iter().enumerate() {
+                    assert!(!seen[gi], "group {gi} owned twice");
+                    seen[gi] = true;
+                    assert_eq!(plan.loc(gi), ShardLoc { shard: s as u32, slot: slot as u32 });
+                }
+            }
+            assert!(seen.iter().all(|&s| s));
+            assert_eq!(plan.n_groups(), groups.len());
+            let total: usize = (0..plan.n_shards()).map(|s| plan.load(s)).sum();
+            assert_eq!(total, groups.len());
+        }
+    }
+
+    #[test]
+    fn assignment_is_a_pure_function_of_the_signature() {
+        let groups = sample_groups(48);
+        let plan_a = ShardPlan::build(&groups, 8);
+        // Rebuilding from re-derived groups (fresh allocations, same
+        // canonical content) must reproduce the identical partition.
+        let plan_b = ShardPlan::build(&groups.to_vec(), 8);
+        for gi in 0..groups.len() {
+            assert_eq!(plan_a.loc(gi), plan_b.loc(gi));
+        }
+        for sig in groups.iter().map(|g| &g.signature) {
+            let s = signature_shard(sig, 8);
+            assert_eq!(s, signature_shard(&sig.clone(), 8));
+            assert!(s < 8);
+        }
+    }
+
+    #[test]
+    fn members_are_ascending_and_loads_consistent() {
+        let groups = sample_groups(64);
+        let plan = ShardPlan::build(&groups, 7);
+        for s in 0..plan.n_shards() {
+            assert!(plan.members(s).windows(2).all(|w| w[0] < w[1]));
+        }
+        assert!(plan.max_load() >= plan.min_load());
+        assert_eq!(plan.imbalance(), plan.max_load() - plan.min_load());
+    }
+
+    #[test]
+    fn shard_count_is_clamped_to_the_group_count() {
+        let groups = sample_groups(6);
+        let plan = ShardPlan::build(&groups, 1024);
+        assert_eq!(plan.n_shards(), groups.len());
+        let empty = ShardPlan::build(&[], 8);
+        assert_eq!(empty.n_shards(), 1);
+        assert_eq!(empty.n_groups(), 0);
+        assert_eq!(ShardPlan::build(&groups, 0).n_shards(), 1);
+    }
+
+    #[test]
+    fn empty_signature_hashes_stably() {
+        assert_eq!(signature_shard(&[], 1), 0);
+        let a = signature_shard(&[], 1 << 20);
+        assert_eq!(a, signature_shard(&[], 1 << 20));
+    }
+}

@@ -26,6 +26,8 @@ pub enum Span {
     Evaluate,
     /// One dirty-cache refresh (`refresh_trust_and_cache`).
     CacheRefresh,
+    /// One merge of per-shard scan winners into the global ΔH argmax.
+    ShardMerge,
     /// One fixpoint iteration of a convergence-loop corroborator.
     Iteration,
     /// One HTTP request handled end-to-end by the corroboration service.
@@ -38,10 +40,11 @@ pub enum Span {
 
 impl Span {
     /// All spans, in report order.
-    pub const ALL: [Span; 7] = [
+    pub const ALL: [Span; 8] = [
         Span::Select,
         Span::Evaluate,
         Span::CacheRefresh,
+        Span::ShardMerge,
         Span::Iteration,
         Span::Request,
         Span::Epoch,
@@ -54,6 +57,7 @@ impl Span {
             Span::Select => "select",
             Span::Evaluate => "evaluate",
             Span::CacheRefresh => "cache_refresh",
+            Span::ShardMerge => "shard_merge",
             Span::Iteration => "iteration",
             Span::Request => "request",
             Span::Epoch => "epoch",
@@ -237,7 +241,7 @@ impl Observer for RecordingObserver {
 ///
 /// `scores_pruned` classifies every candidate into exactly one tier; the
 /// tally is atomic because exact scoring may run on scoped worker threads
-/// under the `rayon` feature.
+/// when `ShardConfig::threads` resolves above one.
 #[derive(Debug, Default)]
 pub struct TierTally {
     /// Candidates killed by the linear prescreen.

@@ -31,9 +31,10 @@
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
 
-use corroborate_algorithms::inc::{IncEstHeu, IncEstimateConfig, IncEstimateSession};
+use corroborate_algorithms::inc::{map_indexed, IncEstHeu, IncEstimateConfig, IncEstimateSession};
 use corroborate_core::prelude::*;
 use corroborate_core::scoring::corrob_probability_or;
+use corroborate_core::shard::signature_shard;
 use corroborate_core::vote::SourceVote;
 
 use crate::delta::{ApplyOutcome, DeltaDataset, Mutation};
@@ -50,6 +51,12 @@ pub struct EpochConfig {
     /// `0.0` makes every epoch full; `> 1.0` never escalates.
     pub full_recompute_threshold: f64,
 }
+
+/// Below this many dirty facts an incremental rescore stays sequential:
+/// per-fact Corrob scoring is tens of nanoseconds, so thread spawn
+/// overhead dominates small batches. Scheduling only — results are
+/// identical either way.
+const MIN_PARALLEL_RESCORE_FACTS: usize = 1024;
 
 impl Default for EpochConfig {
     fn default() -> Self {
@@ -81,6 +88,11 @@ pub struct EpochStats {
     pub groups_invalidated: usize,
     /// IncEstimate rounds run (0 for incremental epochs).
     pub rounds: usize,
+    /// Non-empty signature-hash shards an incremental epoch rescanned
+    /// (0 for full epochs — the engine core owns its own sharding there).
+    /// A mutation burst confined to a few sources touches only the shards
+    /// owning their groups, so this stays far below the shard count.
+    pub shards_scanned: usize,
 }
 
 /// An immutable, atomically-published verdict snapshot.
@@ -350,6 +362,7 @@ impl EpochEngine {
 
         let dataset = Arc::new(self.delta.materialize()?);
         let facts_rescored;
+        let mut shards_scanned = 0;
         if full {
             let result =
                 IncEstimateSession::new(&dataset, IncEstHeu::default(), self.config.engine)
@@ -363,21 +376,53 @@ impl EpochEngine {
             self.stale.fill(false);
             self.needs_full = false;
         } else {
-            // Exact Corrob scores under the cached (stale) trust snapshot.
+            // Exact Corrob scores under the cached (stale) trust snapshot,
+            // sharded by the same stable signature hash the engine core
+            // partitions on: a mutated source dirties only the facts whose
+            // signatures it appears in, so the rescore touches only the
+            // shards owning those groups. Each shard scores its facts
+            // independently into a positional output vector and the
+            // scatter back walks shards in fixed order — bit-identical to
+            // the sequential per-fact loop whatever the thread count.
             facts_rescored = dirty.len();
-            for &f in &dirty {
-                let signature: Vec<SourceVote> = self
-                    .delta
-                    .signature(f)
+            let signatures: Vec<Vec<SourceVote>> = dirty
+                .iter()
+                .map(|&f| {
+                    self.delta
+                        .signature(f)
+                        .iter()
+                        .map(|&(s, vote)| SourceVote { source: SourceId::new(s), vote })
+                        .collect()
+                })
+                .collect();
+            let shard_cfg = self.config.engine.shard;
+            let n_shards = shard_cfg.resolved_shards().clamp(1, dirty.len().max(1));
+            let mut shards: Vec<Vec<usize>> = vec![Vec::new(); n_shards];
+            for (k, sig) in signatures.iter().enumerate() {
+                shards[signature_shard(sig, n_shards)].push(k);
+            }
+            shards_scanned = shards.iter().filter(|members| !members.is_empty()).count();
+            // Thread fan-out only pays for itself on large rescores; the
+            // threshold changes scheduling, never results.
+            let threads = if dirty.len() < MIN_PARALLEL_RESCORE_FACTS {
+                1
+            } else {
+                shard_cfg.resolved_threads().min(n_shards)
+            };
+            let trust = &self.trust;
+            let prior = self.config.engine.voteless_prior;
+            let scored: Vec<Vec<f64>> = map_indexed(n_shards, threads, |s| {
+                shards[s]
                     .iter()
-                    .map(|&(s, vote)| SourceVote { source: SourceId::new(s), vote })
-                    .collect();
-                self.probs[f.index()] = corrob_probability_or(
-                    &signature,
-                    &self.trust,
-                    self.config.engine.voteless_prior,
-                );
-                self.stale[f.index()] = true;
+                    .map(|&k| corrob_probability_or(&signatures[k], trust, prior))
+                    .collect()
+            });
+            for (members, shard_scores) in shards.iter().zip(&scored) {
+                for (&k, &p) in members.iter().zip(shard_scores) {
+                    let f = dirty[k];
+                    self.probs[f.index()] = p;
+                    self.stale[f.index()] = true;
+                }
             }
         }
 
@@ -400,6 +445,7 @@ impl EpochEngine {
             facts_rescored,
             groups_invalidated,
             rounds: if full { self.rounds } else { 0 },
+            shards_scanned,
         };
         Ok((view, stats))
     }

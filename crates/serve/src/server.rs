@@ -37,7 +37,7 @@ use corroborate_core::vote::Vote;
 use corroborate_obs::{Counter, Json, Observer, Span};
 
 use crate::delta::Mutation;
-use crate::epoch::{EpochConfig, EpochEngine, EpochMode, Published, VerdictView};
+use crate::epoch::{EpochConfig, EpochEngine, EpochMode, EpochStats, Published, VerdictView};
 use crate::http::{read_request, write_response, HttpError, Request};
 use crate::metrics::ServeMetrics;
 use crate::queue::IngestQueue;
@@ -179,7 +179,7 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle, ServeError> {
     // epoch before the first request can observe anything.
     let initial = if engine.delta().n_facts() > 0 {
         let (view, stats) = engine.run_epoch(EpochMode::Full)?;
-        record_epoch_counters(&metrics, stats.full, stats.facts_rescored, stats.groups_invalidated);
+        record_epoch_counters(&metrics, &stats);
         view
     } else {
         Arc::new(VerdictView::empty(&config.epoch)?)
@@ -527,12 +527,13 @@ fn get_source_trust(shared: &Shared, name: &str) -> (u16, String) {
     (200, obj.to_json())
 }
 
-fn record_epoch_counters(metrics: &ServeMetrics, full: bool, rescored: usize, groups: usize) {
+fn record_epoch_counters(metrics: &ServeMetrics, stats: &EpochStats) {
     let obs = metrics.observer();
     obs.add(Counter::Epochs, 1);
-    obs.add(if full { Counter::EpochsFull } else { Counter::EpochsIncremental }, 1);
-    obs.add(Counter::GroupsInvalidated, groups as u64);
-    obs.add(Counter::FactsRescored, rescored as u64);
+    obs.add(if stats.full { Counter::EpochsFull } else { Counter::EpochsIncremental }, 1);
+    obs.add(Counter::GroupsInvalidated, stats.groups_invalidated as u64);
+    obs.add(Counter::FactsRescored, stats.facts_rescored as u64);
+    obs.add(Counter::ShardTasks, stats.shards_scanned as u64);
 }
 
 fn epoch_loop(
@@ -560,12 +561,7 @@ fn epoch_loop(
             let mode = if closed { EpochMode::Full } else { EpochMode::Auto };
             let (view, stats) =
                 shared.metrics.observer().timed(Span::Epoch, || engine.run_epoch(mode))?;
-            record_epoch_counters(
-                &shared.metrics,
-                stats.full,
-                stats.facts_rescored,
-                stats.groups_invalidated,
-            );
+            record_epoch_counters(&shared.metrics, &stats);
             shared.epoch_counter.store(view.epoch(), Ordering::Release);
             shared.view.publish(view);
             if let Some(wal) = wal.as_mut() {

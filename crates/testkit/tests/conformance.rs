@@ -181,3 +181,41 @@ fn different_engines_disagree_somewhere() {
     let prints: std::collections::BTreeSet<u64> = outcomes.iter().map(fingerprint).collect();
     assert!(prints.len() > 1);
 }
+
+#[test]
+fn sharded_engine_is_fingerprint_identical_across_shard_counts() {
+    // The sharded engine's partition-and-merge must be invisible in the
+    // results: on every planted archetype, every shard count (degenerate,
+    // even, prime, and far beyond the group count) and thread fan-out
+    // fingerprints bit-identically to the strictly sequential engine.
+    use corroborate_algorithms::inc::{IncEstHeu, IncEstimate, IncEstimateConfig, ShardConfig};
+    use corroborate_testkit::oracle::run_engine;
+    for (name, config) in &standard_archetypes(SEED) {
+        let world = sim::generate(config);
+        let sequential = run_engine(
+            &IncEstimate::with_config(
+                IncEstHeu::default(),
+                IncEstimateConfig { shard: ShardConfig::sequential(), ..Default::default() },
+            ),
+            &world.dataset,
+        );
+        let baseline = fingerprint(&sequential);
+        for shards in [1usize, 2, 4, 7, 8, 64] {
+            let sharded = run_engine(
+                &IncEstimate::with_config(
+                    IncEstHeu::default(),
+                    IncEstimateConfig {
+                        shard: ShardConfig { shards, threads: 2 },
+                        ..Default::default()
+                    },
+                ),
+                &world.dataset,
+            );
+            assert_eq!(
+                baseline,
+                fingerprint(&sharded),
+                "{name}: {shards} shards diverge from the sequential engine"
+            );
+        }
+    }
+}
