@@ -10,7 +10,7 @@ use corroborate_core::prelude::*;
 use corroborate_obs::{Counter, IterationRecord, Observer, Span, NOOP};
 
 use crate::convergence::IterationControl;
-use crate::{timed, OBS_EMIT};
+use crate::{traced, OBS_EMIT};
 
 /// Configuration for [`Cosine`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -76,7 +76,7 @@ impl Cosine {
 
         for _ in 0..cfg.iteration.max_iterations {
             rounds += 1;
-            let residual = timed(obs, Span::Iteration, || {
+            let residual = traced(obs, Span::Iteration, (rounds - 1) as u64, || {
                 // Value step: trust-weighted average of signed votes.
                 for f in dataset.facts() {
                     let votes = dataset.votes().votes_on(f);

@@ -21,7 +21,7 @@ use corroborate_obs::{Counter, IterationRecord, Observer, Span, NOOP};
 
 use super::Normalization;
 use crate::convergence::IterationControl;
-use crate::{timed, OBS_EMIT};
+use crate::{traced, OBS_EMIT};
 
 /// Configuration for [`ThreeEstimates`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -121,7 +121,7 @@ impl ThreeEstimates {
 
         for _ in 0..cfg.iteration.max_iterations {
             rounds += 1;
-            let residual = timed(obs, Span::Iteration, || {
+            let residual = traced(obs, Span::Iteration, (rounds - 1) as u64, || {
                 score_facts(&error, &difficulty, &mut probs);
                 cfg.normalization.apply(&mut probs);
 

@@ -24,7 +24,7 @@ use corroborate_obs::{Counter, IterationRecord, Observer, Span, NOOP};
 
 use super::Normalization;
 use crate::convergence::IterationControl;
-use crate::{timed, OBS_EMIT};
+use crate::{traced, OBS_EMIT};
 
 /// Configuration for [`TwoEstimates`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -95,7 +95,7 @@ impl TwoEstimates {
 
         for _ in 0..cfg.iteration.max_iterations {
             rounds += 1;
-            let residual = timed(obs, Span::Iteration, || {
+            let residual = traced(obs, Span::Iteration, (rounds - 1) as u64, || {
                 score_facts(dataset, &trust, cfg.voteless_prior, &mut probs);
                 cfg.normalization.apply(&mut probs);
                 let previous = trust.clone();

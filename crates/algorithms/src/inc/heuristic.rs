@@ -739,7 +739,7 @@ impl SelectionStrategy for IncEstHeu {
             // the global argmax is bit-identical to one sequential scan of
             // the whole canonical group list.
             let scans = state.shard_scans();
-            state.observer().timed(Span::ShardMerge, || {
+            crate::traced(state.observer(), Span::ShardMerge, scans.len() as u64, || {
                 let mut pos = None;
                 let mut neg = None;
                 let mut candidates = 0u64;

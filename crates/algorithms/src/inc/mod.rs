@@ -42,7 +42,7 @@ use corroborate_core::prelude::*;
 use corroborate_core::scoring::corrob_probability_or;
 use corroborate_obs::{Counter, NoopObserver, Observer, Span, NOOP};
 
-use crate::{timed, OBS_EMIT};
+use crate::{traced, OBS_EMIT};
 
 /// Configuration shared by every IncEstimate strategy.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -406,7 +406,7 @@ impl<'a, O: Observer> IncState<'a, O> {
     /// so compaction never changes results.
     fn refresh_trust_and_cache(&mut self) {
         let obs = self.obs;
-        timed(obs, Span::CacheRefresh, || {
+        traced(obs, Span::CacheRefresh, self.caches.n_shards() as u64, || {
             let groups = &self.groups;
             let compacted = self.index.retain_groups(|gi| !groups[gi].facts.is_empty());
             for s in self.dataset.sources() {
@@ -444,7 +444,7 @@ impl<'a, O: Observer> IncState<'a, O> {
     /// per-source counters, and recomputes the trust snapshot `σ_{i+1}(S)`.
     pub(crate) fn evaluate(&mut self, facts: &[FactId]) {
         let obs = self.obs;
-        timed(obs, Span::Evaluate, || {
+        traced(obs, Span::Evaluate, facts.len() as u64, || {
             let mut detach: Vec<(usize, FactId)> = Vec::with_capacity(facts.len());
             for &f in facts {
                 debug_assert!(self.remaining_mask[f.index()], "fact evaluated twice: {f}");

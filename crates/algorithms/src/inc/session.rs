@@ -8,7 +8,7 @@
 use corroborate_core::prelude::*;
 use corroborate_obs::{Counter, NoopObserver, Observer, RoundRecord, Span, NOOP};
 
-use super::{timed, IncEstimateConfig, IncState, SelectionStrategy, OBS_EMIT};
+use super::{traced, IncEstimateConfig, IncState, SelectionStrategy, OBS_EMIT};
 
 /// What one [`IncEstimateSession::step`] did.
 #[derive(Debug, Clone)]
@@ -113,7 +113,8 @@ impl<'a, S: SelectionStrategy, O: Observer> IncEstimateSession<'a, S, O> {
         let obs = self.state.observer();
         let entropy_before =
             if O::ENABLED && OBS_EMIT { self.state.remaining_entropy() } else { 0.0 };
-        let mut selection = timed(obs, Span::Select, || self.strategy.select(&self.state));
+        let mut selection =
+            traced(obs, Span::Select, self.rounds as u64, || self.strategy.select(&self.state));
         selection.retain(|&f| self.state.is_remaining(f));
         selection.sort_unstable();
         selection.dedup();

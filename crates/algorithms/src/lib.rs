@@ -81,15 +81,19 @@ pub use corroborate_obs as obs;
 pub(crate) const OBS_EMIT: bool = cfg!(feature = "obs");
 
 /// Times `f` under `span` when both the observer and the `obs` feature are
-/// enabled; otherwise calls it directly with zero overhead.
+/// enabled; otherwise calls it directly with zero overhead. Also emits
+/// hierarchical begin/end trace events carrying `payload` (round index,
+/// fact count, shard count, …) so trace-enabled observers capture the
+/// parent/child decomposition of the work.
 #[inline]
-pub(crate) fn timed<O: obs::Observer, R>(
+pub(crate) fn traced<O: obs::Observer, R>(
     observer: &O,
     span: obs::Span,
+    payload: u64,
     f: impl FnOnce() -> R,
 ) -> R {
     if O::ENABLED && OBS_EMIT {
-        observer.timed(span, f)
+        observer.traced(span, payload, f)
     } else {
         f()
     }

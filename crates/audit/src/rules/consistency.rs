@@ -15,6 +15,10 @@ use crate::workspace::{SourceFile, Workspace};
 pub const COUNTERS_PATH: &str = "crates/obs/src/counters.rs";
 /// Where the `Span` enum lives.
 pub const OBSERVER_PATH: &str = "crates/obs/src/observer.rs";
+/// Where the trace ring and the `TraceKind` enum live.
+pub const TRACE_PATH: &str = "crates/obs/src/trace.rs";
+/// Where the Prometheus metric-name scheme lives.
+pub const PROM_PATH: &str = "crates/obs/src/prom.rs";
 /// Where serve-layer gauges are registered into reports.
 pub const METRICS_PATH: &str = "crates/serve/src/metrics.rs";
 /// The telemetry catalog document.
@@ -133,7 +137,9 @@ fn fn_body(file: &SourceFile, name: &str) -> Option<(usize, usize)> {
 /// file. `ALL` is hand-maintained (the compiler cannot enforce coverage),
 /// and an unemitted variant is a catalog entry that silently reports zero.
 fn check_registry_drift(ws: &Workspace, out: &mut Vec<Diagnostic>) {
-    for (decl_path, enum_name) in [(COUNTERS_PATH, "Counter"), (OBSERVER_PATH, "Span")] {
+    for (decl_path, enum_name) in
+        [(COUNTERS_PATH, "Counter"), (OBSERVER_PATH, "Span"), (TRACE_PATH, "TraceKind")]
+    {
         let Some(decl) = ws.source(decl_path) else { continue };
         let variants = enum_variants(decl, enum_name);
         if variants.is_empty() {
@@ -188,16 +194,29 @@ fn check_registry_drift(ws: &Workspace, out: &mut Vec<Diagnostic>) {
     }
 }
 
-/// C002 — every counter/span key and every serve gauge key appears
-/// backticked in `docs/OBSERVABILITY.md`, so the operational catalog and
-/// the code that emits it stay in lockstep.
+/// C002 — every counter/span/trace-kind key, every serve gauge key, and
+/// the Prometheus naming-scheme literals appear backticked in
+/// `docs/OBSERVABILITY.md`, so the operational catalog and the code that
+/// emits it stay in lockstep.
 fn check_docs_drift(ws: &Workspace, out: &mut Vec<Diagnostic>) {
     let Some(doc) = ws.docs.iter().find(|d| d.rel_path == OBS_DOC_PATH) else { return };
     let mut keys: Vec<(String, u32, &str, &str)> = Vec::new();
-    for (path, kind) in [(COUNTERS_PATH, "counter"), (OBSERVER_PATH, "span")] {
+    for (path, kind) in
+        [(COUNTERS_PATH, "counter"), (OBSERVER_PATH, "span"), (TRACE_PATH, "trace kind")]
+    {
         if let Some(file) = ws.source(path) {
             for (key, line) in fn_body_strings(file, "key") {
                 keys.push((key, line, path, kind));
+            }
+        }
+    }
+    // The Prometheus naming scheme: the format literals inside the three
+    // name builders (`corroborate_{key}_total`, …) must appear backticked in
+    // the doc, so a prefix or suffix change cannot leave the catalog stale.
+    if let Some(file) = ws.source(PROM_PATH) {
+        for builder in ["counter_name", "span_name", "gauge_name"] {
+            for (scheme, line) in fn_body_strings(file, builder) {
+                keys.push((scheme, line, PROM_PATH, "prometheus name scheme"));
             }
         }
     }
@@ -479,6 +498,46 @@ mod tests {
         ws.docs[0].text = "nothing documented".to_string();
         let d = run(&ws);
         assert_eq!(d.iter().filter(|d| d.rule == "C002").count(), 2);
+    }
+
+    #[test]
+    fn c001_covers_the_trace_kind_registry() {
+        let decl = SourceFile::from_text(
+            TRACE_PATH,
+            "pub enum TraceKind { Begin, End, Instant }\n\
+             impl TraceKind { pub const ALL: [TraceKind; 2] = [TraceKind::Begin, TraceKind::End];\n\
+             pub fn key(self) -> &'static str { \"begin\" } }",
+        );
+        let emit = SourceFile::from_text(
+            "crates/obs/src/observer.rs",
+            "fn f(b: &TraceBuffer) { b.push(TraceKind::Begin, s, 0); \
+             b.push(TraceKind::End, s, 0); b.push(TraceKind::Instant, s, 0); }",
+        );
+        let ws = Workspace { sources: vec![decl, emit], ..Default::default() };
+        let d = run(&ws);
+        let c001: Vec<_> = d.iter().filter(|d| d.rule == "C001").collect();
+        // `Instant` is emitted but missing from ALL; nothing is unemitted.
+        assert_eq!(c001.len(), 1, "{c001:?}");
+        assert!(c001[0].message.contains("TraceKind::Instant") && c001[0].message.contains("ALL"));
+    }
+
+    #[test]
+    fn c002_flags_undocumented_prom_scheme() {
+        let prom = SourceFile::from_text(
+            PROM_PATH,
+            "pub fn counter_name(key: &str) -> String { format!(\"corroborate_{key}_total\") }\n\
+             pub fn gauge_name(key: &str) -> String { format!(\"corroborate_{key}\") }",
+        );
+        let doc = DocFile {
+            rel_path: OBS_DOC_PATH.to_string(),
+            text: "counters are `corroborate_{key}_total`".to_string(),
+        };
+        let ws = Workspace { sources: vec![prom], docs: vec![doc], ..Default::default() };
+        let d = run(&ws);
+        let c002: Vec<_> = d.iter().filter(|d| d.rule == "C002").collect();
+        assert_eq!(c002.len(), 1, "{c002:?}");
+        assert!(c002[0].message.contains("corroborate_{key}"));
+        assert!(c002[0].message.contains("prometheus name scheme"));
     }
 
     #[test]

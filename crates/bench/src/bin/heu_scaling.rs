@@ -11,7 +11,12 @@
 //!   pruning-tier counters, cache telemetry, latency histograms) captured
 //!   with a [`RecordingObserver`];
 //! - `--quick` — 1k facts only, skip the naive comparison and the overhead
-//!   check, and do *not* overwrite `BENCH_incheu.json` (the CI smoke mode).
+//!   check, and do *not* overwrite `BENCH_incheu.json` (the CI smoke mode);
+//! - `--trace <path>` — give the instrumented runs a trace ring and write
+//!   the `Full`-mode run's Chrome trace-event JSON to `<path>` (load in
+//!   Perfetto, validate with `trace_check`). Requires the `obs` feature to
+//!   record anything; without it the export is an empty `traceEvents`
+//!   array.
 //!
 //! Run with `--release`; the JSON is the evidence artifact behind the
 //! complexity claims in `docs/PERFORMANCE.md`.
@@ -22,7 +27,9 @@ use corroborate_algorithms::inc::{
     resolve_threads, DeltaHMode, IncEstHeu, IncEstimate, IncState, SelectionStrategy,
     DEFAULT_SHARDS,
 };
-use corroborate_algorithms::obs::{Json, Observer, RecordingObserver};
+use corroborate_algorithms::obs::{
+    chrome_trace_json, Json, Observer, RecordingObserver, TraceSnapshot,
+};
 use corroborate_bench::Reporter;
 use corroborate_core::entropy::binary_entropy;
 use corroborate_core::groups::FactGroup;
@@ -208,21 +215,50 @@ fn best_of<S: SelectionStrategy + Copy>(strategy: S, ds: &Dataset, reps: usize) 
     (0..reps).map(|_| time_run(strategy, ds).0).fold(f64::INFINITY, f64::min)
 }
 
-/// One instrumented run: corroborate under a [`RecordingObserver`] and
-/// return (elapsed seconds, the observer's JSON snapshot).
-fn traced_run(mode: DeltaHMode, ds: &Dataset) -> (f64, Json) {
-    let recorder = RecordingObserver::new();
+/// One instrumented run: corroborate under a [`RecordingObserver`] (with a
+/// trace ring when `trace_capacity > 0`) and return (elapsed seconds, the
+/// observer's JSON snapshot, the trace snapshot).
+fn traced_run(mode: DeltaHMode, ds: &Dataset, trace_capacity: usize) -> (f64, Json, TraceSnapshot) {
+    let recorder = if trace_capacity > 0 {
+        RecordingObserver::with_trace(trace_capacity)
+    } else {
+        RecordingObserver::new()
+    };
     let start = Instant::now();
     let result = IncEstimate::new(IncEstHeu::with_mode(mode))
         .corroborate_observed(ds, &recorder)
         .expect("corroboration succeeds");
     let elapsed = start.elapsed().as_secs_f64();
     std::hint::black_box(result.probabilities().len());
-    (elapsed, recorder.to_json())
+    (elapsed, recorder.to_json(), recorder.trace_snapshot())
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let mut quick = false;
+    let mut trace_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--quick" => quick = true,
+            "--trace" => {
+                trace_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("heu_scaling: --trace requires a path");
+                    std::process::exit(2);
+                }));
+            }
+            // Consumed by `Reporter::from_env`; skip the value here.
+            "--report" => {
+                args.next();
+            }
+            other => {
+                eprintln!(
+                    "heu_scaling: unknown flag {other} (expected --quick, --report <path>, \
+                     --trace <path>)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
     let threads = resolve_threads(0);
     let mut rep = Reporter::from_env("heu_scaling");
     rep.say(format!(
@@ -280,9 +316,11 @@ fn main() {
     let ds = world(trace_n);
     rep.blank();
     rep.say(format!("instrumented traces at {trace_n} facts:"));
+    let trace_capacity = if trace_path.is_some() { 1 << 20 } else { 0 };
     let mut recording_s = Vec::new();
+    let mut last_snapshot = None;
     for mode in MODES {
-        let (secs, trace) = traced_run(mode, &ds);
+        let (secs, trace, snapshot) = traced_run(mode, &ds, trace_capacity);
         let rounds = trace.get("rounds").and_then(Json::as_array).map_or(0, <[Json]>::len);
         rep.say(format!(
             "{:>9}  {secs:>9.4}s  recorded rounds={rounds} (obs feature {})",
@@ -291,6 +329,16 @@ fn main() {
         ));
         rep.raw(format!("trace_{}", mode_name(mode)).as_str(), trace);
         recording_s.push((mode, secs));
+        last_snapshot = Some(snapshot);
+    }
+    if let (Some(path), Some(snapshot)) = (&trace_path, &last_snapshot) {
+        let doc = chrome_trace_json(snapshot);
+        std::fs::write(path, doc.to_json_pretty()).expect("write trace");
+        rep.say(format!(
+            "wrote {} trace events ({} overwritten) to {path}",
+            snapshot.events.len(),
+            snapshot.overwritten
+        ));
     }
 
     if quick {

@@ -5,15 +5,27 @@
 //!
 //! ```sh
 //! report_check <report.json> [key.path ...]
+//! report_check --prom <metrics.prom>
+//! report_check --catalog <metrics.json> <OBSERVABILITY.md>
 //! ```
 //!
 //! Key paths are dot-separated and may index arrays numerically, e.g.
 //! `trace_Equation9.counters.prescreen_killed` or `scaling.0.mode`. The
 //! `report` and `schema_version` header keys are always required.
+//!
+//! `--prom` validates a Prometheus text-exposition scrape line by line
+//! (HELP/TYPE/sample syntax) and requires the complete closed catalog —
+//! every [`Counter`] and [`Span`] family plus the `corroborate_epoch`
+//! gauge — so a scrape that silently dropped a family fails CI.
+//!
+//! `--catalog` mirrors the audit's C002 drift rule at the artifact level:
+//! every counter, span, and gauge key appearing in a `/metrics.json`
+//! document must be backticked somewhere in `docs/OBSERVABILITY.md`.
 
 use std::process::ExitCode;
 
-use corroborate_obs::Json;
+use corroborate_obs::prom::{counter_name, gauge_name, span_name, valid_metric_name};
+use corroborate_obs::{Counter, Json, Span};
 
 fn lookup<'a>(root: &'a Json, path: &str) -> Option<&'a Json> {
     let mut cur = root;
@@ -26,25 +38,165 @@ fn lookup<'a>(root: &'a Json, path: &str) -> Option<&'a Json> {
     Some(cur)
 }
 
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: report_check <report.json> [key.path ...]\n\
+         \x20      report_check --prom <metrics.prom>\n\
+         \x20      report_check --catalog <metrics.json> <OBSERVABILITY.md>"
+    );
+    ExitCode::from(2)
+}
+
+fn read(path: &str) -> Result<String, ExitCode> {
+    std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("report_check: cannot read {path}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn parse(path: &str, text: &str) -> Result<Json, ExitCode> {
+    Json::parse(text).map_err(|e| {
+        eprintln!("report_check: {path} is not valid JSON: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+/// One Prometheus sample value: plain decimal, `+Inf`, `-Inf`, or `NaN`.
+fn valid_sample_value(value: &str) -> bool {
+    matches!(value, "+Inf" | "-Inf" | "NaN") || value.parse::<f64>().is_ok()
+}
+
+/// Validates the text exposition format and returns the `# TYPE`d family
+/// names, or a line-anchored error.
+fn scan_prom(text: &str) -> Result<Vec<String>, String> {
+    let mut families = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let at = || format!("line {}", i + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            match (parts.next(), parts.next(), parts.next()) {
+                (Some("HELP"), Some(name), Some(_)) if valid_metric_name(name) => {}
+                (Some("TYPE"), Some(name), Some(kind)) if valid_metric_name(name) => {
+                    if !matches!(kind, "counter" | "gauge" | "histogram") {
+                        return Err(format!("{}: unknown family type {kind:?}", at()));
+                    }
+                    families.push(name.to_string());
+                }
+                _ => return Err(format!("{}: malformed comment {line:?}", at())),
+            }
+            continue;
+        }
+        // A sample: `name[{labels}] value`.
+        let Some((series, value)) = line.rsplit_once(' ') else {
+            return Err(format!("{}: sample without a value: {line:?}", at()));
+        };
+        let name = series.split('{').next().unwrap_or(series);
+        if !valid_metric_name(name) {
+            return Err(format!("{}: bad metric name {name:?}", at()));
+        }
+        if series.contains('{') && !series.ends_with('}') {
+            return Err(format!("{}: unterminated label set: {series:?}", at()));
+        }
+        if !valid_sample_value(value) {
+            return Err(format!("{}: bad sample value {value:?}", at()));
+        }
+    }
+    Ok(families)
+}
+
+/// `--prom`: structural validation plus closed-catalog completeness.
+fn check_prom(path: &str) -> ExitCode {
+    let text = match read(path) {
+        Ok(text) => text,
+        Err(code) => return code,
+    };
+    let families = match scan_prom(&text) {
+        Ok(families) => families,
+        Err(message) => {
+            eprintln!("report_check: {path}: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut required: Vec<String> = Counter::ALL.iter().map(|c| counter_name(c.key())).collect();
+    required.extend(Span::ALL.iter().map(|s| span_name(s.key())));
+    required.push(gauge_name("epoch"));
+    for family in &required {
+        if !families.iter().any(|f| f == family) {
+            eprintln!("report_check: {path}: catalog family `{family}` is missing");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "{path}: OK ({} families, {} from the closed catalog)",
+        families.len(),
+        required.len()
+    );
+    ExitCode::SUCCESS
+}
+
+/// `--catalog`: every telemetry key in the metrics document must be
+/// backticked in the observability doc.
+fn check_catalog(metrics_path: &str, doc_path: &str) -> ExitCode {
+    let metrics = match read(metrics_path).and_then(|t| parse(metrics_path, &t)) {
+        Ok(metrics) => metrics,
+        Err(code) => return code,
+    };
+    let doc = match read(doc_path) {
+        Ok(doc) => doc,
+        Err(code) => return code,
+    };
+    let mut checked = 0usize;
+    for section in ["counters", "spans", "gauges"] {
+        let Some(Json::Obj(entries)) = lookup(&metrics, section) else {
+            eprintln!("report_check: {metrics_path}: missing `{section}` object");
+            return ExitCode::FAILURE;
+        };
+        for (key, _) in entries {
+            if !doc.contains(&format!("`{key}`")) {
+                eprintln!(
+                    "report_check: {metrics_path}: {section} key `{key}` is not \
+                     documented (backticked) in {doc_path}"
+                );
+                return ExitCode::FAILURE;
+            }
+            checked += 1;
+        }
+    }
+    println!("{metrics_path}: OK ({checked} keys documented in {doc_path})");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
-    let Some(path) = args.next() else {
-        eprintln!("usage: report_check <report.json> [key.path ...]");
-        return ExitCode::from(2);
+    let Some(first) = args.next() else {
+        return usage();
     };
-    let text = match std::fs::read_to_string(&path) {
+    match first.as_str() {
+        "--prom" => {
+            let Some(path) = args.next() else {
+                return usage();
+            };
+            return check_prom(&path);
+        }
+        "--catalog" => {
+            let (Some(metrics), Some(doc)) = (args.next(), args.next()) else {
+                return usage();
+            };
+            return check_catalog(&metrics, &doc);
+        }
+        _ => {}
+    }
+    let path = first;
+    let text = match read(&path) {
         Ok(text) => text,
-        Err(e) => {
-            eprintln!("report_check: cannot read {path}: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(code) => return code,
     };
-    let root = match Json::parse(&text) {
+    let root = match parse(&path, &text) {
         Ok(root) => root,
-        Err(e) => {
-            eprintln!("report_check: {path} is not valid JSON: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(code) => return code,
     };
 
     let mut required: Vec<String> = vec!["report".into(), "schema_version".into()];

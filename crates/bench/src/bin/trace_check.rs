@@ -1,0 +1,300 @@
+//! CI validator for Chrome trace-event exports (`--trace` artifacts from
+//! `serve_smoke`, `corroborate_served`, and `heu_scaling`). Exits 0 when
+//! the trace is well-formed, 1 on any violation, 2 on usage errors.
+//!
+//! ```sh
+//! trace_check <trace.json>
+//! ```
+//!
+//! Checks, mirroring the invariants the seqlock ring buffer and the
+//! span-stack parent tracking are supposed to uphold end to end:
+//!
+//! - `traceEvents` is present and every event carries a cataloged span
+//!   name (a [`Span::key`]), a known phase (`B`/`E`/`i`), and numeric
+//!   `ts`/`tid`/`args.id`/`args.parent` fields;
+//! - per-thread timestamps are non-decreasing (events are published in
+//!   program order per thread);
+//! - per-thread begin/end events balance with stack discipline — every
+//!   `E` closes the innermost open `B` of the same name. When the ring
+//!   wrapped (`otherData.overwritten > 0`), orphaned ends and unknown
+//!   parents are tolerated, because the matching begins were overwritten;
+//! - every non-zero parent id refers to a span id that appears in the
+//!   trace (subject to the same wrap-around tolerance);
+//! - `otherData.torn` is zero — a torn event would mean the seqlock
+//!   protocol failed.
+
+use std::collections::HashSet;
+use std::process::ExitCode;
+
+use corroborate_obs::{Json, Span, TraceKind};
+
+struct Event {
+    name: String,
+    ph: String,
+    ts: f64,
+    tid: u64,
+    id: u64,
+    parent: u64,
+}
+
+fn field_u64(event: &Json, outer: &str, key: &str) -> Result<u64, String> {
+    let holder = if outer.is_empty() { Some(event) } else { event.get(outer) };
+    holder
+        .and_then(|h| h.get(key))
+        .and_then(Json::as_i64)
+        .and_then(|v| u64::try_from(v).ok())
+        .ok_or_else(|| {
+            let at = if outer.is_empty() { key.to_string() } else { format!("{outer}.{key}") };
+            format!("missing or non-numeric `{at}`")
+        })
+}
+
+fn decode_event(event: &Json) -> Result<Event, String> {
+    let name = event
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "missing `name`".to_string())?
+        .to_string();
+    if !Span::ALL.iter().any(|s| s.key() == name) {
+        return Err(format!("name {name:?} is not a cataloged span key"));
+    }
+    let ph = event
+        .get("ph")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "missing `ph`".to_string())?
+        .to_string();
+    if !TraceKind::ALL.iter().any(|k| k.ph() == ph) {
+        return Err(format!("unknown phase {ph:?}"));
+    }
+    let ts = event
+        .get("ts")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| "missing or non-numeric `ts`".to_string())?;
+    let tid = field_u64(event, "", "tid")?;
+    let id = field_u64(event, "args", "id")?;
+    let parent = field_u64(event, "args", "parent")?;
+    if ph == "i" && event.get("s").and_then(Json::as_str) != Some("t") {
+        return Err("instant event without thread scope `\"s\":\"t\"`".to_string());
+    }
+    Ok(Event { name, ph, ts, tid, id, parent })
+}
+
+fn validate(root: &Json) -> Result<String, String> {
+    let events = root
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "missing `traceEvents` array".to_string())?;
+    let overwritten = root
+        .get("otherData")
+        .and_then(|d| d.get("overwritten"))
+        .and_then(Json::as_i64)
+        .unwrap_or(0);
+    let torn =
+        root.get("otherData").and_then(|d| d.get("torn")).and_then(Json::as_i64).unwrap_or(0);
+    if torn != 0 {
+        return Err(format!("otherData.torn = {torn}: the ring published torn events"));
+    }
+    let wrapped = overwritten > 0;
+
+    let mut decoded = Vec::with_capacity(events.len());
+    for (i, event) in events.iter().enumerate() {
+        decoded.push(decode_event(event).map_err(|e| format!("event {i}: {e}"))?);
+    }
+
+    let known_ids: HashSet<u64> = decoded.iter().filter(|e| e.id != 0).map(|e| e.id).collect();
+    // Per-thread cursors: last timestamp and the open-span stack.
+    let mut last_ts: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
+    let mut stacks: std::collections::HashMap<u64, Vec<(String, u64)>> =
+        std::collections::HashMap::new();
+    let mut orphan_ends = 0u64;
+    for (i, e) in decoded.iter().enumerate() {
+        if let Some(&prev) = last_ts.get(&e.tid) {
+            if e.ts < prev {
+                return Err(format!(
+                    "event {i}: thread {} timestamp regressed ({} < {prev})",
+                    e.tid, e.ts
+                ));
+            }
+        }
+        last_ts.insert(e.tid, e.ts);
+        if e.parent != 0 && !known_ids.contains(&e.parent) && !wrapped {
+            return Err(format!("event {i}: parent id {} not present in the trace", e.parent));
+        }
+        let stack = stacks.entry(e.tid).or_default();
+        match e.ph.as_str() {
+            "B" => {
+                if e.id == 0 {
+                    return Err(format!("event {i}: begin with id 0"));
+                }
+                stack.push((e.name.clone(), e.id));
+            }
+            "E" => match stack.pop() {
+                Some((name, id)) => {
+                    if name != e.name || id != e.id {
+                        return Err(format!(
+                            "event {i}: end of {}#{} closes open span {name}#{id}",
+                            e.name, e.id
+                        ));
+                    }
+                }
+                None if wrapped => orphan_ends += 1,
+                None => {
+                    return Err(format!(
+                        "event {i}: end of {}#{} with no open span on thread {}",
+                        e.name, e.id, e.tid
+                    ))
+                }
+            },
+            _ => {}
+        }
+    }
+    for (tid, stack) in &stacks {
+        if let Some((name, id)) = stack.last() {
+            return Err(format!("thread {tid}: span {name}#{id} never ended"));
+        }
+    }
+    let threads = stacks.len();
+    Ok(format!(
+        "{} events across {threads} thread(s), {overwritten} overwritten, {orphan_ends} \
+         orphaned end(s) tolerated",
+        decoded.len()
+    ))
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(path), None) = (args.next(), args.next()) else {
+        eprintln!("usage: trace_check <trace.json>");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("trace_check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let root = match Json::parse(&text) {
+        Ok(root) => root,
+        Err(e) => {
+            eprintln!("trace_check: {path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate(&root) {
+        Ok(summary) => {
+            println!("{path}: OK ({summary})");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("trace_check: {path}: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(name: &str, ph: &str, ts: f64, tid: u64, id: u64, parent: u64) -> Json {
+        let mut e = Json::object();
+        e.insert("name", name);
+        e.insert("cat", "corroborate");
+        e.insert("ph", ph);
+        e.insert("ts", ts);
+        e.insert("pid", 1u64);
+        e.insert("tid", tid);
+        if ph == "i" {
+            e.insert("s", "t");
+        }
+        let mut args = Json::object();
+        args.insert("id", id);
+        args.insert("parent", parent);
+        args.insert("payload", 0u64);
+        e.insert("args", args);
+        e
+    }
+
+    fn doc(events: Vec<Json>, overwritten: u64, torn: u64) -> Json {
+        let mut root = Json::object();
+        root.insert("traceEvents", Json::Arr(events));
+        root.insert("displayTimeUnit", "ns");
+        let mut other = Json::object();
+        other.insert("overwritten", overwritten);
+        other.insert("torn", torn);
+        root.insert("otherData", other);
+        root
+    }
+
+    #[test]
+    fn accepts_a_balanced_nested_trace() {
+        let root = doc(
+            vec![
+                event("epoch", "B", 1.0, 1, 10, 0),
+                event("wal_append", "B", 2.0, 1, 11, 10),
+                event("wal_fsync", "i", 2.5, 1, 0, 11),
+                event("wal_append", "E", 3.0, 1, 11, 10),
+                event("epoch", "E", 4.0, 1, 10, 0),
+            ],
+            0,
+            0,
+        );
+        assert!(validate(&root).is_ok(), "{:?}", validate(&root));
+    }
+
+    #[test]
+    fn rejects_unbalanced_unknown_and_regressed() {
+        // Unknown span name.
+        let bad_name = doc(vec![event("nope", "B", 1.0, 1, 1, 0)], 0, 0);
+        assert!(validate(&bad_name).is_err());
+        // End without begin (no wrap): error.
+        let orphan = doc(vec![event("epoch", "E", 1.0, 1, 7, 0)], 0, 0);
+        assert!(validate(&orphan).is_err());
+        // Same orphan with wrap-around: tolerated.
+        let wrapped = doc(vec![event("epoch", "E", 1.0, 1, 7, 0)], 5, 0);
+        assert!(validate(&wrapped).is_ok());
+        // Per-thread timestamp regression.
+        let regress =
+            doc(vec![event("epoch", "B", 2.0, 1, 1, 0), event("epoch", "E", 1.0, 1, 1, 0)], 0, 0);
+        assert!(validate(&regress).is_err());
+        // Unclosed begin at end of trace.
+        let open = doc(vec![event("epoch", "B", 1.0, 1, 1, 0)], 0, 0);
+        assert!(validate(&open).is_err());
+        // Torn events are never acceptable.
+        let torn = doc(vec![], 0, 1);
+        assert!(validate(&torn).is_err());
+        // Mis-nested end.
+        let crossed = doc(
+            vec![
+                event("epoch", "B", 1.0, 1, 1, 0),
+                event("select", "B", 2.0, 1, 2, 1),
+                event("epoch", "E", 3.0, 1, 1, 0),
+            ],
+            0,
+            0,
+        );
+        assert!(validate(&crossed).is_err());
+        // Parent id that never appears.
+        let ghost =
+            doc(vec![event("epoch", "B", 1.0, 1, 1, 99), event("epoch", "E", 2.0, 1, 1, 99)], 0, 0);
+        assert!(validate(&ghost).is_err());
+    }
+
+    #[test]
+    fn real_exports_validate() {
+        use corroborate_obs::{Observer, RecordingObserver, Span};
+        let obs = RecordingObserver::with_trace(256);
+        obs.traced(Span::Epoch, 3, || {
+            obs.traced(Span::WalAppend, 0, || {
+                obs.event(Span::WalFsync, 1);
+            });
+            obs.traced(Span::Rescore, 2, || {});
+        });
+        let exported = corroborate_obs::chrome_trace_json(&obs.trace_snapshot());
+        // Round-trip through text, as CI does.
+        let parsed = Json::parse(&exported.to_json_pretty()).unwrap();
+        let summary = validate(&parsed).unwrap();
+        assert!(summary.contains("7 events"), "{summary}");
+    }
+}

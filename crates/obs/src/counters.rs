@@ -70,11 +70,13 @@ pub enum Counter {
     WalReplayed,
     /// Snapshot compactions written by the write-ahead log.
     SnapshotsWritten,
+    /// Trace events lost to ring-buffer wrap-around (bounded-loss tracing).
+    TraceDropped,
 }
 
 impl Counter {
     /// All counters, in report order.
-    pub const ALL: [Counter; 28] = [
+    pub const ALL: [Counter; 29] = [
         Counter::Rounds,
         Counter::Iterations,
         Counter::FactsEvaluated,
@@ -103,6 +105,7 @@ impl Counter {
         Counter::WalAppends,
         Counter::WalReplayed,
         Counter::SnapshotsWritten,
+        Counter::TraceDropped,
     ];
 
     /// Stable snake_case key used in JSON reports.
@@ -136,6 +139,7 @@ impl Counter {
             Counter::WalAppends => "wal_appends",
             Counter::WalReplayed => "wal_replayed",
             Counter::SnapshotsWritten => "snapshots_written",
+            Counter::TraceDropped => "trace_dropped",
         }
     }
 }

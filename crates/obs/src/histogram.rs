@@ -4,8 +4,9 @@
 //! (bucket *i* holds values whose bit length is *i*, i.e. `[2^(i-1), 2^i)`),
 //! so recording is a `leading_zeros` plus one relaxed `fetch_add` — cheap
 //! enough to sit around hot spans. Sum/min/max are kept exactly; quantiles
-//! are reconstructed from the buckets with ≤ 2x relative error, which is
-//! plenty for "where did the time go" reports.
+//! are reconstructed by linear interpolation *within* the containing bucket
+//! (then clamped to the exact observed min/max), so a unimodal distribution
+//! reads back within a few percent instead of the bucket's 2x envelope.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -86,15 +87,20 @@ impl LatencyHistogram {
         let count = self.count();
         let sum = self.sum_nanos();
         let buckets: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let min = if count == 0 { 0 } else { self.min.load(Ordering::Relaxed) };
+        let max = self.max.load(Ordering::Relaxed);
+        // Interpolated quantiles can land outside the exact envelope when a
+        // bucket is sparsely filled near its edge; clamp to what we saw.
+        let q = |q: f64| quantile(&buckets, count, q).clamp(min, max);
         HistogramSummary {
             count,
             sum_nanos: sum,
-            min_nanos: if count == 0 { 0 } else { self.min.load(Ordering::Relaxed) },
-            max_nanos: self.max.load(Ordering::Relaxed),
+            min_nanos: min,
+            max_nanos: max,
             mean_nanos: if count == 0 { 0.0 } else { sum as f64 / count as f64 },
-            p50_nanos: quantile(&buckets, count, 0.50),
-            p90_nanos: quantile(&buckets, count, 0.90),
-            p99_nanos: quantile(&buckets, count, 0.99),
+            p50_nanos: q(0.50),
+            p90_nanos: q(0.90),
+            p99_nanos: q(0.99),
         }
     }
 
@@ -139,19 +145,29 @@ fn upper_bound(i: usize) -> u64 {
     }
 }
 
-/// Reconstructs quantile `q` from bucket counts: the upper bound of the
-/// bucket containing the q-th ranked sample.
-fn quantile(buckets: &[u64], count: u64, q: f64) -> u64 {
+/// Reconstructs quantile `q` from bucket counts by linear interpolation
+/// within the bucket containing the q-th ranked sample: the bucket's `n`
+/// samples are assumed evenly spread over its `[lower, upper]` span, and the
+/// rank's position among them picks the interpolated point. Callers with the
+/// exact min/max (see [`LatencyHistogram::summary`]) clamp the result.
+pub(crate) fn quantile(buckets: &[u64], count: u64, q: f64) -> u64 {
     if count == 0 {
         return 0;
     }
     let rank = ((count as f64 * q).ceil() as u64).clamp(1, count);
     let mut seen = 0u64;
     for (i, &n) in buckets.iter().enumerate() {
-        seen += n;
-        if seen >= rank {
-            return upper_bound(i);
+        if n == 0 {
+            continue;
         }
+        if seen + n >= rank {
+            let lower = if i == 0 { 0 } else { upper_bound(i - 1).saturating_add(1) };
+            let upper = upper_bound(i);
+            let pos = rank - seen; // 1-based position among this bucket's n
+            let offset = (upper - lower) as f64 * ((pos as f64 - 0.5) / n as f64);
+            return lower.saturating_add(offset as u64);
+        }
+        seen += n;
     }
     upper_bound(BUCKETS - 1)
 }
@@ -169,11 +185,11 @@ pub struct HistogramSummary {
     pub max_nanos: u64,
     /// Exact mean.
     pub mean_nanos: f64,
-    /// Median, to bucket resolution.
+    /// Median, interpolated within its bucket and clamped to `[min, max]`.
     pub p50_nanos: u64,
-    /// 90th percentile, to bucket resolution.
+    /// 90th percentile, interpolated within its bucket and clamped.
     pub p90_nanos: u64,
-    /// 99th percentile, to bucket resolution.
+    /// 99th percentile, interpolated within its bucket and clamped.
     pub p99_nanos: u64,
 }
 
@@ -224,19 +240,65 @@ mod tests {
     }
 
     #[test]
-    fn quantiles_have_bucket_resolution() {
+    fn quantiles_interpolate_within_buckets() {
         let h = LatencyHistogram::new();
         for _ in 0..99 {
-            h.record(10); // bucket upper bound 15
+            h.record(10); // bucket [8, 15]
         }
-        h.record(100_000); // bucket upper bound 131071
+        h.record(100_000); // bucket [65536, 131071]
         let s = h.summary();
-        assert_eq!(s.p50_nanos, 15);
-        assert_eq!(s.p90_nanos, 15);
-        assert_eq!(s.p99_nanos, 15);
+        // 99 samples assumed evenly spread over [8, 15]: rank 50 of 99 lands
+        // at 8 + 7·(49.5/99) = 11.5 → 11; ranks 90/99 at 8 + 7·(89.5/99) and
+        // 8 + 7·(98.5/99), both truncating to 14. All within [min, max].
+        assert_eq!(s.p50_nanos, 11);
+        assert_eq!(s.p90_nanos, 14);
+        assert_eq!(s.p99_nanos, 14);
         assert_eq!(s.max_nanos, 100_000);
-        // Quantile never exceeds 2x the true value (within its bucket).
-        assert!(s.p50_nanos >= 10 && s.p50_nanos < 20);
+        assert!(s.p50_nanos >= s.min_nanos && s.p99_nanos <= s.max_nanos);
+    }
+
+    #[test]
+    fn identical_samples_clamp_every_quantile_exactly() {
+        let h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record(1000); // bucket [512, 1023]; raw interpolation ≠ 1000
+        }
+        let s = h.summary();
+        assert_eq!((s.min_nanos, s.max_nanos), (1000, 1000));
+        assert_eq!(s.p50_nanos, 1000);
+        assert_eq!(s.p90_nanos, 1000);
+        assert_eq!(s.p99_nanos, 1000);
+    }
+
+    #[test]
+    fn uniform_distribution_reads_back_near_exact() {
+        let h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.summary();
+        // rank 500 falls in bucket [256, 511] at in-bucket position 245 of
+        // 256: 256 + 255·(244.5/256) = 499.6 → 499.
+        assert_eq!(s.p50_nanos, 499);
+        // Within 5% of the true quantiles despite power-of-two buckets.
+        assert!((s.p90_nanos as f64 - 900.0).abs() / 900.0 < 0.05, "p90={}", s.p90_nanos);
+        assert!((s.p99_nanos as f64 - 990.0).abs() / 990.0 < 0.05, "p99={}", s.p99_nanos);
+    }
+
+    #[test]
+    fn two_point_distribution_pins_the_tail() {
+        let h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(100_000);
+        }
+        let s = h.summary();
+        // p50/p90 sit in the 100ns mass (bucket [64, 127]); p99 in the tail.
+        assert!(s.p50_nanos >= 64 && s.p50_nanos <= 127, "p50={}", s.p50_nanos);
+        assert!(s.p90_nanos >= 64 && s.p90_nanos <= 127, "p90={}", s.p90_nanos);
+        assert!(s.p99_nanos >= 65536 && s.p99_nanos <= 100_000, "p99={}", s.p99_nanos);
     }
 
     #[test]

@@ -15,6 +15,13 @@
 //!   binaries emit behind `--report`, built on a hand-rolled [`Json`] tree
 //!   with both a writer and a strict parser (used by CI to validate emitted
 //!   reports).
+//! - [`TraceBuffer`] / [`TraceEvent`] — a lock-free seqlock ring of
+//!   hierarchical begin/end/instant events behind the observer's
+//!   `span_begin`/`span_end`/`event` hooks, exported as Chrome trace JSON
+//!   ([`chrome_trace_json`]) for `chrome://tracing` / Perfetto.
+//! - [`SlidingWindow`] and the [`prom`] writer — windowed derived gauges
+//!   (rates, recent quantiles) and the Prometheus text exposition the serve
+//!   layer returns from `GET /metrics`.
 //!
 //! See `docs/OBSERVABILITY.md` for the event model and report schema.
 
@@ -26,10 +33,15 @@ pub mod counters;
 pub mod histogram;
 pub mod json;
 pub mod observer;
+pub mod prom;
 pub mod report;
+pub mod trace;
+pub mod window;
 
 pub use counters::{Counter, CounterRegistry, MaxGauge};
 pub use histogram::{HistogramSummary, LatencyHistogram};
 pub use json::{Json, ParseError};
 pub use observer::{NoopObserver, Observer, RecordingObserver, Span, TierTally, NOOP};
 pub use report::{IterationRecord, RoundRecord, RunReport, SelectionRecord};
+pub use trace::{chrome_trace_json, TraceBuffer, TraceEvent, TraceKind, TraceSnapshot};
+pub use window::SlidingWindow;

@@ -15,6 +15,7 @@ use crate::counters::{Counter, CounterRegistry};
 use crate::histogram::LatencyHistogram;
 use crate::json::Json;
 use crate::report::{IterationRecord, RoundRecord, SelectionRecord};
+use crate::trace::{TraceBuffer, TraceKind, TraceSnapshot};
 
 /// Timed region of engine work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -36,11 +37,21 @@ pub enum Span {
     Epoch,
     /// One record appended (and optionally synced) to the write-ahead log.
     WalAppend,
+    /// One `fsync` of the write-ahead log file (durability flush).
+    WalFsync,
+    /// One full write-ahead log replay during service recovery.
+    WalReplay,
+    /// One engine re-score pass inside an epoch (incremental or full).
+    Rescore,
+    /// One atomic publication of a refreshed verdict view.
+    ViewPublish,
+    /// One drain of the bounded ingest queue into an epoch batch.
+    QueueDrain,
 }
 
 impl Span {
     /// All spans, in report order.
-    pub const ALL: [Span; 8] = [
+    pub const ALL: [Span; 13] = [
         Span::Select,
         Span::Evaluate,
         Span::CacheRefresh,
@@ -49,6 +60,11 @@ impl Span {
         Span::Request,
         Span::Epoch,
         Span::WalAppend,
+        Span::WalFsync,
+        Span::WalReplay,
+        Span::Rescore,
+        Span::ViewPublish,
+        Span::QueueDrain,
     ];
 
     /// Stable snake_case key used in JSON reports.
@@ -62,6 +78,11 @@ impl Span {
             Span::Request => "request",
             Span::Epoch => "epoch",
             Span::WalAppend => "wal_append",
+            Span::WalFsync => "wal_fsync",
+            Span::WalReplay => "wal_replay",
+            Span::Rescore => "rescore",
+            Span::ViewPublish => "view_publish",
+            Span::QueueDrain => "queue_drain",
         }
     }
 }
@@ -107,6 +128,24 @@ pub trait Observer: Sync {
         let _ = record;
     }
 
+    /// A hierarchical span opened (trace begin marker).
+    #[inline]
+    fn span_begin(&self, span: Span, payload: u64) {
+        let _ = (span, payload);
+    }
+
+    /// A hierarchical span closed (trace end marker).
+    #[inline]
+    fn span_end(&self, span: Span, payload: u64) {
+        let _ = (span, payload);
+    }
+
+    /// A point-in-time trace marker under the currently open span.
+    #[inline]
+    fn event(&self, span: Span, payload: u64) {
+        let _ = (span, payload);
+    }
+
     /// Times `f` under `span` when enabled; calls it directly otherwise.
     #[inline]
     fn timed<R>(&self, span: Span, f: impl FnOnce() -> R) -> R {
@@ -114,6 +153,23 @@ pub trait Observer: Sync {
             let start = Instant::now();
             let out = f();
             self.span(span, saturating_nanos(start));
+            out
+        } else {
+            f()
+        }
+    }
+
+    /// Like [`Observer::timed`], but also emits begin/end trace events with
+    /// `payload` around `f`, so implementations with a trace buffer capture
+    /// the parent/child decomposition of the work.
+    #[inline]
+    fn traced<R>(&self, span: Span, payload: u64, f: impl FnOnce() -> R) -> R {
+        if Self::ENABLED {
+            self.span_begin(span, payload);
+            let start = Instant::now();
+            let out = f();
+            self.span(span, saturating_nanos(start));
+            self.span_end(span, payload);
             out
         } else {
             f()
@@ -149,12 +205,30 @@ pub struct RecordingObserver {
     rounds: Mutex<Vec<RoundRecord>>,
     iterations: Mutex<Vec<IterationRecord>>,
     pending_selection: Mutex<Option<SelectionRecord>>,
+    trace: Option<TraceBuffer>,
 }
 
 impl RecordingObserver {
-    /// An empty recorder.
+    /// An empty recorder without a trace ring (counters and histograms only).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A recorder that additionally retains the most recent `capacity`
+    /// hierarchical trace events (see [`TraceBuffer`]); overwritten events
+    /// are counted under [`Counter::TraceDropped`].
+    pub fn with_trace(capacity: usize) -> Self {
+        RecordingObserver { trace: Some(TraceBuffer::with_capacity(capacity)), ..Self::default() }
+    }
+
+    /// The trace ring, when this recorder was built with [`Self::with_trace`].
+    pub fn trace(&self) -> Option<&TraceBuffer> {
+        self.trace.as_ref()
+    }
+
+    /// Snapshot of the retained trace events (empty without a trace ring).
+    pub fn trace_snapshot(&self) -> TraceSnapshot {
+        self.trace.as_ref().map(TraceBuffer::snapshot).unwrap_or_default()
     }
 
     /// The counter registry.
@@ -216,6 +290,33 @@ impl Observer for RecordingObserver {
     #[inline]
     fn span(&self, span: Span, nanos: u64) {
         self.spans[span as usize].record(nanos);
+    }
+
+    #[inline]
+    fn span_begin(&self, span: Span, payload: u64) {
+        if let Some(trace) = &self.trace {
+            if trace.push(TraceKind::Begin, span, payload) {
+                self.counters.add(Counter::TraceDropped, 1);
+            }
+        }
+    }
+
+    #[inline]
+    fn span_end(&self, span: Span, payload: u64) {
+        if let Some(trace) = &self.trace {
+            if trace.push(TraceKind::End, span, payload) {
+                self.counters.add(Counter::TraceDropped, 1);
+            }
+        }
+    }
+
+    #[inline]
+    fn event(&self, span: Span, payload: u64) {
+        if let Some(trace) = &self.trace {
+            if trace.push(TraceKind::Instant, span, payload) {
+                self.counters.add(Counter::TraceDropped, 1);
+            }
+        }
     }
 
     fn selection(&self, record: &SelectionRecord) {
@@ -366,6 +467,49 @@ mod tests {
         tally.flush_to(&obs);
         assert_eq!(obs.counters().get(Counter::PrescreenKilled), 3);
         assert_eq!(obs.counters().get(Counter::ExactScored), 4);
+    }
+
+    #[test]
+    fn traced_records_histogram_and_trace_tree() {
+        let obs = RecordingObserver::with_trace(64);
+        let v = obs.traced(Span::Epoch, 41, || {
+            obs.traced(Span::WalAppend, 1, || ());
+            obs.event(Span::ViewPublish, 9);
+            7
+        });
+        assert_eq!(v, 7);
+        assert_eq!(obs.span_histogram(Span::Epoch).count(), 1);
+        assert_eq!(obs.span_histogram(Span::WalAppend).count(), 1);
+        let snap = obs.trace_snapshot();
+        assert_eq!(snap.events.len(), 5);
+        let epoch_begin = &snap.events[0];
+        assert_eq!(epoch_begin.kind, TraceKind::Begin);
+        assert_eq!(epoch_begin.span, Span::Epoch);
+        assert_eq!(epoch_begin.payload, 41);
+        // Children nest under the epoch span.
+        assert_eq!(snap.events[1].parent, epoch_begin.id);
+        assert_eq!(snap.events[3].parent, epoch_begin.id);
+        assert_eq!(snap.events[3].kind, TraceKind::Instant);
+        assert_eq!(obs.counters().get(Counter::TraceDropped), 0);
+    }
+
+    #[test]
+    fn untraced_recorder_has_empty_snapshot() {
+        let obs = RecordingObserver::new();
+        obs.traced(Span::Select, 0, || ());
+        assert!(obs.trace().is_none());
+        assert_eq!(obs.trace_snapshot().events.len(), 0);
+        assert_eq!(obs.span_histogram(Span::Select).count(), 1);
+    }
+
+    #[test]
+    fn trace_overflow_bumps_dropped_counter() {
+        let obs = RecordingObserver::with_trace(8);
+        for i in 0..20u64 {
+            obs.event(Span::Request, i);
+        }
+        assert_eq!(obs.counters().get(Counter::TraceDropped), 12);
+        assert_eq!(obs.trace_snapshot().overwritten, 12);
     }
 
     #[test]

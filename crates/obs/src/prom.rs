@@ -1,0 +1,224 @@
+//! Prometheus text exposition (format version 0.0.4).
+//!
+//! Metric names are derived mechanically from the closed telemetry catalogs
+//! — [`Counter::key`] and [`Span::key`](crate::Span::key) — so the scrape
+//! surface cannot drift from the enums the compiler enforces:
+//!
+//! - counters → `corroborate_<key>_total`
+//! - span histograms → `corroborate_<key>_seconds` (cumulative buckets, the
+//!   power-of-two nanosecond bucket bounds converted to seconds)
+//! - gauges → `corroborate_<key>`
+//!
+//! [`write_observer`] renders *every* cataloged counter and span — including
+//! zero-valued ones — so a scrape always exposes the full catalog and
+//! dashboards never silently lose a series. Serve responds with
+//! `Content-Type: text/plain; version=0.0.4` (see `crates/serve`).
+
+use std::fmt::Write as _;
+
+use crate::counters::{Counter, CounterRegistry};
+use crate::histogram::LatencyHistogram;
+use crate::observer::{RecordingObserver, Span};
+
+/// Prometheus family name for a counter key: `corroborate_<key>_total`.
+pub fn counter_name(key: &str) -> String {
+    format!("corroborate_{key}_total")
+}
+
+/// Prometheus family name for a span key: `corroborate_<key>_seconds`.
+pub fn span_name(key: &str) -> String {
+    format!("corroborate_{key}_seconds")
+}
+
+/// Prometheus family name for a gauge key: `corroborate_<key>`.
+pub fn gauge_name(key: &str) -> String {
+    format!("corroborate_{key}")
+}
+
+/// Whether `name` is a legal Prometheus metric name
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+pub fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Incremental builder for a text-exposition document.
+#[derive(Debug, Default)]
+pub struct PromWriter {
+    buf: String,
+}
+
+impl PromWriter {
+    /// An empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a cumulative counter family with one unlabelled sample.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, "counter", help);
+        let _ = writeln!(self.buf, "{name} {value}");
+    }
+
+    /// Appends a gauge family with one unlabelled sample.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        self.header(name, "gauge", help);
+        let _ = writeln!(self.buf, "{name} {}", fmt_f64(value));
+    }
+
+    /// Appends a histogram family from a nanosecond latency histogram,
+    /// converting bucket bounds and the sum to seconds. Buckets are
+    /// cumulative and always end with `+Inf`; an empty histogram still
+    /// renders the full `_bucket`/`_sum`/`_count` skeleton.
+    pub fn histogram_seconds(&mut self, name: &str, help: &str, hist: &LatencyHistogram) {
+        self.header(name, "histogram", help);
+        let count = hist.count();
+        let mut cumulative = 0u64;
+        for (le_nanos, n) in hist.nonzero_buckets() {
+            cumulative = cumulative.saturating_add(n);
+            let le = le_nanos as f64 / 1e9;
+            let _ = writeln!(self.buf, "{name}_bucket{{le=\"{}\"}} {cumulative}", fmt_f64(le));
+        }
+        let _ = writeln!(self.buf, "{name}_bucket{{le=\"+Inf\"}} {count}");
+        let _ = writeln!(self.buf, "{name}_sum {}", fmt_f64(hist.sum_nanos() as f64 / 1e9));
+        let _ = writeln!(self.buf, "{name}_count {count}");
+    }
+
+    fn header(&mut self, name: &str, kind: &str, help: &str) {
+        debug_assert!(valid_metric_name(name), "bad metric name {name:?}");
+        if !help.is_empty() {
+            let _ = writeln!(self.buf, "# HELP {name} {help}");
+        }
+        let _ = writeln!(self.buf, "# TYPE {name} {kind}");
+    }
+
+    /// The rendered document.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+/// Formats a float the exposition format accepts: finite values in plain
+/// decimal notation, infinities as `+Inf`/`-Inf`, NaN as `NaN`.
+fn fmt_f64(value: f64) -> String {
+    if value.is_nan() {
+        "NaN".to_string()
+    } else if value == f64::INFINITY {
+        "+Inf".to_string()
+    } else if value == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else if value == value.trunc() && value.abs() < 1e15 {
+        format!("{value:.0}")
+    } else {
+        format!("{value}")
+    }
+}
+
+/// Renders every cataloged counter and span histogram from `obs` — the
+/// complete closed catalog, zero-valued families included.
+pub fn write_observer(w: &mut PromWriter, obs: &RecordingObserver) {
+    write_counters(w, obs.counters());
+    for span in Span::ALL {
+        w.histogram_seconds(
+            &span_name(span.key()),
+            "Span latency distribution (seconds).",
+            obs.span_histogram(span),
+        );
+    }
+}
+
+/// Renders every cataloged counter from `registry`.
+pub fn write_counters(w: &mut PromWriter, registry: &CounterRegistry) {
+    for counter in Counter::ALL {
+        w.counter(
+            &counter_name(counter.key()),
+            "Cumulative count since process start.",
+            registry.get(counter),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::Observer;
+
+    #[test]
+    fn derived_names_are_valid_for_the_whole_catalog() {
+        for counter in Counter::ALL {
+            assert!(valid_metric_name(&counter_name(counter.key())), "{:?}", counter);
+        }
+        for span in Span::ALL {
+            assert!(valid_metric_name(&span_name(span.key())), "{:?}", span);
+        }
+        assert!(valid_metric_name(&gauge_name("epoch_lag_seconds")));
+        assert!(!valid_metric_name("9starts_with_digit"));
+        assert!(!valid_metric_name("has-dash"));
+        assert!(!valid_metric_name(""));
+    }
+
+    #[test]
+    fn full_catalog_renders_even_when_empty() {
+        let obs = RecordingObserver::new();
+        let mut w = PromWriter::new();
+        write_observer(&mut w, &obs);
+        let text = w.finish();
+        for counter in Counter::ALL {
+            let name = counter_name(counter.key());
+            assert!(text.contains(&format!("# TYPE {name} counter")), "missing {name}");
+            assert!(text.contains(&format!("\n{name} 0\n")), "missing sample for {name}");
+        }
+        for span in Span::ALL {
+            let name = span_name(span.key());
+            assert!(text.contains(&format!("# TYPE {name} histogram")), "missing {name}");
+            assert!(text.contains(&format!("{name}_bucket{{le=\"+Inf\"}} 0")));
+            assert!(text.contains(&format!("{name}_count 0")));
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_in_seconds() {
+        let obs = RecordingObserver::new();
+        obs.span(Span::Epoch, 1_000); // bucket le 1023 ns
+        obs.span(Span::Epoch, 1_000);
+        obs.span(Span::Epoch, 2_000_000); // bucket le 2097151 ns
+        let mut w = PromWriter::new();
+        w.histogram_seconds("corroborate_epoch_seconds", "", obs.span_histogram(Span::Epoch));
+        let text = w.finish();
+        assert!(text.contains("corroborate_epoch_seconds_bucket{le=\"0.000001023\"} 2"));
+        assert!(text.contains("corroborate_epoch_seconds_bucket{le=\"0.002097151\"} 3"));
+        assert!(text.contains("corroborate_epoch_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("corroborate_epoch_seconds_count 3"));
+        // sum = 2_002_000 ns = 0.002002 s
+        assert!(text.contains("corroborate_epoch_seconds_sum 0.002002"));
+    }
+
+    #[test]
+    fn counters_render_current_values() {
+        let registry = CounterRegistry::new();
+        registry.add(Counter::Epochs, 41);
+        let mut w = PromWriter::new();
+        write_counters(&mut w, &registry);
+        let text = w.finish();
+        assert!(text.contains("\ncorroborate_epochs_total 41\n"));
+        assert!(text.contains("corroborate_trace_dropped_total 0"));
+    }
+
+    #[test]
+    fn gauges_and_float_formatting() {
+        let mut w = PromWriter::new();
+        w.gauge("corroborate_epoch_lag_seconds", "Lag.", 0.25);
+        w.gauge("corroborate_queue_depth", "", 12.0);
+        let text = w.finish();
+        assert!(text.contains("# HELP corroborate_epoch_lag_seconds Lag."));
+        assert!(text.contains("# TYPE corroborate_epoch_lag_seconds gauge"));
+        assert!(text.contains("corroborate_epoch_lag_seconds 0.25"));
+        assert!(text.contains("corroborate_queue_depth 12\n"));
+        assert_eq!(fmt_f64(f64::INFINITY), "+Inf");
+        assert_eq!(fmt_f64(f64::NAN), "NaN");
+    }
+}

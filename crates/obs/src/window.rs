@@ -1,0 +1,193 @@
+//! Sliding-window aggregation for live derived gauges.
+//!
+//! `/metrics` wants *rates* and *recent* quantiles — shed rate over the last
+//! minute, WAL fsync p99 over the last minute — not since-boot cumulatives.
+//! [`SlidingWindow`] keeps `(timestamp, value)` samples inside a fixed
+//! horizon and answers rate / sum / quantile questions against "now".
+//!
+//! The module is deliberately clock-free: callers pass timestamps in
+//! nanoseconds on whatever monotonic axis they already have (the serve layer
+//! uses nanoseconds since process start). That keeps the arithmetic
+//! deterministic and directly unit-testable with synthetic clocks.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Bounded sliding window of `(ts_nanos, value)` samples.
+///
+/// Samples older than the horizon are evicted lazily on every touch, and a
+/// hard sample cap bounds memory under burst load (oldest evicted first —
+/// rates are then computed over the retained span, staying honest). Interior
+/// mutability via a mutex: observation sites are per-event (HTTP shed, WAL
+/// fsync), far off the per-vote hot path.
+#[derive(Debug)]
+pub struct SlidingWindow {
+    horizon_nanos: u64,
+    max_samples: usize,
+    samples: Mutex<VecDeque<(u64, u64)>>,
+}
+
+impl SlidingWindow {
+    /// A window spanning `horizon_nanos`, retaining at most `max_samples`.
+    pub fn new(horizon_nanos: u64, max_samples: usize) -> Self {
+        SlidingWindow {
+            horizon_nanos,
+            max_samples: max_samples.max(1),
+            samples: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// A window with the standard scrape horizon (60 s, 4096 samples).
+    pub fn standard() -> Self {
+        SlidingWindow::new(60_000_000_000, 4096)
+    }
+
+    /// The window horizon in nanoseconds.
+    pub fn horizon_nanos(&self) -> u64 {
+        self.horizon_nanos
+    }
+
+    /// Records one sample stamped `ts_nanos`.
+    pub fn record(&self, ts_nanos: u64, value: u64) {
+        let mut samples = self.samples.lock().unwrap_or_else(|e| e.into_inner());
+        Self::evict(&mut samples, ts_nanos, self.horizon_nanos);
+        if samples.len() >= self.max_samples {
+            samples.pop_front();
+        }
+        samples.push_back((ts_nanos, value));
+    }
+
+    fn evict(samples: &mut VecDeque<(u64, u64)>, now_nanos: u64, horizon: u64) {
+        let cutoff = now_nanos.saturating_sub(horizon);
+        while samples.front().is_some_and(|&(ts, _)| ts < cutoff) {
+            samples.pop_front();
+        }
+    }
+
+    /// Samples currently inside the window as of `now_nanos`.
+    pub fn len(&self, now_nanos: u64) -> usize {
+        let mut samples = self.samples.lock().unwrap_or_else(|e| e.into_inner());
+        Self::evict(&mut samples, now_nanos, self.horizon_nanos);
+        samples.len()
+    }
+
+    /// Whether the window holds no samples as of `now_nanos`.
+    pub fn is_empty(&self, now_nanos: u64) -> bool {
+        self.len(now_nanos) == 0
+    }
+
+    /// Events per second over the window (sample count / effective span).
+    ///
+    /// The effective span is the horizon, shortened when the process has not
+    /// lived that long yet (`now < horizon`) so early scrapes are not
+    /// diluted by time that never existed.
+    pub fn rate_per_sec(&self, now_nanos: u64) -> f64 {
+        let n = self.len(now_nanos) as f64;
+        let span_nanos = self.horizon_nanos.min(now_nanos).max(1);
+        n * 1_000_000_000.0 / span_nanos as f64
+    }
+
+    /// Sum of the sample values inside the window.
+    pub fn sum(&self, now_nanos: u64) -> u64 {
+        let mut samples = self.samples.lock().unwrap_or_else(|e| e.into_inner());
+        Self::evict(&mut samples, now_nanos, self.horizon_nanos);
+        samples.iter().fold(0u64, |acc, &(_, v)| acc.saturating_add(v))
+    }
+
+    /// Exact quantile `q` of the windowed values (`None` when empty):
+    /// the value at rank `ceil(n·q)`, clamped to the sample range — small
+    /// windows make exact selection affordable, so no bucketing here.
+    pub fn quantile(&self, now_nanos: u64, q: f64) -> Option<u64> {
+        let mut samples = self.samples.lock().unwrap_or_else(|e| e.into_inner());
+        Self::evict(&mut samples, now_nanos, self.horizon_nanos);
+        if samples.is_empty() {
+            return None;
+        }
+        let mut values: Vec<u64> = samples.iter().map(|&(_, v)| v).collect();
+        drop(samples);
+        values.sort_unstable();
+        let rank = ((values.len() as f64 * q).ceil() as usize).clamp(1, values.len());
+        Some(values[rank - 1])
+    }
+
+    /// The most recent sample's `(ts_nanos, value)`, if still in the window.
+    pub fn last(&self, now_nanos: u64) -> Option<(u64, u64)> {
+        let mut samples = self.samples.lock().unwrap_or_else(|e| e.into_inner());
+        Self::evict(&mut samples, now_nanos, self.horizon_nanos);
+        samples.back().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: u64 = 1_000_000_000;
+
+    #[test]
+    fn records_and_evicts_by_horizon() {
+        let w = SlidingWindow::new(10 * SEC, 1000);
+        w.record(SEC, 5);
+        w.record(5 * SEC, 7);
+        w.record(12 * SEC, 9);
+        // At t=12s the cutoff is 2s: the t=1s sample is gone.
+        assert_eq!(w.len(12 * SEC), 2);
+        assert_eq!(w.sum(12 * SEC), 16);
+        // At t=30s everything has aged out.
+        assert!(w.is_empty(30 * SEC));
+        assert_eq!(w.quantile(30 * SEC, 0.99), None);
+    }
+
+    #[test]
+    fn rate_uses_effective_span() {
+        let w = SlidingWindow::new(60 * SEC, 1000);
+        for i in 0..30u64 {
+            w.record(i * SEC / 3, 1); // 30 events in the first 10 s
+        }
+        // Only 10 s have elapsed: rate is 3/s, not 0.5/s.
+        assert!((w.rate_per_sec(10 * SEC) - 3.0).abs() < 0.01);
+        // A full horizon later the window is empty.
+        assert_eq!(w.rate_per_sec(100 * SEC), 0.0);
+    }
+
+    #[test]
+    fn quantiles_are_exact_over_the_window() {
+        let w = SlidingWindow::new(60 * SEC, 1000);
+        for (i, v) in (1..=100u64).enumerate() {
+            w.record(i as u64, v); // all within the window
+        }
+        assert_eq!(w.quantile(100, 0.50), Some(50));
+        assert_eq!(w.quantile(100, 0.99), Some(99));
+        assert_eq!(w.quantile(100, 1.0), Some(100));
+        assert_eq!(w.quantile(100, 0.0), Some(1));
+        assert_eq!(w.last(100), Some((99, 100)));
+    }
+
+    #[test]
+    fn sample_cap_bounds_memory() {
+        let w = SlidingWindow::new(60 * SEC, 8);
+        for i in 0..100u64 {
+            w.record(i, i);
+        }
+        assert_eq!(w.len(100), 8);
+        // Oldest evicted first: the retained values are 92..=99.
+        assert_eq!(w.quantile(100, 0.0), Some(92));
+        assert_eq!(w.quantile(100, 1.0), Some(99));
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let w = SlidingWindow::new(60 * SEC, 100_000);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let w = &w;
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        w.record(t * 1000 + i, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(w.len(4000), 4000);
+    }
+}

@@ -7,24 +7,31 @@
 //!
 //! Runs until `POST /v1/admin/shutdown` flips the server into a graceful
 //! drain (there is no signal handling — the workspace builds without
-//! libc). See `docs/SERVICE.md` for the HTTP API.
+//! libc). With `--trace PATH`, the server keeps a trace ring (capacity
+//! `--trace-capacity`, default 65536 events) and writes the Chrome
+//! trace-event JSON to PATH on drain — load it in Perfetto or
+//! `chrome://tracing`. See `docs/SERVICE.md` for the HTTP API and
+//! `docs/OBSERVABILITY.md` for the tracing plane.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
+use corroborate_obs::chrome_trace_json;
 use corroborate_serve::{start, ServerConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: corroborate_served [--addr HOST:PORT] [--data-dir DIR] [--workers N]\n\
          \x20                        [--queue-capacity N] [--max-body-bytes N]\n\
-         \x20                        [--epoch-linger-ms N] [--full-recompute-threshold F]"
+         \x20                        [--epoch-linger-ms N] [--full-recompute-threshold F]\n\
+         \x20                        [--trace PATH] [--trace-capacity N]"
     );
     std::process::exit(2);
 }
 
-fn parse_config() -> ServerConfig {
+fn parse_config() -> (ServerConfig, Option<String>) {
     let mut config = ServerConfig { addr: "127.0.0.1:7700".into(), ..Default::default() };
+    let mut trace_path = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = || args.next().unwrap_or_else(|| usage());
@@ -45,6 +52,10 @@ fn parse_config() -> ServerConfig {
             "--full-recompute-threshold" => {
                 config.epoch.full_recompute_threshold = value().parse().unwrap_or_else(|_| usage());
             }
+            "--trace" => trace_path = Some(value()),
+            "--trace-capacity" => {
+                config.trace_capacity = value().parse().unwrap_or_else(|_| usage());
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("corroborate_served: unknown flag {other}");
@@ -52,11 +63,14 @@ fn parse_config() -> ServerConfig {
             }
         }
     }
-    config
+    if trace_path.is_some() && config.trace_capacity == 0 {
+        config.trace_capacity = 65_536;
+    }
+    (config, trace_path)
 }
 
 fn main() -> ExitCode {
-    let config = parse_config();
+    let (config, trace_path) = parse_config();
     let durable = config.data_dir.clone();
     let handle = match start(config) {
         Ok(h) => h,
@@ -66,25 +80,37 @@ fn main() -> ExitCode {
         }
     };
     eprintln!(
-        "corroborate_served: listening on http://{} ({}), POST /v1/admin/shutdown to stop",
+        "corroborate_served: listening on http://{} ({}{}), POST /v1/admin/shutdown to stop",
         handle.addr(),
         match &durable {
             Some(dir) => format!("durable, data dir {}", dir.display()),
             None => "in-memory".to_string(),
-        }
+        },
+        if handle.trace_enabled() { ", tracing" } else { "" }
     );
     // Wait for the admin endpoint to request the drain.
     while !handle.shutdown_requested() {
         std::thread::sleep(Duration::from_millis(100));
     }
-    match handle.shutdown() {
-        Ok(view) => {
+    match handle.shutdown_with_trace() {
+        Ok((view, trace)) => {
             eprintln!(
                 "corroborate_served: drained at epoch {} ({} facts, {} sources)",
                 view.epoch(),
                 view.dataset().n_facts(),
                 view.dataset().n_sources()
             );
+            if let Some(path) = trace_path {
+                let doc = chrome_trace_json(&trace);
+                if let Err(e) = std::fs::write(&path, doc.to_json_pretty()) {
+                    eprintln!("corroborate_served: failed to write trace {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!(
+                    "corroborate_served: wrote {} trace events to {path}",
+                    trace.events.len()
+                );
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {

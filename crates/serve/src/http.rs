@@ -193,10 +193,25 @@ pub fn write_response(
     body: &str,
     keep_alive: bool,
 ) -> std::io::Result<()> {
+    write_response_with(writer, status, "application/json", body, keep_alive)
+}
+
+/// Writes one response with an explicit `Content-Type` (the Prometheus
+/// text exposition endpoint serves `text/plain; version=0.0.4`).
+///
+/// # Errors
+/// Socket-level failures.
+pub fn write_response_with(
+    writer: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
     write!(
         writer,
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
         reason(status),
         body.len(),
     )?;
@@ -273,6 +288,18 @@ mod tests {
         assert_eq!(percent_decode("100%"), "100%");
         assert_eq!(percent_decode("%zz"), "%zz");
         assert_eq!(percent_decode("plus+stays"), "plus+stays");
+    }
+
+    #[test]
+    fn response_writer_with_content_type_emits_valid_http() {
+        let mut buf = Vec::new();
+        write_response_with(&mut buf, 200, "text/plain; version=0.0.4", "# HELP x\n", false)
+            .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Type: text/plain; version=0.0.4\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("# HELP x\n"));
     }
 
     #[test]

@@ -30,15 +30,15 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use corroborate_core::truth::Label;
 use corroborate_core::vote::Vote;
-use corroborate_obs::{Counter, Json, Observer, Span};
+use corroborate_obs::{Counter, Json, Observer, Span, TraceSnapshot};
 
 use crate::delta::Mutation;
 use crate::epoch::{EpochConfig, EpochEngine, EpochMode, EpochStats, Published, VerdictView};
-use crate::http::{read_request, write_response, HttpError, Request};
+use crate::http::{read_request, write_response_with, HttpError, Request};
 use crate::metrics::ServeMetrics;
 use crate::queue::IngestQueue;
 use crate::wal::{Wal, WalConfig};
@@ -67,6 +67,9 @@ pub struct ServerConfig {
     pub data_dir: Option<PathBuf>,
     /// WAL tuning (ignored without `data_dir`).
     pub wal: WalConfig,
+    /// Trace ring capacity in events (rounded up to a power of two);
+    /// `0` disables hierarchical tracing entirely.
+    pub trace_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -82,8 +85,19 @@ impl Default for ServerConfig {
             epoch: EpochConfig::default(),
             data_dir: None,
             wal: WalConfig::default(),
+            trace_capacity: 0,
         }
     }
+}
+
+/// `Content-Type` of every JSON route.
+const CONTENT_TYPE_JSON: &str = "application/json";
+/// `Content-Type` of the Prometheus text exposition endpoint.
+const CONTENT_TYPE_PROM: &str = "text/plain; version=0.0.4";
+
+/// Elapsed nanoseconds since `start`, saturating at `u64::MAX`.
+fn saturating_nanos(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 struct Shared {
@@ -116,11 +130,30 @@ impl ServerHandle {
         self.shared.view.get()
     }
 
-    /// The telemetry document `/metrics` serves.
+    /// The telemetry document `/metrics.json` serves.
     pub fn metrics_json(&self) -> Json {
         self.shared
             .metrics
             .to_json(self.shared.epoch_counter.load(Ordering::Acquire), self.shared.queue.len())
+    }
+
+    /// The Prometheus text document `/metrics` serves.
+    pub fn metrics_prometheus(&self) -> String {
+        self.shared.metrics.to_prometheus(
+            self.shared.epoch_counter.load(Ordering::Acquire),
+            self.shared.queue.len(),
+        )
+    }
+
+    /// Whether the server was booted with a trace ring.
+    pub fn trace_enabled(&self) -> bool {
+        self.shared.metrics.observer().trace().is_some()
+    }
+
+    /// Snapshot of the trace ring (empty when tracing is off). Export with
+    /// [`corroborate_obs::chrome_trace_json`].
+    pub fn trace_snapshot(&self) -> TraceSnapshot {
+        self.shared.metrics.observer().trace_snapshot()
     }
 
     /// Whether shutdown has been requested (e.g. via the admin endpoint).
@@ -134,6 +167,23 @@ impl ServerHandle {
     /// # Errors
     /// Propagates an epoch-thread failure (the drain itself).
     pub fn shutdown(mut self) -> Result<Arc<VerdictView>, ServeError> {
+        self.drain()?;
+        Ok(self.shared.view.get())
+    }
+
+    /// [`Self::shutdown`] that also returns the trace snapshot taken
+    /// *after* the final drain epoch, so the exported trace includes the
+    /// closing full re-score. The snapshot is empty when tracing is off.
+    ///
+    /// # Errors
+    /// Propagates an epoch-thread failure (the drain itself).
+    pub fn shutdown_with_trace(mut self) -> Result<(Arc<VerdictView>, TraceSnapshot), ServeError> {
+        self.drain()?;
+        let snapshot = self.shared.metrics.observer().trace_snapshot();
+        Ok((self.shared.view.get(), snapshot))
+    }
+
+    fn drain(&mut self) -> Result<(), ServeError> {
         self.shared.shutdown.store(true, Ordering::Release);
         if let Some(t) = self.acceptor.take() {
             let _ = t.join();
@@ -153,7 +203,7 @@ impl ServerHandle {
                 }
             }
         }
-        Ok(self.shared.view.get())
+        Ok(())
     }
 }
 
@@ -164,11 +214,11 @@ impl ServerHandle {
 /// # Errors
 /// Bind failures, WAL recovery failures, engine-configuration failures.
 pub fn start(config: ServerConfig) -> Result<ServerHandle, ServeError> {
-    let metrics = ServeMetrics::new();
+    let metrics = ServeMetrics::with_trace(config.trace_capacity);
 
     let (mut engine, wal) = match &config.data_dir {
         Some(dir) => {
-            let (wal, recovery) = Wal::open(dir, config.wal)?;
+            let (wal, recovery) = Wal::open_observed(dir, config.wal, metrics.observer())?;
             metrics.observer().add(Counter::WalReplayed, recovery.replayed);
             (EpochEngine::from_recovered(recovery.dataset, config.epoch)?, Some(wal))
         }
@@ -194,6 +244,7 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle, ServeError> {
         max_body_bytes: config.max_body_bytes,
     });
     shared.view.publish(initial);
+    shared.metrics.note_epoch_published();
 
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
@@ -300,7 +351,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             Ok(r) => r,
             Err(HttpError::Closed) => return,
             Err(HttpError::BadRequest(message)) => {
-                respond(shared, &mut writer, 400, &error_body(&message), false);
+                respond(shared, &mut writer, 400, CONTENT_TYPE_JSON, &error_body(&message), false);
                 return;
             }
             Err(HttpError::PayloadTooLarge { limit }) => {
@@ -308,6 +359,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                     shared,
                     &mut writer,
                     413,
+                    CONTENT_TYPE_JSON,
                     &error_body(&format!("body exceeds {limit} bytes")),
                     false,
                 );
@@ -319,9 +371,12 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         };
         let keep_alive = request.keep_alive && !shared.shutdown.load(Ordering::Acquire);
         shared.metrics.observer().add(Counter::HttpRequests, 1);
-        let (status, body) =
-            shared.metrics.observer().timed(Span::Request, || route(shared, &request));
-        respond(shared, &mut writer, status, &body, keep_alive);
+        let (status, body, content_type) =
+            shared
+                .metrics
+                .observer()
+                .traced(Span::Request, request.body.len() as u64, || route(shared, &request));
+        respond(shared, &mut writer, status, content_type, &body, keep_alive);
         if !keep_alive {
             return;
         }
@@ -332,6 +387,7 @@ fn respond(
     shared: &Shared,
     writer: &mut impl std::io::Write,
     status: u16,
+    content_type: &str,
     body: &str,
     keep_alive: bool,
 ) {
@@ -344,7 +400,7 @@ fn respond(
     if let Some(c) = class {
         shared.metrics.observer().add(c, 1);
     }
-    let _ = write_response(writer, status, body, keep_alive);
+    let _ = write_response_with(writer, status, content_type, body, keep_alive);
 }
 
 fn error_body(message: &str) -> String {
@@ -353,12 +409,24 @@ fn error_body(message: &str) -> String {
     obj.to_json()
 }
 
-fn route(shared: &Shared, request: &Request) -> (u16, String) {
+fn route(shared: &Shared, request: &Request) -> (u16, String, &'static str) {
+    // `/metrics` is the one non-JSON surface: Prometheus text exposition.
+    if request.method == "GET" && request.path == "/metrics" {
+        let text = shared
+            .metrics
+            .to_prometheus(shared.epoch_counter.load(Ordering::Acquire), shared.queue.len());
+        return (200, text, CONTENT_TYPE_PROM);
+    }
+    let (status, body) = route_json(shared, request);
+    (status, body, CONTENT_TYPE_JSON)
+}
+
+fn route_json(shared: &Shared, request: &Request) -> (u16, String) {
     let path = request.path.as_str();
     match (request.method.as_str(), path) {
         ("POST", "/v1/votes") => post_votes(shared, &request.body),
         ("GET", "/healthz") => healthz(shared),
-        ("GET", "/metrics") => {
+        ("GET", "/metrics.json") => {
             let doc = shared
                 .metrics
                 .to_json(shared.epoch_counter.load(Ordering::Acquire), shared.queue.len());
@@ -471,6 +539,7 @@ fn post_votes(shared: &Shared, body: &[u8]) -> (u16, String) {
         }
         Err(ServeError::QueueFull { capacity }) => {
             shared.metrics.observer().add(Counter::IngestRejected, 1);
+            shared.metrics.note_shed();
             (429, error_body(&format!("ingest queue full (capacity {capacity}), retry later")))
         }
         Err(_) => (503, error_body("service is draining")),
@@ -544,32 +613,25 @@ fn epoch_loop(
     max_batch: usize,
 ) -> Result<(), ServeError> {
     loop {
-        let batch = shared.queue.drain_batch(max_batch, linger);
+        let obs = shared.metrics.observer();
+        let batch = obs.traced(Span::QueueDrain, shared.queue.len() as u64, || {
+            shared.queue.drain_batch(max_batch, linger)
+        });
         let closed = batch.is_none();
         let batch = batch.unwrap_or_default();
-        for mutation in &batch {
-            if let Some(wal) = wal.as_mut() {
-                let obs = shared.metrics.observer();
-                obs.timed(Span::WalAppend, || wal.append(mutation))?;
-                obs.add(Counter::WalAppends, 1);
-            }
-            // An invalid mutation is a client bug that slipped validation;
-            // drop it rather than poisoning the stream.
-            let _ = engine.apply(mutation);
+        // One epoch span per batch with work: the WAL append/fsync and
+        // re-score spans below are its children in the trace tree.
+        let working = !batch.is_empty() || closed;
+        let epoch_start = Instant::now();
+        if working {
+            obs.span_begin(Span::Epoch, batch.len() as u64);
         }
-        if engine.pending() > 0 || closed {
-            let mode = if closed { EpochMode::Full } else { EpochMode::Auto };
-            let (view, stats) =
-                shared.metrics.observer().timed(Span::Epoch, || engine.run_epoch(mode))?;
-            record_epoch_counters(&shared.metrics, &stats);
-            shared.epoch_counter.store(view.epoch(), Ordering::Release);
-            shared.view.publish(view);
-            if let Some(wal) = wal.as_mut() {
-                if wal.maybe_compact(engine.delta())? {
-                    shared.metrics.observer().add(Counter::SnapshotsWritten, 1);
-                }
-            }
+        let result = epoch_step(&mut engine, wal.as_mut(), shared, &batch, closed);
+        if working {
+            obs.span(Span::Epoch, saturating_nanos(epoch_start));
+            obs.span_end(Span::Epoch, batch.len() as u64);
         }
+        result?;
         if closed {
             // Final durability point: fold everything into the snapshot.
             if let Some(wal) = wal.as_mut() {
@@ -579,4 +641,47 @@ fn epoch_loop(
             return Ok(());
         }
     }
+}
+
+/// One iteration of the epoch loop body: journal and apply the batch, then
+/// re-score and publish when there is pending work (or on the final drain).
+fn epoch_step(
+    engine: &mut EpochEngine,
+    mut wal: Option<&mut Wal>,
+    shared: &Shared,
+    batch: &[Mutation],
+    closed: bool,
+) -> Result<(), ServeError> {
+    let obs = shared.metrics.observer();
+    for (i, mutation) in batch.iter().enumerate() {
+        if let Some(wal) = wal.as_deref_mut() {
+            let (_, fsync_nanos) =
+                obs.traced(Span::WalAppend, i as u64, || wal.append_observed(mutation, obs))?;
+            obs.add(Counter::WalAppends, 1);
+            if let Some(nanos) = fsync_nanos {
+                shared.metrics.note_fsync(nanos);
+            }
+        }
+        // An invalid mutation is a client bug that slipped validation;
+        // drop it rather than poisoning the stream.
+        let _ = engine.apply(mutation);
+    }
+    if engine.pending() > 0 || closed {
+        let mode = if closed { EpochMode::Full } else { EpochMode::Auto };
+        let pending = engine.pending() as u64;
+        let (view, stats) = obs.traced(Span::Rescore, pending, || engine.run_epoch(mode))?;
+        record_epoch_counters(&shared.metrics, &stats);
+        let epoch = view.epoch();
+        obs.traced(Span::ViewPublish, epoch, || {
+            shared.epoch_counter.store(epoch, Ordering::Release);
+            shared.view.publish(view);
+        });
+        shared.metrics.note_epoch_published();
+        if let Some(wal) = wal {
+            if wal.maybe_compact(engine.delta())? {
+                obs.add(Counter::SnapshotsWritten, 1);
+            }
+        }
+    }
+    Ok(())
 }

@@ -23,13 +23,19 @@
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read as _, Write as _};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use corroborate_core::truth::Label;
 use corroborate_core::vote::Vote;
-use corroborate_obs::Json;
+use corroborate_obs::{Json, Observer, Span, NOOP};
 
 use crate::delta::{DeltaDataset, Mutation};
 use crate::ServeError;
+
+/// Elapsed nanoseconds since `start`, saturating at `u64::MAX`.
+fn saturating_nanos(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// Tuning for the write-ahead log.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -148,6 +154,33 @@ impl Wal {
     /// # Errors
     /// I/O failures, snapshot corruption, or non-tail log corruption.
     pub fn open(dir: &Path, config: WalConfig) -> Result<(Self, Recovery), ServeError> {
+        Self::open_observed(dir, config, &NOOP)
+    }
+
+    /// [`Self::open`] with telemetry: the whole recovery (snapshot load +
+    /// log replay) runs under a [`Span::WalReplay`] span whose end event
+    /// carries the number of replayed records as its payload.
+    ///
+    /// # Errors
+    /// I/O failures, snapshot corruption, or non-tail log corruption.
+    pub fn open_observed<O: Observer>(
+        dir: &Path,
+        config: WalConfig,
+        obs: &O,
+    ) -> Result<(Self, Recovery), ServeError> {
+        if !O::ENABLED {
+            return Self::open_inner(dir, config);
+        }
+        obs.span_begin(Span::WalReplay, 0);
+        let start = Instant::now();
+        let result = Self::open_inner(dir, config);
+        obs.span(Span::WalReplay, saturating_nanos(start));
+        let replayed = result.as_ref().map_or(0, |(_, recovery)| recovery.replayed);
+        obs.span_end(Span::WalReplay, replayed);
+        result
+    }
+
+    fn open_inner(dir: &Path, config: WalConfig) -> Result<(Self, Recovery), ServeError> {
         std::fs::create_dir_all(dir)?;
         let mut dataset = DeltaDataset::new();
         let mut next_seq = 1u64;
@@ -235,6 +268,22 @@ impl Wal {
     /// # Errors
     /// I/O failures.
     pub fn append(&mut self, mutation: &Mutation) -> Result<u64, ServeError> {
+        self.append_observed(mutation, &NOOP).map(|(seq, _)| seq)
+    }
+
+    /// [`Self::append`] with telemetry: when the log is configured for
+    /// fsync, the `sync_data` call runs under a [`Span::WalFsync`] span
+    /// (payload: the record's sequence number) and its latency in
+    /// nanoseconds is returned so the caller can feed the fsync-p99
+    /// sliding window.
+    ///
+    /// # Errors
+    /// I/O failures.
+    pub fn append_observed<O: Observer>(
+        &mut self,
+        mutation: &Mutation,
+        obs: &O,
+    ) -> Result<(u64, Option<u64>), ServeError> {
         let seq = self.next_seq;
         let rec = mutation_to_json(mutation);
         let rec_text = rec.to_json();
@@ -246,14 +295,26 @@ impl Wal {
         text.push('\n');
         self.writer.write_all(text.as_bytes())?;
         self.writer.flush()?;
+        let mut fsync_nanos = None;
         if self.config.fsync {
-            self.writer.get_ref().sync_data()?;
+            if O::ENABLED {
+                obs.span_begin(Span::WalFsync, seq);
+            }
+            let start = Instant::now();
+            let synced = self.writer.get_ref().sync_data();
+            let nanos = saturating_nanos(start);
+            if O::ENABLED {
+                obs.span(Span::WalFsync, nanos);
+                obs.span_end(Span::WalFsync, seq);
+            }
+            synced?;
+            fsync_nanos = Some(nanos);
         }
         // Monotone in-memory counters: saturation is unreachable in
         // practice and strictly better than wraparound if it ever isn't.
         self.next_seq = self.next_seq.saturating_add(1);
         self.records_since_snapshot = self.records_since_snapshot.saturating_add(1);
-        Ok(seq)
+        Ok((seq, fsync_nanos))
     }
 
     /// Number of records appended or replayed since the last snapshot.
@@ -517,6 +578,38 @@ mod tests {
         assert_eq!(rec.replayed, 0, "stale records skipped");
         assert_eq!(rec.dataset.n_votes(), 2);
         assert_eq!(rec.next_seq, 3);
+    }
+
+    #[test]
+    fn observed_open_and_append_emit_wal_spans() {
+        use corroborate_obs::{RecordingObserver, TraceKind};
+
+        let dir = tempdir("observed");
+        let obs = RecordingObserver::with_trace(64);
+        let config = WalConfig { fsync: true, ..WalConfig::default() };
+        {
+            let (mut wal, _) = Wal::open_observed(&dir, config, &obs).unwrap();
+            let (seq, fsync) = wal.append_observed(&cast("a", "f1", Vote::True), &obs).unwrap();
+            assert_eq!(seq, 1);
+            assert!(fsync.is_some(), "fsync-configured append reports its latency");
+        }
+        let (_, rec) = Wal::open_observed(&dir, config, &obs).unwrap();
+        assert_eq!(rec.replayed, 1);
+        assert_eq!(obs.span_histogram(Span::WalReplay).count(), 2);
+        assert_eq!(obs.span_histogram(Span::WalFsync).count(), 1);
+        let snap = obs.trace_snapshot();
+        let replay_ends: Vec<u64> = snap
+            .events
+            .iter()
+            .filter(|e| e.span == Span::WalReplay && e.kind == TraceKind::End)
+            .map(|e| e.payload)
+            .collect();
+        // First open replays nothing, the second replays the one record.
+        assert_eq!(replay_ends, vec![0, 1]);
+        assert!(snap
+            .events
+            .iter()
+            .any(|e| e.span == Span::WalFsync && e.kind == TraceKind::Begin && e.payload == 1));
     }
 
     #[test]

@@ -10,8 +10,14 @@ use std::time::{Duration, Instant};
 use corroborate_obs::Json;
 use corroborate_serve::{start, EpochConfig, ServerConfig, WalConfig};
 
-/// A minimal blocking HTTP/1.1 client for one request.
-fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, Json) {
+/// A minimal blocking HTTP/1.1 client for one request; returns the raw
+/// body and the response's `Content-Type`.
+fn request_raw(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (u16, String, String) {
     let stream = TcpStream::connect(addr).unwrap();
     stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
     let mut writer = stream.try_clone().unwrap();
@@ -28,6 +34,7 @@ fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> 
     reader.read_line(&mut status_line).unwrap();
     let status: u16 = status_line.split_whitespace().nth(1).unwrap().parse().unwrap();
     let mut content_length = 0usize;
+    let mut content_type = String::new();
     loop {
         let mut line = String::new();
         reader.read_line(&mut line).unwrap();
@@ -35,13 +42,23 @@ fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> 
         if line.is_empty() {
             break;
         }
-        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+        let lower = line.to_ascii_lowercase();
+        if let Some(v) = lower.strip_prefix("content-length:") {
             content_length = v.trim().parse().unwrap();
+        }
+        if let Some(v) = lower.strip_prefix("content-type:") {
+            content_type = v.trim().to_string();
         }
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body).unwrap();
-    (status, Json::parse(std::str::from_utf8(&body).unwrap()).unwrap())
+    (status, String::from_utf8(body).unwrap(), content_type)
+}
+
+/// [`request_raw`] with the body parsed as JSON.
+fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, Json) {
+    let (status, body, _) = request_raw(addr, method, path, body);
+    (status, Json::parse(&body).unwrap())
 }
 
 fn poll_until(deadline: Duration, mut check: impl FnMut() -> bool) -> bool {
@@ -206,7 +223,7 @@ fn metrics_document_is_valid_and_complete() {
         s == 200
     });
 
-    let (status, doc) = request(addr, "GET", "/metrics", "");
+    let (status, doc) = request(addr, "GET", "/metrics.json", "");
     assert_eq!(status, 200);
     // The report_check contract: header keys present and non-null.
     assert!(doc.get("report").is_some());
@@ -216,10 +233,96 @@ fn metrics_document_is_valid_and_complete() {
         let v = counters.get(key).unwrap_or_else(|| panic!("missing counter {key}"));
         assert!(v.as_i64().unwrap() >= 1, "counter {key} never moved");
     }
-    assert!(doc.get("gauges").unwrap().get("ingest_queue_peak").is_some());
+    let gauges = doc.get("gauges").unwrap();
+    assert!(gauges.get("ingest_queue_peak").is_some());
+    for key in ["epoch_lag_seconds", "shed_rate_per_sec", "wal_fsync_p99_seconds"] {
+        assert!(gauges.get(key).is_some(), "missing derived gauge {key}");
+    }
     assert!(doc.get("spans").unwrap().get("request").is_some());
 
+    // The Prometheus surface serves the same state as text exposition.
+    let (status, prom, content_type) = request_raw(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert_eq!(content_type, "text/plain; version=0.0.4");
+    assert!(prom.starts_with("# "), "not text exposition");
+    for family in [
+        "# TYPE corroborate_http_requests_total counter",
+        "# TYPE corroborate_request_seconds histogram",
+        "# TYPE corroborate_epoch gauge",
+        "corroborate_ingest_queue_peak",
+        "corroborate_epoch_lag_seconds",
+    ] {
+        assert!(prom.contains(family), "missing {family}");
+    }
+
     handle.shutdown().unwrap();
+}
+
+#[test]
+fn traced_server_exports_a_hierarchical_chrome_trace() {
+    let dir = tempdir("traced");
+    let config = ServerConfig {
+        data_dir: Some(dir.clone()),
+        wal: WalConfig { fsync: true, ..WalConfig::default() },
+        trace_capacity: 4096,
+        ..test_config()
+    };
+    let handle = start(config).unwrap();
+    assert!(handle.trace_enabled());
+    let addr = handle.addr();
+
+    let (status, _) = request(
+        addr,
+        "POST",
+        "/v1/votes",
+        r#"{"votes":[{"source":"a","fact":"traced","vote":"T"},
+                     {"source":"b","fact":"traced","vote":"T"}]}"#,
+    );
+    assert_eq!(status, 202);
+    assert!(poll_until(Duration::from_secs(10), || {
+        let (s, _) = request(addr, "GET", "/v1/facts/traced", "");
+        s == 200
+    }));
+
+    let (_, snapshot) = handle.shutdown_with_trace().unwrap();
+    assert_eq!(snapshot.torn, 0);
+    use corroborate_obs::{Span, TraceKind};
+    let begins = |span: Span| {
+        snapshot.events.iter().filter(move |e| e.span == span && e.kind == TraceKind::Begin)
+    };
+    // The epoch span tree: WAL append (with fsync child) and re-score
+    // children parented to an epoch span.
+    let epoch = begins(Span::Epoch).next().expect("an epoch span");
+    assert!(epoch.id != 0);
+    for child_span in [Span::WalAppend, Span::Rescore, Span::ViewPublish] {
+        assert!(
+            begins(child_span).any(|e| { begins(Span::Epoch).any(|parent| parent.id == e.parent) }),
+            "{child_span:?} must be a child of an epoch span"
+        );
+    }
+    let fsync = begins(Span::WalFsync).next().expect("an fsync span (fsync is on)");
+    assert!(
+        begins(Span::WalAppend).any(|e| e.id == fsync.parent),
+        "fsync nests inside its WAL append"
+    );
+    assert!(begins(Span::Request).next().is_some(), "request spans recorded");
+    assert!(begins(Span::QueueDrain).next().is_some(), "queue-drain spans recorded");
+    // The export round-trips through the strict JSON parser.
+    let doc = corroborate_obs::chrome_trace_json(&snapshot);
+    let text = doc.to_json_pretty();
+    let parsed = Json::parse(&text).unwrap();
+    assert!(!parsed.get("traceEvents").unwrap().as_array().unwrap().is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn untraced_server_returns_an_empty_snapshot() {
+    let handle = start(test_config()).unwrap();
+    assert!(!handle.trace_enabled());
+    let (status, _) = request(handle.addr(), "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    let (_, snapshot) = handle.shutdown_with_trace().unwrap();
+    assert!(snapshot.events.is_empty());
 }
 
 #[test]
