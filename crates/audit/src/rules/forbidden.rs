@@ -18,8 +18,10 @@ use crate::workspace::{SourceFile, Workspace};
 /// allowlist manifest, not hardcoded here).
 pub const HOT_SCOPE: &str = "crates/serve/src/";
 
-/// WAL framing scope for the arithmetic rule.
-pub const WAL_SCOPE: &str = "crates/serve/src/wal.rs";
+/// WAL framing scope for the arithmetic rule: the log itself plus the
+/// pluggable filesystem layer (`walfs.rs`), whose offsets and fault
+/// budgets feed the same framing math.
+pub const WAL_SCOPE: &str = "crates/serve/src/wal";
 
 /// Idents that panic when called as `.name(...)`.
 const PANICKING_METHODS: &[&str] = &["unwrap", "expect"];
@@ -32,7 +34,7 @@ pub(crate) fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
         if file.rel_path.starts_with(HOT_SCOPE) {
             check_panic_api(file, out);
         }
-        if file.rel_path == WAL_SCOPE {
+        if file.rel_path.starts_with(WAL_SCOPE) {
             check_arithmetic(file, out);
         }
     }
@@ -84,6 +86,25 @@ fn starts_operand(tok: &crate::lexer::Token) -> bool {
         || tok.is_punct("*")
 }
 
+/// Whether the `+` at `i` joins trait bounds (`T: Send + Sync`,
+/// `dyn Error + Send`) rather than arithmetic operands: walking left over
+/// path-ish tokens (idents, `::`, `+`, lifetimes) lands on `:`, `dyn`, or
+/// `impl`. Struct-literal field initialisers (`Foo { n: a + b }`) would
+/// also land on `:` and slip through, but WAL framing maths never sits
+/// bare inside a literal — the operands are computed first.
+fn is_bound_plus(toks: &[crate::lexer::Token], i: usize) -> bool {
+    for t in toks[..i].iter().rev() {
+        match t.kind {
+            TokenKind::Ident if t.text == "dyn" || t.text == "impl" => return true,
+            TokenKind::Ident | TokenKind::Lifetime => {}
+            TokenKind::Punct if t.is_punct("+") || t.is_punct("::") => {}
+            TokenKind::Punct if t.is_punct(":") => return true,
+            _ => return false,
+        }
+    }
+    false
+}
+
 fn check_arithmetic(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     let toks = &file.tokens;
     for (i, tok) in toks.iter().enumerate() {
@@ -95,8 +116,12 @@ fn check_arithmetic(file: &SourceFile, out: &mut Vec<Diagnostic>) {
             "+=" | "-=" | "*=" => true,
             "+" | "-" | "*" => {
                 // Binary only: `-1` as a literal, `*deref`, and `&ref`
-                // follow an operator or opening bracket, not an operand.
-                i > 0 && ends_operand(&toks[i - 1]) && toks.get(i + 1).is_some_and(starts_operand)
+                // follow an operator or opening bracket, not an operand;
+                // a `+` in a trait-bound list is not arithmetic at all.
+                i > 0
+                    && ends_operand(&toks[i - 1])
+                    && toks.get(i + 1).is_some_and(starts_operand)
+                    && !(op == "+" && is_bound_plus(toks, i))
             }
             _ => false,
         };
@@ -160,8 +185,27 @@ mod tests {
         assert_eq!(d[0].rule, "F002");
         let ok = "fn f(a: u64) -> u64 { a.saturating_add(1) }";
         assert!(diags_for("crates/serve/src/wal.rs", ok).is_empty());
-        // Same tokens outside wal.rs: not this rule's business.
+        // Same tokens outside the WAL scope: not this rule's business.
         assert!(diags_for("crates/serve/src/epoch.rs", src).is_empty());
+    }
+
+    #[test]
+    fn walfs_is_inside_the_arithmetic_scope() {
+        let src = "fn f(a: u64) -> u64 { let b = a + 1; b }";
+        let d = diags_for("crates/serve/src/walfs.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "F002");
+    }
+
+    #[test]
+    fn trait_bound_plus_is_not_arithmetic() {
+        let src = "pub trait F: Send + Sync + Debug {}\n\
+                   fn g(x: Box<dyn std::fmt::Debug + Send>) {}\n\
+                   fn h<T: Clone + Default>(t: T) {}";
+        assert!(diags_for("crates/serve/src/walfs.rs", src).is_empty());
+        // Arithmetic after `=` still fires even with a path operand.
+        let d = diags_for("crates/serve/src/wal.rs", "fn f() { let x = a::N + 1; }");
+        assert_eq!(d.len(), 1);
     }
 
     #[test]

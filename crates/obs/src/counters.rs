@@ -66,8 +66,14 @@ pub enum Counter {
     FactsRescored,
     /// Records appended to the write-ahead log.
     WalAppends,
+    /// Group-commit batches framed and written to the write-ahead log.
+    WalBatches,
+    /// Segments sealed (rolled) by the write-ahead log.
+    WalSeals,
     /// Records replayed from the write-ahead log during recovery.
     WalReplayed,
+    /// Segments decoded during write-ahead log replay.
+    SegmentsReplayed,
     /// Snapshot compactions written by the write-ahead log.
     SnapshotsWritten,
     /// Trace events lost to ring-buffer wrap-around (bounded-loss tracing).
@@ -76,7 +82,7 @@ pub enum Counter {
 
 impl Counter {
     /// All counters, in report order.
-    pub const ALL: [Counter; 29] = [
+    pub const ALL: [Counter; 32] = [
         Counter::Rounds,
         Counter::Iterations,
         Counter::FactsEvaluated,
@@ -103,7 +109,10 @@ impl Counter {
         Counter::GroupsInvalidated,
         Counter::FactsRescored,
         Counter::WalAppends,
+        Counter::WalBatches,
+        Counter::WalSeals,
         Counter::WalReplayed,
+        Counter::SegmentsReplayed,
         Counter::SnapshotsWritten,
         Counter::TraceDropped,
     ];
@@ -137,7 +146,10 @@ impl Counter {
             Counter::GroupsInvalidated => "groups_invalidated",
             Counter::FactsRescored => "facts_rescored",
             Counter::WalAppends => "wal_appends",
+            Counter::WalBatches => "wal_batches",
+            Counter::WalSeals => "wal_seals",
             Counter::WalReplayed => "wal_replayed",
+            Counter::SegmentsReplayed => "segments_replayed",
             Counter::SnapshotsWritten => "snapshots_written",
             Counter::TraceDropped => "trace_dropped",
         }

@@ -37,10 +37,16 @@ pub enum Span {
     Epoch,
     /// One record appended (and optionally synced) to the write-ahead log.
     WalAppend,
+    /// One group-commit batch framed, written, and handed to the syncer.
+    WalBatch,
     /// One `fsync` of the write-ahead log file (durability flush).
     WalFsync,
+    /// One segment seal: fsync, manifest rewrite, roll to a fresh segment.
+    WalSeal,
     /// One full write-ahead log replay during service recovery.
     WalReplay,
+    /// One segment decoded (in parallel) during write-ahead log replay.
+    SegmentReplay,
     /// One engine re-score pass inside an epoch (incremental or full).
     Rescore,
     /// One atomic publication of a refreshed verdict view.
@@ -51,7 +57,7 @@ pub enum Span {
 
 impl Span {
     /// All spans, in report order.
-    pub const ALL: [Span; 13] = [
+    pub const ALL: [Span; 16] = [
         Span::Select,
         Span::Evaluate,
         Span::CacheRefresh,
@@ -60,8 +66,11 @@ impl Span {
         Span::Request,
         Span::Epoch,
         Span::WalAppend,
+        Span::WalBatch,
         Span::WalFsync,
+        Span::WalSeal,
         Span::WalReplay,
+        Span::SegmentReplay,
         Span::Rescore,
         Span::ViewPublish,
         Span::QueueDrain,
@@ -78,8 +87,11 @@ impl Span {
             Span::Request => "request",
             Span::Epoch => "epoch",
             Span::WalAppend => "wal_append",
+            Span::WalBatch => "wal_batch",
             Span::WalFsync => "wal_fsync",
+            Span::WalSeal => "wal_seal",
             Span::WalReplay => "wal_replay",
+            Span::SegmentReplay => "segment_replay",
             Span::Rescore => "rescore",
             Span::ViewPublish => "view_publish",
             Span::QueueDrain => "queue_drain",

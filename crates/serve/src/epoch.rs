@@ -10,6 +10,13 @@
 //!   O(invalidated votes); the verdicts are exact Corrob scores but the
 //!   trust snapshot is *stale* — it has not absorbed the new evidence.
 //!   Facts scored this way are flagged [`VerdictView::is_stale`].
+//!   Dirty facts sharing one signature group are scored once and the
+//!   result scattered to every member, and when the epoch registered no
+//!   new facts or sources the previous epoch's materialised [`Dataset`]
+//!   and name indexes are republished as-is instead of being rebuilt —
+//!   the vote lists in [`VerdictView::dataset`] then lag until the next
+//!   materialising epoch, an extension of the same staleness contract
+//!   the flag already documents. Probabilities and verdicts never lag.
 //! - **Full** — materialise the accumulated [`DeltaDataset`] and re-run
 //!   the complete multi-round IncEstimate evaluation (IncEstHeu
 //!   strategy). Exact but O(dataset); refreshes the cached trust snapshot
@@ -106,8 +113,10 @@ pub struct VerdictView {
     stale: Vec<bool>,
     trust: TrustSnapshot,
     rounds: usize,
-    fact_index: HashMap<String, usize>,
-    source_index: HashMap<String, usize>,
+    /// Shared with the engine's epoch cache: incremental epochs that
+    /// register no new names republish the same maps.
+    fact_index: Arc<HashMap<String, usize>>,
+    source_index: Arc<HashMap<String, usize>>,
 }
 
 impl VerdictView {
@@ -131,8 +140,8 @@ impl VerdictView {
             trust: TrustSnapshot::uniform(0, config.engine.initial_trust)
                 .map_err(ServeError::Core)?,
             rounds: 0,
-            fact_index: HashMap::new(),
-            source_index: HashMap::new(),
+            fact_index: Arc::new(HashMap::new()),
+            source_index: Arc::new(HashMap::new()),
         })
     }
 
@@ -146,7 +155,11 @@ impl VerdictView {
         self.full
     }
 
-    /// The dataset snapshot the verdicts were computed over.
+    /// The dataset snapshot the verdicts were computed over. After an
+    /// incremental epoch that registered no new facts or sources, this is
+    /// the previous epoch's materialisation — its *vote lists* may lag the
+    /// probabilities (which never lag) until the next materialising epoch;
+    /// the affected facts carry [`Self::is_stale`].
     pub fn dataset(&self) -> &Arc<Dataset> {
         &self.dataset
     }
@@ -251,12 +264,27 @@ impl<T> Published<T> {
     }
 }
 
+/// The last materialised dataset and its name indexes, shared between the
+/// engine and the views it publishes. Incremental epochs that register no
+/// new names republish these `Arc`s untouched — the O(dataset) cost of
+/// materialising and re-indexing is paid only when names changed or trust was
+/// refreshed, which is what keeps small-delta epoch latency flat as the
+/// dataset grows.
+#[derive(Debug)]
+struct CachedEpoch {
+    dataset: Arc<Dataset>,
+    fact_index: Arc<HashMap<String, usize>>,
+    source_index: Arc<HashMap<String, usize>>,
+}
+
 /// The single-writer evaluation engine behind the service.
 #[derive(Debug)]
 pub struct EpochEngine {
     delta: DeltaDataset,
     config: EpochConfig,
     epoch: u64,
+    /// See [`CachedEpoch`]; `None` until the first epoch runs.
+    cached: Option<CachedEpoch>,
     /// Trust snapshot cached from the last full recompute; prices
     /// incremental epochs. Sources registered since extend at
     /// `initial_trust`.
@@ -287,6 +315,7 @@ impl EpochEngine {
             delta,
             config,
             epoch: 0,
+            cached: None,
             trust,
             probs: vec![config.engine.voteless_prior; n_facts],
             stale: vec![true; n_facts],
@@ -360,7 +389,31 @@ impl EpochEngine {
             self.trust = grown;
         }
 
-        let dataset = Arc::new(self.delta.materialize()?);
+        // Incremental epochs that registered no new names republish the
+        // cached dataset and indexes untouched: materialise + re-index is
+        // O(dataset) and would swamp a small rescore. Vote lists inside the
+        // republished dataset may then lag behind the stream (an extension
+        // of the documented staleness contract); names, trust, and
+        // probabilities — everything the fingerprint hashes — never lag.
+        let cached = match self.cached.take() {
+            Some(c)
+                if !full
+                    && c.dataset.n_facts() == n_facts
+                    && c.dataset.n_sources() == self.delta.n_sources() =>
+            {
+                c
+            }
+            _ => {
+                let dataset = Arc::new(self.delta.materialize()?);
+                let (fact_index, source_index) = VerdictView::index(&dataset);
+                CachedEpoch {
+                    dataset,
+                    fact_index: Arc::new(fact_index),
+                    source_index: Arc::new(source_index),
+                }
+            }
+        };
+        let dataset = Arc::clone(&cached.dataset);
         let facts_rescored;
         let mut shards_scanned = 0;
         if full {
@@ -385,18 +438,30 @@ impl EpochEngine {
             // scatter back walks shards in fixed order — bit-identical to
             // the sequential per-fact loop whatever the thread count.
             facts_rescored = dirty.len();
-            let signatures: Vec<Vec<SourceVote>> = dirty
-                .iter()
-                .map(|&f| {
-                    self.delta
-                        .signature(f)
-                        .iter()
-                        .map(|&(s, vote)| SourceVote { source: SourceId::new(s), vote })
-                        .collect()
-                })
-                .collect();
+            // A Corrob score is a pure function of the signature, so facts
+            // sharing one (common under bursty workloads where one source
+            // dirties a whole co-vote group) are scored once and the result
+            // scattered to every member. The dedup map is lookup-only;
+            // `uniq` keeps first-seen order, so scoring order — and hence
+            // the published bits — match the undeduped per-fact loop.
+            let mut seen: HashMap<&[(usize, Vote)], usize> = HashMap::new();
+            let mut signatures: Vec<Vec<SourceVote>> = Vec::new();
+            let mut group_of: Vec<usize> = Vec::with_capacity(dirty.len());
+            for &f in &dirty {
+                let raw = self.delta.signature(f);
+                let next = signatures.len();
+                let k = *seen.entry(raw).or_insert(next);
+                if k == next {
+                    signatures.push(
+                        raw.iter()
+                            .map(|&(s, vote)| SourceVote { source: SourceId::new(s), vote })
+                            .collect(),
+                    );
+                }
+                group_of.push(k);
+            }
             let shard_cfg = self.config.engine.shard;
-            let n_shards = shard_cfg.resolved_shards().clamp(1, dirty.len().max(1));
+            let n_shards = shard_cfg.resolved_shards().clamp(1, signatures.len().max(1));
             let mut shards: Vec<Vec<usize>> = vec![Vec::new(); n_shards];
             for (k, sig) in signatures.iter().enumerate() {
                 shards[signature_shard(sig, n_shards)].push(k);
@@ -404,7 +469,7 @@ impl EpochEngine {
             shards_scanned = shards.iter().filter(|members| !members.is_empty()).count();
             // Thread fan-out only pays for itself on large rescores; the
             // threshold changes scheduling, never results.
-            let threads = if dirty.len() < MIN_PARALLEL_RESCORE_FACTS {
+            let threads = if signatures.len() < MIN_PARALLEL_RESCORE_FACTS {
                 1
             } else {
                 shard_cfg.resolved_threads().min(n_shards)
@@ -417,17 +482,20 @@ impl EpochEngine {
                     .map(|&k| corrob_probability_or(&signatures[k], trust, prior))
                     .collect()
             });
+            // Scatter the per-signature scores back positionally.
+            let mut sig_score = vec![0.0f64; signatures.len()];
             for (members, shard_scores) in shards.iter().zip(&scored) {
                 for (&k, &p) in members.iter().zip(shard_scores) {
-                    let f = dirty[k];
-                    self.probs[f.index()] = p;
-                    self.stale[f.index()] = true;
+                    sig_score[k] = p;
                 }
+            }
+            for (&f, &k) in dirty.iter().zip(&group_of) {
+                self.probs[f.index()] = sig_score[k];
+                self.stale[f.index()] = true;
             }
         }
 
         self.epoch += 1;
-        let (fact_index, source_index) = VerdictView::index(&dataset);
         let view = Arc::new(VerdictView {
             epoch: self.epoch,
             full,
@@ -436,9 +504,10 @@ impl EpochEngine {
             stale: self.stale.clone(),
             trust: self.trust.clone(),
             rounds: self.rounds,
-            fact_index,
-            source_index,
+            fact_index: Arc::clone(&cached.fact_index),
+            source_index: Arc::clone(&cached.source_index),
         });
+        self.cached = Some(cached);
         let stats = EpochStats {
             epoch: self.epoch,
             full,
@@ -480,8 +549,8 @@ pub fn evaluate_batch(dataset: Dataset, config: &EpochConfig) -> Result<VerdictV
         trust: result.trust().clone(),
         rounds: result.rounds(),
         dataset,
-        fact_index,
-        source_index,
+        fact_index: Arc::new(fact_index),
+        source_index: Arc::new(source_index),
     })
 }
 

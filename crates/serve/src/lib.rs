@@ -5,8 +5,13 @@
 //! - [`delta`] — [`DeltaDataset`], a streaming, name-keyed accumulator of
 //!   vote/source/fact mutations with incremental signature maintenance and
 //!   dirty tracking; materialises batch-identical [`Dataset`] snapshots.
-//! - [`wal`] — append-only write-ahead log with crash-recovery replay
-//!   (torn-tail tolerant) and periodic snapshot compaction.
+//! - [`wal`] — group-commit, segmented write-ahead log: one framed,
+//!   CRC'd record and one (pipelined) fsync per linger batch, bounded
+//!   `wal.NNNNNN.seg` segments with a CRC'd manifest, parallel replay
+//!   with deterministic merge, and background snapshot compaction.
+//! - [`walfs`] — the pluggable [`WalFs`]/[`WalFile`] I/O layer: real
+//!   `std::fs` ([`StdFs`]) plus the deterministic fault-injecting
+//!   [`FaultFs`] that the crash-recovery matrix drives.
 //! - [`epoch`] — the [`EpochEngine`]: batches deltas into epochs,
 //!   re-scores only invalidated signature groups under the cached trust
 //!   snapshot, escalates to a full IncEstimate recompute past a
@@ -39,6 +44,7 @@ pub mod metrics;
 pub mod queue;
 pub mod server;
 pub mod wal;
+pub mod walfs;
 
 pub use delta::{ApplyOutcome, DeltaDataset, Mutation};
 pub use epoch::{
@@ -48,4 +54,5 @@ pub use error::ServeError;
 pub use metrics::ServeMetrics;
 pub use queue::IngestQueue;
 pub use server::{start, ServerConfig, ServerHandle};
-pub use wal::{Recovery, Wal, WalConfig};
+pub use wal::{BatchReceipt, Recovery, Wal, WalConfig};
+pub use walfs::{FaultFs, StdFs, WalFile, WalFs};

@@ -24,6 +24,8 @@ pub struct ServeMetrics {
     queue_peak: MaxGauge,
     /// Largest single accepted ingest batch.
     batch_peak: MaxGauge,
+    /// Largest group-commit WAL frame written, in bytes.
+    wal_batch_bytes_peak: MaxGauge,
     /// Process-start reference for the sliding windows and epoch lag.
     clock: Instant,
     /// Timestamp (nanos on [`Self::clock`]) of the last published view.
@@ -40,6 +42,7 @@ impl Default for ServeMetrics {
             observer: RecordingObserver::new(),
             queue_peak: MaxGauge::default(),
             batch_peak: MaxGauge::default(),
+            wal_batch_bytes_peak: MaxGauge::default(),
             clock: Instant::now(),
             last_epoch_nanos: AtomicU64::new(0),
             shed_window: SlidingWindow::standard(),
@@ -105,6 +108,11 @@ impl ServeMetrics {
         self.fsync_window.record(self.now_nanos(), nanos);
     }
 
+    /// Records the framed byte size of one group-commit WAL batch.
+    pub fn note_wal_batch_bytes(&self, bytes: u64) {
+        self.wal_batch_bytes_peak.observe(bytes);
+    }
+
     /// Peak queue depth seen so far.
     pub fn queue_peak(&self) -> u64 {
         self.queue_peak.get()
@@ -126,6 +134,7 @@ impl ServeMetrics {
         gauges.insert("ingest_queue_depth", queue_depth);
         gauges.insert("ingest_queue_peak", self.queue_peak.get());
         gauges.insert("ingest_batch_peak", self.batch_peak.get());
+        gauges.insert("wal_batch_bytes_peak", self.wal_batch_bytes_peak.get());
         gauges.insert("epoch_lag_seconds", self.epoch_lag_seconds());
         gauges.insert("shed_rate_per_sec", self.shed_window.rate_per_sec(now));
         gauges.insert(
@@ -245,10 +254,13 @@ mod tests {
         assert!(m.epoch_lag_seconds() < 60.0, "lag resets on publish");
         m.note_fsync(1_000);
         m.note_fsync(3_000);
+        m.note_wal_batch_bytes(96);
+        m.note_wal_batch_bytes(40);
         let doc = m.to_json(1, 0);
         let gauges = doc.get("gauges").unwrap();
         let p99 = gauges.get("wal_fsync_p99_seconds").and_then(Json::as_f64).unwrap();
         assert!(p99 >= 3e-6 - 1e-12, "p99 picks the slow fsync: {p99}");
+        assert_eq!(gauges.get("wal_batch_bytes_peak").unwrap().as_i64(), Some(96));
     }
 
     #[test]

@@ -31,6 +31,9 @@ struct QueueState {
     closed: bool,
     /// Peak occupancy, for the `ingest_queue_peak` gauge.
     high_water: usize,
+    /// Mutations accepted over the queue's lifetime — the ack ledger the
+    /// group-commit schedule fuzzer balances against drained counts.
+    total_accepted: u64,
 }
 
 /// A bounded multi-producer single-consumer mutation queue.
@@ -46,7 +49,12 @@ impl IngestQueue {
     /// A queue admitting at most `capacity` pending mutations.
     pub fn new(capacity: usize) -> Self {
         Self {
-            state: Mutex::new(QueueState { items: VecDeque::new(), closed: false, high_water: 0 }),
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+                high_water: 0,
+                total_accepted: 0,
+            }),
             available: Condvar::new(),
             capacity,
         }
@@ -70,6 +78,7 @@ impl IngestQueue {
         if state.items.len() + batch.len() > self.capacity {
             return Err(ServeError::QueueFull { capacity: self.capacity });
         }
+        state.total_accepted = state.total_accepted.saturating_add(batch.len() as u64);
         state.items.extend(batch);
         state.high_water = state.high_water.max(state.items.len());
         drop(state);
@@ -90,6 +99,13 @@ impl IngestQueue {
     /// Peak occupancy since creation.
     pub fn high_water(&self) -> usize {
         lock_state(&self.state).high_water
+    }
+
+    /// Mutations accepted (successfully pushed) since creation. Rejected
+    /// batches contribute nothing — the fuzzers reconcile this ledger
+    /// against what the consumer drained to prove no ack was lost.
+    pub fn total_accepted(&self) -> u64 {
+        lock_state(&self.state).total_accepted
     }
 
     /// Blocks until at least one mutation is available (or `linger`
@@ -170,6 +186,7 @@ mod tests {
         // The rejected batch left no partial residue.
         assert_eq!(q.len(), 2);
         assert_eq!(q.high_water(), 2);
+        assert_eq!(q.total_accepted(), 2, "rejected batches are not acked");
     }
 
     #[test]

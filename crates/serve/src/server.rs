@@ -220,6 +220,7 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle, ServeError> {
         Some(dir) => {
             let (wal, recovery) = Wal::open_observed(dir, config.wal, metrics.observer())?;
             metrics.observer().add(Counter::WalReplayed, recovery.replayed);
+            metrics.observer().add(Counter::SegmentsReplayed, recovery.segments);
             (EpochEngine::from_recovered(recovery.dataset, config.epoch)?, Some(wal))
         }
         None => (EpochEngine::new(config.epoch)?, None),
@@ -635,7 +636,7 @@ fn epoch_loop(
         if closed {
             // Final durability point: fold everything into the snapshot.
             if let Some(wal) = wal.as_mut() {
-                wal.compact(engine.delta())?;
+                wal.compact_observed(engine.delta(), obs)?;
                 shared.metrics.observer().add(Counter::SnapshotsWritten, 1);
             }
             return Ok(());
@@ -653,18 +654,28 @@ fn epoch_step(
     closed: bool,
 ) -> Result<(), ServeError> {
     let obs = shared.metrics.observer();
-    for (i, mutation) in batch.iter().enumerate() {
+    if !batch.is_empty() {
         if let Some(wal) = wal.as_deref_mut() {
-            let (_, fsync_nanos) =
-                obs.traced(Span::WalAppend, i as u64, || wal.append_observed(mutation, obs))?;
-            obs.add(Counter::WalAppends, 1);
-            if let Some(nanos) = fsync_nanos {
+            // Group commit: the whole linger batch becomes one framed WAL
+            // record with one CRC and one (pipelined) fsync.
+            let receipt = obs.traced(Span::WalBatch, batch.len() as u64, || {
+                wal.append_batch_observed(batch, obs)
+            })?;
+            obs.add(Counter::WalAppends, receipt.count);
+            obs.add(Counter::WalBatches, 1);
+            if receipt.sealed {
+                obs.add(Counter::WalSeals, 1);
+            }
+            shared.metrics.note_wal_batch_bytes(receipt.bytes);
+            if let Some(nanos) = receipt.fsync_nanos {
                 shared.metrics.note_fsync(nanos);
             }
         }
-        // An invalid mutation is a client bug that slipped validation;
-        // drop it rather than poisoning the stream.
-        let _ = engine.apply(mutation);
+        for mutation in batch {
+            // An invalid mutation is a client bug that slipped validation;
+            // drop it rather than poisoning the stream.
+            let _ = engine.apply(mutation);
+        }
     }
     if engine.pending() > 0 || closed {
         let mode = if closed { EpochMode::Full } else { EpochMode::Auto };

@@ -290,21 +290,25 @@ fn traced_server_exports_a_hierarchical_chrome_trace() {
     let begins = |span: Span| {
         snapshot.events.iter().filter(move |e| e.span == span && e.kind == TraceKind::Begin)
     };
-    // The epoch span tree: WAL append (with fsync child) and re-score
-    // children parented to an epoch span.
+    // The epoch span tree: the group commit (wal_batch, wrapping the
+    // framed wal_append) and re-score children parented to an epoch span.
     let epoch = begins(Span::Epoch).next().expect("an epoch span");
     assert!(epoch.id != 0);
-    for child_span in [Span::WalAppend, Span::Rescore, Span::ViewPublish] {
+    for child_span in [Span::WalBatch, Span::Rescore, Span::ViewPublish] {
         assert!(
             begins(child_span).any(|e| { begins(Span::Epoch).any(|parent| parent.id == e.parent) }),
             "{child_span:?} must be a child of an epoch span"
         );
     }
-    let fsync = begins(Span::WalFsync).next().expect("an fsync span (fsync is on)");
     assert!(
-        begins(Span::WalAppend).any(|e| e.id == fsync.parent),
-        "fsync nests inside its WAL append"
+        begins(Span::WalAppend).any(|e| begins(Span::WalBatch).any(|parent| parent.id == e.parent)),
+        "the frame write nests inside its group commit"
     );
+    // Fsync is pipelined: the span surfaces when the *next* group commit
+    // (or the shutdown barrier) collects it, so it exists but is not a
+    // child of the append that submitted it.
+    let fsync = begins(Span::WalFsync).next().expect("an fsync span (fsync is on)");
+    assert!(fsync.payload >= 1, "fsync span carries the batch's first sequence");
     assert!(begins(Span::Request).next().is_some(), "request spans recorded");
     assert!(begins(Span::QueueDrain).next().is_some(), "queue-drain spans recorded");
     // The export round-trips through the strict JSON parser.

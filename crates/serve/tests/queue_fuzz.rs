@@ -11,14 +11,23 @@
 //! - per-producer FIFO order survives batching and the linger window;
 //! - the capacity bound and the `high_water` gauge are never exceeded;
 //! - after `close`, the consumer drains the remainder and sees `None`.
+//!
+//! The group-commit schedule fuzzer extends the model through the WAL:
+//! producers race `close()` while the consumer group-commits every drained
+//! batch into a segmented WAL over [`FaultFs`] with tiny segments and an
+//! aggressive compaction threshold, so appends race seals, background
+//! snapshot compaction, and shutdown. Recovery then proves FIFO batch
+//! order and that no acked mutation was lost.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
 use corroborate_core::vote::Vote;
-use corroborate_serve::delta::Mutation;
+use corroborate_obs::NOOP;
+use corroborate_serve::delta::{DeltaDataset, Mutation};
 use corroborate_serve::queue::IngestQueue;
-use corroborate_serve::ServeError;
+use corroborate_serve::{FaultFs, ServeError, Wal, WalConfig};
 
 /// Deterministic schedule jitter: a per-thread LCG (numerical recipes
 /// constants) deciding between spinning, yielding, and micro-sleeps.
@@ -185,5 +194,129 @@ fn close_during_traffic_never_strands_accepted_mutations() {
         expected.sort();
         got.sort();
         assert_eq!(got, expected, "seed {seed}: accepted and drained sets differ");
+    }
+}
+
+/// One seeded group-commit run: producers race `close()`, the consumer
+/// group-commits every drained batch into a tiny-segment WAL (so appends
+/// race seals and background compaction), then compacts on drain. Recovery
+/// must hold exactly the acked mutations, in FIFO order per producer.
+fn run_group_commit_schedule(seed: u64) {
+    const PRODUCERS: usize = 3;
+    const PER_PRODUCER: usize = 30;
+
+    let queue = Arc::new(IngestQueue::new(32));
+    let fs = FaultFs::new();
+    let dir = PathBuf::from("/wal");
+    let config =
+        WalConfig { compact_after_records: 24, segment_bytes: 1024, ..WalConfig::default() };
+
+    let consumer = {
+        let queue = Arc::clone(&queue);
+        let fs = fs.clone();
+        let dir = dir.clone();
+        std::thread::spawn(move || {
+            let (mut wal, _) = Wal::open_with(&dir, config, Arc::new(fs), &NOOP).unwrap();
+            let mut rng = Lcg(seed ^ 0xBADC0DE);
+            let mut live = DeltaDataset::new();
+            let mut appended = 0usize;
+            loop {
+                let max = 1 + (rng.next() as usize % 9);
+                match queue.drain_batch(max, Duration::from_micros(rng.next() % 200)) {
+                    Some(batch) => {
+                        // The group commit: one frame, one CRC per batch.
+                        let receipt = wal.append_batch(&batch).unwrap();
+                        assert_eq!(receipt.count as usize, batch.len(), "partial batch ack");
+                        for m in &batch {
+                            live.apply(m).unwrap();
+                        }
+                        appended += batch.len();
+                        // Races the appends with seal + background snapshot.
+                        wal.maybe_compact(&live).unwrap();
+                    }
+                    None => {
+                        // Clean shutdown: fold everything into the snapshot.
+                        wal.compact(&live).unwrap();
+                        return appended;
+                    }
+                }
+                rng.jitter();
+            }
+        })
+    };
+
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || {
+                let mut rng = Lcg(seed.wrapping_add(p as u64 * 7919));
+                let mut acked = 0usize;
+                let mut i = 0usize;
+                while i < PER_PRODUCER {
+                    let take = (1 + (rng.next() as usize % 4)).min(PER_PRODUCER - i);
+                    let batch: Vec<Mutation> = (i..i + take).map(|j| cast(p, j)).collect();
+                    match queue.try_push(batch) {
+                        Ok(()) => {
+                            acked += take;
+                            i += take;
+                        }
+                        Err(ServeError::QueueClosed) => break,
+                        Err(ServeError::QueueFull { .. }) => std::thread::yield_now(),
+                        Err(e) => panic!("unexpected push error: {e:?}"),
+                    }
+                    rng.jitter();
+                }
+                acked
+            })
+        })
+        .collect();
+
+    // Cut the traffic short at a seed-dependent point: some runs close
+    // almost immediately, others after the producers finish.
+    std::thread::sleep(Duration::from_micros(seed * 211));
+    queue.close();
+    let acked: Vec<usize> = producers.into_iter().map(|h| h.join().unwrap()).collect();
+    let total_acked: usize = acked.iter().sum();
+    assert_eq!(
+        queue.total_accepted() as usize,
+        total_acked,
+        "seed {seed}: ack ledger disagrees with producers"
+    );
+    let appended = consumer.join().unwrap();
+    assert_eq!(appended, total_acked, "seed {seed}: consumer lost acked mutations");
+
+    // Recovery: the final compact folded everything into the snapshot, so
+    // the log replays empty and the dataset holds exactly the acked votes.
+    let (_, recovery) = Wal::open_with(&dir, config, Arc::new(fs), &NOOP).unwrap();
+    assert_eq!(recovery.replayed, 0, "seed {seed}: records left outside the final snapshot");
+    assert_eq!(
+        recovery.dataset.n_votes(),
+        total_acked,
+        "seed {seed}: recovered votes != acked mutations"
+    );
+
+    // FIFO per producer: each producer acks a prefix 0..acked[p], and
+    // source-id registration order is append order, so ids must ascend.
+    for (p, &n) in acked.iter().enumerate() {
+        let mut prev = None;
+        for i in 0..n {
+            let id = recovery
+                .dataset
+                .source_id(&format!("p{p}m{i}"))
+                .unwrap_or_else(|| panic!("seed {seed}: acked p{p}m{i} missing after recovery"));
+            assert!(prev < Some(id), "seed {seed}: producer {p} batch order broken at m{i}");
+            prev = Some(id);
+        }
+        assert!(
+            recovery.dataset.source_id(&format!("p{p}m{n}")).is_none() || n == PER_PRODUCER,
+            "seed {seed}: producer {p} has votes beyond its acks"
+        );
+    }
+}
+
+#[test]
+fn group_commit_schedules_survive_seal_compaction_and_shutdown() {
+    for seed in 0..10u64 {
+        run_group_commit_schedule(seed);
     }
 }

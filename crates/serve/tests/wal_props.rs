@@ -1,0 +1,161 @@
+//! Property tests for the group-commit segmented WAL: for *any* mutation
+//! stream, segment size, batching, and crash point,
+//! `replay(crash(append(m)))` is a batch-boundary prefix of `m` — recovery
+//! never loses a durable batch boundary and never resurrects a torn batch.
+//!
+//! Two crash models are swept:
+//!
+//! - **write-budget crashes** ([`FaultFs::set_crash_after_write_bytes`]):
+//!   the byte stream tears mid-write at a seeded offset, exactly like a
+//!   power cut during `write(2)`;
+//! - **post-hoc truncation**: the highest segment is chopped at a random
+//!   offset, the classic torn-tail artefact.
+//!
+//! Runs under the same `PROPTEST_CASES` boost the conformance CI job uses.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use corroborate_core::vote::Vote;
+use corroborate_obs::NOOP;
+use corroborate_serve::{DeltaDataset, FaultFs, Mutation, Wal, WalConfig, WalFs};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn arb_mutation() -> impl Strategy<Value = Mutation> {
+    // Casts dominate (5/7), as in the real ingest mix; fact labels are a
+    // function of the name so re-registration never conflicts.
+    (0u8..7, 0usize..8, 0usize..10, any::<bool>()).prop_map(|(kind, s, f, v)| match kind {
+        5 => Mutation::AddSource { name: format!("s{s}") },
+        6 => Mutation::AddFact {
+            name: format!("f{f}"),
+            label: if v {
+                Some(corroborate_core::truth::Label::from_bool(f % 2 == 0))
+            } else {
+                None
+            },
+        },
+        _ => Mutation::Cast {
+            source: format!("s{s}"),
+            fact: format!("f{f}"),
+            vote: if v { Vote::True } else { Vote::False },
+        },
+    })
+}
+
+fn arb_stream() -> impl Strategy<Value = Vec<Mutation>> {
+    vec(arb_mutation(), 5..150)
+}
+
+/// Appends `stream` in `chunk`-sized group commits until a fault surfaces,
+/// returning the cumulative mutation counts at every acked batch boundary.
+fn append_until_fault(wal: &mut Wal, stream: &[Mutation], chunk: usize) -> Vec<usize> {
+    let mut acks = vec![0usize];
+    for batch in stream.chunks(chunk) {
+        match wal.append_batch(batch) {
+            Ok(_) => acks.push(acks.last().unwrap() + batch.len()),
+            Err(_) => break,
+        }
+    }
+    acks
+}
+
+/// Asserts the recovered dataset equals a direct apply of `stream[..n]`.
+fn assert_prefix_equivalent(recovered: &DeltaDataset, stream: &[Mutation], n: usize) {
+    let mut reference = DeltaDataset::new();
+    reference.apply_all(&stream[..n]).unwrap();
+    let got = recovered.clone().materialize().unwrap();
+    let want = reference.materialize().unwrap();
+    assert_eq!(got.votes(), want.votes(), "recovered votes diverge from the {n}-prefix");
+    assert_eq!(got.n_sources(), want.n_sources());
+    assert_eq!(got.n_facts(), want.n_facts());
+}
+
+/// Name of the highest-numbered segment currently in `dir`.
+fn last_segment(fs: &FaultFs, dir: &Path) -> Option<PathBuf> {
+    let names = fs.list(dir).ok()?;
+    names.iter().rfind(|n| n.starts_with("wal.") && n.ends_with(".seg")).map(|n| dir.join(n))
+}
+
+proptest! {
+    #[test]
+    fn write_budget_crash_recovers_a_batch_boundary_prefix(
+        stream in arb_stream(),
+        segment_bytes in 64u64..1024,
+        chunk in 1usize..9,
+        budget in 16u64..4096,
+    ) {
+        let fs = FaultFs::new();
+        let dir = PathBuf::from("/wal");
+        let config = WalConfig { segment_bytes, ..WalConfig::default() };
+        let acks = {
+            let (mut wal, _) =
+                Wal::open_with(&dir, config, Arc::new(fs.clone()), &NOOP).unwrap();
+            fs.set_crash_after_write_bytes(budget);
+            append_until_fault(&mut wal, &stream, chunk)
+        };
+        fs.reset_faults();
+        let (_, recovery) =
+            Wal::open_with(&dir, config, Arc::new(fs), &NOOP).expect("recovery must not fail");
+        let replayed = recovery.replayed as usize;
+        prop_assert!(
+            acks.contains(&replayed),
+            "replayed {replayed} is not an acked batch boundary of {acks:?}"
+        );
+        assert_prefix_equivalent(&recovery.dataset, &stream, replayed);
+    }
+
+    #[test]
+    fn truncation_crash_recovers_a_batch_boundary_prefix(
+        stream in arb_stream(),
+        segment_bytes in 64u64..1024,
+        chunk in 1usize..9,
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let fs = FaultFs::new();
+        let dir = PathBuf::from("/wal");
+        let config = WalConfig { segment_bytes, ..WalConfig::default() };
+        let acks = {
+            let (mut wal, _) =
+                Wal::open_with(&dir, config, Arc::new(fs.clone()), &NOOP).unwrap();
+            append_until_fault(&mut wal, &stream, chunk)
+        };
+        // Chop the tail segment at a fraction of its length.
+        if let Some(seg) = last_segment(&fs, &dir) {
+            if let Some(len) = fs.len(&seg) {
+                fs.truncate_raw(&seg, (len as f64 * cut_fraction) as usize);
+            }
+        }
+        let (_, recovery) =
+            Wal::open_with(&dir, config, Arc::new(fs), &NOOP).expect("recovery must not fail");
+        let replayed = recovery.replayed as usize;
+        prop_assert!(
+            acks.contains(&replayed),
+            "replayed {replayed} is not an acked batch boundary of {acks:?}"
+        );
+        assert_prefix_equivalent(&recovery.dataset, &stream, replayed);
+    }
+
+    #[test]
+    fn faultless_append_replay_is_lossless(
+        stream in arb_stream(),
+        segment_bytes in 64u64..1024,
+        chunk in 1usize..9,
+    ) {
+        let fs = FaultFs::new();
+        let dir = PathBuf::from("/wal");
+        let config = WalConfig { segment_bytes, ..WalConfig::default() };
+        {
+            let (mut wal, _) =
+                Wal::open_with(&dir, config, Arc::new(fs.clone()), &NOOP).unwrap();
+            for batch in stream.chunks(chunk) {
+                wal.append_batch(batch).unwrap();
+            }
+        }
+        let (_, recovery) =
+            Wal::open_with(&dir, config, Arc::new(fs), &NOOP).unwrap();
+        prop_assert_eq!(recovery.replayed as usize, stream.len());
+        prop_assert!(!recovery.dropped_torn_tail);
+        assert_prefix_equivalent(&recovery.dataset, &stream, stream.len());
+    }
+}

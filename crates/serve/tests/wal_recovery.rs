@@ -1,9 +1,24 @@
-//! WAL crash-recovery integration tests: torn tails, snapshot compaction,
-//! and end-to-end recovery equivalence through the epoch engine.
+//! WAL crash-recovery integration tests: the fault-injection crash matrix
+//! over every testkit archetype, torn tails, snapshot compaction, and
+//! end-to-end recovery equivalence through the epoch engine.
+//!
+//! The matrix drives the group-commit WAL over [`FaultFs`] and asserts the
+//! two recovery invariants for every injection shape:
+//!
+//! 1. recovery never panics and lands on the longest durable prefix of the
+//!    appended batch stream (always a batch boundary — a torn batch is
+//!    dropped as a unit, never partially applied), and
+//! 2. the recovered state replays bit-identical to a reference append of
+//!    that same prefix (drained `VerdictView` fingerprints).
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
-use corroborate_serve::{evaluate_batch, DeltaDataset, EpochConfig, EpochEngine, Wal, WalConfig};
+use corroborate_obs::NOOP;
+use corroborate_serve::{
+    evaluate_batch, DeltaDataset, EpochConfig, EpochEngine, FaultFs, Mutation, Wal, WalConfig,
+    WalFs,
+};
 use corroborate_testkit::sim::{generate, standard_archetypes};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -13,6 +28,157 @@ fn tempdir(name: &str) -> PathBuf {
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
     dir
+}
+
+/// Drains a recovered dataset through the epoch engine and fingerprints
+/// the published view — the bit-identical equivalence oracle.
+fn drained_fingerprint(dataset: DeltaDataset) -> u64 {
+    let mut engine = EpochEngine::from_recovered(dataset, EpochConfig::default()).unwrap();
+    engine.drain().unwrap().0.fingerprint()
+}
+
+/// Reference fingerprint of the first `n` mutations applied directly.
+fn prefix_fingerprint(mutations: &[Mutation], n: usize) -> u64 {
+    let mut ds = DeltaDataset::new();
+    ds.apply_all(&mutations[..n]).unwrap();
+    drained_fingerprint(ds)
+}
+
+/// Name of the highest-numbered segment file in `dir` on `fs`.
+fn last_segment(fs: &FaultFs, dir: &Path) -> PathBuf {
+    let names = fs.list(dir).unwrap();
+    let last = names
+        .iter()
+        .rfind(|n| n.starts_with("wal.") && n.ends_with(".seg"))
+        .expect("at least one segment")
+        .clone();
+    dir.join(last)
+}
+
+/// The five crash-matrix injection shapes from the issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Shape {
+    /// Tail truncated inside the last frame's 28-byte header.
+    TornHeader,
+    /// Tail truncated inside the last frame's mutation payload.
+    TornPayload,
+    /// Tail truncated inside the last frame's CRC field.
+    TornCrc,
+    /// Manifest chopped in half — recovery must fall back to the scan.
+    TruncatedManifest,
+    /// A seeded fsync failure that drops the unsynced suffix (fsync mode).
+    FsyncFailure,
+}
+
+const SHAPES: [Shape; 5] = [
+    Shape::TornHeader,
+    Shape::TornPayload,
+    Shape::TornCrc,
+    Shape::TruncatedManifest,
+    Shape::FsyncFailure,
+];
+
+/// Runs one (archetype, shape) cell: append the stream in group-commit
+/// chunks over FaultFs with tiny segments, inject the fault, recover, and
+/// check both matrix invariants. Returns (replayed, durable-boundary set).
+fn run_cell(mutations: &[Mutation], shape: Shape) -> (usize, Vec<usize>) {
+    const CHUNK: usize = 7;
+    let fs = FaultFs::new();
+    let dir = PathBuf::from("/wal");
+    let config = WalConfig {
+        segment_bytes: 256,
+        fsync: shape == Shape::FsyncFailure,
+        ..WalConfig::default()
+    };
+
+    // Cumulative mutation counts at every successfully-acked batch
+    // boundary — the only legal recovery points.
+    let mut acks: Vec<usize> = vec![0];
+    let mut last_frame_bytes = 0u64;
+    {
+        let (mut wal, _) = Wal::open_with(&dir, config, Arc::new(fs.clone()), &NOOP).unwrap();
+        if shape == Shape::FsyncFailure {
+            // One-shot failure on the 5th fsync, dropping unsynced bytes —
+            // the torn-cache shape real disks produce on power loss.
+            fs.fail_fsync(5, true);
+        }
+        for chunk in mutations.chunks(CHUNK) {
+            match wal.append_batch(chunk) {
+                Ok(receipt) => {
+                    acks.push(acks.last().unwrap() + chunk.len());
+                    last_frame_bytes = receipt.bytes;
+                }
+                Err(_) => break, // fsync failure surfaced: stop appending
+            }
+        }
+    }
+
+    // Inject the crash artefact.
+    match shape {
+        Shape::TornHeader | Shape::TornPayload | Shape::TornCrc => {
+            let seg = last_segment(&fs, &dir);
+            let len = fs.len(&seg).unwrap() as u64;
+            let frame_start = len - last_frame_bytes;
+            let cut = match shape {
+                Shape::TornHeader => frame_start + 10, // inside first_seq
+                Shape::TornCrc => frame_start + 24,    // inside the crc field
+                _ => frame_start + 29,                 // one byte into the payload
+            };
+            fs.truncate_raw(&seg, cut as usize);
+        }
+        Shape::TruncatedManifest => {
+            let manifest = dir.join("wal.manifest.json");
+            let half = fs.len(&manifest).unwrap() / 2;
+            fs.truncate_raw(&manifest, half);
+        }
+        Shape::FsyncFailure => {} // injected live, above
+    }
+
+    fs.reset_faults();
+    let (_, recovery) = Wal::open_with(&dir, config, Arc::new(fs), &NOOP)
+        .expect("every matrix cell must recover without error");
+    let replayed = recovery.replayed as usize;
+
+    // Invariant 1: the longest durable prefix, always at a batch boundary.
+    assert!(
+        acks.contains(&replayed),
+        "{shape:?}: recovered {replayed} mutations, not a batch boundary of {acks:?}"
+    );
+    match shape {
+        Shape::TornHeader | Shape::TornPayload | Shape::TornCrc => {
+            let total = *acks.last().unwrap();
+            let last_chunk = total - acks[acks.len() - 2];
+            assert!(recovery.dropped_torn_tail, "{shape:?}: torn tail must be detected");
+            assert_eq!(replayed, total - last_chunk, "{shape:?}: exactly the torn batch is lost");
+        }
+        Shape::TruncatedManifest => {
+            assert_eq!(replayed, *acks.last().unwrap(), "{shape:?}: scan recovers everything");
+        }
+        Shape::FsyncFailure => {} // prefix length depends on sync timing
+    }
+
+    // Invariant 2: bit-identical to a reference append of that prefix.
+    assert_eq!(
+        drained_fingerprint(recovery.dataset),
+        prefix_fingerprint(mutations, replayed),
+        "{shape:?}: recovered state diverges from the reference prefix"
+    );
+    (replayed, acks)
+}
+
+#[test]
+fn crash_matrix_recovers_the_longest_durable_prefix_on_all_archetypes() {
+    for (name, archetype) in &standard_archetypes(90) {
+        let world = generate(archetype);
+        let mutations = DeltaDataset::mutations_of(&world.dataset);
+        for shape in SHAPES {
+            let (replayed, acks) = run_cell(&mutations, shape);
+            assert!(
+                replayed <= *acks.last().unwrap(),
+                "{name}/{shape:?}: replayed more than was appended"
+            );
+        }
+    }
 }
 
 #[test]
@@ -42,26 +208,57 @@ fn crash_replay_then_drain_matches_batch() {
 }
 
 #[test]
+fn segmented_replay_matches_single_segment_replay() {
+    // The same stream through tiny segments and through one big segment
+    // recovers to identical state — segmentation is invisible to replay.
+    let (_, archetype) = &standard_archetypes(91)[1];
+    let world = generate(archetype);
+    let mutations = DeltaDataset::mutations_of(&world.dataset);
+    let one_dir = tempdir("seg-one");
+    let many_dir = tempdir("seg-many");
+    let many_config = WalConfig { segment_bytes: 512, ..WalConfig::default() };
+
+    {
+        let (mut one, _) = Wal::open(&one_dir, WalConfig::default()).unwrap();
+        let (mut many, _) = Wal::open(&many_dir, many_config).unwrap();
+        for chunk in mutations.chunks(11) {
+            one.append_batch(chunk).unwrap();
+            many.append_batch(chunk).unwrap();
+        }
+    }
+
+    let (_, from_one) = Wal::open(&one_dir, WalConfig::default()).unwrap();
+    let (_, from_many) = Wal::open(&many_dir, many_config).unwrap();
+    assert_eq!(from_one.segments, 1);
+    assert!(from_many.segments > 2, "only {} segments", from_many.segments);
+    assert_eq!(from_one.replayed, from_many.replayed);
+    assert_eq!(from_one.next_seq, from_many.next_seq);
+    assert_eq!(drained_fingerprint(from_one.dataset), drained_fingerprint(from_many.dataset));
+}
+
+#[test]
 fn truncated_tail_recovers_the_prefix() {
     let (_, archetype) = &standard_archetypes(51)[1];
     let world = generate(archetype);
     let mutations = DeltaDataset::mutations_of(&world.dataset);
     let dir = tempdir("torn-prefix");
 
-    {
+    // Append everything; the last record goes through append_batch so we
+    // learn its framed size.
+    let last_frame = {
         let (mut wal, _) = Wal::open(&dir, WalConfig::default()).unwrap();
-        for m in &mutations {
+        for m in &mutations[..mutations.len() - 1] {
             wal.append(m).unwrap();
         }
-    }
-    // Crash mid-append: chop an arbitrary number of bytes off the tail,
-    // never more than the last record.
-    let path = dir.join("wal.log");
-    let text = std::fs::read_to_string(&path).unwrap();
-    let last_line_len = text.trim_end_matches('\n').rsplit('\n').next().unwrap().len();
+        wal.append_batch(&mutations[mutations.len() - 1..]).unwrap().bytes
+    };
+    // Crash mid-append: chop 1..frame_len bytes off the single segment, so
+    // the cut always lands strictly inside the final record.
+    let path = dir.join("wal.000001.seg");
+    let bytes = std::fs::read(&path).unwrap();
     let mut rng = StdRng::seed_from_u64(5);
-    let cut = rng.gen_range(1usize..=last_line_len);
-    std::fs::write(&path, &text[..text.len() - cut]).unwrap();
+    let cut = rng.gen_range(1u64..last_frame) as usize;
+    std::fs::write(&path, &bytes[..bytes.len() - cut]).unwrap();
 
     let (_, recovery) = Wal::open(&dir, WalConfig::default()).unwrap();
     assert!(recovery.dropped_torn_tail);
@@ -89,15 +286,26 @@ fn replay_then_snapshot_equivalence() {
     {
         let (mut raw, _) = Wal::open(&raw_dir, WalConfig::default()).unwrap();
         // Compact aggressively: every 32 records.
-        let config = WalConfig { compact_after_records: 32, fsync: false };
+        let config = WalConfig { compact_after_records: 32, ..WalConfig::default() };
         let (mut compacting, _) = Wal::open(&compact_dir, config).unwrap();
         let mut live = DeltaDataset::new();
+        let mut landed = false;
         for m in &mutations {
             raw.append(m).unwrap();
             compacting.append(m).unwrap();
             live.apply(m).unwrap();
-            compacting.maybe_compact(&live).unwrap();
+            landed |= compacting.maybe_compact(&live).unwrap();
         }
+        // Background compaction: wait for at least one snapshot to land so
+        // the reopened replay is observably shorter.
+        for _ in 0..500 {
+            if landed {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            landed |= compacting.maybe_compact(&live).unwrap();
+        }
+        assert!(landed, "no snapshot landed");
     }
     assert!(compact_dir.join("snapshot.json").exists());
 
@@ -107,12 +315,7 @@ fn replay_then_snapshot_equivalence() {
     assert_eq!(from_raw.next_seq, from_compact.next_seq);
 
     // Both recoveries drain to the same verdicts.
-    let config = EpochConfig::default();
-    let (raw_view, _) =
-        EpochEngine::from_recovered(from_raw.dataset, config).unwrap().drain().unwrap();
-    let (compact_view, _) =
-        EpochEngine::from_recovered(from_compact.dataset, config).unwrap().drain().unwrap();
-    assert_eq!(raw_view.fingerprint(), compact_view.fingerprint());
+    assert_eq!(drained_fingerprint(from_raw.dataset), drained_fingerprint(from_compact.dataset));
 }
 
 #[test]
@@ -130,9 +333,7 @@ fn interrupted_recover_append_cycles_preserve_everything() {
         let (mut wal, recovery) = Wal::open(&dir, WalConfig::default()).unwrap();
         assert_eq!(recovery.next_seq, written as u64 + 1, "no loss, no duplication");
         let n = rng.gen_range(1usize..=100).min(mutations.len() - written);
-        for m in &mutations[written..written + n] {
-            wal.append(m).unwrap();
-        }
+        wal.append_batch(&mutations[written..written + n]).unwrap();
         written += n;
     }
 
