@@ -23,6 +23,9 @@ pub const SCOPE: &[&str] = &[
     "crates/obs/src/json.rs",
     "crates/serve/src/epoch.rs",
     "crates/serve/src/delta.rs",
+    "crates/serve/src/replica.rs",
+    "crates/serve/src/ship.rs",
+    "crates/serve/src/cluster.rs",
 ];
 
 /// Whether `rel_path` falls under the deterministic scope.
@@ -133,6 +136,22 @@ mod tests {
         assert!(!d[0].in_test);
         assert_eq!(d[1].rule, "D003");
         assert!(d[1].in_test);
+    }
+
+    #[test]
+    fn replication_family_is_in_the_deterministic_scope() {
+        // Replica views are fingerprint-compared against the primary, so
+        // the whole replication family is clock- and hash-order-free.
+        for path in [
+            "crates/serve/src/replica.rs",
+            "crates/serve/src/ship.rs",
+            "crates/serve/src/cluster.rs",
+        ] {
+            assert!(in_scope(path), "{path} must be deterministic");
+            let d = diags_for(path, "fn f() { let t = Instant::now(); }");
+            assert_eq!(d.len(), 1, "{path}");
+            assert_eq!(d[0].rule, "D002");
+        }
     }
 
     #[test]

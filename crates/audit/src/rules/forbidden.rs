@@ -18,10 +18,17 @@ use crate::workspace::{SourceFile, Workspace};
 /// allowlist manifest, not hardcoded here).
 pub const HOT_SCOPE: &str = "crates/serve/src/";
 
-/// WAL framing scope for the arithmetic rule: the log itself plus the
+/// WAL framing scope for the arithmetic rule: the log itself, the
 /// pluggable filesystem layer (`walfs.rs`), whose offsets and fault
-/// budgets feed the same framing math.
-pub const WAL_SCOPE: &str = "crates/serve/src/wal";
+/// budgets feed the same framing math, and the replication family, whose
+/// shipped-frame offsets, sequence windows, and lag arithmetic consume
+/// bytes and seqs read off the wire.
+pub const WAL_SCOPE: &[&str] = &[
+    "crates/serve/src/wal",
+    "crates/serve/src/replica.rs",
+    "crates/serve/src/ship.rs",
+    "crates/serve/src/cluster.rs",
+];
 
 /// Idents that panic when called as `.name(...)`.
 const PANICKING_METHODS: &[&str] = &["unwrap", "expect"];
@@ -34,7 +41,7 @@ pub(crate) fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
         if file.rel_path.starts_with(HOT_SCOPE) {
             check_panic_api(file, out);
         }
-        if file.rel_path.starts_with(WAL_SCOPE) {
+        if WAL_SCOPE.iter().any(|p| file.rel_path.starts_with(p)) {
             check_arithmetic(file, out);
         }
     }
@@ -87,17 +94,24 @@ fn starts_operand(tok: &crate::lexer::Token) -> bool {
 }
 
 /// Whether the `+` at `i` joins trait bounds (`T: Send + Sync`,
-/// `dyn Error + Send`) rather than arithmetic operands: walking left over
-/// path-ish tokens (idents, `::`, `+`, lifetimes) lands on `:`, `dyn`, or
-/// `impl`. Struct-literal field initialisers (`Foo { n: a + b }`) would
-/// also land on `:` and slip through, but WAL framing maths never sits
-/// bare inside a literal — the operands are computed first.
+/// `dyn Error + Send`, `dyn Fn() -> u64 + Send`) rather than arithmetic
+/// operands: walking left over path-ish tokens (idents, `::`, `+`,
+/// lifetimes, and the `(`/`)`/`->` of `Fn`-trait sugar) lands on `:`,
+/// `dyn`, or `impl`. Struct-literal field initialisers (`Foo { n: a + b }`)
+/// would also land on `:` and slip through, but WAL framing maths never
+/// sits bare inside a literal — the operands are computed first. Any other
+/// operator (`=`, `-`, `,`, `;`, …) ends the walk as arithmetic.
 fn is_bound_plus(toks: &[crate::lexer::Token], i: usize) -> bool {
     for t in toks[..i].iter().rev() {
         match t.kind {
             TokenKind::Ident if t.text == "dyn" || t.text == "impl" => return true,
             TokenKind::Ident | TokenKind::Lifetime => {}
-            TokenKind::Punct if t.is_punct("+") || t.is_punct("::") => {}
+            TokenKind::Punct
+                if t.is_punct("+")
+                    || t.is_punct("::")
+                    || t.is_punct("(")
+                    || t.is_punct(")")
+                    || t.is_punct("->") => {}
             TokenKind::Punct if t.is_punct(":") => return true,
             _ => return false,
         }
@@ -201,11 +215,32 @@ mod tests {
     fn trait_bound_plus_is_not_arithmetic() {
         let src = "pub trait F: Send + Sync + Debug {}\n\
                    fn g(x: Box<dyn std::fmt::Debug + Send>) {}\n\
-                   fn h<T: Clone + Default>(t: T) {}";
+                   fn h<T: Clone + Default>(t: T) {}\n\
+                   pub type Clock = Box<dyn Fn() -> u64 + Send + Sync>;";
         assert!(diags_for("crates/serve/src/walfs.rs", src).is_empty());
         // Arithmetic after `=` still fires even with a path operand.
         let d = diags_for("crates/serve/src/wal.rs", "fn f() { let x = a::N + 1; }");
         assert_eq!(d.len(), 1);
+        // ...including when the operand is a call result.
+        let d = diags_for("crates/serve/src/wal.rs", "fn f() { let x = g(1) + 2; }");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn replication_family_is_inside_both_scopes() {
+        let src = "fn f(a: u64) -> u64 { let b = a + 1; b }";
+        for path in [
+            "crates/serve/src/replica.rs",
+            "crates/serve/src/ship.rs",
+            "crates/serve/src/cluster.rs",
+        ] {
+            let d = diags_for(path, src);
+            assert_eq!(d.len(), 1, "{path} must be in the arithmetic scope");
+            assert_eq!(d[0].rule, "F002");
+            let d = diags_for(path, "fn f() { x.unwrap(); }");
+            assert_eq!(d.len(), 1, "{path} must be in the panic scope");
+            assert_eq!(d[0].rule, "F001");
+        }
     }
 
     #[test]

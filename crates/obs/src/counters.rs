@@ -76,13 +76,25 @@ pub enum Counter {
     SegmentsReplayed,
     /// Snapshot compactions written by the write-ahead log.
     SnapshotsWritten,
+    /// Whole sealed WAL segments served to replicas over HTTP.
+    ReplSegmentsShipped,
+    /// Live group-commit frames served to replicas from the tail buffer.
+    ReplFramesShipped,
+    /// Framed WAL bytes served to replicas (segments + tail frames).
+    ReplBytesShipped,
+    /// Shipped batch frames a replica decoded, journalled, and applied.
+    ReplBatchesApplied,
+    /// Individual mutations a replica applied from shipped frames.
+    ReplMutationsApplied,
+    /// Replica heartbeats accepted by the primary's control plane.
+    ReplHeartbeats,
     /// Trace events lost to ring-buffer wrap-around (bounded-loss tracing).
     TraceDropped,
 }
 
 impl Counter {
     /// All counters, in report order.
-    pub const ALL: [Counter; 32] = [
+    pub const ALL: [Counter; 38] = [
         Counter::Rounds,
         Counter::Iterations,
         Counter::FactsEvaluated,
@@ -114,6 +126,12 @@ impl Counter {
         Counter::WalReplayed,
         Counter::SegmentsReplayed,
         Counter::SnapshotsWritten,
+        Counter::ReplSegmentsShipped,
+        Counter::ReplFramesShipped,
+        Counter::ReplBytesShipped,
+        Counter::ReplBatchesApplied,
+        Counter::ReplMutationsApplied,
+        Counter::ReplHeartbeats,
         Counter::TraceDropped,
     ];
 
@@ -151,6 +169,12 @@ impl Counter {
             Counter::WalReplayed => "wal_replayed",
             Counter::SegmentsReplayed => "segments_replayed",
             Counter::SnapshotsWritten => "snapshots_written",
+            Counter::ReplSegmentsShipped => "repl_segments_shipped",
+            Counter::ReplFramesShipped => "repl_frames_shipped",
+            Counter::ReplBytesShipped => "repl_bytes_shipped",
+            Counter::ReplBatchesApplied => "repl_batches_applied",
+            Counter::ReplMutationsApplied => "repl_mutations_applied",
+            Counter::ReplHeartbeats => "repl_heartbeats",
             Counter::TraceDropped => "trace_dropped",
         }
     }
@@ -184,9 +208,17 @@ impl MaxGauge {
 }
 
 /// Fixed-size registry of relaxed atomic counters, indexed by [`Counter`].
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct CounterRegistry {
     slots: [AtomicU64; Counter::ALL.len()],
+}
+
+// `[AtomicU64; N]: Default` is only derived up to 32 elements; the catalog
+// outgrew that, so spell it out.
+impl Default for CounterRegistry {
+    fn default() -> Self {
+        Self { slots: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
 }
 
 impl CounterRegistry {

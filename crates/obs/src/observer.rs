@@ -53,11 +53,17 @@ pub enum Span {
     ViewPublish,
     /// One drain of the bounded ingest queue into an epoch batch.
     QueueDrain,
+    /// One sealed WAL segment served to a replica over HTTP.
+    SegmentShip,
+    /// One tail request answered from the primary's live frame buffer.
+    TailShip,
+    /// One shipped frame batch decoded, journalled, and applied by a replica.
+    ReplicaApply,
 }
 
 impl Span {
     /// All spans, in report order.
-    pub const ALL: [Span; 16] = [
+    pub const ALL: [Span; 19] = [
         Span::Select,
         Span::Evaluate,
         Span::CacheRefresh,
@@ -74,6 +80,9 @@ impl Span {
         Span::Rescore,
         Span::ViewPublish,
         Span::QueueDrain,
+        Span::SegmentShip,
+        Span::TailShip,
+        Span::ReplicaApply,
     ];
 
     /// Stable snake_case key used in JSON reports.
@@ -95,6 +104,9 @@ impl Span {
             Span::Rescore => "rescore",
             Span::ViewPublish => "view_publish",
             Span::QueueDrain => "queue_drain",
+            Span::SegmentShip => "segment_ship",
+            Span::TailShip => "tail_ship",
+            Span::ReplicaApply => "replica_apply",
         }
     }
 }

@@ -1,0 +1,515 @@
+//! `corroborate_loadgen` — replication load generator and consistency
+//! gate.
+//!
+//! Boots a durable primary plus N read replicas in-process, drives
+//! sustained mixed read/write traffic over real TCP from a configurable
+//! number of keep-alive connections, and then proves the replication
+//! invariant the hard way: after the primary drains, every replica must
+//! publish a `VerdictView` whose fingerprint is bit-identical to the
+//! primary's. Any mismatch (or hang past the watchdog) exits nonzero, so
+//! CI's `replica-smoke` job is a single invocation.
+//!
+//! Reads are spread round-robin across the primary and all replicas (the
+//! read-scale-out path); writes always go to the primary and honour 429
+//! backpressure via the `Retry-After` header. Latencies land in
+//! `corroborate-obs` histograms, and the run report (`--report`) records
+//! read/write p50/p99, the replication-lag trajectory sampled from
+//! `GET /cluster`, and the final fingerprint comparison — the committed
+//! `BENCH_replica.json` is one of these reports.
+//!
+//! ```sh
+//! corroborate_loadgen [--quick] [--report out.json] [--mutations N]
+//!                     [--connections N] [--replicas N]
+//!                     [--read-fraction F] [--duration-secs S]
+//! ```
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use corroborate_obs::{Json, LatencyHistogram};
+use corroborate_serve::replica::{self, ReplicaConfig};
+use corroborate_serve::{start, ServerConfig, WalConfig};
+
+/// Run parameters, resolved from the CLI.
+#[derive(Debug, Clone)]
+struct LoadConfig {
+    mutations: u64,
+    connections: usize,
+    replicas: usize,
+    read_fraction: f64,
+    duration: Duration,
+    quick: bool,
+    report: Option<String>,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self {
+            mutations: 50_000,
+            connections: 4,
+            replicas: 1,
+            read_fraction: 0.9,
+            duration: Duration::from_secs(120),
+            quick: false,
+            report: None,
+        }
+    }
+}
+
+/// Votes per ingest request.
+const BATCH: usize = 10;
+
+/// Distinct source/fact name cardinalities the generator cycles through.
+const SOURCES: u64 = 64;
+const FACTS: u64 = 256;
+
+fn tempdir(name: &str) -> Result<PathBuf, String> {
+    let dir =
+        std::env::temp_dir().join(format!("corroborate-loadgen-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("tempdir: {e}"))?;
+    Ok(dir)
+}
+
+/// Deterministic 64-bit LCG (Knuth constants); no external RNG dep.
+fn lcg(state: &mut u64) -> u64 {
+    *state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+    *state >> 11
+}
+
+/// One keep-alive client connection with per-request latency capture.
+/// Servers drop idle keep-alive connections at their read timeout, so a
+/// failed exchange reconnects once before giving up.
+struct Conn {
+    addr: SocketAddr,
+    stream: Option<(BufReader<TcpStream>, TcpStream)>,
+}
+
+impl Conn {
+    fn connect(addr: SocketAddr) -> Result<Self, String> {
+        let mut conn = Self { addr, stream: None };
+        conn.reconnect()?;
+        Ok(conn)
+    }
+
+    fn reconnect(&mut self) -> Result<(), String> {
+        let addr = self.addr;
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .map_err(|e| format!("timeout: {e}"))?;
+        let _ = stream.set_nodelay(true);
+        let reader = BufReader::new(stream.try_clone().map_err(|e| format!("clone: {e}"))?);
+        self.stream = Some((reader, stream));
+        Ok(())
+    }
+
+    /// One request/response; returns `(status, retry_after_secs, body)`.
+    /// Reconnects and retries once if the cached connection went stale.
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> Result<(u16, Option<u64>, String), String> {
+        if self.stream.is_none() {
+            self.reconnect()?;
+        }
+        match self.exchange(method, path, body) {
+            Ok(response) => Ok(response),
+            Err(_) => {
+                self.reconnect()?;
+                self.exchange(method, path, body).inspect_err(|_| self.stream = None)
+            }
+        }
+    }
+
+    fn exchange(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> Result<(u16, Option<u64>, String), String> {
+        let Some((reader, writer)) = self.stream.as_mut() else {
+            return Err("not connected".to_string());
+        };
+        write!(
+            writer,
+            "{method} {path} HTTP/1.1\r\nHost: loadgen\r\nConnection: keep-alive\r\n\
+             Content-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .map_err(|e| format!("write: {e}"))?;
+        writer.flush().map_err(|e| format!("flush: {e}"))?;
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).map_err(|e| format!("read status: {e}"))?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+        let mut content_length = 0usize;
+        let mut retry_after = None;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).map_err(|e| format!("read header: {e}"))?;
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            let lower = line.to_ascii_lowercase();
+            if let Some(v) = lower.strip_prefix("content-length:") {
+                content_length = v.trim().parse().map_err(|e| format!("content-length: {e}"))?;
+            } else if let Some(v) = lower.strip_prefix("retry-after:") {
+                retry_after = v.trim().parse().ok();
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).map_err(|e| format!("read body: {e}"))?;
+        Ok((status, retry_after, String::from_utf8_lossy(&body).into_owned()))
+    }
+}
+
+/// Shared between the driver and the worker threads.
+struct Stats {
+    reads: LatencyHistogram,
+    writes: LatencyHistogram,
+    sheds: AtomicU64,
+    read_errors: AtomicU64,
+    failed: AtomicBool,
+}
+
+/// One writer/reader connection's traffic loop: a deterministic mix of
+/// ingest batches against the primary and fact reads spread across all
+/// serving addresses.
+#[allow(clippy::too_many_arguments)]
+fn traffic_loop(
+    id: usize,
+    budget: u64,
+    primary: SocketAddr,
+    read_targets: &[SocketAddr],
+    read_fraction: f64,
+    deadline: Instant,
+    stats: &Stats,
+) -> Result<(), String> {
+    let mut write_conn = Conn::connect(primary)?;
+    let mut read_conns: Vec<Conn> = Vec::new();
+    for &addr in read_targets {
+        read_conns.push(Conn::connect(addr)?);
+    }
+    let mut rng = 0x9e37_79b9_7f4a_7c15u64.wrapping_add(id as u64);
+    let mut written = 0u64;
+    let mut seq = 0u64;
+    let mut target = 0usize;
+    while written < budget {
+        if Instant::now() > deadline {
+            return Err("watchdog deadline hit mid-traffic".to_string());
+        }
+        let roll = (lcg(&mut rng) % 1_000) as f64 / 1_000.0;
+        if roll < read_fraction {
+            let fact = lcg(&mut rng) % FACTS;
+            target = (target + 1) % read_conns.len();
+            let t0 = Instant::now();
+            let (status, _, _) =
+                read_conns[target].request("GET", &format!("/v1/facts/f{fact}"), "")?;
+            stats.reads.record(t0.elapsed().as_nanos() as u64);
+            // 404 before the fact's first vote lands is a valid read.
+            if status != 200 && status != 404 {
+                stats.read_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        } else {
+            let batch = BATCH.min((budget - written) as usize);
+            let votes: Vec<String> = (0..batch)
+                .map(|_| {
+                    seq += 1;
+                    let source = lcg(&mut rng) % SOURCES;
+                    let fact = lcg(&mut rng) % FACTS;
+                    let vote = if lcg(&mut rng).is_multiple_of(4) { "F" } else { "T" };
+                    format!(r#"{{"source":"w{id}s{source}","fact":"f{fact}","vote":"{vote}"}}"#)
+                })
+                .collect();
+            let body = format!(r#"{{"votes":[{}]}}"#, votes.join(","));
+            loop {
+                let t0 = Instant::now();
+                let (status, retry_after, text) = write_conn.request("POST", "/v1/votes", &body)?;
+                stats.writes.record(t0.elapsed().as_nanos() as u64);
+                match status {
+                    202 => break,
+                    429 => {
+                        stats.sheds.fetch_add(1, Ordering::Relaxed);
+                        let secs = retry_after.unwrap_or(1);
+                        // Honour Retry-After in spirit; full seconds would
+                        // stall a saturation benchmark.
+                        std::thread::sleep(Duration::from_millis((secs * 20).min(100)));
+                        if Instant::now() > deadline {
+                            return Err("watchdog deadline hit while shedding".to_string());
+                        }
+                    }
+                    other => return Err(format!("ingest status {other}: {text}")),
+                }
+            }
+            written += batch as u64;
+        }
+    }
+    Ok(())
+}
+
+/// Fetches `GET /cluster` and extracts `(durable_seq, max replica lag)`.
+fn sample_cluster(addr: SocketAddr) -> Result<(u64, f64), String> {
+    let mut conn = Conn::connect(addr)?;
+    let (status, _, body) = conn.request("GET", "/cluster", "")?;
+    if status != 200 {
+        return Err(format!("/cluster status {status}"));
+    }
+    let root = Json::parse(&body).map_err(|e| format!("/cluster not JSON: {e}"))?;
+    let durable = root
+        .get("primary")
+        .and_then(|p| p.get("durable_seq"))
+        .and_then(Json::as_i64)
+        .and_then(|v| u64::try_from(v).ok())
+        .ok_or("no primary.durable_seq")?;
+    let lag = root
+        .get("replicas")
+        .and_then(Json::as_array)
+        .map(|rs| {
+            rs.iter()
+                .filter_map(|r| r.get("lag_seconds").and_then(Json::as_f64))
+                .fold(0.0, f64::max)
+        })
+        .unwrap_or(0.0);
+    Ok((durable, lag))
+}
+
+fn run(config: &LoadConfig) -> Result<Json, String> {
+    let deadline = Instant::now() + config.duration;
+    let started = Instant::now();
+
+    let data_dir = tempdir("primary")?;
+    let primary = start(ServerConfig {
+        workers: 4,
+        epoch_linger: Duration::from_millis(2),
+        read_timeout: Duration::from_millis(500),
+        data_dir: Some(data_dir.clone()),
+        wal: WalConfig::default(),
+        ..Default::default()
+    })
+    .map_err(|e| format!("start primary: {e}"))?;
+    let primary_addr = primary.addr();
+    println!("loadgen: primary on {primary_addr}");
+
+    let mut replicas = Vec::new();
+    for i in 0..config.replicas {
+        let handle = replica::start(ReplicaConfig {
+            primary: primary_addr.to_string(),
+            id: format!("replica-{i}"),
+            poll_interval: Duration::from_millis(2),
+            ..ReplicaConfig::default()
+        })
+        .map_err(|e| format!("start replica-{i}: {e}"))?;
+        println!("loadgen: replica-{i} on {}", handle.addr());
+        replicas.push(handle);
+    }
+
+    let mut read_targets = vec![primary_addr];
+    read_targets.extend(replicas.iter().map(|r| r.addr()));
+
+    let stats = Arc::new(Stats {
+        reads: LatencyHistogram::new(),
+        writes: LatencyHistogram::new(),
+        sheds: AtomicU64::new(0),
+        read_errors: AtomicU64::new(0),
+        failed: AtomicBool::new(false),
+    });
+
+    // Traffic: split the mutation budget across the connections.
+    let per = config.mutations / config.connections as u64;
+    let mut remainder = config.mutations % config.connections as u64;
+    let mut workers = Vec::new();
+    for id in 0..config.connections {
+        let mut budget = per;
+        if remainder > 0 {
+            budget += 1;
+            remainder -= 1;
+        }
+        let stats = Arc::clone(&stats);
+        let read_targets = read_targets.clone();
+        let read_fraction = config.read_fraction;
+        let worker = std::thread::Builder::new()
+            .name(format!("loadgen-{id}"))
+            .spawn(move || {
+                if let Err(message) = traffic_loop(
+                    id,
+                    budget,
+                    primary_addr,
+                    &read_targets,
+                    read_fraction,
+                    deadline,
+                    &stats,
+                ) {
+                    eprintln!("loadgen: worker {id}: {message}");
+                    stats.failed.store(true, Ordering::Release);
+                }
+            })
+            .map_err(|e| format!("spawn: {e}"))?;
+        workers.push(worker);
+    }
+
+    // Sample the control plane while traffic runs.
+    let mut lag_samples: Vec<f64> = Vec::new();
+    let mut max_lag = 0.0f64;
+    while workers.iter().any(|w| !w.is_finished()) {
+        if let Ok((_, lag)) = sample_cluster(primary_addr) {
+            max_lag = max_lag.max(lag);
+            lag_samples.push(lag);
+        }
+        if Instant::now() > deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    for worker in workers {
+        let _ = worker.join();
+    }
+    if stats.failed.load(Ordering::Acquire) {
+        return Err("traffic worker failed".to_string());
+    }
+    let traffic_secs = started.elapsed().as_secs_f64();
+
+    // Let every replica reach the primary's durable head.
+    let (durable_seq, _) = sample_cluster(primary_addr)?;
+    loop {
+        let caught = replicas.iter().all(|r| r.applied_seq() >= durable_seq && r.caught_up());
+        if caught {
+            break;
+        }
+        if Instant::now() > deadline {
+            let seqs: Vec<u64> = replicas.iter().map(|r| r.applied_seq()).collect();
+            return Err(format!(
+                "replicas never caught up: durable {durable_seq}, applied {seqs:?}"
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let (_, final_lag) = sample_cluster(primary_addr).unwrap_or((durable_seq, 0.0));
+
+    // Drain the primary, then the replicas; compare fingerprints.
+    let primary_view = primary.shutdown().map_err(|e| format!("primary drain: {e}"))?;
+    let primary_fp = primary_view.fingerprint();
+    let mut replica_docs = Vec::new();
+    let mut all_equal = true;
+    for (i, handle) in replicas.into_iter().enumerate() {
+        let applied = handle.applied_seq();
+        let resyncs = handle.resyncs();
+        let view = handle.shutdown().map_err(|e| format!("replica-{i} drain: {e}"))?;
+        let equal = view.fingerprint() == primary_fp;
+        all_equal &= equal;
+        println!(
+            "loadgen: replica-{i} applied {applied} fingerprint {:016x} ({})",
+            view.fingerprint(),
+            if equal { "MATCH" } else { "MISMATCH" }
+        );
+        let mut doc = Json::object();
+        doc.insert("id", format!("replica-{i}"));
+        doc.insert("applied_seq", applied);
+        doc.insert("fingerprint", format!("{:016x}", view.fingerprint()));
+        doc.insert("resyncs", resyncs);
+        doc.insert("fingerprint_matches_primary", equal);
+        replica_docs.push(doc);
+    }
+    let _ = std::fs::remove_dir_all(&data_dir);
+    if !all_equal {
+        return Err(format!(
+            "fingerprint mismatch: primary {primary_fp:016x} differs from at least one replica"
+        ));
+    }
+    if stats.reads.count() == 0 {
+        return Err("no reads were recorded".to_string());
+    }
+
+    let mut doc = Json::object();
+    doc.insert("report", "corroborate_replica_loadgen");
+    doc.insert("schema_version", 1u64);
+    let mut cfg = Json::object();
+    cfg.insert("mutations", config.mutations);
+    cfg.insert("connections", config.connections);
+    cfg.insert("replicas", config.replicas);
+    cfg.insert("read_fraction", config.read_fraction);
+    cfg.insert("quick", config.quick);
+    doc.insert("config", cfg);
+    doc.insert("traffic_seconds", traffic_secs);
+    doc.insert("reads", stats.reads.to_json());
+    doc.insert("writes", stats.writes.to_json());
+    let mut repl = Json::object();
+    repl.insert("durable_seq", durable_seq);
+    repl.insert("max_lag_seconds_observed", max_lag);
+    repl.insert("final_lag_seconds", final_lag);
+    repl.insert("lag_samples", lag_samples.len() as u64);
+    repl.insert("sheds", stats.sheds.load(Ordering::Relaxed));
+    repl.insert("read_errors", stats.read_errors.load(Ordering::Relaxed));
+    doc.insert("replication", repl);
+    doc.insert("primary_fingerprint", format!("{primary_fp:016x}"));
+    doc.insert("replicas_final", Json::Arr(replica_docs));
+    doc.insert("fingerprints_equal", all_equal);
+    Ok(doc)
+}
+
+fn main() -> ExitCode {
+    let mut config = LoadConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value =
+            |name: &str| args.next().ok_or_else(|| format!("loadgen: {name} needs a value"));
+        let parsed = match flag.as_str() {
+            "--quick" => {
+                config.quick = true;
+                config.mutations = 10_000;
+                config.connections = 2;
+                Ok(())
+            }
+            "--report" => value("--report").map(|v| config.report = Some(v)),
+            "--mutations" => value("--mutations")
+                .and_then(|v| v.parse().map_err(|e| format!("--mutations: {e}")))
+                .map(|v| config.mutations = v),
+            "--connections" => value("--connections")
+                .and_then(|v| v.parse().map_err(|e| format!("--connections: {e}")))
+                .map(|v: usize| config.connections = v.max(1)),
+            "--replicas" => value("--replicas")
+                .and_then(|v| v.parse().map_err(|e| format!("--replicas: {e}")))
+                .map(|v| config.replicas = v),
+            "--read-fraction" => value("--read-fraction")
+                .and_then(|v| v.parse().map_err(|e| format!("--read-fraction: {e}")))
+                .map(|v: f64| config.read_fraction = v.clamp(0.0, 0.999)),
+            "--duration-secs" => value("--duration-secs")
+                .and_then(|v| v.parse().map_err(|e| format!("--duration-secs: {e}")))
+                .map(|v| config.duration = Duration::from_secs(v)),
+            other => Err(format!("loadgen: unknown flag {other}")),
+        };
+        if let Err(message) = parsed {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    }
+    match run(&config) {
+        Ok(doc) => {
+            let reads = doc.get("reads").and_then(|r| r.get("p99_nanos")).and_then(Json::as_i64);
+            println!("loadgen: PASS ({} mutations, read p99 {:?} ns)", config.mutations, reads);
+            if let Some(path) = &config.report {
+                if let Err(e) = std::fs::write(path, doc.to_json_pretty()) {
+                    eprintln!("loadgen: write report: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("loadgen: wrote {path}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("loadgen: FAILED - {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

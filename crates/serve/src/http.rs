@@ -20,10 +20,22 @@ pub struct Request {
     pub method: String,
     /// Percent-decoded path, query string stripped.
     pub path: String,
+    /// Raw query string after the first `?` (empty when absent); not
+    /// percent-decoded — use [`query_param`] to extract values.
+    pub query: String,
     /// Raw body bytes (empty without a `Content-Length`).
     pub body: Vec<u8>,
     /// Whether the client asked to keep the connection open.
     pub keep_alive: bool,
+}
+
+/// Extracts a `key=value` pair from a raw query string, percent-decoding
+/// the value. Returns the first match.
+pub fn query_param(query: &str, key: &str) -> Option<String> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == key).then(|| percent_decode(v))
+    })
 }
 
 /// Why a request could not be read.
@@ -163,8 +175,11 @@ pub fn read_request(reader: &mut impl BufRead, max_body: usize) -> Result<Reques
         }
     })?;
 
-    let path = target.split('?').next().unwrap_or(target);
-    Ok(Request { method, path: percent_decode(path), body, keep_alive })
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q.to_string()),
+        None => (target, String::new()),
+    };
+    Ok(Request { method, path: percent_decode(path), query, body, keep_alive })
 }
 
 fn reason(status: u16) -> &'static str {
@@ -175,6 +190,7 @@ fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        410 => "Gone",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
@@ -208,14 +224,136 @@ pub fn write_response_with(
     body: &str,
     keep_alive: bool,
 ) -> std::io::Result<()> {
+    write_response_headers(writer, status, content_type, &[], body.as_bytes(), keep_alive)
+}
+
+/// Writes one response with extra headers and a binary body — the general
+/// form behind the string writers. `extra` entries land verbatim between
+/// the fixed headers and the blank line (e.g. `("Retry-After", "1")`).
+///
+/// # Errors
+/// Socket-level failures.
+pub fn write_response_headers(
+    writer: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra: &[(&str, &str)],
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
     write!(
         writer,
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
         reason(status),
         body.len(),
     )?;
+    for (name, value) in extra {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    writer.write_all(b"\r\n")?;
+    writer.write_all(body)?;
     writer.flush()
+}
+
+// ---------------------------------------------------------------------------
+// Client side: the replica fetch loop and the load generator speak the same
+// HTTP/1.1 subset back at the server.
+
+/// One parsed client-side response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Headers with lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// First header with the given lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find_map(|(k, v)| (k == name).then_some(v.as_str()))
+    }
+}
+
+/// Writes one client request (path is sent verbatim — percent-encode
+/// beforehand if needed).
+///
+/// # Errors
+/// Socket-level failures.
+pub fn write_request(
+    writer: &mut impl Write,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    write!(
+        writer,
+        "{method} {path} HTTP/1.1\r\nHost: corroborate\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        body.len(),
+    )?;
+    writer.write_all(body)?;
+    writer.flush()
+}
+
+/// Reads one response from `reader`, enforcing `max_body` on the body.
+///
+/// # Errors
+/// [`HttpError::Closed`] on clean EOF before the status line, otherwise
+/// parse or I/O failures as described on [`HttpError`].
+pub fn read_response(reader: &mut impl BufRead, max_body: usize) -> Result<Response, HttpError> {
+    let mut budget = MAX_HEAD_BYTES;
+    let status_line = read_line(reader, &mut budget)?;
+    let mut parts = status_line.split_whitespace();
+    let status = match (parts.next(), parts.next()) {
+        (Some(version), Some(code)) if version.starts_with("HTTP/1.") => {
+            code.parse::<u16>().map_err(|_| {
+                HttpError::BadRequest(format!("malformed status line: {status_line:?}"))
+            })?
+        }
+        _ => return Err(HttpError::BadRequest(format!("malformed status line: {status_line:?}"))),
+    };
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let line = match read_line(reader, &mut budget) {
+            Ok(line) => line,
+            Err(HttpError::Closed) => {
+                return Err(HttpError::BadRequest("connection closed mid-headers".into()))
+            }
+            Err(e) => return Err(e),
+        };
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadRequest(format!("malformed header line: {line:?}")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name == "content-length" {
+            content_length = value
+                .parse()
+                .map_err(|_| HttpError::BadRequest(format!("bad content-length: {value:?}")))?;
+        }
+        headers.push((name, value));
+    }
+    if content_length > max_body {
+        return Err(HttpError::PayloadTooLarge { limit: max_body });
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            HttpError::BadRequest("body shorter than content-length".into())
+        } else {
+            HttpError::Io(e)
+        }
+    })?;
+    Ok(Response { status, headers, body })
 }
 
 #[cfg(test)]
@@ -242,6 +380,70 @@ mod tests {
     fn strips_query_and_percent_decodes_the_path() {
         let r = parse("GET /v1/facts/Joe%27s%20Caf%C3%A9?verbose=1 HTTP/1.1\r\n\r\n").unwrap();
         assert_eq!(r.path, "/v1/facts/Joe's Café");
+        assert_eq!(r.query, "verbose=1");
+        let r = parse("GET /wal/tail HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.query, "");
+    }
+
+    #[test]
+    fn query_params_decode_and_pick_the_first_match() {
+        assert_eq!(query_param("from_seq=42&x=1", "from_seq").as_deref(), Some("42"));
+        assert_eq!(query_param("a=one&a=two", "a").as_deref(), Some("one"));
+        assert_eq!(query_param("name=Joe%27s", "name").as_deref(), Some("Joe's"));
+        assert_eq!(query_param("from_seq=42", "id"), None);
+        assert_eq!(query_param("", "id"), None);
+    }
+
+    #[test]
+    fn extra_headers_land_between_the_fixed_headers_and_the_body() {
+        let mut buf = Vec::new();
+        write_response_headers(
+            &mut buf,
+            429,
+            "application/json",
+            &[("Retry-After", "1")],
+            b"{}",
+            true,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn client_response_round_trips_through_the_parser() {
+        let mut wire = Vec::new();
+        write_response_headers(
+            &mut wire,
+            200,
+            "application/json",
+            &[("Retry-After", "2")],
+            b"abc",
+            false,
+        )
+        .unwrap();
+        let r = read_response(&mut BufReader::new(wire.as_slice()), 1024).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, b"abc");
+        assert_eq!(r.header("retry-after"), Some("2"));
+        assert_eq!(r.header("content-type"), Some("application/json"));
+        assert!(matches!(
+            read_response(&mut BufReader::new(&b""[..]), 1024),
+            Err(HttpError::Closed)
+        ));
+    }
+
+    #[test]
+    fn client_request_writer_emits_the_served_subset() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, "POST", "/v1/votes", b"{\"x\":1}", true).unwrap();
+        let r = read_request(&mut BufReader::new(wire.as_slice()), 1024).unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path, "/v1/votes");
+        assert_eq!(r.body, b"{\"x\":1}");
+        assert!(r.keep_alive);
     }
 
     #[test]

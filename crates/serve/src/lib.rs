@@ -23,6 +23,14 @@
 //!   `/metrics`, and graceful drain shutdown.
 //! - [`metrics`] — serve-layer counters/spans/gauges in the shared
 //!   `corroborate-obs` registry.
+//! - [`ship`] — the primary-side replication feed: a [`ShipLog`] of
+//!   durable group-commit frames and sealed segments, served over
+//!   `GET /wal/segments` and `GET /wal/tail?from_seq=`.
+//! - [`replica`] — read replicas: fetch shipped frames, re-journal them
+//!   through a local [`Wal`], and publish read-only [`VerdictView`]s
+//!   bit-identical to the primary's at every acked sequence.
+//! - [`cluster`] — the control plane: replica heartbeats, per-replica
+//!   catch-up and lag, rendered on `GET /cluster`.
 //!
 //! See `docs/SERVICE.md` for the API, the WAL format, and epoch/staleness
 //! semantics.
@@ -36,23 +44,29 @@
 #![warn(rust_2018_idioms)]
 #![deny(unsafe_code)]
 
+pub mod cluster;
 pub mod delta;
 pub mod epoch;
 mod error;
 pub mod http;
 pub mod metrics;
 pub mod queue;
+pub mod replica;
 pub mod server;
+pub mod ship;
 pub mod wal;
 pub mod walfs;
 
+pub use cluster::{ClusterState, PrimaryStatus, ReplicaStatus};
 pub use delta::{ApplyOutcome, DeltaDataset, Mutation};
 pub use epoch::{
     evaluate_batch, EpochConfig, EpochEngine, EpochMode, EpochStats, Published, VerdictView,
 };
 pub use error::ServeError;
-pub use metrics::ServeMetrics;
+pub use metrics::{ReplGauges, ServeMetrics};
 pub use queue::IngestQueue;
+pub use replica::{ReplicaConfig, ReplicaCore, ReplicaHandle, ShipApplied};
 pub use server::{start, ServerConfig, ServerHandle};
-pub use wal::{BatchReceipt, Recovery, Wal, WalConfig};
+pub use ship::{ShipLog, ShipSegment, TailResponse};
+pub use wal::{BatchReceipt, FrameScan, Recovery, ShippedBatch, Wal, WalConfig};
 pub use walfs::{FaultFs, StdFs, WalFile, WalFs};

@@ -11,10 +11,23 @@
 //! rendered from the exact same state via [`corroborate_obs::prom`].
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 
 use corroborate_obs::prom::{self, PromWriter};
 use corroborate_obs::{Json, MaxGauge, RecordingObserver, SlidingWindow, Span};
+
+/// Point-in-time replication readings, pushed by the serving layer just
+/// before each metrics render (see `server::refresh_repl_gauges`).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ReplGauges {
+    /// Worst replication lag across known replicas, in seconds.
+    pub replica_lag_seconds: f64,
+    /// Replicas that have heartbeated the control plane.
+    pub replicas_connected: u64,
+    /// Highest durable (shippable) WAL sequence on the primary.
+    pub repl_durable_seq: u64,
+}
 
 /// Shared telemetry state for one server instance.
 #[derive(Debug)]
@@ -34,6 +47,8 @@ pub struct ServeMetrics {
     shed_window: SlidingWindow,
     /// Sliding window of WAL fsync latencies in nanoseconds.
     fsync_window: SlidingWindow,
+    /// Replication gauges; `None` until replication is enabled.
+    repl: Mutex<Option<ReplGauges>>,
 }
 
 impl Default for ServeMetrics {
@@ -47,6 +62,7 @@ impl Default for ServeMetrics {
             last_epoch_nanos: AtomicU64::new(0),
             shed_window: SlidingWindow::standard(),
             fsync_window: SlidingWindow::standard(),
+            repl: Mutex::new(None),
         }
     }
 }
@@ -113,9 +129,22 @@ impl ServeMetrics {
         self.wal_batch_bytes_peak.observe(bytes);
     }
 
+    /// Publishes fresh replication gauges; once set they appear in both
+    /// metrics renderings (`replica_lag_seconds`, `replicas_connected`,
+    /// `repl_durable_seq`).
+    pub fn set_repl_gauges(&self, gauges: ReplGauges) {
+        *self.repl.lock().unwrap_or_else(PoisonError::into_inner) = Some(gauges);
+    }
+
     /// Peak queue depth seen so far.
     pub fn queue_peak(&self) -> u64 {
         self.queue_peak.get()
+    }
+
+    /// Sheds (429-rejected ingest requests) per second over the sliding
+    /// window.
+    pub fn shed_rate_per_sec(&self) -> f64 {
+        self.shed_window.rate_per_sec(self.now_nanos())
     }
 
     /// Seconds since the last published view (process uptime before the
@@ -141,6 +170,11 @@ impl ServeMetrics {
             "wal_fsync_p99_seconds",
             nanos_to_secs(self.fsync_window.quantile(now, 0.99).unwrap_or(0)),
         );
+        if let Some(repl) = *self.repl.lock().unwrap_or_else(PoisonError::into_inner) {
+            gauges.insert("replica_lag_seconds", repl.replica_lag_seconds);
+            gauges.insert("replicas_connected", repl.replicas_connected);
+            gauges.insert("repl_durable_seq", repl.repl_durable_seq);
+        }
         gauges
     }
 
@@ -261,6 +295,26 @@ mod tests {
         let p99 = gauges.get("wal_fsync_p99_seconds").and_then(Json::as_f64).unwrap();
         assert!(p99 >= 3e-6 - 1e-12, "p99 picks the slow fsync: {p99}");
         assert_eq!(gauges.get("wal_batch_bytes_peak").unwrap().as_i64(), Some(96));
+    }
+
+    #[test]
+    fn repl_gauges_appear_in_both_renderings_once_set() {
+        let m = ServeMetrics::new();
+        let doc = m.to_json(0, 0);
+        assert!(doc.get("gauges").unwrap().get("replica_lag_seconds").is_none());
+        m.set_repl_gauges(ReplGauges {
+            replica_lag_seconds: 0.5,
+            replicas_connected: 2,
+            repl_durable_seq: 42,
+        });
+        let doc = m.to_json(0, 0);
+        let gauges = doc.get("gauges").unwrap();
+        assert_eq!(gauges.get("replica_lag_seconds").and_then(Json::as_f64), Some(0.5));
+        assert_eq!(gauges.get("replicas_connected").unwrap().as_i64(), Some(2));
+        assert_eq!(gauges.get("repl_durable_seq").unwrap().as_i64(), Some(42));
+        let text = m.to_prometheus(0, 0);
+        assert!(text.contains("corroborate_replica_lag_seconds 0.5"));
+        assert!(text.contains("corroborate_repl_durable_seq 42"));
     }
 
     #[test]

@@ -36,11 +36,13 @@ use corroborate_core::truth::Label;
 use corroborate_core::vote::Vote;
 use corroborate_obs::{Counter, Json, Observer, Span, TraceSnapshot};
 
+use crate::cluster::{ClusterState, PrimaryStatus, ReplicaStatus};
 use crate::delta::Mutation;
 use crate::epoch::{EpochConfig, EpochEngine, EpochMode, EpochStats, Published, VerdictView};
-use crate::http::{read_request, write_response_with, HttpError, Request};
-use crate::metrics::ServeMetrics;
+use crate::http::{query_param, read_request, write_response_headers, HttpError, Request};
+use crate::metrics::{ReplGauges, ServeMetrics};
 use crate::queue::IngestQueue;
+use crate::ship::{ShipLog, TailResponse};
 use crate::wal::{Wal, WalConfig};
 use crate::ServeError;
 
@@ -94,6 +96,15 @@ impl Default for ServerConfig {
 const CONTENT_TYPE_JSON: &str = "application/json";
 /// `Content-Type` of the Prometheus text exposition endpoint.
 const CONTENT_TYPE_PROM: &str = "text/plain; version=0.0.4";
+/// `Content-Type` of shipped WAL bytes (segments, tail frames, snapshot).
+const CONTENT_TYPE_BINARY: &str = "application/octet-stream";
+/// Seconds a shed (429) client should wait before retrying — roughly the
+/// time a couple of epoch batches need to drain the queue.
+const RETRY_AFTER_SECS: &str = "1";
+/// Bytes of recent group-commit frames retained for replica tail fetches.
+const SHIP_TAIL_BUFFER_BYTES: u64 = 4 << 20;
+/// Most framed bytes a single `GET /wal/tail` response carries.
+const TAIL_FETCH_MAX_BYTES: u64 = 1 << 20;
 
 /// Elapsed nanoseconds since `start`, saturating at `u64::MAX`.
 fn saturating_nanos(start: Instant) -> u64 {
@@ -107,6 +118,34 @@ struct Shared {
     epoch_counter: AtomicU64,
     shutdown: AtomicBool,
     max_body_bytes: usize,
+    /// Replication feed; disabled (empty) until a durable WAL attaches.
+    ship: Arc<ShipLog>,
+    /// Replica heartbeat registry behind `GET /cluster`.
+    cluster: Arc<ClusterState>,
+}
+
+/// A fully formed HTTP reply: status, content type, body bytes, and any
+/// extra headers (e.g. `Retry-After` on 429).
+struct Reply {
+    status: u16,
+    content_type: &'static str,
+    body: Vec<u8>,
+    extra: Vec<(&'static str, String)>,
+}
+
+impl Reply {
+    fn json(status: u16, body: String) -> Self {
+        Self { status, content_type: CONTENT_TYPE_JSON, body: body.into_bytes(), extra: Vec::new() }
+    }
+
+    fn binary(body: Vec<u8>) -> Self {
+        Self { status: 200, content_type: CONTENT_TYPE_BINARY, body, extra: Vec::new() }
+    }
+
+    fn with_header(mut self, name: &'static str, value: String) -> Self {
+        self.extra.push((name, value));
+        self
+    }
 }
 
 /// A running server; dropping the handle without calling
@@ -132,6 +171,7 @@ impl ServerHandle {
 
     /// The telemetry document `/metrics.json` serves.
     pub fn metrics_json(&self) -> Json {
+        refresh_repl_gauges(&self.shared);
         self.shared
             .metrics
             .to_json(self.shared.epoch_counter.load(Ordering::Acquire), self.shared.queue.len())
@@ -139,10 +179,16 @@ impl ServerHandle {
 
     /// The Prometheus text document `/metrics` serves.
     pub fn metrics_prometheus(&self) -> String {
+        refresh_repl_gauges(&self.shared);
         self.shared.metrics.to_prometheus(
             self.shared.epoch_counter.load(Ordering::Acquire),
             self.shared.queue.len(),
         )
+    }
+
+    /// The membership document `/cluster` serves.
+    pub fn cluster_json(&self) -> Json {
+        cluster_doc(&self.shared)
     }
 
     /// Whether the server was booted with a trace ring.
@@ -216,11 +262,19 @@ impl ServerHandle {
 pub fn start(config: ServerConfig) -> Result<ServerHandle, ServeError> {
     let metrics = ServeMetrics::with_trace(config.trace_capacity);
 
+    // The ship log's clock is its own monotone epoch: frame-durability
+    // stamps, lag computation, and heartbeat ages all read the same base.
+    let ship = Arc::new({
+        let t0 = Instant::now();
+        ShipLog::with_clock(SHIP_TAIL_BUFFER_BYTES, Box::new(move || saturating_nanos(t0)))
+    });
+
     let (mut engine, wal) = match &config.data_dir {
         Some(dir) => {
-            let (wal, recovery) = Wal::open_observed(dir, config.wal, metrics.observer())?;
+            let (mut wal, recovery) = Wal::open_observed(dir, config.wal, metrics.observer())?;
             metrics.observer().add(Counter::WalReplayed, recovery.replayed);
             metrics.observer().add(Counter::SegmentsReplayed, recovery.segments);
+            wal.attach_shipper(Arc::clone(&ship))?;
             (EpochEngine::from_recovered(recovery.dataset, config.epoch)?, Some(wal))
         }
         None => (EpochEngine::new(config.epoch)?, None),
@@ -243,6 +297,8 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle, ServeError> {
         epoch_counter: AtomicU64::new(initial.epoch()),
         shutdown: AtomicBool::new(false),
         max_body_bytes: config.max_body_bytes,
+        ship,
+        cluster: Arc::new(ClusterState::new()),
     });
     shared.view.publish(initial);
     shared.metrics.note_epoch_published();
@@ -352,18 +408,12 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             Ok(r) => r,
             Err(HttpError::Closed) => return,
             Err(HttpError::BadRequest(message)) => {
-                respond(shared, &mut writer, 400, CONTENT_TYPE_JSON, &error_body(&message), false);
+                respond(shared, &mut writer, &Reply::json(400, error_body(&message)), false);
                 return;
             }
             Err(HttpError::PayloadTooLarge { limit }) => {
-                respond(
-                    shared,
-                    &mut writer,
-                    413,
-                    CONTENT_TYPE_JSON,
-                    &error_body(&format!("body exceeds {limit} bytes")),
-                    false,
-                );
+                let reply = Reply::json(413, error_body(&format!("body exceeds {limit} bytes")));
+                respond(shared, &mut writer, &reply, false);
                 return;
             }
             // Timeouts surface as WouldBlock/TimedOut; either way the
@@ -372,27 +422,20 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         };
         let keep_alive = request.keep_alive && !shared.shutdown.load(Ordering::Acquire);
         shared.metrics.observer().add(Counter::HttpRequests, 1);
-        let (status, body, content_type) =
+        let reply =
             shared
                 .metrics
                 .observer()
                 .traced(Span::Request, request.body.len() as u64, || route(shared, &request));
-        respond(shared, &mut writer, status, content_type, &body, keep_alive);
+        respond(shared, &mut writer, &reply, keep_alive);
         if !keep_alive {
             return;
         }
     }
 }
 
-fn respond(
-    shared: &Shared,
-    writer: &mut impl std::io::Write,
-    status: u16,
-    content_type: &str,
-    body: &str,
-    keep_alive: bool,
-) {
-    let class = match status {
+fn respond(shared: &Shared, writer: &mut impl std::io::Write, reply: &Reply, keep_alive: bool) {
+    let class = match reply.status {
         200..=299 => Some(Counter::HttpResponses2xx),
         400..=499 => Some(Counter::HttpResponses4xx),
         500..=599 => Some(Counter::HttpResponses5xx),
@@ -401,25 +444,165 @@ fn respond(
     if let Some(c) = class {
         shared.metrics.observer().add(c, 1);
     }
-    let _ = write_response_with(writer, status, content_type, body, keep_alive);
+    let extra: Vec<(&str, &str)> = reply.extra.iter().map(|(k, v)| (*k, v.as_str())).collect();
+    let _ = write_response_headers(
+        writer,
+        reply.status,
+        reply.content_type,
+        &extra,
+        &reply.body,
+        keep_alive,
+    );
 }
 
-fn error_body(message: &str) -> String {
+pub(crate) fn error_body(message: &str) -> String {
     let mut obj = Json::object();
     obj.insert("error", message);
     obj.to_json()
 }
 
-fn route(shared: &Shared, request: &Request) -> (u16, String, &'static str) {
-    // `/metrics` is the one non-JSON surface: Prometheus text exposition.
+/// Pushes point-in-time replication readings into the metrics gauges. The
+/// gauges stay absent from both renderings until replication is enabled
+/// (i.e. the primary has a durable WAL feeding the ship log).
+fn refresh_repl_gauges(shared: &Shared) {
+    if !shared.ship.enabled() {
+        return;
+    }
+    shared.metrics.set_repl_gauges(ReplGauges {
+        replica_lag_seconds: shared.cluster.max_lag_seconds(&shared.ship),
+        replicas_connected: shared.cluster.replica_count(),
+        repl_durable_seq: shared.ship.durable_seq(),
+    });
+}
+
+fn cluster_doc(shared: &Shared) -> Json {
+    let view = shared.view.get();
+    let primary = PrimaryStatus {
+        epoch: shared.epoch_counter.load(Ordering::Acquire),
+        fingerprint: view.fingerprint(),
+        queue_depth: shared.queue.len() as u64,
+        shed_rate_per_sec: shared.metrics.shed_rate_per_sec(),
+        epoch_lag_seconds: shared.metrics.epoch_lag_seconds(),
+    };
+    shared.cluster.to_json(&shared.ship, &primary)
+}
+
+fn route(shared: &Shared, request: &Request) -> Reply {
+    // `/metrics` is the one non-JSON admin surface: Prometheus text.
     if request.method == "GET" && request.path == "/metrics" {
+        refresh_repl_gauges(shared);
         let text = shared
             .metrics
             .to_prometheus(shared.epoch_counter.load(Ordering::Acquire), shared.queue.len());
-        return (200, text, CONTENT_TYPE_PROM);
+        return Reply {
+            status: 200,
+            content_type: CONTENT_TYPE_PROM,
+            body: text.into_bytes(),
+            extra: Vec::new(),
+        };
+    }
+    if request.path.starts_with("/wal/") || request.path.starts_with("/cluster") {
+        return route_repl(shared, request);
     }
     let (status, body) = route_json(shared, request);
-    (status, body, CONTENT_TYPE_JSON)
+    let reply = Reply::json(status, body);
+    if status == 429 {
+        // Honest backoff signal for shed writes (satellite: Retry-After).
+        return reply.with_header("Retry-After", RETRY_AFTER_SECS.to_string());
+    }
+    reply
+}
+
+/// Replication routes: WAL shipping (binary) and the cluster control plane.
+fn route_repl(shared: &Shared, request: &Request) -> Reply {
+    if request.path.starts_with("/wal/") && !shared.ship.enabled() {
+        return Reply::json(
+            404,
+            error_body("replication requires a durable primary (start with data_dir)"),
+        );
+    }
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/wal/segments") => match query_param(&request.query, "id") {
+            Some(raw) => {
+                let Ok(id) = raw.parse::<u64>() else {
+                    return Reply::json(400, error_body("segment id must be a u64"));
+                };
+                let obs = shared.metrics.observer();
+                match obs.traced(Span::SegmentShip, id, || shared.ship.read_segment(id)) {
+                    Some(bytes) => {
+                        obs.add(Counter::ReplSegmentsShipped, 1);
+                        obs.add(Counter::ReplBytesShipped, bytes.len() as u64);
+                        Reply::binary(bytes)
+                    }
+                    None => Reply::json(
+                        404,
+                        error_body(&format!(
+                            "segment {id} is not sealed here (unknown or compacted)"
+                        )),
+                    ),
+                }
+            }
+            None => Reply::json(200, shared.ship.index_json().to_json()),
+        },
+        ("GET", "/wal/tail") => {
+            let Some(from_seq) =
+                query_param(&request.query, "from_seq").and_then(|v| v.parse::<u64>().ok())
+            else {
+                return Reply::json(400, error_body("tail requires ?from_seq=<u64>"));
+            };
+            let obs = shared.metrics.observer();
+            let tail = obs.traced(Span::TailShip, from_seq, || {
+                shared.ship.tail_since(from_seq, TAIL_FETCH_MAX_BYTES)
+            });
+            match tail {
+                TailResponse::Frames { bytes, frames, .. } => {
+                    obs.add(Counter::ReplFramesShipped, frames);
+                    obs.add(Counter::ReplBytesShipped, bytes.len() as u64);
+                    Reply::binary(bytes)
+                }
+                // Caught up: an empty body, distinguishable from Behind.
+                TailResponse::AtHead => Reply::binary(Vec::new()),
+                TailResponse::Behind { floor_seq } => {
+                    let mut obj = Json::object();
+                    obj.insert("error", "requested seq is outside the tail window");
+                    obj.insert("tail_floor_seq", floor_seq);
+                    obj.insert("snapshot_seq", shared.ship.snapshot_seq());
+                    obj.insert("next_seq", shared.ship.next_seq());
+                    Reply::json(410, obj.to_json())
+                }
+            }
+        }
+        ("GET", "/wal/snapshot") => match shared.ship.read_snapshot() {
+            Some(bytes) => Reply::binary(bytes),
+            None => Reply::json(404, error_body("no snapshot on disk yet")),
+        },
+        ("GET", "/cluster") => Reply::json(200, cluster_doc(shared).to_json()),
+        ("POST", "/cluster/heartbeat") => post_heartbeat(shared, &request.body),
+        (_, path) => Reply::json(404, error_body(&format!("no route for {path}"))),
+    }
+}
+
+fn post_heartbeat(shared: &Shared, body: &[u8]) -> Reply {
+    let Ok(text) = std::str::from_utf8(body) else {
+        return Reply::json(400, error_body("body is not UTF-8"));
+    };
+    let Ok(root) = Json::parse(text) else {
+        return Reply::json(400, error_body("invalid JSON"));
+    };
+    match ReplicaStatus::from_json(&root, shared.ship.now_nanos()) {
+        Some(status) => {
+            shared.metrics.observer().add(Counter::ReplHeartbeats, 1);
+            shared.cluster.heartbeat(status);
+            let mut obj = Json::object();
+            obj.insert("ok", true);
+            obj.insert("durable_seq", shared.ship.durable_seq());
+            Reply::json(200, obj.to_json())
+        }
+        None => Reply::json(
+            400,
+            error_body("heartbeat requires id, addr, applied_seq, epoch, fingerprint"),
+        ),
+    }
 }
 
 fn route_json(shared: &Shared, request: &Request) -> (u16, String) {
@@ -428,6 +611,7 @@ fn route_json(shared: &Shared, request: &Request) -> (u16, String) {
         ("POST", "/v1/votes") => post_votes(shared, &request.body),
         ("GET", "/healthz") => healthz(shared),
         ("GET", "/metrics.json") => {
+            refresh_repl_gauges(shared);
             let doc = shared
                 .metrics
                 .to_json(shared.epoch_counter.load(Ordering::Acquire), shared.queue.len());
@@ -556,7 +740,12 @@ fn healthz(shared: &Shared) -> (u16, String) {
 }
 
 fn get_fact(shared: &Shared, name: &str) -> (u16, String) {
-    let view = shared.view.get();
+    fact_reply(&shared.view.get(), name)
+}
+
+/// Renders the `/v1/facts/{name}` document against a view — shared with
+/// the replica's read-only route table.
+pub(crate) fn fact_reply(view: &VerdictView, name: &str) -> (u16, String) {
     let Some(fact) = view.fact_by_name(name) else {
         return (404, error_body(&format!("unknown fact {name:?}")));
     };
@@ -585,7 +774,12 @@ fn get_fact(shared: &Shared, name: &str) -> (u16, String) {
 }
 
 fn get_source_trust(shared: &Shared, name: &str) -> (u16, String) {
-    let view = shared.view.get();
+    source_trust_reply(&shared.view.get(), name)
+}
+
+/// Renders the `/v1/sources/{name}/trust` document against a view —
+/// shared with the replica's read-only route table.
+pub(crate) fn source_trust_reply(view: &VerdictView, name: &str) -> (u16, String) {
     let Some(source) = view.source_by_name(name) else {
         return (404, error_body(&format!("unknown source {name:?}")));
     };

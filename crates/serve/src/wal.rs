@@ -40,6 +40,13 @@
 //! All I/O goes through the [`WalFs`] trait, so the crash-recovery matrix
 //! drives the exact same code over the deterministic fault-injecting
 //! [`crate::walfs::FaultFs`].
+//!
+//! With a [`ShipLog`] attached (see [`Wal::attach_shipper`]) the log also
+//! feeds replication: each frame is handed to the shipper once it is
+//! **durable** — immediately after the write when fsync is off, after its
+//! pipelined fsync is confirmed otherwise — so a replica can never observe
+//! state a primary crash would roll back. Seals and compactions keep the
+//! shipper's segment index in step with the disk.
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -54,6 +61,7 @@ use corroborate_core::vote::Vote;
 use corroborate_obs::{Json, Observer, Span, NOOP};
 
 use crate::delta::{DeltaDataset, Mutation};
+use crate::ship::{ShipLog, ShipSegment};
 use crate::walfs::{StdFs, WalFile, WalFs};
 use crate::ServeError;
 
@@ -349,6 +357,49 @@ fn decode_segment(bytes: &[u8]) -> SegmentScan {
     SegmentScan { batches, valid_len: valid_len as u64, torn, nanos: saturating_nanos(start) }
 }
 
+/// One decoded batch from shipped WAL bytes.
+#[derive(Debug, Clone)]
+pub struct ShippedBatch {
+    /// Sequence number of the batch's first mutation.
+    pub first_seq: u64,
+    /// The decoded mutations, in append order.
+    pub mutations: Vec<Mutation>,
+}
+
+impl ShippedBatch {
+    /// Sequence number of the batch's last mutation.
+    pub fn last_seq(&self) -> u64 {
+        self.first_seq.saturating_add((self.mutations.len() as u64).saturating_sub(1))
+    }
+}
+
+/// Result of scanning shipped WAL bytes (tail frames or a whole segment).
+#[derive(Debug, Clone, Default)]
+pub struct FrameScan {
+    /// Whole decodable batches, in stream order.
+    pub batches: Vec<ShippedBatch>,
+    /// Byte length of the decodable prefix.
+    pub valid_len: u64,
+    /// Why decoding stopped before the end of the bytes, if it did.
+    pub torn: Option<String>,
+}
+
+/// Decodes a shipped byte stream (concatenated CRC'd batch frames) down to
+/// its valid prefix — the exact scanner recovery uses, exposed so replicas
+/// apply shipped segments and tail responses through the same code path.
+pub fn scan_frames(bytes: &[u8]) -> FrameScan {
+    let scan = decode_segment(bytes);
+    FrameScan {
+        batches: scan
+            .batches
+            .into_iter()
+            .map(|b| ShippedBatch { first_seq: b.first_seq, mutations: b.mutations })
+            .collect(),
+        valid_len: scan.valid_len,
+        torn: scan.torn,
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Segments and the manifest
 
@@ -484,6 +535,15 @@ fn spawn_syncer() -> io::Result<Syncer> {
     Ok(Syncer { tx: req_tx, rx: done_rx, handle: Some(handle), in_flight: false })
 }
 
+/// A frame written but whose pipelined fsync has not yet been confirmed;
+/// held back from the ship log until it is durable.
+#[derive(Debug)]
+struct PendingShip {
+    first_seq: u64,
+    last_seq: u64,
+    bytes: Vec<u8>,
+}
+
 /// In-flight background snapshot compaction.
 #[derive(Debug)]
 struct CompactionTask {
@@ -516,6 +576,10 @@ pub struct Wal {
     which: usize,
     syncer: Option<Syncer>,
     compaction: Option<CompactionTask>,
+    /// Replication feed, when attached (see [`Wal::attach_shipper`]).
+    shipper: Option<Arc<ShipLog>>,
+    /// Frame awaiting fsync confirmation before it may be shipped.
+    pending_ship: Option<PendingShip>,
 }
 
 impl Drop for Wal {
@@ -758,6 +822,8 @@ impl Wal {
             which: 0,
             syncer: None,
             compaction: None,
+            shipper: None,
+            pending_ship: None,
         };
         let recovery = Recovery { dataset, next_seq, replayed, dropped_torn_tail, segments };
         Ok((wal, recovery))
@@ -857,6 +923,20 @@ impl Wal {
         })?;
         self.records_since_snapshot = self.records_since_snapshot.saturating_add(count);
 
+        // The written frame sits in the buffer half we just rotated away
+        // from. Ship it now if it is already durable (no fsync), otherwise
+        // hold it back until its pipelined fsync is confirmed.
+        if let Some(ship) = &self.shipper {
+            if self.config.fsync {
+                self.pending_ship = Some(PendingShip {
+                    first_seq,
+                    last_seq: last,
+                    bytes: self.bufs[self.which ^ 1].clone(),
+                });
+            } else {
+                ship.frame_durable(first_seq, last, &self.bufs[self.which ^ 1]);
+            }
+        }
         if self.config.fsync {
             self.submit_fsync(first_seq)?;
         }
@@ -878,10 +958,28 @@ impl Wal {
                     obs.span(Span::WalFsync, nanos);
                     obs.span_end(Span::WalFsync, first_seq);
                 }
-                result?;
-                Ok(Some(nanos))
+                match result {
+                    Ok(()) => {
+                        self.promote_pending_ship();
+                        Ok(Some(nanos))
+                    }
+                    Err(e) => {
+                        // The frame never became durable; a replica must
+                        // not see it before a recovered primary would.
+                        self.pending_ship = None;
+                        Err(e.into())
+                    }
+                }
             }
             Err(_) => Err(ServeError::Io(io::Error::other("wal syncer thread died"))),
+        }
+    }
+
+    /// Hands the held-back frame to the ship log after a confirmed sync.
+    /// No-op without a shipper or a pending frame.
+    fn promote_pending_ship(&mut self) {
+        if let (Some(ship), Some(p)) = (&self.shipper, self.pending_ship.take()) {
+            ship.frame_durable(p.first_seq, p.last_seq, &p.bytes);
         }
     }
 
@@ -933,6 +1031,7 @@ impl Wal {
             obs.span_end(Span::WalFsync, seq);
         }
         synced?;
+        self.promote_pending_ship();
         Ok(Some(nanos))
     }
 
@@ -956,12 +1055,22 @@ impl Wal {
         if self.config.fsync {
             self.active.sync_data()?;
         }
-        self.sealed.push(SegmentMeta {
+        self.promote_pending_ship();
+        let meta = SegmentMeta {
             id: self.active_id,
             first_seq: self.active_first_seq.unwrap_or(self.next_seq),
             last_seq: self.active_last_seq,
             bytes: self.active_bytes,
-        });
+        };
+        self.sealed.push(meta);
+        if let Some(ship) = &self.shipper {
+            ship.segment_sealed(ShipSegment {
+                id: meta.id,
+                first_seq: meta.first_seq,
+                last_seq: meta.last_seq,
+                bytes: meta.bytes,
+            });
+        }
         let next_id = self.active_id.checked_add(1).ok_or_else(|| ServeError::WalCorrupt {
             message: "segment id space exhausted".into(),
         })?;
@@ -1050,6 +1159,9 @@ impl Wal {
         self.records_since_snapshot =
             self.next_seq.saturating_sub(1).saturating_sub(self.snapshot_seq);
         self.write_manifest()?;
+        if let Some(ship) = &self.shipper {
+            ship.compacted(self.snapshot_seq, &covered);
+        }
         Ok(true)
     }
 
@@ -1122,6 +1234,8 @@ impl Wal {
             message: "segment id space exhausted".into(),
         })?;
         self.active = self.fs.create(&seg_path(&self.dir, next_id))?;
+        let mut removed: Vec<u64> = self.sealed.iter().map(|m| m.id).collect();
+        removed.push(self.active_id);
         for meta in &self.sealed {
             self.fs.remove_file(&seg_path(&self.dir, meta.id))?;
         }
@@ -1133,6 +1247,65 @@ impl Wal {
         self.active_last_seq = 0;
         self.records_since_snapshot = 0;
         self.write_manifest()?;
+        if let Some(ship) = &self.shipper {
+            ship.compacted(self.snapshot_seq, &removed);
+        }
+        Ok(())
+    }
+
+    /// Sequence number the next appended record will take.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Highest sequence folded into the on-disk snapshot.
+    pub fn snapshot_seq(&self) -> u64 {
+        self.snapshot_seq
+    }
+
+    /// Attaches a [`ShipLog`] and seeds it from the recovered on-disk
+    /// state: sealed segment metadata, the decoded frames of the active
+    /// segment (all durable — they survived recovery), and the snapshot
+    /// floor. Subsequent appends, seals, and compactions keep the log
+    /// current; with fsync configured a frame is only shipped once its
+    /// pipelined fsync has been confirmed, so replicas never observe
+    /// state a primary crash would roll back.
+    ///
+    /// # Errors
+    /// I/O failures re-reading the active segment.
+    pub fn attach_shipper(&mut self, shipper: Arc<ShipLog>) -> Result<(), ServeError> {
+        let sealed: Vec<ShipSegment> = self
+            .sealed
+            .iter()
+            .map(|m| ShipSegment {
+                id: m.id,
+                first_seq: m.first_seq,
+                last_seq: m.last_seq,
+                bytes: m.bytes,
+            })
+            .collect();
+        let mut frames = Vec::new();
+        if self.active_bytes > 0 {
+            let bytes = self.fs.read(&seg_path(&self.dir, self.active_id))?;
+            let valid = usize::try_from(self.active_bytes).unwrap_or(bytes.len()).min(bytes.len());
+            let mut cur = Cursor { buf: &bytes[..valid], pos: 0 };
+            while cur.pos < valid {
+                let start = cur.pos;
+                let Ok(batch) = decode_batch(&mut cur) else { break };
+                let count = batch.mutations.len() as u64;
+                let last = batch.first_seq.saturating_add(count.saturating_sub(1));
+                frames.push((batch.first_seq, last, bytes[start..cur.pos].to_vec()));
+            }
+        }
+        shipper.bootstrap(
+            Arc::clone(&self.fs),
+            self.dir.clone(),
+            self.snapshot_seq,
+            self.next_seq,
+            sealed,
+            frames,
+        );
+        self.shipper = Some(shipper);
         Ok(())
     }
 }
@@ -1554,6 +1727,75 @@ mod tests {
         let (_, rec) = Wal::open(&dir, WalConfig::default()).unwrap();
         assert!(rec.dataset.source_id("Menu,\"Pages\"\n").is_some());
         assert!(rec.dataset.fact_id("ünïcødé 寿司 \\ fact").is_some());
+    }
+
+    #[test]
+    fn attached_shipper_tracks_appends_seals_and_compaction() {
+        let dir = tempdir("ship");
+        let config = WalConfig { segment_bytes: 64, ..WalConfig::default() };
+        let (mut wal, _) = Wal::open(&dir, config).unwrap();
+        let ship = Arc::new(ShipLog::new(1 << 20));
+        wal.attach_shipper(Arc::clone(&ship)).unwrap();
+        let mut live = DeltaDataset::new();
+        for i in 0..10 {
+            let m = cast(&format!("s{i}"), "f", Vote::True);
+            wal.append(&m).unwrap();
+            live.apply(&m).unwrap();
+        }
+        assert_eq!(ship.durable_seq(), 10);
+        let index = ship.index_json();
+        let segments = index.get("segments").unwrap().as_array().unwrap();
+        assert!(!segments.is_empty(), "tiny segments must have sealed");
+        // A sealed segment serves its exact on-disk bytes and decodes clean.
+        let id = u64::try_from(segments[0].get("segment").unwrap().as_i64().unwrap()).unwrap();
+        let scan = scan_frames(&ship.read_segment(id).unwrap());
+        assert!(scan.torn.is_none());
+        assert!(!scan.batches.is_empty());
+        // Sync compaction folds everything into the snapshot and empties
+        // the shipped segment index.
+        wal.compact(&live).unwrap();
+        assert_eq!(ship.snapshot_seq(), 10);
+        assert!(ship.index_json().get("segments").unwrap().as_array().unwrap().is_empty());
+        assert!(ship.read_snapshot().is_some());
+    }
+
+    #[test]
+    fn with_fsync_frames_ship_only_after_confirmation() {
+        let dir = tempdir("shipfsync");
+        let config = WalConfig { fsync: true, ..WalConfig::default() };
+        let (mut wal, _) = Wal::open(&dir, config).unwrap();
+        let ship = Arc::new(ShipLog::new(1 << 20));
+        wal.attach_shipper(Arc::clone(&ship)).unwrap();
+        wal.append(&cast("a", "f1", Vote::True)).unwrap();
+        assert_eq!(ship.durable_seq(), 0, "fsync still in flight: frame held back");
+        wal.flush().unwrap();
+        assert_eq!(ship.durable_seq(), 1, "flush confirms durability and ships");
+        wal.append(&cast("b", "f1", Vote::False)).unwrap();
+        wal.append(&cast("c", "f1", Vote::True)).unwrap();
+        assert_eq!(ship.durable_seq(), 2, "pipelined: previous batch promoted on drain");
+    }
+
+    #[test]
+    fn attach_after_recovery_bootstraps_the_active_tail() {
+        let dir = tempdir("shipboot");
+        {
+            let (mut wal, _) = Wal::open(&dir, WalConfig::default()).unwrap();
+            wal.append_batch(&stream()).unwrap();
+        }
+        let (mut wal, _) = Wal::open(&dir, WalConfig::default()).unwrap();
+        let ship = Arc::new(ShipLog::new(1 << 20));
+        wal.attach_shipper(Arc::clone(&ship)).unwrap();
+        assert_eq!(ship.durable_seq(), 5);
+        match ship.tail_since(1, u64::MAX) {
+            crate::ship::TailResponse::Frames { bytes, frames, last_seq } => {
+                assert_eq!(frames, 1);
+                assert_eq!(last_seq, 5);
+                let scan = scan_frames(&bytes);
+                assert_eq!(scan.batches.len(), 1);
+                assert_eq!(scan.batches[0].mutations, stream());
+            }
+            other => panic!("expected frames, got {other:?}"),
+        }
     }
 
     #[test]

@@ -208,6 +208,83 @@ fn saturated_queue_answers_429_and_recovers() {
     handle.shutdown().unwrap();
 }
 
+/// Like [`request_raw`] but also returns the value of `header` (lowercase
+/// name), when present.
+fn request_with_header(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+    header: &str,
+) -> (u16, Option<String>) {
+    let stream = TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    write!(
+        writer,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    writer.flush().unwrap();
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).unwrap();
+    let status: u16 = status_line.split_whitespace().nth(1).unwrap().parse().unwrap();
+    let mut value = None;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        let lower = line.to_ascii_lowercase();
+        if let Some(v) = lower.strip_prefix(&format!("{header}:")) {
+            value = Some(v.trim().to_string());
+        }
+    }
+    (status, value)
+}
+
+#[test]
+fn shed_writes_carry_a_retry_after_header() {
+    // Same saturation recipe as above, but capture the 429's headers: shed
+    // clients must get an honest machine-readable backoff hint.
+    let config = ServerConfig {
+        queue_capacity: 8,
+        epoch_linger: Duration::from_millis(300),
+        epoch_max_batch: 2,
+        ..test_config()
+    };
+    let handle = start(config).unwrap();
+    let addr = handle.addr();
+
+    let mut retry_after = None;
+    for i in 0..40 {
+        let body = format!(
+            r#"{{"votes":[{{"source":"s{i}","fact":"f{}","vote":"T"}},
+                          {{"source":"t{i}","fact":"f{}","vote":"F"}}]}}"#,
+            i % 5,
+            i % 5
+        );
+        let (status, header) = request_with_header(addr, "POST", "/v1/votes", &body, "retry-after");
+        assert!(status == 202 || status == 429, "unexpected status {status}");
+        if status == 202 {
+            assert!(header.is_none(), "accepted writes must not advertise backoff");
+        } else {
+            retry_after = header;
+            break;
+        }
+    }
+    let retry_after = retry_after.expect("queue never saturated or 429 lacked Retry-After");
+    let secs: u64 = retry_after.parse().expect("Retry-After must be integral seconds");
+    assert!(secs >= 1, "backoff hint must be at least one second");
+
+    handle.shutdown().unwrap();
+}
+
 #[test]
 fn metrics_document_is_valid_and_complete() {
     let handle = start(test_config()).unwrap();

@@ -16,8 +16,8 @@ use std::sync::Arc;
 
 use corroborate_obs::NOOP;
 use corroborate_serve::{
-    evaluate_batch, DeltaDataset, EpochConfig, EpochEngine, FaultFs, Mutation, Wal, WalConfig,
-    WalFs,
+    evaluate_batch, DeltaDataset, EpochConfig, EpochEngine, EpochMode, FaultFs, Mutation,
+    ReplicaCore, ShipLog, TailResponse, Wal, WalConfig, WalFs,
 };
 use corroborate_testkit::sim::{generate, standard_archetypes};
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -316,6 +316,174 @@ fn replay_then_snapshot_equivalence() {
 
     // Both recoveries drain to the same verdicts.
     assert_eq!(drained_fingerprint(from_raw.dataset), drained_fingerprint(from_compact.dataset));
+}
+
+/// Full-recompute fingerprint of the first `n` mutations — the oracle for
+/// replica views (replicas publish via `run_epoch`, not `drain`; the two
+/// agree because the fingerprint covers data, not epoch counters).
+fn replica_prefix_fingerprint(mutations: &[Mutation], n: usize) -> u64 {
+    let mut ds = DeltaDataset::new();
+    ds.apply_all(&mutations[..n]).unwrap();
+    let mut engine = EpochEngine::from_recovered(ds, EpochConfig::default()).unwrap();
+    engine.run_epoch(EpochMode::Full).unwrap().0.fingerprint()
+}
+
+/// A primary-side WAL on `FaultFs` with an attached ship log, loaded with
+/// `mutations` in group-commit chunks of `chunk`.
+fn shipping_primary(
+    mutations: &[Mutation],
+    chunk: usize,
+    config: WalConfig,
+) -> (Wal, Arc<ShipLog>) {
+    let fs: Arc<dyn WalFs> = Arc::new(FaultFs::new());
+    let (mut wal, _) = Wal::open_with(Path::new("/primary"), config, fs, &NOOP).unwrap();
+    let ship = Arc::new(ShipLog::new(64 << 20));
+    wal.attach_shipper(Arc::clone(&ship)).unwrap();
+    for batch in mutations.chunks(chunk) {
+        wal.append_batch(batch).unwrap();
+    }
+    (wal, ship)
+}
+
+fn shipped_tail(ship: &ShipLog, from_seq: u64) -> Vec<u8> {
+    match ship.tail_since(from_seq, u64::MAX) {
+        TailResponse::Frames { bytes, .. } => bytes,
+        other => panic!("expected frames from {from_seq}, got {other:?}"),
+    }
+}
+
+#[test]
+fn replica_killed_mid_apply_recovers_a_batch_boundary_and_resumes() {
+    // Chaos case: the replica dies partway through journalling shipped
+    // frames (a crash budget on its local FaultFs). On restart it must
+    // recover to a consistent batch boundary — never a torn view — and
+    // then converge by re-fetching the same shipped bytes.
+    const CHUNK: usize = 7;
+    for (name, archetype) in &standard_archetypes(92)[..2] {
+        let world = generate(archetype);
+        let mutations = DeltaDataset::mutations_of(&world.dataset);
+        let (_primary, ship) = shipping_primary(&mutations, CHUNK, WalConfig::default());
+        let shipped = shipped_tail(&ship, 1);
+
+        let fs = Arc::new(FaultFs::new());
+        let dir = Path::new("/replica");
+        {
+            let (mut core, _) = ReplicaCore::recover(
+                dir,
+                Arc::<FaultFs>::clone(&fs) as Arc<dyn WalFs>,
+                WalConfig::default(),
+                EpochConfig::default(),
+                &NOOP,
+            )
+            .unwrap();
+            // Kill mid-apply: the journal write tears once the budget runs
+            // out, so the local WAL ends inside a record.
+            fs.set_crash_after_write_bytes(shipped.len() as u64 / 2);
+            let died = core.apply_shipped(&shipped, &NOOP);
+            assert!(died.is_err(), "{name}: the crash budget must surface");
+            assert!(fs.crashed(), "{name}: the injected crash must have fired");
+        }
+
+        fs.reset_faults();
+        let (mut core, view) = ReplicaCore::recover(
+            dir,
+            Arc::<FaultFs>::clone(&fs) as Arc<dyn WalFs>,
+            WalConfig::default(),
+            EpochConfig::default(),
+            &NOOP,
+        )
+        .expect("replica restart must recover without error");
+        let applied = core.applied_seq() as usize;
+        assert!(
+            applied.is_multiple_of(CHUNK) || applied == mutations.len(),
+            "{name}: recovered {applied} mutations, not a shipped-batch boundary"
+        );
+        assert!(applied < mutations.len(), "{name}: the crash should have lost the tail");
+        assert_eq!(
+            view.fingerprint(),
+            replica_prefix_fingerprint(&mutations, applied),
+            "{name}: restarted replica serves something other than the durable prefix"
+        );
+
+        // Resume: re-applying the full shipped stream skips the journalled
+        // prefix and lands the rest, converging on the primary's state.
+        let resumed = core.apply_shipped(&shipped, &NOOP).unwrap();
+        assert!(resumed.skipped > 0, "{name}: duplicate batches must be skipped");
+        assert!(resumed.torn.is_none());
+        assert_eq!(core.applied_seq(), mutations.len() as u64);
+        let view = core.publish_epoch(EpochMode::Full).unwrap();
+        assert_eq!(
+            view.fingerprint(),
+            replica_prefix_fingerprint(&mutations, mutations.len()),
+            "{name}: resumed replica diverges from the primary"
+        );
+    }
+}
+
+#[test]
+fn truncated_shipped_segment_applies_only_a_consistent_prefix() {
+    // Chaos case: a sealed segment arrives truncated mid-record (torn
+    // transfer). The replica journals exactly the CRC-valid batch prefix,
+    // publishes that prefix — never a torn view — refuses to skip the gap,
+    // and converges once the segment is re-fetched intact.
+    const CHUNK: usize = 7;
+    let (_, archetype) = &standard_archetypes(93)[2];
+    let world = generate(archetype);
+    let mutations = DeltaDataset::mutations_of(&world.dataset);
+    let config = WalConfig { segment_bytes: 512, ..WalConfig::default() };
+    let (_primary, ship) = shipping_primary(&mutations, CHUNK, config);
+
+    let index = ship.index_json();
+    let segments = index.get("segments").unwrap().as_array().unwrap();
+    assert!(segments.len() >= 2, "need sealed segments, got {}", segments.len());
+    let seg_id = |s: &corroborate_obs::Json, key: &str| {
+        u64::try_from(s.get(key).unwrap().as_i64().unwrap()).unwrap()
+    };
+    let first = &segments[0];
+    let (id, seg_last) = (seg_id(first, "segment"), seg_id(first, "last_seq"));
+    let intact = ship.read_segment(id).unwrap();
+
+    let fs: Arc<dyn WalFs> = Arc::new(FaultFs::new());
+    let (mut core, _) = ReplicaCore::recover(
+        Path::new("/replica"),
+        fs,
+        WalConfig::default(),
+        EpochConfig::default(),
+        &NOOP,
+    )
+    .unwrap();
+
+    // Chop 5 bytes off the end: far smaller than any frame, so the cut is
+    // always strictly inside the segment's final record.
+    let torn = &intact[..intact.len() - 5];
+    let applied = core.apply_shipped(torn, &NOOP).unwrap();
+    assert!(applied.torn.is_some(), "the torn frame must be detected");
+    let boundary = core.applied_seq();
+    assert!(boundary < seg_last, "the torn batch must not be applied");
+    assert_eq!(boundary % CHUNK as u64, 0, "recovery point is a batch boundary");
+    let view = core.publish_epoch(EpochMode::Full).unwrap();
+    assert_eq!(
+        view.fingerprint(),
+        replica_prefix_fingerprint(&mutations, boundary as usize),
+        "replica view after a torn segment is not the valid prefix"
+    );
+
+    // The replica refuses to jump the gap to later history.
+    let later = shipped_tail(&ship, seg_last + 1);
+    assert!(
+        core.apply_shipped(&later, &NOOP).is_err(),
+        "a sequence gap must be refused, not papered over"
+    );
+    assert_eq!(core.applied_seq(), boundary, "refused bytes must not move the applied seq");
+
+    // Re-fetching the intact segment completes it; the tail then follows.
+    let healed = core.apply_shipped(&intact, &NOOP).unwrap();
+    assert!(healed.skipped > 0);
+    assert_eq!(core.applied_seq(), seg_last);
+    core.apply_shipped(&later, &NOOP).unwrap();
+    assert_eq!(core.applied_seq(), mutations.len() as u64);
+    let view = core.publish_epoch(EpochMode::Full).unwrap();
+    assert_eq!(view.fingerprint(), replica_prefix_fingerprint(&mutations, mutations.len()));
 }
 
 #[test]
