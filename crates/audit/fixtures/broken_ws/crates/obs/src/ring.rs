@@ -1,0 +1,24 @@
+//! Seeded violations: A001 (atomic field not declared in the protocol) and
+//! A002 (ordering weaker than the declared floor). The governing protocol
+//! lives in this fixture workspace's `audit_manifest.json`: `seq` must be
+//! Release-published and Acquire-validated; `undeclared` is not listed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Ring {
+    seq: AtomicU64,
+    undeclared: AtomicU64,
+}
+
+impl Ring {
+    // A002: the declared store floor for `seq` is `release`.
+    pub fn publish(&self, v: u64) {
+        self.seq.store(v, Ordering::Relaxed);
+        // A001: `undeclared` has no entry in the protocol.
+        self.undeclared.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn read(&self) -> u64 {
+        self.seq.load(Ordering::Acquire)
+    }
+}

@@ -1,0 +1,42 @@
+//! Seeded violations: L001 (opposed lock-acquisition orders), L002
+//! (blocking fsync while a guard is live), T001 (detached spawn), and
+//! T002 (lock guard captured by a spawn closure).
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+// L001: `forward` takes a then b, `backward` takes b then a — a cycle in
+// the lock-order graph.
+pub fn forward(p: &Pair) -> u64 {
+    let ga = p.a.lock().unwrap();
+    let gb = p.b.lock().unwrap();
+    ga.min(*gb)
+}
+
+pub fn backward(p: &Pair) -> u64 {
+    let gb = p.b.lock().unwrap();
+    let ga = p.a.lock().unwrap();
+    ga.min(*gb)
+}
+
+// L002: fsync while the guard of `a` is live.
+pub fn flush_under_lock(p: &Pair, file: &std::fs::File) -> u64 {
+    let ga = p.a.lock().unwrap();
+    file.sync_all().unwrap();
+    *ga
+}
+
+// T001: the JoinHandle is discarded — nothing can ever join this thread.
+pub fn fire_and_forget() {
+    std::thread::spawn(|| {});
+}
+
+// T002: the guard crosses into the spawned closure.
+pub fn leak_guard_into_thread(m: &'static Mutex<u64>) -> std::thread::JoinHandle<u64> {
+    let guard = m.lock().unwrap();
+    std::thread::spawn(move || *guard)
+}

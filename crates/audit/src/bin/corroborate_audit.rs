@@ -1,32 +1,39 @@
 //! CI gate for the workspace's compiler-invisible invariants: lexes the
-//! sources, runs the determinism / forbidden-API / consistency rules, and
-//! applies the committed allowlist manifest.
+//! sources, runs the determinism / forbidden-API / consistency /
+//! concurrency rules, and applies the committed allowlist manifest.
 //!
 //! ```sh
 //! corroborate_audit [--root <dir>] [--manifest <file>] [--strict] [--json]
+//!                   [--sarif <file>] [--lock-graph <file>]
 //! corroborate_audit --list-rules
 //! ```
 //!
 //! Defaults: `--root .`, `--manifest <root>/audit_manifest.json` when that
-//! file exists (no manifest otherwise). Exit contract, mirroring
-//! `golden_check`: 0 clean, 1 violations, 2 usage or configuration error.
+//! file exists (no manifest otherwise). `--sarif` archives the filtered
+//! report as SARIF 2.1.0; `--lock-graph` writes the lock-acquisition-order
+//! graph as Graphviz DOT. Exit contract, mirroring `golden_check`: 0 clean,
+//! 1 violations, 2 usage or configuration error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use corroborate_audit::manifest::Manifest;
+use corroborate_audit::rules::concurrency;
 use corroborate_audit::rules::CATALOG;
 use corroborate_audit::workspace::load_workspace;
 use corroborate_audit::{audit, AuditReport};
 
 const USAGE: &str = "usage: corroborate_audit [--root <dir>] [--manifest <file>] \
-[--strict] [--json]\n       corroborate_audit --list-rules";
+[--strict] [--json] [--sarif <file>] [--lock-graph <file>]\n       \
+corroborate_audit --list-rules";
 
 struct Options {
     root: PathBuf,
     manifest: Option<PathBuf>,
     strict: bool,
     json: bool,
+    sarif: Option<PathBuf>,
+    lock_graph: Option<PathBuf>,
     list_rules: bool,
 }
 
@@ -36,6 +43,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         manifest: None,
         strict: false,
         json: false,
+        sarif: None,
+        lock_graph: None,
         list_rules: false,
     };
     let mut it = args.iter();
@@ -47,6 +56,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--manifest" => opts.manifest = Some(PathBuf::from(value("--manifest")?)),
             "--strict" => opts.strict = true,
             "--json" => opts.json = true,
+            "--sarif" => opts.sarif = Some(PathBuf::from(value("--sarif")?)),
+            "--lock-graph" => opts.lock_graph = Some(PathBuf::from(value("--lock-graph")?)),
             "--list-rules" => opts.list_rules = true,
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
@@ -111,6 +122,14 @@ fn run(opts: &Options) -> Result<bool, String> {
         ));
     }
     let report = audit(&ws, &manifest);
+    if let Some(path) = &opts.sarif {
+        std::fs::write(path, report.to_sarif().to_json_pretty() + "\n")
+            .map_err(|e| format!("cannot write SARIF to {}: {e}", path.display()))?;
+    }
+    if let Some(path) = &opts.lock_graph {
+        std::fs::write(path, concurrency::lock_graph(&ws).to_dot())
+            .map_err(|e| format!("cannot write lock graph to {}: {e}", path.display()))?;
+    }
     if opts.json {
         println!("{}", report.to_json().to_json_pretty());
     } else {

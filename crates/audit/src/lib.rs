@@ -23,6 +23,7 @@
 pub mod glob;
 pub mod lexer;
 pub mod manifest;
+pub mod model;
 pub mod rules;
 pub mod workspace;
 
@@ -77,6 +78,66 @@ impl AuditReport {
         root.insert("silenced", self.silenced);
         root
     }
+
+    /// SARIF 2.1.0 rendering for `--sarif` — hand-rolled like the rest of
+    /// the JSON layer, shaped for CI artifact archives and code-scanning
+    /// uploads. Errors map to level `error`, warnings to `warning`.
+    pub fn to_sarif(&self) -> Json {
+        fn result(d: &Diagnostic, level: &str) -> Json {
+            let mut region = Json::object();
+            region.insert("startLine", u64::from(d.line.max(1)));
+            let mut artifact = Json::object();
+            artifact.insert("uri", d.path.as_str());
+            let mut physical = Json::object();
+            physical.insert("artifactLocation", artifact);
+            physical.insert("region", region);
+            let mut location = Json::object();
+            location.insert("physicalLocation", physical);
+            let mut message = Json::object();
+            message.insert("text", d.message.as_str());
+            let mut out = Json::object();
+            out.insert("ruleId", d.rule);
+            out.insert("level", level);
+            out.insert("message", message);
+            out.insert("locations", Json::Arr(vec![location]));
+            out
+        }
+        let rules = Json::Arr(
+            rules::CATALOG
+                .iter()
+                .map(|r| {
+                    let mut short = Json::object();
+                    short.insert("text", r.summary);
+                    let mut rule = Json::object();
+                    rule.insert("id", r.id);
+                    rule.insert("name", r.name);
+                    rule.insert("shortDescription", short);
+                    rule
+                })
+                .collect(),
+        );
+        let mut driver = Json::object();
+        driver.insert("name", "corroborate_audit");
+        driver.insert("version", env!("CARGO_PKG_VERSION"));
+        driver.insert("rules", rules);
+        let mut tool = Json::object();
+        tool.insert("driver", driver);
+        let results = Json::Arr(
+            self.errors
+                .iter()
+                .map(|d| result(d, "error"))
+                .chain(self.warnings.iter().map(|d| result(d, "warning")))
+                .collect(),
+        );
+        let mut run = Json::object();
+        run.insert("tool", tool);
+        run.insert("results", results);
+        let mut root = Json::object();
+        root.insert("$schema", "https://json.schemastore.org/sarif-2.1.0.json");
+        root.insert("version", "2.1.0");
+        root.insert("runs", Json::Arr(vec![run]));
+        root
+    }
 }
 
 /// Runs every rule over `ws` and applies the manifest: `off` rules are
@@ -84,7 +145,7 @@ impl AuditReport {
 /// report at their effective severity.
 pub fn audit(ws: &Workspace, manifest: &Manifest) -> AuditReport {
     let mut report = AuditReport::default();
-    for diag in rules::run_all(ws) {
+    for diag in rules::run_all(ws, &manifest.atomic_protocols) {
         match manifest.severity_for(diag.rule) {
             Severity::Off => report.silenced += 1,
             severity => {
@@ -142,6 +203,29 @@ mod tests {
         let report = audit(&ws, &allow);
         assert_eq!(report.allowed, 1);
         assert!(report.passes(true));
+    }
+
+    #[test]
+    fn sarif_report_has_the_2_1_0_shape() {
+        let report = audit(&ws_with_violation(), &Manifest::parse("{}").unwrap());
+        let sarif = report.to_sarif();
+        assert_eq!(sarif.get("version").and_then(Json::as_str), Some("2.1.0"));
+        let runs = sarif.get("runs").and_then(Json::as_array).unwrap();
+        assert_eq!(runs.len(), 1);
+        let driver = runs[0].get("tool").and_then(|t| t.get("driver")).unwrap();
+        assert_eq!(driver.get("name").and_then(Json::as_str), Some("corroborate_audit"));
+        let rules = driver.get("rules").and_then(Json::as_array).unwrap();
+        assert_eq!(rules.len(), rules::CATALOG.len());
+        let results = runs[0].get("results").and_then(Json::as_array).unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].get("ruleId").and_then(Json::as_str), Some("F001"));
+        assert_eq!(results[0].get("level").and_then(Json::as_str), Some("error"));
+        let loc = &results[0].get("locations").and_then(Json::as_array).unwrap()[0];
+        let phys = loc.get("physicalLocation").unwrap();
+        assert_eq!(
+            phys.get("artifactLocation").and_then(|a| a.get("uri")).and_then(Json::as_str),
+            Some("crates/serve/src/queue.rs")
+        );
     }
 
     #[test]

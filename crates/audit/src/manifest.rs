@@ -51,6 +51,58 @@ impl AllowEntry {
     }
 }
 
+/// Declared minimum orderings for one atomic field inside a protocol.
+///
+/// Each of `load`/`store`/`rmw`/`fence` is the *weakest acceptable*
+/// `Ordering` for that access kind; kinds left undeclared are unconstrained
+/// for this field. `reason` documents why the floor is what it is — every
+/// `"relaxed"` floor in particular must explain what other synchronisation
+/// makes it safe.
+#[derive(Debug, Clone)]
+pub struct AtomicFieldDecl {
+    /// Field name the atomic lives in (`seq`, `count`); `(fence)` matches
+    /// standalone `fence(…)` calls.
+    pub field: String,
+    /// Weakest acceptable ordering for `load(…)`.
+    pub load: Option<String>,
+    /// Weakest acceptable ordering for `store(…)`.
+    pub store: Option<String>,
+    /// Weakest acceptable ordering for read-modify-writes (`fetch_*`,
+    /// `swap`, `compare_exchange*`).
+    pub rmw: Option<String>,
+    /// Weakest acceptable ordering for fences.
+    pub fence: Option<String>,
+    /// Why these floors are correct (required).
+    pub reason: String,
+}
+
+/// One declared atomic protocol: a file scope plus per-field ordering
+/// floors. Inside the scope, every atomic field must be declared (A001)
+/// and every access must meet its declared floor (A002).
+#[derive(Debug, Clone)]
+pub struct AtomicProtocol {
+    /// Protocol name, for messages (`trace-ring-seqlock`).
+    pub name: String,
+    /// Glob for the files this protocol governs.
+    pub path: PathGlob,
+    /// Source glob text, for reporting.
+    pub path_text: String,
+    /// Per-field ordering floors.
+    pub fields: Vec<AtomicFieldDecl>,
+}
+
+/// Rank of an `Ordering` on the strength lattice used by A002. `AcqRel`
+/// outranks `Acquire`/`Release` (which tie), `SeqCst` outranks everything.
+pub fn ordering_rank(ordering: &str) -> Option<u8> {
+    match ordering {
+        "Relaxed" | "relaxed" => Some(0),
+        "Acquire" | "acquire" | "Release" | "release" => Some(1),
+        "AcqRel" | "acqrel" => Some(2),
+        "SeqCst" | "seqcst" => Some(3),
+        _ => None,
+    }
+}
+
 /// A parsed, validated manifest.
 #[derive(Debug, Default)]
 pub struct Manifest {
@@ -58,6 +110,8 @@ pub struct Manifest {
     pub severities: Vec<(String, Severity)>,
     /// Accepted exceptions, in file order (first match wins for reporting).
     pub allow: Vec<AllowEntry>,
+    /// Declared atomic protocols driving the A-rules.
+    pub atomic_protocols: Vec<AtomicProtocol>,
 }
 
 fn obj(json: &Json) -> Option<&[(String, Json)]> {
@@ -113,6 +167,15 @@ impl Manifest {
                     };
                     for (i, entry) in entries.iter().enumerate() {
                         manifest.allow.push(parse_allow(entry, i)?);
+                    }
+                }
+                "atomic_protocols" => {
+                    let entries = match value {
+                        Json::Arr(entries) => entries,
+                        _ => return Err("`atomic_protocols` must be an array".to_string()),
+                    };
+                    for (i, entry) in entries.iter().enumerate() {
+                        manifest.atomic_protocols.push(parse_protocol(entry, i)?);
                     }
                 }
                 other => return Err(format!("unknown manifest key `{other}`")),
@@ -185,6 +248,108 @@ fn parse_allow(entry: &Json, index: usize) -> Result<AllowEntry, String> {
     })
 }
 
+fn parse_protocol(entry: &Json, index: usize) -> Result<AtomicProtocol, String> {
+    let fields =
+        obj(entry).ok_or_else(|| format!("atomic_protocols[{index}] must be an object"))?;
+    let mut name = None;
+    let mut path = None;
+    let mut decls = Vec::new();
+    for (key, value) in fields {
+        match key.as_str() {
+            "name" => {
+                name = Some(
+                    value
+                        .as_str()
+                        .filter(|s| !s.trim().is_empty())
+                        .ok_or_else(|| {
+                            format!("atomic_protocols[{index}].name must be a non-empty string")
+                        })?
+                        .to_string(),
+                );
+            }
+            "path" => {
+                let p = value
+                    .as_str()
+                    .ok_or_else(|| format!("atomic_protocols[{index}].path must be a string"))?;
+                path = Some((PathGlob::parse(p), p.to_string()));
+            }
+            "fields" => {
+                let map = obj(value)
+                    .ok_or_else(|| format!("atomic_protocols[{index}].fields must be an object"))?;
+                for (field, decl) in map {
+                    decls.push(parse_field_decl(field, decl, index)?);
+                }
+            }
+            other => {
+                return Err(format!("atomic_protocols[{index}] has unknown key `{other}`"));
+            }
+        }
+    }
+    let (path, path_text) =
+        path.ok_or_else(|| format!("atomic_protocols[{index}] is missing `path`"))?;
+    Ok(AtomicProtocol {
+        name: name.ok_or_else(|| format!("atomic_protocols[{index}] is missing `name`"))?,
+        path,
+        path_text,
+        fields: decls,
+    })
+}
+
+fn parse_field_decl(field: &str, decl: &Json, index: usize) -> Result<AtomicFieldDecl, String> {
+    let entries = obj(decl)
+        .ok_or_else(|| format!("atomic_protocols[{index}].fields.{field} must be an object"))?;
+    let mut out = AtomicFieldDecl {
+        field: field.to_string(),
+        load: None,
+        store: None,
+        rmw: None,
+        fence: None,
+        reason: String::new(),
+    };
+    for (key, value) in entries {
+        let as_str = || {
+            value.as_str().map(str::to_string).ok_or_else(|| {
+                format!("atomic_protocols[{index}].fields.{field}.{key} must be a string")
+            })
+        };
+        match key.as_str() {
+            "load" | "store" | "rmw" | "fence" => {
+                let ordering = as_str()?;
+                if ordering_rank(&ordering).is_none() {
+                    return Err(format!(
+                        "atomic_protocols[{index}].fields.{field}.{key}: unknown ordering \
+                         `{ordering}` (expected relaxed/acquire/release/acqrel/seqcst)"
+                    ));
+                }
+                match key.as_str() {
+                    "load" => out.load = Some(ordering),
+                    "store" => out.store = Some(ordering),
+                    "rmw" => out.rmw = Some(ordering),
+                    _ => out.fence = Some(ordering),
+                }
+            }
+            "reason" => out.reason = as_str()?,
+            other => {
+                return Err(format!(
+                    "atomic_protocols[{index}].fields.{field} has unknown key `{other}`"
+                ));
+            }
+        }
+    }
+    if out.reason.trim().is_empty() {
+        return Err(format!(
+            "atomic_protocols[{index}].fields.{field} is missing a non-empty `reason`"
+        ));
+    }
+    if out.load.is_none() && out.store.is_none() && out.rmw.is_none() && out.fence.is_none() {
+        return Err(format!(
+            "atomic_protocols[{index}].fields.{field} declares no access kind \
+             (need at least one of load/store/rmw/fence)"
+        ));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,6 +401,89 @@ mod tests {
         )
         .is_err());
         assert!(Manifest::parse("not json").is_err());
+    }
+
+    #[test]
+    fn parses_atomic_protocols() {
+        let m = Manifest::parse(
+            r#"{
+                "schema_version": 1,
+                "atomic_protocols": [
+                    { "name": "trace-ring-seqlock",
+                      "path": "crates/obs/src/trace.rs",
+                      "fields": {
+                          "seq": { "store": "release", "load": "acquire", "rmw": "release",
+                                   "reason": "odd/even publication" },
+                          "words": { "load": "relaxed", "store": "relaxed",
+                                     "reason": "fence-ordered data words" },
+                          "(fence)": { "fence": "acquire",
+                                       "reason": "reader/writer fences pair up" }
+                      } }
+                ]
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(m.atomic_protocols.len(), 1);
+        let p = &m.atomic_protocols[0];
+        assert_eq!(p.name, "trace-ring-seqlock");
+        assert!(p.path.matches("crates/obs/src/trace.rs"));
+        assert_eq!(p.fields.len(), 3);
+        assert_eq!(p.fields[0].store.as_deref(), Some("release"));
+        assert_eq!(p.fields[0].fence, None);
+    }
+
+    #[test]
+    fn rejects_malformed_atomic_protocols() {
+        // Unknown ordering name.
+        assert!(Manifest::parse(
+            r#"{ "atomic_protocols": [ { "name": "x", "path": "a.rs",
+                 "fields": { "seq": { "load": "monotonic", "reason": "r" } } } ] }"#
+        )
+        .is_err());
+        // Missing reason.
+        assert!(Manifest::parse(
+            r#"{ "atomic_protocols": [ { "name": "x", "path": "a.rs",
+                 "fields": { "seq": { "load": "acquire" } } } ] }"#
+        )
+        .is_err());
+        // No access kind declared.
+        assert!(Manifest::parse(
+            r#"{ "atomic_protocols": [ { "name": "x", "path": "a.rs",
+                 "fields": { "seq": { "reason": "r" } } } ] }"#
+        )
+        .is_err());
+        // Unknown keys, missing name/path.
+        assert!(Manifest::parse(
+            r#"{ "atomic_protocols": [ { "name": "x", "path": "a.rs", "typo": 1 } ] }"#
+        )
+        .is_err());
+        assert!(Manifest::parse(r#"{ "atomic_protocols": [ { "name": "x" } ] }"#).is_err());
+        assert!(Manifest::parse(r#"{ "atomic_protocols": [ { "path": "a.rs" } ] }"#).is_err());
+        assert!(Manifest::parse(r#"{ "atomic_protocols": 3 }"#).is_err());
+    }
+
+    #[test]
+    fn ordering_rank_lattice() {
+        assert!(ordering_rank("Relaxed") < ordering_rank("Acquire"));
+        assert_eq!(ordering_rank("Acquire"), ordering_rank("Release"));
+        assert!(ordering_rank("AcqRel") < ordering_rank("SeqCst"));
+        assert_eq!(ordering_rank("Monotonic"), None);
+    }
+
+    #[test]
+    fn unknown_concurrency_family_rule_ids_are_rejected() {
+        // Plausible-but-nonexistent ids from the new families must fail
+        // loudly in both `severity` and `allow` (exit 2 at the bin layer).
+        assert!(Manifest::parse(r#"{ "severity": { "L999": "warn" } }"#).is_err());
+        assert!(Manifest::parse(r#"{ "severity": { "A009": "off" } }"#).is_err());
+        assert!(Manifest::parse(r#"{ "allow": [ { "rule": "T777", "reason": "x" } ] }"#).is_err());
+        // The real new ids resolve.
+        for id in ["L001", "L002", "A001", "A002", "T001", "T002"] {
+            assert!(
+                Manifest::parse(&format!(r#"{{ "severity": {{ "{id}": "warn" }} }}"#)).is_ok(),
+                "{id} must be a known rule"
+            );
+        }
     }
 
     #[test]

@@ -15,11 +15,21 @@
 //!   telemetry catalog vs its emission sites and docs, feature gates vs
 //!   `Cargo.toml`, the engine roster vs the conformance oracle, and
 //!   relative links in the markdown docs.
+//! - **Lock order (L…)** — the lock-acquisition-order graph has no cycles,
+//!   and nothing blocks (fsync, socket I/O, join, channel recv, injected
+//!   callbacks, foreign condvar waits) while a guard is live.
+//! - **Atomics (A…)** — every atomic access inside a declared
+//!   `atomic_protocols` scope names a declared field and meets its
+//!   declared ordering floor.
+//! - **Threads (T…)** — spawned workers keep a join/drain path, and lock
+//!   guards never cross a `spawn` closure boundary.
 
+pub mod concurrency;
 pub mod consistency;
 pub mod determinism;
 pub mod forbidden;
 
+use crate::manifest::AtomicProtocol;
 use crate::workspace::Workspace;
 
 /// One rule violation.
@@ -132,6 +142,48 @@ pub const CATALOG: &[RuleInfo] = &[
         summary: "every relative markdown link in README/docs resolves to a real file",
         default_severity: Severity::Error,
     },
+    RuleInfo {
+        id: "L001",
+        name: "lock-order-cycle",
+        summary: "the workspace lock-acquisition-order graph is acyclic — opposed acquisition \
+                  orders (or re-entrant acquisition) can deadlock",
+        default_severity: Severity::Error,
+    },
+    RuleInfo {
+        id: "L002",
+        name: "blocking-under-lock",
+        summary: "no blocking operation (fsync, socket I/O, join, channel recv, injected \
+                  callback, foreign condvar wait) while a lock guard is live",
+        default_severity: Severity::Error,
+    },
+    RuleInfo {
+        id: "A001",
+        name: "undeclared-atomic",
+        summary: "every atomic access in an `atomic_protocols` scope names a declared field \
+                  with a declared floor for its access kind",
+        default_severity: Severity::Error,
+    },
+    RuleInfo {
+        id: "A002",
+        name: "weak-atomic-ordering",
+        summary: "every atomic access in an `atomic_protocols` scope meets the declared \
+                  ordering floor (Relaxed only where the manifest says so, with a reason)",
+        default_severity: Severity::Error,
+    },
+    RuleInfo {
+        id: "T001",
+        name: "detached-thread",
+        summary: "every spawned thread's JoinHandle is kept — a discarded handle has no \
+                  join/drain path on shutdown",
+        default_severity: Severity::Error,
+    },
+    RuleInfo {
+        id: "T002",
+        name: "guard-crosses-spawn",
+        summary: "no lock guard binding is captured by a `spawn` closure — guards must not \
+                  cross thread boundaries",
+        default_severity: Severity::Error,
+    },
 ];
 
 /// Looks up a catalogue entry by id.
@@ -140,12 +192,14 @@ pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
 }
 
 /// Runs every rule over the workspace, returning raw diagnostics (before
-/// any manifest filtering), sorted by path then line then rule.
-pub fn run_all(ws: &Workspace) -> Vec<Diagnostic> {
+/// any manifest filtering), sorted by path then line then rule. The
+/// A-rules are driven by the manifest's declared `atomic_protocols`.
+pub fn run_all(ws: &Workspace, protocols: &[AtomicProtocol]) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     determinism::check(ws, &mut diags);
     forbidden::check(ws, &mut diags);
     consistency::check(ws, &mut diags);
+    concurrency::check(ws, protocols, &mut diags);
     diags.sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
     diags
 }

@@ -43,7 +43,13 @@ fn seeded_fixture_trips_every_rule_and_exits_one() {
     let errors = report.get("errors").and_then(Json::as_array).unwrap();
     let fired: Vec<&str> =
         errors.iter().filter_map(|e| e.get("rule").and_then(Json::as_str)).collect();
-    for rule in ["D001", "D002", "D003", "F001", "F002", "C001", "C002", "C003", "C004", "C005"] {
+    #[rustfmt::skip]
+    let all = [
+        "D001", "D002", "D003", "F001", "F002",
+        "C001", "C002", "C003", "C004", "C005",
+        "L001", "L002", "A001", "A002", "T001", "T002",
+    ];
+    for rule in all {
         assert!(fired.contains(&rule), "seeded violation for {rule} did not fire: {fired:?}");
     }
 }
@@ -85,7 +91,76 @@ fn list_rules_names_the_whole_catalog() {
     let out = run(&["--list-rules"]);
     assert_eq!(code(&out), 0);
     let text = String::from_utf8_lossy(&out.stdout);
-    for id in ["D001", "D002", "D003", "F001", "F002", "C001", "C002", "C003", "C004", "C005"] {
+    #[rustfmt::skip]
+    let all = [
+        "D001", "D002", "D003", "F001", "F002",
+        "C001", "C002", "C003", "C004", "C005",
+        "L001", "L002", "A001", "A002", "T001", "T002",
+    ];
+    for id in all {
         assert!(text.contains(id), "--list-rules is missing {id}");
     }
+}
+
+#[test]
+fn unknown_concurrency_rule_ids_in_manifest_exit_two() {
+    // Manifest hygiene for the new families: IDs that merely look like
+    // L/A/T rules must be rejected, not silently ignored.
+    let root = repo_root();
+    for (name, body) in [
+        ("l999", r#"{ "severity": { "L999": "warn" } }"#),
+        ("a009", r#"{ "allow": [ { "rule": "A009", "path": "**", "reason": "x" } ] }"#),
+        ("t777", r#"{ "severity": { "T777": "error" } }"#),
+    ] {
+        let bad = std::env::temp_dir().join(format!("corroborate_audit_bad_{name}.json"));
+        std::fs::write(&bad, body).unwrap();
+        let out = run(&["--root", root.to_str().unwrap(), "--manifest", bad.to_str().unwrap()]);
+        std::fs::remove_file(&bad).unwrap();
+        assert_eq!(code(&out), 2, "{name}: stderr: {}", String::from_utf8_lossy(&out.stderr));
+    }
+}
+
+#[test]
+fn malformed_atomic_protocols_exit_two() {
+    let root = repo_root();
+    let bad = std::env::temp_dir().join("corroborate_audit_bad_protocol.json");
+    std::fs::write(
+        &bad,
+        r#"{ "atomic_protocols": [ { "name": "p", "path": "**",
+             "fields": { "x": { "load": "casual", "reason": "r" } } } ] }"#,
+    )
+    .unwrap();
+    let out = run(&["--root", root.to_str().unwrap(), "--manifest", bad.to_str().unwrap()]);
+    std::fs::remove_file(&bad).unwrap();
+    assert_eq!(code(&out), 2);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("casual"));
+}
+
+#[test]
+fn sarif_export_has_the_standard_shape() {
+    let ws = broken_ws();
+    let sarif_path = std::env::temp_dir().join("corroborate_audit_fixture.sarif");
+    let out = run(&["--root", ws.to_str().unwrap(), "--sarif", sarif_path.to_str().unwrap()]);
+    assert_eq!(code(&out), 1, "stdout: {}", String::from_utf8_lossy(&out.stdout));
+    let text = std::fs::read_to_string(&sarif_path).unwrap();
+    std::fs::remove_file(&sarif_path).unwrap();
+    let sarif = Json::parse(&text).unwrap();
+    assert_eq!(sarif.get("version").and_then(Json::as_str), Some("2.1.0"));
+    let runs = sarif.get("runs").and_then(Json::as_array).unwrap();
+    let results = runs[0].get("results").and_then(Json::as_array).unwrap();
+    assert!(!results.is_empty(), "fixture findings must land in SARIF results");
+    assert!(results.iter().any(|r| { r.get("ruleId").and_then(Json::as_str) == Some("L001") }));
+}
+
+#[test]
+fn lock_graph_export_is_dot_with_the_seeded_cycle() {
+    let ws = broken_ws();
+    let dot_path = std::env::temp_dir().join("corroborate_audit_fixture_locks.dot");
+    let out = run(&["--root", ws.to_str().unwrap(), "--lock-graph", dot_path.to_str().unwrap()]);
+    assert_eq!(code(&out), 1);
+    let dot = std::fs::read_to_string(&dot_path).unwrap();
+    std::fs::remove_file(&dot_path).unwrap();
+    assert!(dot.contains("digraph lock_order"), "not a DOT digraph: {dot}");
+    assert!(dot.contains("locks.a") && dot.contains("locks.b"), "seeded locks missing: {dot}");
+    assert!(dot.contains("color=red"), "the seeded a/b cycle should be highlighted: {dot}");
 }

@@ -40,7 +40,7 @@ fn without_the_manifest_the_workspace_does_not_pass() {
     // output over the real tree must contain findings (all of which the
     // committed manifest then accounts for).
     let ws = load_workspace(&repo_root()).unwrap();
-    let raw = rules::run_all(&ws);
+    let raw = rules::run_all(&ws, &[]);
     assert!(!raw.is_empty(), "raw audit found nothing — rules or walker broke");
     assert!(raw.iter().any(|d| d.in_test), "test-region detection found no test-code findings");
 }
@@ -53,7 +53,7 @@ fn committed_manifest_entries_all_match_something() {
     let root = repo_root();
     let ws = load_workspace(&root).unwrap();
     let manifest = committed_manifest(&root);
-    let raw = rules::run_all(&ws);
+    let raw = rules::run_all(&ws, &manifest.atomic_protocols);
     for entry in &manifest.allow {
         assert!(
             raw.iter().any(|d| entry.matches(d)),

@@ -86,7 +86,8 @@ impl LatencyHistogram {
         // the Relaxed field loads below then see at least `count` records.
         let count = self.count();
         let sum = self.sum_nanos();
-        let buckets: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let buckets: Vec<u64> =
+            (0..self.buckets.len()).map(|i| self.buckets[i].load(Ordering::Relaxed)).collect();
         let min = if count == 0 { 0 } else { self.min.load(Ordering::Relaxed) };
         let max = self.max.load(Ordering::Relaxed);
         // Interpolated quantiles can land outside the exact envelope when a
@@ -106,11 +107,9 @@ impl LatencyHistogram {
 
     /// Non-empty buckets as `(upper_bound_nanos, count)` pairs, ascending.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
-        self.buckets
-            .iter()
-            .enumerate()
-            .filter_map(|(i, b)| {
-                let n = b.load(Ordering::Relaxed);
+        (0..self.buckets.len())
+            .filter_map(|i| {
+                let n = self.buckets[i].load(Ordering::Relaxed);
                 (n > 0).then(|| (upper_bound(i), n))
             })
             .collect()

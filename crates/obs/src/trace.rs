@@ -165,7 +165,7 @@ pub struct TraceBuffer {
 
 impl std::fmt::Debug for Slot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Slot").field("seq", &self.seq.load(Ordering::Relaxed)).finish()
+        f.debug_struct("Slot").field("seq", &self.seq.load(Ordering::Acquire)).finish()
     }
 }
 
@@ -191,9 +191,11 @@ impl TraceBuffer {
         self.slots.len()
     }
 
-    /// Total events ever pushed (not bounded by capacity).
+    /// Total events ever pushed (not bounded by capacity). Acquire pairs
+    /// with the publishing writer so a count observed here never runs
+    /// ahead of the slots a subsequent `snapshot` can validate.
     pub fn pushed(&self) -> u64 {
-        self.head.load(Ordering::Relaxed)
+        self.head.load(Ordering::Acquire)
     }
 
     /// Records one event. Allocates span ids and maintains the per-thread

@@ -100,6 +100,13 @@ impl ClusterState {
         self.replicas.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
+    /// Clones the registry out of the lock. Lag math consults the ship
+    /// log's injected clock, which must never run under this mutex
+    /// (audit rule L002), so readers work from this snapshot.
+    fn snapshot(&self) -> Vec<ReplicaStatus> {
+        self.lock().values().cloned().collect()
+    }
+
     /// Folds one heartbeat into the registry (latest per id wins).
     pub fn heartbeat(&self, status: ReplicaStatus) {
         self.lock().insert(status.id.clone(), status);
@@ -113,7 +120,7 @@ impl ClusterState {
     /// Worst replication lag across all known replicas, in ship-clock
     /// seconds (0.0 with no replicas or all caught up).
     pub fn max_lag_seconds(&self, ship: &ShipLog) -> f64 {
-        self.lock().values().map(|r| ship.lag_seconds(r.applied_seq)).fold(0.0, f64::max)
+        self.snapshot().iter().map(|r| ship.lag_seconds(r.applied_seq)).fold(0.0, f64::max)
     }
 
     /// Smallest applied seq across all known replicas (`None` with no
@@ -143,8 +150,8 @@ impl ClusterState {
         root.insert("primary", p);
 
         let replicas: Vec<Json> = self
-            .lock()
-            .values()
+            .snapshot()
+            .iter()
             .map(|r| {
                 let mut e = Json::object();
                 e.insert("id", r.id.as_str());
